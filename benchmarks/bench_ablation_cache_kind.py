@@ -1,0 +1,91 @@
+"""Ablation: query-result caching vs data-only caching (the tree cache).
+
+The paper's §6 argues that caching *query results* beats the tree
+cache's raw-data caching because "caching query results preserves the
+computational effort in addition to reducing I/O".  A data-only cache is
+exactly what a warm buffer pool gives: the second evaluation reads
+nothing from disk but still runs the kernel at every grid point.  This
+bench measures all three regimes.
+"""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.costmodel import Category
+from repro.harness.common import ExperimentReport, threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    dataset, mediator = config.make_cluster(buffer_pages=4096)
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+
+    # Cold: nothing cached anywhere.
+    mediator.drop_page_caches()
+    cold = mediator.threshold(query, processes=config.processes,
+                              use_cache=False)
+
+    # Data cache: buffer pools warm (tree-cache analogue), recompute.
+    # Only the boundary exchange's network time remains in the I/O phase.
+    data_cached = mediator.threshold(query, processes=config.processes,
+                                     use_cache=False)
+    assert data_cached.ledger[Category.IO] < 0.05 * cold.ledger[Category.IO]
+
+    # Result cache: semantic-cache hit.
+    mediator.threshold(query, processes=config.processes)  # populate
+    mediator.drop_page_caches()
+    result_cached = mediator.threshold(query, processes=config.processes)
+    assert result_cached.cache_hits == len(mediator.nodes)
+
+    rows = [
+        ["cold (no caching)", f"{cold.elapsed:.2f}",
+         f"{cold.ledger[Category.IO]:.2f}",
+         f"{cold.ledger[Category.COMPUTE]:.2f}"],
+        ["data cache (tree-cache analogue)", f"{data_cached.elapsed:.2f}",
+         f"{data_cached.ledger[Category.IO]:.2f}",
+         f"{data_cached.ledger[Category.COMPUTE]:.2f}"],
+        ["query-result cache (this paper)", f"{result_cached.elapsed:.2f}",
+         f"{result_cached.ledger[Category.IO]:.2f}",
+         f"{result_cached.ledger[Category.COMPUTE]:.2f}"],
+    ]
+    out = ExperimentReport(
+        title="Ablation -- what gets cached (medium threshold, simulated s)",
+        headers=["strategy", "total", "I/O", "compute"],
+        rows=rows,
+        notes=[
+            "a data cache removes I/O but re-runs the kernel at every "
+            "grid point; caching results removes both (paper Sec. 6)",
+        ],
+    )
+    save_report("ablation_cache_kind", out)
+    return out
+
+
+def test_data_cache_still_pays_compute(report):
+    rows = report.row_dict()
+    data_compute = float(rows["data cache (tree-cache analogue)"][3])
+    result_compute = float(rows["query-result cache (this paper)"][3])
+    assert data_compute > 0
+    assert result_compute == 0.0
+
+
+def test_result_cache_beats_data_cache(report):
+    rows = report.row_dict()
+    cold = float(rows["cold (no caching)"][1])
+    data = float(rows["data cache (tree-cache analogue)"][1])
+    result = float(rows["query-result cache (this paper)"][1])
+    assert result < data < cold
+    assert data / result > 5  # preserved computation is the big win
+
+
+def test_benchmark_data_cached_query(report, benchmark, config):
+    dataset, mediator = config.make_cluster(buffer_pages=4096)
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+    mediator.threshold(query, processes=config.processes, use_cache=False)
+
+    result = benchmark(
+        mediator.threshold, query, config.processes, False
+    )
+    assert len(result) > 0

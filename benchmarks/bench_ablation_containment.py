@@ -1,0 +1,92 @@
+"""Ablation: spatial containment in the semantic cache.
+
+A cached full-region entry answers any query over a *contained* region
+("as long as they are within the same region and specify the same or
+higher threshold", paper §4).  This bench quantifies the win: after one
+full-timestep query, a follow-up over a sub-box — the typical "zoom in
+on the interesting corner" interaction — costs only a filtered cache
+read instead of a fresh raw-data evaluation of that sub-box.
+"""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.costmodel import Category
+from repro.grid import Box
+from repro.harness.common import ExperimentReport, threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    dataset, mediator = config.make_cluster()
+    threshold = threshold_levels(dataset, "vorticity", 0)["low"]
+    side = dataset.spec.side
+    sub = Box((side // 4,) * 3, (3 * side // 4,) * 3)  # centre eighth
+
+    # Warm the cache with the full-timestep query.
+    full_query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+    mediator.drop_page_caches()
+    full = mediator.threshold(full_query, processes=config.processes)
+
+    # Zoom in: answered from the containing entry.
+    sub_query = ThresholdQuery("mhd", "vorticity", 0, threshold, box=sub)
+    mediator.drop_page_caches()
+    contained = mediator.threshold(sub_query, processes=config.processes)
+    assert contained.cache_hits == len(mediator.nodes)
+
+    # The same zoom without the cache: fresh sub-box evaluation.
+    mediator.drop_page_caches()
+    recomputed = mediator.threshold(
+        sub_query, processes=config.processes, use_cache=False
+    )
+
+    rows = [
+        ["full-timestep query (warms cache)", f"{full.elapsed:.2f}",
+         f"{full.ledger[Category.IO]:.2f}", len(full)],
+        ["sub-box query via containment hit", f"{contained.elapsed:.3f}",
+         f"{contained.ledger[Category.IO]:.2f}", len(contained)],
+        ["sub-box query recomputed from raw", f"{recomputed.elapsed:.2f}",
+         f"{recomputed.ledger[Category.IO]:.2f}", len(recomputed)],
+    ]
+    out = ExperimentReport(
+        title="Ablation -- spatial containment (zoom-in after a "
+        "full-timestep query, simulated seconds)",
+        headers=["query", "total", "I/O", "points"],
+        rows=rows,
+        notes=[
+            "the contained query reads only cacheData; recomputation "
+            "re-reads and re-derives the sub-box",
+        ],
+    )
+    save_report("ablation_containment", out)
+    return out
+
+
+def test_containment_answers_identically(report):
+    assert report.rows[1][3] == report.rows[2][3]
+
+
+def test_containment_much_faster_than_recompute(report):
+    contained = float(report.rows[1][1])
+    recomputed = float(report.rows[2][1])
+    assert recomputed / contained > 5
+
+
+def test_containment_does_no_raw_io(report):
+    assert float(report.rows[1][2]) == 0.0
+    assert float(report.rows[2][2]) > 0.0
+
+
+def test_benchmark_containment_hit(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 1)["low"]
+    side = dataset.spec.side
+    sub = Box((side // 4,) * 3, (3 * side // 4,) * 3)
+    mediator.threshold(
+        ThresholdQuery("mhd", "vorticity", 1, threshold),
+        processes=config.processes,
+    )
+    query = ThresholdQuery("mhd", "vorticity", 1, threshold, box=sub)
+
+    result = benchmark(mediator.threshold, query, config.processes)
+    assert result.cache_hits == len(mediator.nodes)

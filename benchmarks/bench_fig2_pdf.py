@@ -1,0 +1,43 @@
+"""Benchmark + reproduction of Fig. 2: PDF of the vorticity norm."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import norm_rms
+from repro.core import PdfQuery
+from repro.harness import fig2_pdf
+from repro.harness.common import ground_truth_norm
+
+
+@pytest.fixture(scope="module")
+def report(config, shared_cluster, save_report):
+    out = fig2_pdf.run(config, prebuilt=shared_cluster)
+    save_report("fig2_pdf", out)
+    return out
+
+
+def test_fig2_counts_decay_monotonically(report):
+    """The paper's PDF decays over several decades past the mode."""
+    counts = [row[1] for row in report.rows]
+    peak = counts.index(max(counts))
+    tail = [c for c in counts[peak:] if c > 0]
+    assert tail == sorted(tail, reverse=True)
+    assert len(tail) >= 4  # populated tail spanning multiple bins
+
+
+def test_fig2_total_covers_grid(report, config):
+    assert sum(row[1] for row in report.rows) == config.side**3
+
+
+def test_benchmark_pdf_query(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    rms = norm_rms(ground_truth_norm(dataset, "vorticity", 0))
+    edges = tuple(np.linspace(0.0, 10.0 * rms, 11))
+    query = PdfQuery("mhd", "vorticity", 0, edges)
+
+    def run_pdf():
+        mediator.drop_page_caches()
+        return mediator.pdf(query, processes=config.processes)
+
+    result = benchmark(run_pdf)
+    assert result.total_points == config.side**3

@@ -1,0 +1,53 @@
+"""Benchmark + reproduction of Figs. 3-4: intense events and 4-D FoF."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import friends_of_friends, norm_rms
+from repro.core import ThresholdQuery
+from repro.harness import fig3_fig4
+from repro.harness.common import ground_truth_norm
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = fig3_fig4.run(config)
+    save_report("fig3_fig4_clusters", out)
+    return out
+
+
+def test_intense_points_are_a_tiny_fraction(report):
+    """Paper Fig. 4: ~0.02% of points above 7 x RMS."""
+    for row in report.rows:
+        if row[0] == "points above threshold":
+            fraction = float(row[3].rstrip("%")) / 100
+            assert fraction < 1e-3
+
+
+def test_some_timestep_has_intense_events(report):
+    counts = [
+        row[2] for row in report.rows if row[0] == "points above threshold"
+    ]
+    assert max(counts) > 0
+
+
+def test_clusters_found_and_one_persists(report):
+    cluster_rows = [row for row in report.rows if row[0].startswith("cluster")]
+    assert cluster_rows, "no 4-D clusters found"
+    spans = [row[1] for row in cluster_rows]
+    assert any(span.count(",") >= 1 for span in spans)  # multi-step cluster
+
+
+def test_benchmark_fof_clustering(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    rms = norm_rms(ground_truth_norm(dataset, "vorticity", 0))
+    result = mediator.threshold(
+        ThresholdQuery("mhd", "vorticity", 0, 5.0 * rms),
+        processes=config.processes,
+    )
+    coords = result.coordinates()
+
+    clusters = benchmark(
+        friends_of_friends, coords, result.values, dataset.spec.side, 2, 2
+    )
+    assert isinstance(clusters, list)

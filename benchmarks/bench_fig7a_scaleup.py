@@ -1,0 +1,48 @@
+"""Benchmark + reproduction of Fig. 7(a): scale-up with processes/node."""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.harness import fig7
+from repro.harness.common import threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = fig7.run_scaleup(config)
+    save_report("fig7a_scaleup", out)
+    return out
+
+
+def _speedups(report, column):
+    return [float(row[column].rstrip("x")) for row in report.rows]
+
+
+def test_scaleup_monotone_then_flat(report):
+    """Paper: ~2x at 2 procs, ~2.6x at 4, little further gain at 8."""
+    for column in (1, 2, 3):  # low / medium / high columns
+        s1, s2, s4, s8 = _speedups(report, column)
+        assert s1 == 1.0
+        assert 1.3 <= s2 <= 2.2
+        assert s2 < s4
+        assert s8 <= s4 * 1.25  # flattening: going 4 -> 8 buys little
+
+
+def test_scaleup_far_from_linear(report):
+    """I/O does not parallelise: speedup at 8 procs is nowhere near 8x."""
+    for column in (1, 2, 3):
+        assert _speedups(report, column)[3] < 4.0
+
+
+def test_benchmark_four_process_query(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+
+    def run():
+        mediator.drop_cache_entries("mhd", "vorticity", 0)
+        mediator.drop_page_caches()
+        return mediator.threshold(query, processes=4, use_cache=False)
+
+    result = benchmark(run)
+    assert len(result) > 0

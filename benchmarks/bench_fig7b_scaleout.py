@@ -1,0 +1,37 @@
+"""Benchmark + reproduction of Fig. 7(b): scale-out with node count."""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.harness import fig7
+from repro.harness.common import ExperimentConfig, threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = fig7.run_scaleout(config)
+    save_report("fig7b_scaleout", out)
+    return out
+
+
+def test_scaleout_nearly_linear(report):
+    """Paper: nearly perfect linear speedup out to 8 nodes."""
+    for column in (1, 2, 3):
+        speedups = [float(row[column].rstrip("x")) for row in report.rows]
+        for nodes, speedup in zip((1, 2, 4, 8), speedups):
+            assert speedup >= 0.85 * nodes
+            assert speedup <= 1.1 * nodes
+
+
+def test_benchmark_eight_node_query(report, benchmark, config):
+    dataset, mediator = config.make_cluster(nodes=8)
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+
+    def run():
+        mediator.drop_cache_entries("mhd", "vorticity", 0)
+        mediator.drop_page_caches()
+        return mediator.threshold(query, processes=1, use_cache=False)
+
+    result = benchmark(run)
+    assert len(result) > 0

@@ -1,0 +1,53 @@
+"""Benchmark + reproduction of Fig. 8: total vs I/O-only running time."""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.harness import fig8
+from repro.harness.common import threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = fig8.run(config)
+    save_report("fig8_io", out)
+    return out
+
+
+def _row(report, processes):
+    return report.row_dict()[processes]
+
+
+def test_io_is_about_half_the_single_process_total(report):
+    total, io_only = float(_row(report, 1)[1]), float(_row(report, 1)[2])
+    assert 0.35 <= io_only / total <= 0.65
+
+
+def test_io_shrinks_modestly_with_processes(report):
+    io1 = float(_row(report, 1)[2])
+    io8 = float(_row(report, 8)[2])
+    assert io8 < io1  # more streams help...
+    assert io8 > io1 / 2.5  # ...but nowhere near linearly (shared disks)
+
+
+def test_multiprocess_total_matches_single_process_io(report):
+    """Paper: the 4-8 process total ~ the 1-process I/O-only time."""
+    io1 = float(_row(report, 1)[2])
+    for processes in (4, 8):
+        total = float(_row(report, processes)[1])
+        assert abs(total - io1) / io1 < 0.35
+
+
+def test_benchmark_io_only_query(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+
+    def run():
+        mediator.drop_page_caches()
+        return mediator.threshold(
+            query, processes=4, use_cache=False, io_only=True
+        )
+
+    result = benchmark(run)
+    assert len(result) == 0  # I/O-only mode returns no points

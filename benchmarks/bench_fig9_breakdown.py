@@ -1,0 +1,78 @@
+"""Benchmark + reproduction of Fig. 9: per-field time breakdowns."""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.harness import fig9
+from repro.harness.common import threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = fig9.run(config)
+    save_report("fig9_breakdown", out)
+    return out
+
+
+def _rows(report, fieldname, cache):
+    return [
+        row for row in report.rows if row[0] == fieldname and row[2] == cache
+    ]
+
+
+def test_q_criterion_costs_more_compute_than_vorticity(report):
+    """Paper §5.4: Q needs all 9 gradient components."""
+    for level_index in range(3):
+        vorticity = float(_rows(report, "vorticity", "miss")[level_index][6])
+        q = float(_rows(report, "q_criterion", "miss")[level_index][6])
+        assert q > vorticity * 1.3
+
+
+def test_vorticity_and_q_have_equal_io(report):
+    """Paper §5.4: same kernel of computation, same I/O."""
+    vorticity = float(_rows(report, "vorticity", "miss")[0][5])
+    q = float(_rows(report, "q_criterion", "miss")[0][5])
+    assert abs(vorticity - q) / vorticity < 0.05
+
+
+def test_magnetic_field_needs_no_compute(report):
+    """Paper §5.4: a raw field is only compared against the threshold."""
+    magnetic = float(_rows(report, "magnetic", "miss")[0][6])
+    vorticity = float(_rows(report, "vorticity", "miss")[0][6])
+    assert magnetic < vorticity * 0.1
+
+
+def test_cache_lookup_negligible_even_on_hits(report):
+    for row in report.rows:
+        lookup, total = float(row[4]), float(row[9])
+        if row[2] == "miss":
+            assert lookup < 0.05 * total
+
+
+def test_hits_dominated_by_user_transfer_at_low_threshold(report):
+    for fieldname in ("vorticity", "q_criterion", "magnetic"):
+        low_hit = _rows(report, fieldname, "hit")[2]
+        med_user, total = float(low_hit[8]), float(low_hit[9])
+        assert med_user > 0.5 * total
+
+
+def test_hits_are_order_of_magnitude_faster_for_all_fields(report):
+    for fieldname in ("vorticity", "q_criterion", "magnetic"):
+        for level_index in range(3):
+            miss = float(_rows(report, fieldname, "miss")[level_index][9])
+            hit = float(_rows(report, fieldname, "hit")[level_index][9])
+            assert miss / hit >= 10
+
+
+def test_benchmark_q_criterion_miss(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "q_criterion", 0)["medium"]
+    query = ThresholdQuery("mhd", "q_criterion", 0, threshold)
+
+    def run():
+        mediator.drop_cache_entries("mhd", "q_criterion", 0)
+        mediator.drop_page_caches()
+        return mediator.threshold(query, processes=config.processes)
+
+    result = benchmark(run)
+    assert result.cache_hits == 0

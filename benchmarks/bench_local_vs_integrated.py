@@ -1,0 +1,45 @@
+"""Benchmark + reproduction of Sec. 5.3: local vs integrated evaluation."""
+
+import pytest
+
+from repro.client import local_threshold_evaluation
+from repro.harness import local_vs_integrated
+from repro.harness.common import threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, save_report):
+    out = local_vs_integrated.run(config)
+    save_report("local_vs_integrated", out)
+    return out
+
+
+def _seconds(cell: str) -> float:
+    value, unit = cell.split()
+    return float(value) * {"h": 3600, "s": 1, "ms": 1e-3}[unit]
+
+
+def test_integrated_beats_local_by_orders_of_magnitude(report):
+    rows = report.row_dict()
+    local = _seconds(rows["local (client-side)"][1])
+    integrated = _seconds(rows["integrated (cold cache)"][1])
+    hit = _seconds(rows["integrated (cache hit)"][1])
+    assert local / integrated > 50  # paper: >20 h vs ~2 min (~600x)
+    assert integrated / hit > 10
+    assert local / hit > 1000
+
+
+def test_all_strategies_agree_on_points(report):
+    counts = {row[0]: row[2] for row in report.rows}
+    assert len(set(counts.values())) == 1
+
+
+def test_benchmark_local_evaluation(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+
+    result = benchmark(
+        local_threshold_evaluation,
+        mediator, "mhd", 0, threshold, dataset.spec.side // 2,
+    )
+    assert result.subqueries == 8

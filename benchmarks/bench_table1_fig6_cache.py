@@ -1,0 +1,62 @@
+"""Benchmark + reproduction of Table 1 / Fig. 6: cache effectiveness."""
+
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.harness import table1_fig6
+from repro.harness.common import threshold_levels
+
+
+@pytest.fixture(scope="module")
+def report(config, shared_cluster, save_report):
+    out = table1_fig6.run(config, prebuilt=shared_cluster)
+    save_report("table1_fig6_cache", out)
+    return out
+
+
+def test_miss_overhead_is_small(report):
+    """Paper: probing the cache first costs <3% even on a miss."""
+    for row in report.rows:
+        no_cache, miss = float(row[3]), float(row[4])
+        assert miss <= no_cache * 1.05
+
+
+def test_hits_are_an_order_of_magnitude_faster(report):
+    """Paper's headline: >=10x speedup on cache hits."""
+    for row in report.rows:
+        miss, hit = float(row[4]), float(row[5])
+        assert miss / hit >= 10
+
+
+def test_hit_times_track_result_size(report):
+    """Larger result sets take longer to serve (Table 1: 0.5/1.2/9.1 s)."""
+    hits = [float(row[5]) for row in report.rows]  # high, medium, low
+    assert hits[0] < hits[1] < hits[2]
+
+
+def test_benchmark_cache_miss(report, benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+
+    def run_miss():
+        mediator.drop_cache_entries("mhd", "vorticity", 0)
+        mediator.drop_page_caches()
+        return mediator.threshold(query, processes=config.processes)
+
+    result = benchmark(run_miss)
+    assert result.cache_hits == 0
+
+
+def test_benchmark_cache_hit(benchmark, config, shared_cluster):
+    dataset, mediator = shared_cluster
+    threshold = threshold_levels(dataset, "vorticity", 0)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+    mediator.threshold(query, processes=config.processes)  # warm
+
+    def run_hit():
+        mediator.drop_page_caches()
+        return mediator.threshold(query, processes=config.processes)
+
+    result = benchmark(run_hit)
+    assert result.cache_hits == len(mediator.nodes)

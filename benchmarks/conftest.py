@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures: experiment config, cluster, report sink.
+
+Every ``bench_*`` module reproduces one table or figure of the paper:
+the module-scoped fixture runs the experiment harness, writes the
+resulting table to ``benchmarks/results/<name>.txt`` (and echoes it to
+the terminal), and the pytest-benchmark functions time the underlying
+queries of that experiment.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.harness.common import ExperimentConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return ExperimentConfig()
+
+
+@pytest.fixture(scope="session")
+def shared_cluster(config):
+    """One default cluster shared by experiments that can reuse it."""
+    return config.make_cluster()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Write an ExperimentReport to results/<name>.txt and echo it."""
+
+    def _save(name: str, report) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        text = str(report)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

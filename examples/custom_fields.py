@@ -1,0 +1,77 @@
+"""Define new derived fields declaratively — no stored procedure needed.
+
+The production JHTDB needed hand-written CLR code for every derived
+field (paper §7 lists this as the main extensibility pain point, and
+proposes "declarative ... interfaces that will allow users to combine
+existing building blocks").  Here a one-line expression registers a new
+thresholdable field on the live service.
+
+Run with:  python examples/custom_fields.py
+"""
+
+import numpy as np
+
+from repro import (
+    ThresholdQuery,
+    TopKQuery,
+    build_cluster,
+    default_registry,
+    mhd_dataset,
+)
+
+
+def main() -> None:
+    registry = default_registry()
+
+    # Users combine building blocks: differential operators, invariants,
+    # norms and arithmetic.  Halo width and compute cost are inferred.
+    registry.register_expression("my_vorticity", "norm(curl(velocity))")
+    registry.register_expression("current_density", "norm(curl(magnetic))")
+    registry.register_expression("combined_invariant",
+                                 "abs(q(velocity)) + abs(r(velocity))")
+    registry.register_expression("double_curl",
+                                 "norm(curl(curl(velocity)))")
+    registry.register_expression("pressure_gradient",
+                                 "norm(grad(pressure))")
+
+    print("Registered custom fields:",
+          [n for n in registry.names() if n not in default_registry().names()])
+
+    dataset = mhd_dataset(side=64, timesteps=2)
+    mediator = build_cluster(dataset, nodes=4, registry=registry)
+
+    # The expression field behaves exactly like a built-in: distributed
+    # evaluation, halo exchange, semantic caching.
+    builtin = mediator.threshold(
+        ThresholdQuery("mhd", "vorticity", 0, 12.0), use_cache=False
+    )
+    custom = mediator.threshold(
+        ThresholdQuery("mhd", "my_vorticity", 0, 12.0), use_cache=False
+    )
+    assert np.array_equal(builtin.zindexes, custom.zindexes)
+    print(f"\n'my_vorticity' matches the built-in vorticity: "
+          f"{len(custom)} points")
+
+    for field in ("current_density", "combined_invariant",
+                  "double_curl", "pressure_gradient"):
+        derived = registry.get(field)
+        # Pick a threshold keeping roughly the strongest 0.1%.
+        probe = mediator.topk(TopKQuery("mhd", field, 0, k=300))
+        threshold = float(probe.values[-1])
+        result = mediator.threshold(ThresholdQuery("mhd", field, 0, threshold))
+        print(f"{field:20s} halo={derived.halo(4)} "
+              f"units/pt={derived.units_per_point:.2f}  "
+              f"{len(result):4d} points >= {threshold:.3g} "
+              f"in {result.elapsed:.1f} sim s")
+
+    # Cache hits work for expression fields too.
+    probe = mediator.topk(TopKQuery("mhd", "current_density", 0, k=300))
+    again = mediator.threshold(
+        ThresholdQuery("mhd", "current_density", 0, float(probe.values[-1]))
+    )
+    print(f"\nrepeat current_density query: cache hits "
+          f"{again.cache_hits}/{again.nodes}")
+
+
+if __name__ == "__main__":
+    main()

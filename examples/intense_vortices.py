@@ -1,0 +1,87 @@
+"""Find and track intense vortices across time (paper Figs. 3-4).
+
+Thresholds every timestep of an isotropic-turbulence dataset at a
+multiple of the RMS vorticity, clusters the returned points with a 4-D
+friends-of-friends pass, and reports how the most intense "worm"
+develops through time.
+
+Run with:  python examples/intense_vortices.py
+"""
+
+import numpy as np
+
+from repro import (
+    ThresholdQuery,
+    build_cluster,
+    friends_of_friends_4d,
+    isotropic_dataset,
+    norm_rms,
+)
+from repro.harness.common import ground_truth_norm
+
+
+def main() -> None:
+    print("Loading isotropic turbulence (64^3, 4 timesteps)...")
+    dataset = isotropic_dataset(side=64, timesteps=4)
+    mediator = build_cluster(dataset, nodes=4)
+
+    all_t, all_xyz, all_val = [], [], []
+    for timestep in range(dataset.spec.timesteps):
+        rms = norm_rms(ground_truth_norm(dataset, "vorticity", timestep))
+        threshold = 6.0 * rms
+        result = mediator.threshold(
+            ThresholdQuery("isotropic", "vorticity", timestep, threshold),
+            processes=4,
+        )
+        print(f"t={timestep}: {len(result):5d} points above "
+              f"6 x RMS ({threshold:.1f}) in {result.elapsed:.1f} sim s")
+        if len(result):
+            all_t.append(np.full(len(result), timestep))
+            all_xyz.append(result.coordinates())
+            all_val.append(result.values)
+
+    if not all_t:
+        print("no intense events found; try a lower multiple")
+        return
+
+    clusters = friends_of_friends_4d(
+        np.concatenate(all_t),
+        np.concatenate(all_xyz),
+        np.concatenate(all_val),
+        side=dataset.spec.side,
+        linking_length=2,
+        min_size=2,
+    )
+    print(f"\n{len(clusters)} space-time clusters (worms) of size >= 2:")
+    for rank, cluster in enumerate(clusters[:5], start=1):
+        print(f"  #{rank}: {cluster.size:4d} points, "
+              f"alive over timesteps {cluster.timesteps}, "
+              f"peak |vorticity| {cluster.peak_value:.1f}")
+
+    most_intense = max(clusters, key=lambda c: c.peak_value)
+    print(f"\nThe most intense event lives in a cluster of "
+          f"{most_intense.size} points spanning timesteps "
+          f"{most_intense.timesteps} -- the 4-D structure the paper's "
+          "Fig. 3 visualises.")
+
+    # Track each event through time: drift, growth, peak history.
+    from repro import track_events
+
+    tracks = track_events(
+        np.concatenate(all_t),
+        np.concatenate(all_xyz),
+        np.concatenate(all_val),
+        side=dataset.spec.side,
+        linking_length=2,
+        min_size=2,
+    )
+    print("\nevent tracks (most intense first):")
+    for track in tracks[:3]:
+        sizes = " -> ".join(str(s.size) for s in track.snapshots)
+        print(f"  t={track.birth}..{track.death}  sizes {sizes}  "
+              f"peak {track.peak_value:.1f} at t={track.peak_timestep}  "
+              f"drift {track.drift(dataset.spec.side):.1f} cells/step")
+
+
+if __name__ == "__main__":
+    main()

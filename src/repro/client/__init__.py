@@ -1,0 +1,18 @@
+"""Client-side view of the service: the web-service facade and baselines.
+
+* :mod:`~repro.client.client` — :class:`TurbulenceClient`, the stand-in
+  for the JHTDB's C/Fortran/Matlab client libraries calling the SOAP
+  web-services.
+* :mod:`~repro.client.baselines` — the paper's comparison points: the
+  local (client-side) threshold evaluation that took a collaborator over
+  20 hours (§5.3).
+"""
+
+from repro.client.client import TurbulenceClient
+from repro.client.baselines import LocalEvaluation, local_threshold_evaluation
+
+__all__ = [
+    "LocalEvaluation",
+    "TurbulenceClient",
+    "local_threshold_evaluation",
+]

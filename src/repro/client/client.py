@@ -1,0 +1,146 @@
+"""The user-facing client: a thin facade over the mediator's web-services.
+
+Mirrors the JHTDB client libraries: every method corresponds to one
+web-service call, the evaluation happens server-side, and what comes
+back is the (small) result plus the query's simulated wall time from the
+end user's point of view — which is how the paper's measurements "were
+taken" (§5.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.mediator import Mediator
+from repro.core.query import (
+    PdfQuery,
+    PdfResult,
+    ThresholdQuery,
+    ThresholdResult,
+    TopKQuery,
+    TopKResult,
+)
+from repro.grid import Box
+
+
+class TurbulenceClient:
+    """A science user's handle on the turbulence database service."""
+
+    def __init__(self, mediator: Mediator) -> None:
+        self._mediator = mediator
+
+    def get_threshold(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        threshold: float,
+        box: Box | None = None,
+        fd_order: int = 4,
+        processes: int = 4,
+    ) -> ThresholdResult:
+        """All locations where the field norm is at/above ``threshold``.
+
+        Raises:
+            ThresholdTooLowError: the threshold matched more than the
+                service's result limit; pick a higher one (see
+                :meth:`get_pdf`).
+        """
+        query = ThresholdQuery(dataset, field, timestep, threshold, box, fd_order)
+        return self._mediator.threshold(query, processes=processes)
+
+    def get_pdf(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        bin_edges,
+        fd_order: int = 4,
+        processes: int = 4,
+    ) -> PdfResult:
+        """The distribution of the field norm over a timestep (Fig. 2)."""
+        query = PdfQuery(dataset, field, timestep, tuple(bin_edges), fd_order)
+        return self._mediator.pdf(query, processes=processes)
+
+    def get_topk(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        k: int,
+        fd_order: int = 4,
+        processes: int = 4,
+    ) -> TopKResult:
+        """The k most intense locations of a timestep."""
+        query = TopKQuery(dataset, field, timestep, k, fd_order)
+        return self._mediator.topk(query, processes=processes)
+
+    def suggest_threshold(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        target_points: int,
+        fd_order: int = 4,
+        resolution: int = 64,
+    ) -> float:
+        """A threshold expected to keep about ``target_points`` locations.
+
+        Implements the workflow the paper prescribes when a threshold is
+        set too low (§4): "examine the probability density function ...
+        to guide the selection of threshold values."  Two PDF passes run
+        server-side — a coarse one to bracket the scale, then a refined
+        one over the tail — and the edge whose upper tail first drops to
+        ``target_points`` is returned.
+
+        Raises:
+            ValueError: for a non-positive target.
+        """
+        if target_points <= 0:
+            raise ValueError("target_points must be positive")
+        # Pass 1: bracket the value range.
+        probe = self.get_pdf(
+            dataset, field, timestep,
+            np.linspace(0.0, 1.0, 3), fd_order=fd_order,
+        )
+        total = probe.total_points
+        if target_points >= total:
+            return 0.0
+        top = self.get_topk(dataset, field, timestep, k=1, fd_order=fd_order)
+        maximum = float(top.values[0])
+        # Pass 2: fine bins up to the maximum; walk the tail.
+        edges = np.linspace(0.0, maximum, resolution)
+        pdf = self.get_pdf(dataset, field, timestep, edges, fd_order=fd_order)
+        tail = np.cumsum(pdf.counts[::-1])[::-1]
+        for edge, above in zip(edges, tail):
+            if above <= target_points:
+                return float(edge)
+        return maximum
+
+    def get_field(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+        fd_order: int = 4,
+    ) -> tuple[np.ndarray, float]:
+        """A derived field's norm over a box, shipped to the client.
+
+        Returns ``(array, simulated_seconds)``.  Large boxes are slow:
+        the data cross the WAN with web-service overhead — exactly why
+        server-side thresholding exists.
+        """
+        array, ledger = self._mediator.get_field(
+            dataset, field, timestep, box, fd_order
+        )
+        return array, ledger.total
+
+    def get_velocity_gradient(
+        self, dataset: str, timestep: int, box: Box, fd_order: int = 4
+    ) -> tuple[np.ndarray, float]:
+        """The 9-component velocity-gradient tensor over a box."""
+        tensor, ledger = self._mediator.get_gradient(
+            dataset, "velocity", timestep, box, fd_order
+        )
+        return tensor, ledger.total

@@ -1,0 +1,20 @@
+"""The analysis database cluster: nodes, partitioning and the mediator.
+
+Mirrors the JHTDB architecture (paper Fig. 1 and Fig. 5): datasets are
+sharded across database nodes along the Morton z-curve, a front-end
+mediator splits each user request by the spatial layout of the data,
+submits the parts to the nodes asynchronously, and assembles the
+results.  Each node hosts its shard of the atom tables on HDD arrays and
+its local cache tables on SSD.
+"""
+
+from repro.cluster.partition import MortonPartitioner
+from repro.cluster.node import DatabaseNode
+from repro.cluster.mediator import Mediator, build_cluster
+
+__all__ = [
+    "DatabaseNode",
+    "Mediator",
+    "MortonPartitioner",
+    "build_cluster",
+]

@@ -1,0 +1,587 @@
+"""The web-server/mediator tier: request splitting, async scheduling, assembly.
+
+"The Web-server acts as a mediator sending the users' requests to the
+database nodes and initiating their distributed evaluation.  Each
+request is broken down into multiple parts based on the spatial layout
+of the data.  Each part is asynchronously submitted for evaluation to
+the database which stores the data needed" (paper §2).
+
+The mediator here does exactly that with a thread pool, then assembles
+the per-node results, charges the mediator<->node (LAN) and
+mediator<->user (WAN, XML-inflated) transfers, and enforces the global
+result limit.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.core.executor import NodeExecutor
+from repro.core.limits import MAX_RESULT_POINTS, ThresholdTooLowError
+from repro.core.pdf import get_pdf_on_node
+from repro.core.query import (
+    PdfQuery,
+    PdfResult,
+    ThresholdQuery,
+    ThresholdResult,
+    TopKQuery,
+    TopKResult,
+)
+from repro.core.threshold import get_threshold_on_node
+from repro.core.topk import get_topk_on_node
+from repro.cluster.node import DatabaseNode
+from repro.cluster.partition import MortonPartitioner
+from repro.costmodel import Category, ClusterSpec, CostLedger, paper_cluster
+from repro.costmodel.ledger import METER_RESULT_POINTS
+from repro.fields.derived import FieldRegistry, default_registry
+from repro.grid import Box
+from repro.simulation.datasets import SyntheticDataset
+from repro.simulation.ingest import atomize
+
+
+@dataclass
+class ServiceStatistics:
+    """Running counters of the service's workload (paper §5.2 observes
+    "fairly high cache-hit ratios as the workload is very structured")."""
+
+    threshold_queries: int = 0
+    node_queries: int = 0
+    node_cache_hits: int = 0
+    points_returned: int = 0
+    simulated_seconds: float = 0.0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of node-level queries answered from the cache."""
+        if self.node_queries == 0:
+            return 0.0
+        return self.node_cache_hits / self.node_queries
+
+    def _record(self, nodes: int, hits: int, points: int, seconds: float) -> None:
+        with self._lock:
+            self.threshold_queries += 1
+            self.node_queries += nodes
+            self.node_cache_hits += hits
+            self.points_returned += points
+            self.simulated_seconds += seconds
+
+
+class Mediator:
+    """Front-end of the analysis cluster.
+
+    Args:
+        nodes: the database nodes, indexed by node id.
+        partitioner: spatial partitioner matching the nodes.
+        registry: derived-field registry (defaults to the stock one).
+        spec: cluster hardware spec for network charging.
+        cache_capacity_bytes: per-node semantic-cache budget; ``None``
+            disables the cache entirely.
+    """
+
+    def __init__(
+        self,
+        nodes: Sequence[DatabaseNode],
+        partitioner: MortonPartitioner,
+        registry: FieldRegistry | None = None,
+        spec: ClusterSpec | None = None,
+        cache_capacity_bytes: int | None = 256 * 1024 * 1024,
+        sequential_scatter: bool = False,
+    ) -> None:
+        if len(nodes) != partitioner.nodes:
+            raise ValueError(
+                f"{len(nodes)} nodes but partitioner expects {partitioner.nodes}"
+            )
+        self.nodes = list(nodes)
+        self.partitioner = partitioner
+        self.sequential_scatter = sequential_scatter
+        self.statistics = ServiceStatistics()
+        self.registry = registry or default_registry()
+        self.spec = spec or paper_cluster()
+        self.executors = [
+            NodeExecutor(node, self.nodes, partitioner) for node in self.nodes
+        ]
+        self.caches: list[SemanticCache | None]
+        self.pdf_caches: list["PdfCache | None"]
+        if cache_capacity_bytes is None:
+            self.caches = [None] * len(self.nodes)
+            self.pdf_caches = [None] * len(self.nodes)
+        else:
+            from repro.core.pdfcache import PdfCache
+
+            self.caches = [
+                SemanticCache(
+                    node.db,
+                    capacity_bytes=cache_capacity_bytes,
+                    point_record_bytes=self.spec.point_record_bytes,
+                )
+                for node in self.nodes
+            ]
+            self.pdf_caches = [PdfCache(node.db) for node in self.nodes]
+
+    # -- data loading ---------------------------------------------------------------
+
+    def load_dataset(
+        self,
+        dataset: SyntheticDataset,
+        timesteps: Sequence[int] | None = None,
+        fields: Sequence[str] | None = None,
+    ) -> int:
+        """Ingest a synthetic dataset into the cluster's atom tables.
+
+        Atoms are routed to nodes by the Morton code of their corner.
+        Returns the number of atoms stored.
+        """
+        spec = dataset.spec
+        if spec.side != self.partitioner.domain_side:
+            raise ValueError(
+                f"dataset side {spec.side} does not match partitioner "
+                f"domain {self.partitioner.domain_side}"
+            )
+        for node in self.nodes:
+            if spec.name not in node.dataset_names:
+                node.register_dataset(spec)
+        stored = 0
+        for field in fields or spec.fields:
+            for timestep in timesteps or range(spec.timesteps):
+                array = dataset.field_array(field, timestep)
+                per_node: dict[int, list[tuple[int, bytes]]] = {}
+                for zindex, blob in atomize(array):
+                    node_id = self.partitioner.node_of_atom(zindex)
+                    per_node.setdefault(node_id, []).append((zindex, blob))
+                for node_id, atoms in per_node.items():
+                    node = self.nodes[node_id]
+                    with node.db.transaction() as txn:
+                        for zindex, blob in atoms:
+                            node.store_atom(
+                                txn, spec.name, field, timestep, zindex, blob
+                            )
+                    stored += len(atoms)
+        self.drop_page_caches()
+        return stored
+
+    # -- queries ----------------------------------------------------------------------
+
+    def threshold(
+        self,
+        query: ThresholdQuery,
+        processes: int = 1,
+        use_cache: bool = True,
+        io_only: bool = False,
+        max_points: int = MAX_RESULT_POINTS,
+    ) -> ThresholdResult:
+        """Evaluate a threshold query across the cluster.
+
+        Args:
+            processes: worker processes per node.
+            use_cache: probe/maintain the semantic cache (the "no cache"
+                baseline sets this false).
+            io_only: only perform the raw reads (Fig. 8).
+            max_points: global result limit.
+
+        Raises:
+            ThresholdTooLowError: when more than ``max_points`` match.
+        """
+        box = self._query_box(query.dataset, query.box)
+        node_results = self._scatter(
+            lambda node_id: get_threshold_on_node(
+                self.nodes[node_id],
+                self.executors[node_id],
+                self.caches[node_id] if use_cache else None,
+                self.registry,
+                query,
+                self.partitioner.query_boxes(node_id, box),
+                processes=processes,
+                io_only=io_only,
+            )
+        )
+        total = sum(len(r) for r in node_results)
+        if total > max_points:
+            raise ThresholdTooLowError(total, max_points)
+
+        ledger = CostLedger.parallel([r.ledger for r in node_results])
+        self._charge_networks(ledger, total)
+        ledger.count(METER_RESULT_POINTS, total)
+
+        zindexes = np.concatenate(
+            [r.zindexes for r in node_results]
+            or [np.empty(0, np.uint64)]
+        )
+        values = np.concatenate(
+            [r.values for r in node_results] or [np.empty(0, np.float64)]
+        )
+        order = np.argsort(zindexes, kind="stable")
+        hits = sum(1 for r in node_results if r.cache_hit)
+        self.statistics._record(
+            nodes=sum(1 for r in node_results if len(r) or r.boxes_evaluated or r.cache_hit),
+            hits=hits,
+            points=total,
+            seconds=ledger.total,
+        )
+        return ThresholdResult(
+            zindexes[order],
+            values[order],
+            ledger,
+            cache_hits=hits,
+            nodes=len(self.nodes),
+        )
+
+    def batch_threshold(
+        self,
+        queries: list[ThresholdQuery],
+        processes: int = 1,
+        use_cache: bool = True,
+        max_points: int = MAX_RESULT_POINTS,
+    ):
+        """Evaluate several same-source threshold queries in one pass.
+
+        Queries must share dataset, timestep, region, FD order and raw
+        source field (e.g. vorticity + Q-criterion, both from the
+        velocity); the raw data are then read once for the whole batch
+        (see :mod:`repro.core.batch`).
+
+        Returns a :class:`repro.core.batch.BatchThresholdResult` whose
+        ``results`` align with the submitted queries.
+
+        Raises:
+            ValueError: if the queries cannot share a scan.
+            ThresholdTooLowError: when any query exceeds ``max_points``.
+        """
+        from repro.core.batch import (
+            BatchThresholdResult,
+            check_batchable,
+            get_batch_on_node,
+        )
+
+        check_batchable(queries, self.registry)
+        box = self._query_box(queries[0].dataset, queries[0].box)
+        node_results = self._scatter(
+            lambda node_id: get_batch_on_node(
+                self.nodes[node_id],
+                self.executors[node_id],
+                self.caches[node_id] if use_cache else None,
+                self.registry,
+                queries,
+                self.partitioner.query_boxes(node_id, box),
+                processes=processes,
+            )
+        )
+        ledger = CostLedger.parallel(
+            [per_node[0].ledger for per_node in node_results]
+        )
+        results = []
+        total_points = 0
+        for i, query in enumerate(queries):
+            zindexes = np.concatenate(
+                [per_node[i].zindexes for per_node in node_results]
+                or [np.empty(0, np.uint64)]
+            )
+            values = np.concatenate(
+                [per_node[i].values for per_node in node_results]
+                or [np.empty(0, np.float64)]
+            )
+            if len(zindexes) > max_points:
+                raise ThresholdTooLowError(len(zindexes), max_points)
+            total_points += len(zindexes)
+            order = np.argsort(zindexes, kind="stable")
+            results.append(
+                ThresholdResult(
+                    zindexes[order], values[order], ledger,
+                    cache_hits=sum(
+                        1 for per_node in node_results if per_node[i].cache_hit
+                    ),
+                    nodes=len(self.nodes),
+                )
+            )
+        self._charge_networks(ledger, total_points)
+        ledger.count(METER_RESULT_POINTS, total_points)
+        for i in range(len(queries)):
+            participating = sum(
+                1
+                for per_node in node_results
+                if len(per_node[i])
+                or per_node[i].boxes_evaluated
+                or per_node[i].cache_hit
+            )
+            self.statistics._record(
+                nodes=participating,
+                hits=results[i].cache_hits,
+                points=len(results[i]),
+                seconds=ledger.total if i == 0 else 0.0,
+            )
+        return BatchThresholdResult(results, ledger)
+
+    def pdf(
+        self, query: PdfQuery, processes: int = 1, use_cache: bool = True
+    ) -> PdfResult:
+        """Histogram a field's norm over an entire timestep (Fig. 2)."""
+        box = self._query_box(query.dataset, None)
+        node_results = self._scatter(
+            lambda node_id: get_pdf_on_node(
+                self.nodes[node_id],
+                self.executors[node_id],
+                self.registry,
+                query,
+                self.partitioner.query_boxes(node_id, box),
+                processes=processes,
+                pdf_cache=self.pdf_caches[node_id] if use_cache else None,
+            )
+        )
+        counts = sum(r.counts for r in node_results)
+        ledger = CostLedger.parallel([r.ledger for r in node_results])
+        # A PDF response is a handful of numbers; charge latency only.
+        self._charge_networks(ledger, result_points=0)
+        return PdfResult(counts, query.bin_edges, ledger)
+
+    def topk(
+        self, query: TopKQuery, processes: int = 1, use_cache: bool = True
+    ) -> TopKResult:
+        """The k highest-norm locations of a timestep.
+
+        A node whose cached threshold entry holds at least ``k`` points
+        answers its share from the cache (see
+        :func:`repro.core.topk.get_topk_on_node`).
+        """
+        box = self._query_box(query.dataset, None)
+        node_results = self._scatter(
+            lambda node_id: get_topk_on_node(
+                self.nodes[node_id],
+                self.executors[node_id],
+                self.registry,
+                query,
+                self.partitioner.query_boxes(node_id, box),
+                processes=processes,
+                cache=self.caches[node_id] if use_cache else None,
+            )
+        )
+        zindexes = np.concatenate([r.zindexes for r in node_results])
+        values = np.concatenate([r.values for r in node_results])
+        if len(values) > query.k:
+            keep = np.argpartition(values, -query.k)[-query.k :]
+            zindexes, values = zindexes[keep], values[keep]
+        order = np.argsort(values)[::-1]
+        ledger = CostLedger.parallel([r.ledger for r in node_results])
+        self._charge_networks(ledger, len(values))
+        return TopKResult(zindexes[order], values[order], ledger)
+
+    def get_field(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+        fd_order: int = 4,
+    ) -> tuple[np.ndarray, CostLedger]:
+        """Server-side evaluation of a derived field's norm over a box.
+
+        This is the "request the values of the derived field directly"
+        path (paper §4) that the local-evaluation baseline uses; the
+        result array crosses the WAN with XML inflation.
+        """
+        derived = self.registry.get(field)
+        ledger = CostLedger()
+        out = np.empty(box.shape, dtype=np.float64)
+        for node_id, node in enumerate(self.nodes):
+            pieces = self.partitioner.query_boxes(node_id, box)
+            if not pieces:
+                continue
+            node_ledger = CostLedger()
+            with node.db.transaction(node_ledger) as txn:
+                for piece in pieces:
+                    executor = self.executors[node_id]
+                    block = executor._fetch_block(
+                        txn, node_ledger, node.dataset(dataset), derived,
+                        timestep, piece, fd_order,
+                    )
+                    norm = derived.norm(block, node.dataset(dataset).spacing, fd_order)
+                    node_ledger.charge(
+                        Category.COMPUTE,
+                        self.spec.cpu.compute_time(
+                            piece.volume, derived.units_per_point
+                        ),
+                    )
+                    dst = tuple(
+                        slice(p - b, q - b)
+                        for p, q, b in zip(piece.lo, piece.hi, box.lo)
+                    )
+                    out[dst] = norm
+            ledger = CostLedger.parallel([ledger, node_ledger])
+        payload = out.size * 4  # float32 on the wire
+        ledger.charge(
+            Category.MEDIATOR_DB,
+            self.spec.lan.transfer_time(payload, round_trips=len(self.nodes)),
+        )
+        ledger.charge(
+            Category.MEDIATOR_USER, self.spec.wan.transfer_time(payload)
+        )
+        return out, ledger
+
+    def get_gradient(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+        fd_order: int = 4,
+    ) -> tuple[np.ndarray, CostLedger]:
+        """Server-side velocity-gradient tensor over a box, shipped raw.
+
+        This is the transfer the paper's §5.3 local-evaluation story is
+        about: the 9-component gradient is at least 3x the size of the
+        stored vector field, and it crosses the WAN wrapped in XML.
+        Returns ``(tensor, ledger)`` with tensor shape ``box.shape + (3, 3)``.
+        """
+        from repro.fields.finite_difference import kernel_half_width
+        from repro.fields.operators import gradient_tensor_interior
+
+        derived = self.registry.get(field)
+        ledger = CostLedger()
+        out = np.empty(box.shape + (3, 3), dtype=np.float64)
+        for node_id, node in enumerate(self.nodes):
+            pieces = self.partitioner.query_boxes(node_id, box)
+            if not pieces:
+                continue
+            node_ledger = CostLedger()
+            with node.db.transaction(node_ledger) as txn:
+                for piece in pieces:
+                    executor = self.executors[node_id]
+                    block = executor._fetch_block(
+                        txn, node_ledger, node.dataset(dataset), derived,
+                        timestep, piece, fd_order,
+                        halo=kernel_half_width(fd_order),
+                    )
+                    tensor = gradient_tensor_interior(
+                        block, node.dataset(dataset).spacing, fd_order,
+                        kernel_half_width(fd_order),
+                    )
+                    node_ledger.charge(
+                        Category.COMPUTE,
+                        self.spec.cpu.compute_time(piece.volume, 1.0),
+                    )
+                    dst = tuple(
+                        slice(p - b, q - b)
+                        for p, q, b in zip(piece.lo, piece.hi, box.lo)
+                    )
+                    out[dst] = tensor
+            ledger = CostLedger.parallel([ledger, node_ledger])
+        payload = out.size * 4  # float32 on the wire, 9 components/point
+        ledger.charge(
+            Category.MEDIATOR_DB,
+            self.spec.lan.transfer_time(payload, round_trips=len(self.nodes)),
+        )
+        ledger.charge(
+            Category.MEDIATOR_USER, self.spec.wan.transfer_time(payload)
+        )
+        return out, ledger
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def drop_cache_entries(self, dataset: str, field: str, timestep: int) -> int:
+        """Drop semantic-cache entries on every node (cold-cache resets)."""
+        return sum(
+            cache.drop_timestep(dataset, field, timestep)
+            for cache in self.caches
+            if cache is not None
+        )
+
+    def clear_caches(self) -> int:
+        """Empty every node's semantic cache."""
+        return sum(cache.clear() for cache in self.caches if cache is not None)
+
+    def drop_page_caches(self) -> None:
+        """Empty every node's buffer pools (cold I/O)."""
+        for node in self.nodes:
+            node.db.drop_page_cache()
+
+    # -- internals ----------------------------------------------------------------------
+
+    def _query_box(self, dataset: str, box: Box | None) -> Box:
+        side = self.nodes[0].dataset(dataset).side
+        if box is None:
+            return Box.cube(side)
+        domain = Box.cube(side)
+        if not domain.contains_box(box):
+            raise ValueError(f"query box {box} outside domain of side {side}")
+        return box
+
+    def _scatter(self, task):
+        """Submit a per-node task asynchronously and gather the results.
+
+        With ``sequential_scatter`` the node tasks run one after another
+        instead: simulated times are identical by construction (parallel
+        composition happens in the ledgers, not the threads), but buffer-
+        pool races between concurrent halo reads disappear, making the
+        simulated-second output bit-for-bit reproducible.  Experiments
+        use this; interactive use keeps the asynchronous scheduling of
+        the paper's mediator.
+        """
+        if self.sequential_scatter:
+            return [task(node_id) for node_id in range(len(self.nodes))]
+        with ThreadPoolExecutor(max_workers=len(self.nodes)) as pool:
+            futures = [
+                pool.submit(task, node_id) for node_id in range(len(self.nodes))
+            ]
+            return [future.result() for future in futures]
+
+    def _charge_networks(self, ledger: CostLedger, result_points: int) -> None:
+        result_bytes = result_points * self.spec.point_record_bytes
+        ledger.charge(
+            Category.MEDIATOR_DB,
+            self.spec.lan.transfer_time(
+                result_bytes, round_trips=len(self.nodes)
+            ),
+        )
+        ledger.charge(
+            Category.MEDIATOR_USER, self.spec.wan.transfer_time(result_bytes)
+        )
+
+
+def build_cluster(
+    dataset: SyntheticDataset,
+    nodes: int = 4,
+    spec: ClusterSpec | None = None,
+    registry: FieldRegistry | None = None,
+    cache_capacity_bytes: int | None = 256 * 1024 * 1024,
+    buffer_pages: int = 256,
+    load: bool = True,
+    sequential_scatter: bool = False,
+) -> Mediator:
+    """Stand up a cluster and (optionally) ingest a dataset into it.
+
+    Args:
+        dataset: the synthetic dataset to host.
+        nodes: node count (1, 2, 4 or 8).
+        spec: hardware spec (defaults to the paper-calibrated cluster).
+        cache_capacity_bytes: per-node cache budget; ``None`` = no cache.
+        buffer_pages: buffer-pool frames per table — small by default so
+            that a timestep's share exceeds the pool, as at production
+            scale.
+        load: ingest every field and timestep now.
+    """
+    spec = spec or paper_cluster()
+    partitioner = MortonPartitioner(dataset.spec.side, nodes)
+    cluster_nodes = [
+        DatabaseNode(node_id, spec, buffer_pages=buffer_pages)
+        for node_id in range(nodes)
+    ]
+    mediator = Mediator(
+        cluster_nodes,
+        partitioner,
+        registry=registry,
+        spec=spec,
+        cache_capacity_bytes=cache_capacity_bytes,
+        sequential_scatter=sequential_scatter,
+    )
+    for node in cluster_nodes:
+        node.register_dataset(dataset.spec)
+    if load:
+        mediator.load_dataset(dataset)
+    return mediator

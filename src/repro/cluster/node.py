@@ -1,0 +1,195 @@
+"""A database node: atom tables on HDD arrays, cache tables on SSD.
+
+Each node runs its own :class:`~repro.storage.database.Database` holding
+one atom table per (dataset, raw field) pair, plus the local
+application-aware cache tables managed by :mod:`repro.core.cache`
+(paper Fig. 5).  Nodes answer two kinds of internal requests: clustered
+range scans of their atom tables, and small boundary (halo) reads on
+behalf of neighbouring nodes.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import Category, ClusterSpec, CostLedger
+from repro.costmodel.ledger import METER_HALO_BYTES, METER_HALO_SECONDS
+from repro.grid import Box
+from repro.grid.atoms import atom_ranges_covering
+from repro.morton import MortonRange
+from repro.simulation.datasets import DatasetSpec
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    StorageDevice,
+    TableSchema,
+    Transaction,
+)
+
+
+def _atom_table_name(dataset: str, field: str) -> str:
+    return f"atoms_{dataset}_{field}"
+
+
+class DatabaseNode:
+    """One node of the analysis cluster.
+
+    Args:
+        node_id: position of this node in the cluster.
+        spec: hardware description used for simulated-time charging.
+        buffer_pages: buffer-pool frames per table.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        spec: ClusterSpec,
+        buffer_pages: int = 2048,
+        durable: bool = False,
+    ) -> None:
+        wal = None
+        if durable:
+            from repro.storage.wal import WriteAheadLog
+
+            # The log shares the SSD (its appends are sequential).
+            log_device = StorageDevice(
+                "wal", spec.ssd, Category.CACHE_LOOKUP
+            )
+            wal = WriteAheadLog(log_device)
+        self.node_id = node_id
+        self.spec = spec
+        self.db = Database(f"node{node_id}", buffer_pages=buffer_pages, wal=wal)
+        self.db.add_device(StorageDevice("hdd", spec.hdd, Category.IO))
+        self.db.add_device(StorageDevice("ssd", spec.ssd, Category.CACHE_LOOKUP))
+        if wal is not None:
+            self.db.add_device(wal._device)
+        self._datasets: dict[str, DatasetSpec] = {}
+
+    # -- schema -----------------------------------------------------------------
+
+    def register_dataset(self, spec: DatasetSpec) -> None:
+        """Create the atom tables for every raw field of a dataset."""
+        if spec.name in self._datasets:
+            raise ValueError(f"dataset {spec.name!r} already registered")
+        self._datasets[spec.name] = spec
+        for field in spec.fields:
+            self.db.create_table(
+                TableSchema(
+                    _atom_table_name(spec.name, field),
+                    (
+                        Column("timestep", ColumnType.INTEGER),
+                        Column("zindex", ColumnType.BIGINT),
+                        Column("blob", ColumnType.BLOB),
+                    ),
+                    primary_key=("timestep", "zindex"),
+                    # Bulk-loaded simulation output is reproducible from
+                    # its source; keep it out of the write-ahead log.
+                    logged=False,
+                ),
+                device="hdd",
+            )
+
+    def dataset(self, name: str) -> DatasetSpec:
+        """The spec of a hosted dataset.  Raises :class:`KeyError` if absent."""
+        try:
+            return self._datasets[name]
+        except KeyError:
+            raise KeyError(f"node {self.node_id} has no dataset {name!r}") from None
+
+    @property
+    def dataset_names(self) -> list[str]:
+        return sorted(self._datasets)
+
+    # -- atom I/O -----------------------------------------------------------------
+
+    def store_atom(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        zindex: int,
+        blob: bytes,
+    ) -> None:
+        """Insert one atom record."""
+        table = self.db.table(_atom_table_name(dataset, field))
+        table.insert(
+            txn, {"timestep": timestep, "zindex": zindex, "blob": blob}
+        )
+
+    def read_atoms(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        ranges: list[MortonRange],
+        charge: bool = True,
+    ) -> dict[int, bytes]:
+        """Clustered range scans returning ``zindex -> blob`` for atoms.
+
+        Each :class:`MortonRange` is in grid-point codes (as produced by
+        :func:`repro.grid.atoms.atom_ranges_covering`); one range is one
+        sequential extent on disk.  ``charge`` False reads without buffer-
+        pool side effects (halo service for a peer).
+        """
+        table = self.db.table(_atom_table_name(dataset, field))
+        out: dict[int, bytes] = {}
+        # Ranges arrive sorted along the curve, so the disk visits them in
+        # elevator order: only the first range pays a full seek, later
+        # ranges are forward skips served by read-ahead (SQL Server's
+        # sequential scan behaviour the paper's I/O numbers reflect).
+        first_range = True
+        for rng in ranges:
+            for row in table.scan(
+                txn, (timestep, rng.start), (timestep, rng.stop),
+                sequential=not first_range, charge=charge,
+            ):
+                out[row["zindex"]] = row["blob"]
+            first_range = False
+        return out
+
+    def read_atoms_for_box(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+    ) -> dict[int, bytes]:
+        """Atoms covering an in-domain box (local data only)."""
+        side = self.dataset(dataset).side
+        return self.read_atoms(
+            txn, dataset, field, timestep, atom_ranges_covering(box, side)
+        )
+
+    def serve_halo(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        ranges: list[MortonRange],
+        ledger: CostLedger | None,
+    ) -> dict[int, bytes]:
+        """Serve a boundary read for a peer node.
+
+        The atoms a node serves as halo are part of its *own* share of
+        the same distributed query, so its local scan has them buffer-hot
+        — the marginal cost of the boundary exchange is shipping the
+        band over the node interconnect, not extra disk I/O (paper §4:
+        "only a small amount of data along the boundary need to be
+        requested from adjacent nodes").  The transfer time is charged
+        to the requesting query's ledger as I/O-phase time; the read
+        leaves no trace in this node's buffer pool (its own scan of the
+        same query pays for those pages itself).
+        """
+        with self.db.transaction(None) as txn:
+            atoms = self.read_atoms(
+                txn, dataset, field, timestep, ranges, charge=False
+            )
+        if ledger is not None:
+            nbytes = sum(len(blob) for blob in atoms.values())
+            seconds = self.spec.interconnect.transfer_time(nbytes)
+            ledger.charge(Category.IO, seconds)
+            ledger.count(METER_HALO_SECONDS, seconds)
+            ledger.count(METER_HALO_BYTES, nbytes)
+        return atoms

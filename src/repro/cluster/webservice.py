@@ -1,0 +1,272 @@
+"""The web-service tier: request parsing, validation and serialization.
+
+"Access to the data is provided by means of Web-services ... executed
+through Web-service calls" (paper §2, Fig. 1).  This module is that
+front door in testable form: requests arrive as plain dictionaries (the
+parsed body of a SOAP/JSON call), are validated against the service's
+contract, dispatched to the mediator, and answered with serializable
+dictionaries — including the error responses the paper specifies, such
+as notifying users "if their request has a threshold that is set too
+low" (§4).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.cluster.mediator import Mediator
+from repro.core import (
+    PdfQuery,
+    ThresholdQuery,
+    ThresholdTooLowError,
+    TopKQuery,
+)
+from repro.fields.derived import UnknownFieldError
+from repro.grid import Box
+
+
+class WebServiceError(Exception):
+    """A request the service rejects; carries a wire-level error code."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(message)
+        self.code = code
+
+    def to_response(self) -> dict:
+        """The wire-level error payload."""
+        return {"status": "error", "code": self.code, "message": str(self)}
+
+
+class WebService:
+    """Dispatches request dictionaries to the mediator.
+
+    Every method of the service takes and returns JSON-serializable
+    dictionaries, so a transport (HTTP, SOAP, a test) can sit on top
+    unchanged.
+    """
+
+    def __init__(self, mediator: Mediator, max_points: int | None = None) -> None:
+        from repro.core import MAX_RESULT_POINTS
+
+        self._mediator = mediator
+        self._max_points = max_points or MAX_RESULT_POINTS
+        self._methods: dict[str, Callable[[dict], dict]] = {
+            "GetThreshold": self._get_threshold,
+            "GetPdf": self._get_pdf,
+            "GetTopK": self._get_topk,
+            "ListFields": self._list_fields,
+            "ListDatasets": self._list_datasets,
+            "GetStatistics": self._get_statistics,
+            "GetBatchThreshold": self._get_batch_threshold,
+            "RegisterField": self._register_field,
+        }
+
+    def handle(self, request: dict) -> dict:
+        """Process one request; never raises, always answers.
+
+        A request is ``{"method": name, **params}``; responses are
+        ``{"status": "ok", ...}`` or ``{"status": "error", "code",
+        "message"}``.
+        """
+        try:
+            method_name = request.get("method")
+            if not isinstance(method_name, str):
+                raise WebServiceError("bad_request", "missing method name")
+            method = self._methods.get(method_name)
+            if method is None:
+                raise WebServiceError(
+                    "unknown_method",
+                    f"unknown method {method_name!r}; "
+                    f"known: {sorted(self._methods)}",
+                )
+            return method(request)
+        except WebServiceError as error:
+            return error.to_response()
+        except ThresholdTooLowError as error:
+            return WebServiceError("threshold_too_low", str(error)).to_response()
+        except UnknownFieldError as error:
+            return WebServiceError("unknown_field", str(error)).to_response()
+        except (KeyError, ValueError, TypeError) as error:
+            return WebServiceError("bad_request", str(error)).to_response()
+
+    # -- methods -----------------------------------------------------------------
+
+    def _get_threshold(self, request: dict) -> dict:
+        query = ThresholdQuery(
+            dataset=self._require(request, "dataset", str),
+            field=self._require(request, "field", str),
+            timestep=self._require(request, "timestep", int),
+            threshold=float(self._require(request, "threshold", (int, float))),
+            box=self._optional_box(request),
+            fd_order=int(request.get("fd_order", 4)),
+        )
+        result = self._mediator.threshold(
+            query,
+            processes=int(request.get("processes", 4)),
+            max_points=self._max_points,
+        )
+        coordinates = result.coordinates()
+        return {
+            "status": "ok",
+            "points": [
+                {"x": int(x), "y": int(y), "z": int(z), "value": float(v)}
+                for (x, y, z), v in zip(
+                    coordinates.tolist(), result.values.tolist()
+                )
+            ],
+            "count": len(result),
+            "cache_hits": result.cache_hits,
+            "elapsed_seconds": result.elapsed,
+        }
+
+    def _get_pdf(self, request: dict) -> dict:
+        edges = self._require(request, "bin_edges", (list, tuple))
+        query = PdfQuery(
+            dataset=self._require(request, "dataset", str),
+            field=self._require(request, "field", str),
+            timestep=self._require(request, "timestep", int),
+            bin_edges=tuple(float(e) for e in edges),
+            fd_order=int(request.get("fd_order", 4)),
+        )
+        result = self._mediator.pdf(query)
+        return {
+            "status": "ok",
+            "bin_edges": list(result.bin_edges),
+            "counts": [int(c) for c in result.counts],
+            "elapsed_seconds": result.ledger.total,
+        }
+
+    def _get_topk(self, request: dict) -> dict:
+        query = TopKQuery(
+            dataset=self._require(request, "dataset", str),
+            field=self._require(request, "field", str),
+            timestep=self._require(request, "timestep", int),
+            k=self._require(request, "k", int),
+            fd_order=int(request.get("fd_order", 4)),
+        )
+        result = self._mediator.topk(query)
+        coordinates = result.coordinates()
+        return {
+            "status": "ok",
+            "points": [
+                {"x": int(x), "y": int(y), "z": int(z), "value": float(v)}
+                for (x, y, z), v in zip(
+                    coordinates.tolist(), result.values.tolist()
+                )
+            ],
+            "elapsed_seconds": result.ledger.total,
+        }
+
+    def _list_fields(self, request: dict) -> dict:
+        return {"status": "ok", "fields": self._mediator.registry.names()}
+
+    def _get_batch_threshold(self, request: dict) -> dict:
+        """Several same-source queries over one shared scan."""
+        specs = self._require(request, "queries", list)
+        queries = []
+        for spec in specs:
+            if not isinstance(spec, dict):
+                raise WebServiceError("bad_request", "queries must be objects")
+            queries.append(
+                ThresholdQuery(
+                    dataset=self._require(spec, "dataset", str),
+                    field=self._require(spec, "field", str),
+                    timestep=self._require(spec, "timestep", int),
+                    threshold=float(
+                        self._require(spec, "threshold", (int, float))
+                    ),
+                    fd_order=int(spec.get("fd_order", 4)),
+                )
+            )
+        batch = self._mediator.batch_threshold(
+            queries,
+            processes=int(request.get("processes", 4)),
+            max_points=self._max_points,
+        )
+        return {
+            "status": "ok",
+            "results": [
+                {
+                    "count": len(result),
+                    "cache_hits": result.cache_hits,
+                    "values_max": (
+                        float(result.values.max()) if len(result) else None
+                    ),
+                }
+                for result in batch.results
+            ],
+            "elapsed_seconds": batch.ledger.total,
+        }
+
+    def _register_field(self, request: dict) -> dict:
+        """Register a declarative derived field (paper §7)."""
+        from repro.fields.expressions import ExpressionError
+
+        name = self._require(request, "name", str)
+        expression = self._require(request, "expression", str)
+        try:
+            derived = self._mediator.registry.register_expression(
+                name, expression
+            )
+        except ExpressionError as error:
+            raise WebServiceError("bad_expression", str(error)) from None
+        except ValueError as error:
+            raise WebServiceError("duplicate_field", str(error)) from None
+        return {
+            "status": "ok",
+            "name": derived.name,
+            "source": derived.source,
+            "halo_depth": derived.halo_depth if derived.differential else 0,
+            "units_per_point": derived.units_per_point,
+        }
+
+    def _get_statistics(self, request: dict) -> dict:
+        stats = self._mediator.statistics
+        return {
+            "status": "ok",
+            "threshold_queries": stats.threshold_queries,
+            "node_queries": stats.node_queries,
+            "node_cache_hits": stats.node_cache_hits,
+            "cache_hit_ratio": stats.cache_hit_ratio,
+            "points_returned": stats.points_returned,
+            "simulated_seconds": stats.simulated_seconds,
+        }
+
+    def _list_datasets(self, request: dict) -> dict:
+        names = sorted(
+            {
+                name
+                for node in self._mediator.nodes
+                for name in node.dataset_names
+            }
+        )
+        return {"status": "ok", "datasets": names}
+
+    # -- validation ---------------------------------------------------------------
+
+    @staticmethod
+    def _require(request: dict, key: str, types) -> object:
+        value = request.get(key)
+        if value is None:
+            raise WebServiceError("bad_request", f"missing parameter {key!r}")
+        if not isinstance(value, types) or isinstance(value, bool):
+            raise WebServiceError(
+                "bad_request", f"parameter {key!r} has the wrong type"
+            )
+        return value
+
+    @staticmethod
+    def _optional_box(request: dict) -> Box | None:
+        corners = request.get("box")
+        if corners is None:
+            return None
+        if not isinstance(corners, (list, tuple)) or len(corners) != 6:
+            raise WebServiceError(
+                "bad_request", "box must be [xl, yl, zl, xu, yu, zu]"
+            )
+        try:
+            return Box.from_corners([int(c) for c in corners])
+        except ValueError as error:
+            raise WebServiceError("bad_request", str(error)) from None

@@ -1,0 +1,173 @@
+"""Batch evaluation of threshold queries with shared scans.
+
+The JHTDB serves its data-intensive workloads through "data-driven batch
+processing techniques" (paper §2, citing the authors' I/O-streaming
+work), and §7 envisions users submitting batches server-side.  This
+module applies the idea to threshold queries: queries over *different
+derived fields of the same raw source* (e.g. vorticity and Q-criterion,
+both derived from the velocity) are evaluated in one pass — the atoms
+are read once, every kernel runs on the same in-memory block, and only
+the kernels' compute time multiplies.
+
+For a batch of k fields sharing a source, I/O drops from k scans to one;
+with I/O roughly half the total (paper Fig. 8), a vorticity+Q batch runs
+~25 % faster than back-to-back queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.core.executor import NodeExecutor
+from repro.core.query import ThresholdQuery, ThresholdResult
+from repro.core.threshold import NodeThresholdResult
+from repro.costmodel import CostLedger
+from repro.fields.derived import FieldRegistry
+from repro.grid import Box
+from repro.storage import SerializationConflictError, Transaction
+
+
+@dataclass
+class BatchThresholdResult:
+    """Results of a batch, aligned with the submitted query list.
+
+    Each per-query :class:`ThresholdResult` carries the *shared* batch
+    ledger (the queries were answered by one pass; their costs are not
+    separable).
+    """
+
+    results: list[ThresholdResult]
+    ledger: CostLedger
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def check_batchable(queries: list[ThresholdQuery], registry: FieldRegistry) -> str:
+    """Validate that the queries can share one scan; returns the source.
+
+    Raises:
+        ValueError: on an empty batch or mismatched dataset / timestep /
+            region / FD order / source field.
+    """
+    if not queries:
+        raise ValueError("empty batch")
+    first = queries[0]
+    source = registry.get(first.field).source
+    for query in queries[1:]:
+        if (
+            query.dataset != first.dataset
+            or query.timestep != first.timestep
+            or query.box != first.box
+            or query.fd_order != first.fd_order
+        ):
+            raise ValueError(
+                "batched queries must share dataset, timestep, region and "
+                "FD order"
+            )
+        if registry.get(query.field).source != source:
+            raise ValueError(
+                "batched queries must derive from the same raw field "
+                f"({registry.get(query.field).source} != {source})"
+            )
+    return source
+
+
+def get_batch_on_node(
+    node,
+    executor: NodeExecutor,
+    cache: SemanticCache | None,
+    registry: FieldRegistry,
+    queries: list[ThresholdQuery],
+    boxes: list[Box],
+    processes: int = 1,
+) -> list[NodeThresholdResult]:
+    """Evaluate a batch on one node, reading each box's atoms once.
+
+    Per box: probe the cache for every query; the queries that miss are
+    evaluated together from a single assembled block (widest halo wins),
+    and each fresh result is stored back under its own cache entry.
+    """
+    ledger = CostLedger()
+    dataset_spec = node.dataset(queries[0].dataset)
+    deriveds = [registry.get(query.field) for query in queries]
+
+    per_query_z: list[list[np.ndarray]] = [[] for _ in queries]
+    per_query_v: list[list[np.ndarray]] = [[] for _ in queries]
+    hits = [0] * len(queries)
+    evaluated = [0] * len(queries)
+    stored = True
+
+    txn = node.db.begin(ledger)
+    try:
+        for box in boxes:
+            missed: list[int] = []
+            lookups: dict[int, object] = {}
+            for i, query in enumerate(queries):
+                if cache is not None:
+                    lookup = cache.lookup(
+                        txn, query.dataset, query.field, query.timestep,
+                        box, query.threshold,
+                    )
+                    if lookup.hit:
+                        hits[i] += 1
+                        per_query_z[i].append(lookup.zindexes)
+                        per_query_v[i].append(lookup.values)
+                        continue
+                    lookups[i] = lookup
+                missed.append(i)
+            if not missed:
+                continue
+            evaluations = executor.evaluate_batch(
+                txn, ledger, dataset_spec,
+                [deriveds[i] for i in missed],
+                queries[0].timestep, [box],
+                [queries[i].threshold for i in missed],
+                queries[0].fd_order, processes=processes,
+            )
+            for i, evaluation in zip(missed, evaluations):
+                evaluated[i] += 1
+                per_query_z[i].append(evaluation.zindexes)
+                per_query_v[i].append(evaluation.values)
+                if cache is not None:
+                    lookup = lookups.get(i)
+                    cache.store(
+                        txn, queries[i].dataset, queries[i].field,
+                        queries[i].timestep, box, queries[i].threshold,
+                        evaluation.zindexes, evaluation.values,
+                        replace_ordinal=(
+                            lookup.stale_ordinal if lookup else None
+                        ),
+                    )
+        txn.commit()
+    except SerializationConflictError:
+        txn.abort()
+        stored = False
+    except Exception:
+        txn.abort()
+        raise
+
+    out = []
+    for i in range(len(queries)):
+        zindexes = (
+            np.concatenate(per_query_z[i])
+            if per_query_z[i]
+            else np.empty(0, np.uint64)
+        )
+        values = (
+            np.concatenate(per_query_v[i])
+            if per_query_v[i]
+            else np.empty(0, np.float64)
+        )
+        out.append(
+            NodeThresholdResult(
+                zindexes, values, ledger,
+                cache_hit=bool(boxes) and hits[i] == len(boxes),
+                boxes_evaluated=evaluated[i],
+                cache_stored=stored and evaluated[i] > 0,
+            )
+        )
+    return out

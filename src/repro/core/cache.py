@@ -1,0 +1,330 @@
+"""The application-aware semantic cache for threshold-query results.
+
+The cache is "comprised of two database tables" (paper §4): ``cacheInfo``
+holds per-entry metadata (dataset, field, timestep, spatial region,
+threshold, recency) and ``cacheData`` holds the matching points, foreign-
+key constrained to its ``cacheInfo`` entry.  Both live on the node's SSD
+device and are accessed under snapshot-isolation transactions.
+
+A cached entry answers a later query when the query asks for the same
+(dataset, field, timestep), a region contained in the cached region, and
+a threshold at or above the cached one (*threshold dominance*) — the
+matching points are then a subset of the cached points, so the query is
+served by an index scan of ``cacheData`` with no raw I/O and no kernel
+computation.  Queries below the cached threshold or outside the cached
+region must be re-evaluated from the raw data, and the fresher, larger
+result replaces the entry.
+
+Replacement is least-recently-used across all cached quantities, bounded
+by a byte budget (the paper's per-node SSD space).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid import Box
+from repro.morton import decode_array
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    SerializationConflictError,
+    TableSchema,
+    Transaction,
+)
+
+#: Default cache capacity per node; the paper's nodes had ~200 GB of SSD,
+#: scaled here for laptop-size datasets.
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+@dataclass
+class CacheLookup:
+    """Outcome of a cache probe.
+
+    ``hit`` carries the points answering the query.  On a miss,
+    ``stale_ordinal`` identifies an existing entry for the same
+    (dataset, field, timestep, region) whose threshold was too high to
+    answer from — the update path replaces it.
+    """
+
+    hit: bool
+    zindexes: np.ndarray | None = None
+    values: np.ndarray | None = None
+    stale_ordinal: int | None = None
+    stale_box: Box | None = None
+
+
+class SemanticCache:
+    """Per-node query-result cache backed by SSD-resident tables.
+
+    Args:
+        db: the node's database (must already have an ``ssd`` device).
+        capacity_bytes: byte budget over all cached points.
+        point_record_bytes: stored bytes per cached point, for budget
+            accounting (index + row overhead included, paper §4).
+    """
+
+    #: Supported replacement policies.  The paper uses LRU; FIFO is kept
+    #: as an ablation baseline.
+    POLICIES = ("lru", "fifo")
+
+    def __init__(
+        self,
+        db: Database,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        point_record_bytes: int = 20,
+        policy: str = "lru",
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if policy not in self.POLICIES:
+            raise ValueError(f"policy must be one of {self.POLICIES}")
+        self._db = db
+        self.capacity_bytes = capacity_bytes
+        self.point_record_bytes = point_record_bytes
+        self.policy = policy
+        self._ordinals = itertools.count(1)
+        self._recency = itertools.count(1)
+        self._create_tables()
+
+    def _create_tables(self) -> None:
+        self._db.create_table(
+            TableSchema(
+                "cacheInfo",
+                (
+                    Column("ordinal", ColumnType.INTEGER),
+                    Column("dataset", ColumnType.TEXT),
+                    Column("field", ColumnType.TEXT),
+                    Column("timestep", ColumnType.INTEGER),
+                    Column("threshold", ColumnType.FLOAT),
+                    Column("xl", ColumnType.INTEGER),
+                    Column("yl", ColumnType.INTEGER),
+                    Column("zl", ColumnType.INTEGER),
+                    Column("xu", ColumnType.INTEGER),
+                    Column("yu", ColumnType.INTEGER),
+                    Column("zu", ColumnType.INTEGER),
+                    Column("last_used", ColumnType.BIGINT),
+                    Column("point_count", ColumnType.INTEGER),
+                    Column("byte_size", ColumnType.BIGINT),
+                ),
+                primary_key=("ordinal",),
+                indexes={"by_query": ("dataset", "field", "timestep")},
+            ),
+            device="ssd",
+        )
+        self._db.create_table(
+            TableSchema(
+                "cacheData",
+                (
+                    Column("cacheInfoOrdinal", ColumnType.INTEGER),
+                    Column("zindex", ColumnType.BIGINT),
+                    Column("dataValue", ColumnType.FLOAT),
+                ),
+                primary_key=("cacheInfoOrdinal", "zindex"),
+                indexes={"by_info": ("cacheInfoOrdinal",)},
+                foreign_keys=(
+                    ForeignKey(("cacheInfoOrdinal",), "cacheInfo", cascade=True),
+                ),
+            ),
+            device="ssd",
+        )
+
+    # -- probe ---------------------------------------------------------------
+
+    def lookup(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+        threshold: float,
+    ) -> CacheLookup:
+        """Probe the cache for a query (Algorithm 1, lines 4-28).
+
+        Returns a hit when some entry's region contains ``box`` and its
+        stored threshold is at or below ``threshold``; the returned
+        points are filtered to ``box`` and ``threshold``.
+        """
+        entries = self._db.sql(
+            txn,
+            "SELECT * FROM cacheInfo WHERE dataset = ? AND field = ?"
+            " AND timestep = ?",
+            [dataset, field, timestep],
+        )
+        stale_ordinal = None
+        stale_box = None
+        for entry in entries:
+            cached_box = Box.from_corners(
+                (entry["xl"], entry["yl"], entry["zl"],
+                 entry["xu"], entry["yu"], entry["zu"])
+            )
+            if not cached_box.contains_box(box):
+                continue
+            if entry["threshold"] > threshold:
+                stale_ordinal = entry["ordinal"]
+                stale_box = cached_box
+                continue
+            zindexes, values = self._read_points(
+                txn, entry["ordinal"], box, cached_box, threshold
+            )
+            self._touch(txn, entry["ordinal"])
+            return CacheLookup(hit=True, zindexes=zindexes, values=values)
+        return CacheLookup(
+            hit=False, stale_ordinal=stale_ordinal, stale_box=stale_box
+        )
+
+    def _read_points(
+        self,
+        txn: Transaction,
+        ordinal: int,
+        box: Box,
+        cached_box: Box,
+        threshold: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        rows = self._db.sql(
+            txn,
+            "SELECT zindex, dataValue FROM cacheData WHERE cacheInfoOrdinal = ?",
+            [ordinal],
+        )
+        if not rows:
+            return np.empty(0, np.uint64), np.empty(0, np.float64)
+        zindexes = np.array([r["zindex"] for r in rows], dtype=np.uint64)
+        values = np.array([r["dataValue"] for r in rows], dtype=np.float64)
+        mask = values >= threshold
+        if box != cached_box:
+            x, y, z = decode_array(zindexes)
+            for axis, coords in enumerate((x, y, z)):
+                mask &= (coords >= box.lo[axis]) & (coords < box.hi[axis])
+        order = np.argsort(zindexes[mask], kind="stable")
+        return zindexes[mask][order], values[mask][order]
+
+    def _touch(self, txn: Transaction, ordinal: int) -> None:
+        """Bump an entry's recency; lost races are harmless.
+
+        A concurrent refresh of the same entry makes this update a
+        snapshot-isolation write conflict.  Recency is advisory — losing
+        one bump cannot affect correctness — so the conflict is swallowed
+        rather than failing the read that produced the hit.
+        """
+        try:
+            self._db.table("cacheInfo").update(
+                txn, (ordinal,), {"last_used": next(self._recency)}
+            )
+        except SerializationConflictError:
+            pass
+
+    # -- update --------------------------------------------------------------
+
+    def store(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        box: Box,
+        threshold: float,
+        zindexes: np.ndarray,
+        values: np.ndarray,
+        replace_ordinal: int | None = None,
+    ) -> int:
+        """Insert a freshly-evaluated result (Algorithm 1, line 37).
+
+        Evicts least-recently-used entries until the new entry fits, and
+        replaces ``replace_ordinal`` (the stale entry found at lookup)
+        when given.  Returns the new entry's ordinal.
+
+        Raises:
+            ValueError: if the result alone exceeds the cache capacity.
+        """
+        if len(zindexes) != len(values):
+            raise ValueError("zindexes and values must align")
+        new_bytes = len(zindexes) * self.point_record_bytes
+        if new_bytes > self.capacity_bytes:
+            raise ValueError(
+                f"result of {new_bytes} bytes exceeds cache capacity "
+                f"{self.capacity_bytes}"
+            )
+        if replace_ordinal is not None:
+            self._db.table("cacheInfo").delete(txn, (replace_ordinal,))
+        self._evict_until_fits(txn, new_bytes)
+
+        ordinal = next(self._ordinals)
+        info = self._db.table("cacheInfo")
+        info.insert(
+            txn,
+            {
+                "ordinal": ordinal,
+                "dataset": dataset,
+                "field": field,
+                "timestep": timestep,
+                "threshold": float(threshold),
+                "xl": box.lo[0], "yl": box.lo[1], "zl": box.lo[2],
+                "xu": box.hi[0], "yu": box.hi[1], "zu": box.hi[2],
+                "last_used": next(self._recency),
+                "point_count": len(zindexes),
+                "byte_size": new_bytes,
+            },
+        )
+        data = self._db.table("cacheData")
+        for zindex, value in zip(zindexes.tolist(), values.tolist()):
+            data.insert(
+                txn,
+                {
+                    "cacheInfoOrdinal": ordinal,
+                    "zindex": int(zindex),
+                    "dataValue": float(value),
+                },
+            )
+        return ordinal
+
+    def _evict_until_fits(self, txn: Transaction, new_bytes: int) -> None:
+        """Eviction "across all quantities" (paper §4): LRU, or FIFO
+        (insertion order) under the ablation policy."""
+        victim_order = "last_used" if self.policy == "lru" else "ordinal"
+        while self.used_bytes(txn) + new_bytes > self.capacity_bytes:
+            victims = self._db.sql(
+                txn,
+                f"SELECT ordinal FROM cacheInfo ORDER BY {victim_order} ASC"
+                " LIMIT 1",
+            )
+            if not victims:
+                return
+            self._db.table("cacheInfo").delete(txn, (victims[0]["ordinal"],))
+
+    # -- introspection ----------------------------------------------------------
+
+    def used_bytes(self, txn: Transaction) -> int:
+        """Bytes currently accounted to cached entries."""
+        total = self._db.sql(txn, "SELECT SUM(byte_size) FROM cacheInfo")
+        return int(total or 0)
+
+    def entry_count(self, txn: Transaction) -> int:
+        """Number of cached entries visible to ``txn``."""
+        return self._db.table("cacheInfo").count(txn)
+
+    def drop_timestep(self, dataset: str, field: str, timestep: int) -> int:
+        """Drop all entries for one (dataset, field, timestep).
+
+        Used by the experiments to force cache misses ("cache entries for
+        the particular time-step queried were dropped before each run",
+        paper §5.2).  Returns the number of entries removed.
+        """
+        with self._db.transaction() as txn:
+            return self._db.sql(
+                txn,
+                "DELETE FROM cacheInfo WHERE dataset = ? AND field = ?"
+                " AND timestep = ?",
+                [dataset, field, timestep],
+            )
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        with self._db.transaction() as txn:
+            return self._db.sql(txn, "DELETE FROM cacheInfo")

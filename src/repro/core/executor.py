@@ -1,0 +1,386 @@
+"""Per-node data-parallel evaluation of derived fields from raw atoms.
+
+On a cache miss the node evaluates its share of the query from the raw
+data (paper §4): its share of the spatial region is split into slabs —
+one chain per worker process — and each slab's evaluation reads the
+covering atoms plus a kernel-half-width halo (fetching boundary atoms
+from the owning peer node when necessary), assembles them into an array,
+runs the derived field's kernel, and scans the interior against the
+threshold.
+
+Simulated time follows the paper's parallelism analysis (§5.3):
+
+* compute parallelises perfectly across the process chains — the
+  COMPUTE category is set to the busiest chain;
+* I/O does not — all chains read from the same disk arrays, so the IO
+  category is re-derived from the total bytes and seeks through the HDD
+  contention model at ``streams = processes``;
+* halo reads are *redundant* across chains (each fetches its own
+  boundary), so I/O work genuinely grows with the process count,
+  exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.costmodel import Category, CostLedger
+from repro.costmodel.ledger import (
+    METER_COMPUTE_UNITS,
+    METER_HALO_SECONDS,
+    METER_IO_BYTES,
+    METER_IO_SEEKS,
+)
+from repro.fields.derived import DerivedField
+from repro.grid import Box, split_slabs
+from repro.grid.atoms import atom_ranges_covering
+from repro.morton import MortonRange, encode_array
+from repro.simulation.datasets import DatasetSpec
+from repro.simulation.ingest import array_from_atoms
+from repro.storage import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import DatabaseNode
+
+
+@dataclass
+class RawEvaluation:
+    """Result of evaluating one node's share from the raw data."""
+
+    zindexes: np.ndarray
+    values: np.ndarray
+    histogram: np.ndarray | None = None
+
+    @classmethod
+    def empty(cls) -> "RawEvaluation":
+        return cls(np.empty(0, np.uint64), np.empty(0, np.float64))
+
+
+class NodeExecutor:
+    """Evaluates queries over one node's share of the data.
+
+    Args:
+        node: the node whose atoms this executor reads.
+        peers: all cluster nodes indexed by node id (for halo fetches).
+        partitioner: the cluster's spatial partitioner.
+    """
+
+    def __init__(self, node: "DatabaseNode", peers, partitioner) -> None:
+        self._node = node
+        self._peers = peers
+        self._partitioner = partitioner
+
+    def evaluate(
+        self,
+        txn: Transaction,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        derived: DerivedField,
+        timestep: int,
+        boxes: list[Box],
+        threshold: float,
+        fd_order: int,
+        processes: int = 1,
+        io_only: bool = False,
+        bin_edges: tuple[float, ...] | None = None,
+        topk: int | None = None,
+    ) -> RawEvaluation:
+        """Evaluate ``derived`` over ``boxes`` against ``threshold``.
+
+        Args:
+            txn: the node-query transaction (its ledger is ``ledger``).
+            ledger: cost ledger of the node query.
+            boxes: this node's rectangular pieces of the query region.
+            processes: worker processes per node (slab chains).
+            io_only: read the data but skip kernels and thresholding
+                (the paper's Fig. 8 I/O-only mode).
+            bin_edges: when given, also histogram the norms (PDF query);
+                the final bin is open-ended.
+            topk: when given, return the ``topk`` highest-norm points of
+                this node's share instead of thresholding (``threshold``
+                is ignored).
+
+        Returns:
+            a :class:`RawEvaluation` with matching points (empty when
+            ``io_only``) and the histogram when requested.
+        """
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+        chains = self._assign_slabs(boxes, processes)
+        chain_compute = [0.0] * len(chains)
+        all_z: list[np.ndarray] = []
+        all_v: list[np.ndarray] = []
+        histogram = (
+            np.zeros(len(bin_edges), dtype=np.int64)
+            if bin_edges is not None
+            else None
+        )
+
+        for chain_id, slabs in enumerate(chains):
+            for slab in slabs:
+                block = self._fetch_block(
+                    txn, ledger, dataset_spec, derived, timestep, slab, fd_order
+                )
+                if io_only:
+                    continue
+                norm = derived.norm(block, dataset_spec.spacing, fd_order)
+                units = slab.volume * derived.units_per_point
+                chain_compute[chain_id] += self._node.spec.cpu.compute_time(
+                    slab.volume, derived.units_per_point
+                )
+                ledger.count(METER_COMPUTE_UNITS, units)
+                if histogram is not None:
+                    histogram += _histogram_open_ended(norm, bin_edges)
+                if topk is not None:
+                    zidx, vals = _topk_scan(norm, slab, topk)
+                else:
+                    zidx, vals = _threshold_scan(norm, slab, threshold)
+                if len(zidx):
+                    all_z.append(zidx)
+                    all_v.append(vals)
+
+        # Parallel-time composition (see module docstring).  Compute is
+        # *charged* (not overwritten) so that several evaluate() calls on
+        # the same ledger compose serially; I/O is re-derived from the
+        # ledger's running byte/seek totals, so overwriting is correct.
+        ledger.charge(Category.COMPUTE, max(chain_compute, default=0.0))
+        io_bytes = ledger.meter(METER_IO_BYTES)
+        io_seeks = ledger.meter(METER_IO_SEEKS)
+        if io_bytes or io_seeks:
+            ledger.set_category(
+                Category.IO,
+                self._node.spec.hdd.read_time(
+                    int(io_bytes), seeks=int(io_seeks), streams=processes
+                )
+                + ledger.meter(METER_HALO_SECONDS),
+            )
+
+        if all_z:
+            zindexes = np.concatenate(all_z)
+            values = np.concatenate(all_v)
+            if topk is not None and len(values) > topk:
+                keep = np.argpartition(values, -topk)[-topk:]
+                zindexes, values = zindexes[keep], values[keep]
+            order = np.argsort(zindexes, kind="stable")
+            return RawEvaluation(zindexes[order], values[order], histogram)
+        return RawEvaluation(
+            np.empty(0, np.uint64), np.empty(0, np.float64), histogram
+        )
+
+    def evaluate_batch(
+        self,
+        txn: Transaction,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        deriveds: list[DerivedField],
+        timestep: int,
+        boxes: list[Box],
+        thresholds: list[float],
+        fd_order: int,
+        processes: int = 1,
+    ) -> list[RawEvaluation]:
+        """Evaluate several same-source fields from one shared scan.
+
+        The atoms covering each slab (plus the *widest* field's halo) are
+        read once; every field's kernel then runs on the same in-memory
+        block.  Fields must share their raw source field.
+
+        Returns one :class:`RawEvaluation` per (derived, threshold) pair,
+        in order.
+        """
+        if len(deriveds) != len(thresholds):
+            raise ValueError("deriveds and thresholds must align")
+        if not deriveds:
+            return []
+        source = deriveds[0].source
+        if any(d.source != source for d in deriveds):
+            raise ValueError("batched fields must share one source field")
+        if processes < 1:
+            raise ValueError("processes must be >= 1")
+
+        halo = max(d.halo(fd_order) for d in deriveds)
+        chains = self._assign_slabs(boxes, processes)
+        chain_compute = [0.0] * len(chains)
+        collected_z: list[list[np.ndarray]] = [[] for _ in deriveds]
+        collected_v: list[list[np.ndarray]] = [[] for _ in deriveds]
+
+        for chain_id, slabs in enumerate(chains):
+            for slab in slabs:
+                block = self._fetch_block(
+                    txn, ledger, dataset_spec, deriveds[0], timestep, slab,
+                    fd_order, halo=halo,
+                )
+                for i, (derived, threshold) in enumerate(
+                    zip(deriveds, thresholds)
+                ):
+                    own_halo = derived.halo(fd_order)
+                    trim = halo - own_halo
+                    view = block if trim == 0 else block[
+                        (slice(trim, -trim),) * 3
+                    ]
+                    norm = derived.norm(view, dataset_spec.spacing, fd_order)
+                    chain_compute[chain_id] += self._node.spec.cpu.compute_time(
+                        slab.volume, derived.units_per_point
+                    )
+                    ledger.count(
+                        METER_COMPUTE_UNITS,
+                        slab.volume * derived.units_per_point,
+                    )
+                    zidx, vals = _threshold_scan(norm, slab, threshold)
+                    if len(zidx):
+                        collected_z[i].append(zidx)
+                        collected_v[i].append(vals)
+
+        ledger.charge(Category.COMPUTE, max(chain_compute, default=0.0))
+        io_bytes = ledger.meter(METER_IO_BYTES)
+        io_seeks = ledger.meter(METER_IO_SEEKS)
+        if io_bytes or io_seeks:
+            ledger.set_category(
+                Category.IO,
+                self._node.spec.hdd.read_time(
+                    int(io_bytes), seeks=int(io_seeks), streams=processes
+                )
+                + ledger.meter(METER_HALO_SECONDS),
+            )
+
+        out = []
+        for z_parts, v_parts in zip(collected_z, collected_v):
+            if z_parts:
+                zindexes = np.concatenate(z_parts)
+                values = np.concatenate(v_parts)
+                order = np.argsort(zindexes, kind="stable")
+                out.append(RawEvaluation(zindexes[order], values[order]))
+            else:
+                out.append(RawEvaluation.empty())
+        return out
+
+    # -- internals ---------------------------------------------------------------
+
+    def _assign_slabs(self, boxes: list[Box], processes: int) -> list[list[Box]]:
+        """Split each box into per-process slabs; chain p gets slab p of each."""
+        chains: list[list[Box]] = [[] for _ in range(processes)]
+        for box in boxes:
+            for i, slab in enumerate(split_slabs(box, processes)):
+                chains[i % processes].append(slab)
+        return [chain for chain in chains if chain] or [[]]
+
+    def _fetch_block(
+        self,
+        txn: Transaction,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        derived: DerivedField,
+        timestep: int,
+        slab: Box,
+        fd_order: int,
+        halo: int | None = None,
+    ) -> np.ndarray:
+        """Read and assemble ``slab`` plus its halo into one array."""
+        if halo is None:
+            halo = derived.halo(fd_order)
+        expanded = slab.expand(halo)
+        side = dataset_spec.side
+        ncomp = derived.source_components
+        if any(n > side for n in expanded.shape):
+            # The slab plus halo wraps all the way around the domain
+            # (single-node clusters on small grids): read the whole
+            # domain once and index it periodically.
+            domain = Box.cube(side)
+            atoms = self._fetch_atoms(
+                txn, ledger, dataset_spec, derived.source, timestep, domain
+            )
+            full = array_from_atoms(domain, atoms, ncomp)
+            idx = [
+                np.arange(lo, hi) % side
+                for lo, hi in zip(expanded.lo, expanded.hi)
+            ]
+            return full[np.ix_(*idx)]
+        block = np.empty(expanded.shape + (ncomp,), dtype=np.float32)
+        for piece, offset in expanded.wrap_periodic(side):
+            atoms = self._fetch_atoms(
+                txn, ledger, dataset_spec, derived.source, timestep, piece
+            )
+            sub = array_from_atoms(piece, atoms, ncomp)
+            dst = tuple(
+                slice(o, o + n) for o, n in zip(offset, piece.shape)
+            )
+            block[dst] = sub
+        return block
+
+    def _fetch_atoms(
+        self,
+        txn: Transaction,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        source_field: str,
+        timestep: int,
+        piece: Box,
+    ) -> dict[int, bytes]:
+        """Atoms covering an in-domain piece, locally or from peers."""
+        ranges = atom_ranges_covering(piece, dataset_spec.side)
+        by_node = self._split_ranges_by_node(ranges)
+        atoms: dict[int, bytes] = {}
+        for node_id, node_ranges in by_node.items():
+            if node_id == self._node.node_id:
+                atoms.update(
+                    self._node.read_atoms(
+                        txn, dataset_spec.name, source_field, timestep, node_ranges
+                    )
+                )
+            else:
+                atoms.update(
+                    self._peers[node_id].serve_halo(
+                        dataset_spec.name, source_field, timestep,
+                        node_ranges, ledger,
+                    )
+                )
+        return atoms
+
+    def _split_ranges_by_node(
+        self, ranges: list[MortonRange]
+    ) -> dict[int, list[MortonRange]]:
+        by_node: dict[int, list[MortonRange]] = {}
+        for rng in ranges:
+            for node_id in range(self._partitioner.nodes):
+                overlap = rng.intersection(self._partitioner.node_ranges(node_id))
+                if overlap is not None:
+                    by_node.setdefault(node_id, []).append(overlap)
+        return by_node
+
+
+def _threshold_scan(
+    norm: np.ndarray, slab: Box, threshold: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and values of norm >= threshold, in global Morton codes."""
+    mask = norm >= threshold
+    if not mask.any():
+        return np.empty(0, np.uint64), np.empty(0, np.float64)
+    ix, iy, iz = np.nonzero(mask)
+    zindexes = encode_array(
+        ix + slab.lo[0], iy + slab.lo[1], iz + slab.lo[2]
+    )
+    return zindexes, norm[mask].astype(np.float64)
+
+
+def _topk_scan(norm: np.ndarray, slab: Box, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """The k highest-norm points of one slab (unordered)."""
+    flat = norm.ravel()
+    if len(flat) > k:
+        candidate = np.argpartition(flat, -k)[-k:]
+    else:
+        candidate = np.arange(len(flat))
+    ix, iy, iz = np.unravel_index(candidate, norm.shape)
+    zindexes = encode_array(ix + slab.lo[0], iy + slab.lo[1], iz + slab.lo[2])
+    return zindexes, flat[candidate].astype(np.float64)
+
+
+def _histogram_open_ended(
+    norm: np.ndarray, bin_edges: tuple[float, ...]
+) -> np.ndarray:
+    """Counts per bin; the final bin collects everything above the last edge."""
+    edges = np.asarray(bin_edges, dtype=np.float64)
+    counts, _ = np.histogram(norm, bins=np.append(edges, np.inf))
+    return counts.astype(np.int64)

@@ -1,0 +1,209 @@
+"""The landmark database: persistent regions of interest with statistics.
+
+"The introduction of an application-aware cache for query results lays
+the groundwork for the creation of a landmark database.  Such a database
+can store the locations of the highest vorticity regions in the dataset
+or more broadly regions of interest and their associated statistics"
+(paper §7).
+
+A landmark is a clustered intense event: threshold-query results are
+grouped with friends-of-friends, and each cluster is stored as one row
+— bounding box, point count, peak location/value, mean value, and the
+threshold that produced it.  Landmarks persist in ordinary database
+tables (on the SSD device, next to the cache) and are queried through
+the same transactional machinery, so a scientist can ask "the ten most
+intense vorticity events anywhere in the dataset" without re-scanning a
+single timestep.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.fof import friends_of_friends
+from repro.core.query import ThresholdQuery, ThresholdResult
+from repro.grid import Box
+from repro.morton import decode
+from repro.storage import Column, ColumnType, Database, TableSchema
+
+
+@dataclass(frozen=True)
+class Landmark:
+    """One stored region of interest."""
+
+    landmark_id: int
+    dataset: str
+    field: str
+    timestep: int
+    box: Box
+    point_count: int
+    peak_value: float
+    peak_location: tuple[int, int, int]
+    mean_value: float
+    threshold: float
+
+    @classmethod
+    def _from_row(cls, row: dict) -> "Landmark":
+        return cls(
+            landmark_id=row["id"],
+            dataset=row["dataset"],
+            field=row["field"],
+            timestep=row["timestep"],
+            box=Box.from_corners(
+                (row["xl"], row["yl"], row["zl"],
+                 row["xu"], row["yu"], row["zu"])
+            ),
+            point_count=row["point_count"],
+            peak_value=row["peak_value"],
+            peak_location=decode(row["peak_zindex"]),
+            mean_value=row["mean_value"],
+            threshold=row["threshold"],
+        )
+
+
+class LandmarkDatabase:
+    """Stores and queries landmarks inside a node-style database.
+
+    Args:
+        db: the hosting database; must have an ``ssd`` device.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._ids = itertools.count(1)
+        db.create_table(
+            TableSchema(
+                "landmark",
+                (
+                    Column("id", ColumnType.INTEGER),
+                    Column("dataset", ColumnType.TEXT),
+                    Column("field", ColumnType.TEXT),
+                    Column("timestep", ColumnType.INTEGER),
+                    Column("xl", ColumnType.INTEGER),
+                    Column("yl", ColumnType.INTEGER),
+                    Column("zl", ColumnType.INTEGER),
+                    Column("xu", ColumnType.INTEGER),
+                    Column("yu", ColumnType.INTEGER),
+                    Column("zu", ColumnType.INTEGER),
+                    Column("point_count", ColumnType.INTEGER),
+                    Column("peak_value", ColumnType.FLOAT),
+                    Column("peak_zindex", ColumnType.BIGINT),
+                    Column("mean_value", ColumnType.FLOAT),
+                    Column("threshold", ColumnType.FLOAT),
+                ),
+                primary_key=("id",),
+                indexes={"by_field": ("dataset", "field")},
+            ),
+            device="ssd",
+        )
+
+    # -- recording -------------------------------------------------------------
+
+    def record_threshold_result(
+        self,
+        query: ThresholdQuery,
+        result: ThresholdResult,
+        domain_side: int,
+        linking_length: int = 2,
+        min_size: int = 2,
+    ) -> list[int]:
+        """Cluster a threshold result and store one landmark per cluster.
+
+        Returns the new landmark ids (sorted by descending cluster size).
+        """
+        if len(result) == 0:
+            return []
+        coords = result.coordinates()
+        clusters = friends_of_friends(
+            coords, result.values, domain_side,
+            linking_length=linking_length, min_size=min_size,
+        )
+        ids = []
+        with self._db.transaction() as txn:
+            table = self._db.table("landmark")
+            for cluster in clusters:
+                member_coords = coords[cluster.indices]
+                member_values = result.values[cluster.indices]
+                box = Box(
+                    tuple(int(v) for v in member_coords.min(axis=0)),
+                    tuple(int(v) + 1 for v in member_coords.max(axis=0)),
+                )
+                landmark_id = next(self._ids)
+                table.insert(
+                    txn,
+                    {
+                        "id": landmark_id,
+                        "dataset": query.dataset,
+                        "field": query.field,
+                        "timestep": query.timestep,
+                        "xl": box.lo[0], "yl": box.lo[1], "zl": box.lo[2],
+                        "xu": box.hi[0], "yu": box.hi[1], "zu": box.hi[2],
+                        "point_count": cluster.size,
+                        "peak_value": cluster.peak_value,
+                        "peak_zindex": int(result.zindexes[cluster.peak_index]),
+                        "mean_value": float(member_values.mean()),
+                        "threshold": float(query.threshold),
+                    },
+                )
+                ids.append(landmark_id)
+        return ids
+
+    # -- queries ----------------------------------------------------------------
+
+    def landmarks(
+        self,
+        dataset: str | None = None,
+        field: str | None = None,
+        timestep: int | None = None,
+        min_peak: float | None = None,
+    ) -> list[Landmark]:
+        """All landmarks matching the given filters, most intense first."""
+        with self._db.transaction() as txn:
+            if dataset is not None and field is not None:
+                rows = list(
+                    self._db.table("landmark").lookup(
+                        txn, "by_field", (dataset, field)
+                    )
+                )
+            else:
+                rows = list(self._db.table("landmark").scan(txn))
+        out = []
+        for row in rows:
+            if dataset is not None and row["dataset"] != dataset:
+                continue
+            if field is not None and row["field"] != field:
+                continue
+            if timestep is not None and row["timestep"] != timestep:
+                continue
+            if min_peak is not None and row["peak_value"] < min_peak:
+                continue
+            out.append(Landmark._from_row(row))
+        out.sort(key=lambda lm: -lm.peak_value)
+        return out
+
+    def most_intense(
+        self, dataset: str, field: str, k: int = 10
+    ) -> list[Landmark]:
+        """The ``k`` highest-peak landmarks of a field, dataset-wide."""
+        return self.landmarks(dataset, field)[:k]
+
+    def in_region(self, box: Box, dataset: str | None = None) -> list[Landmark]:
+        """Landmarks whose bounding boxes intersect ``box``."""
+        return [
+            lm
+            for lm in self.landmarks(dataset=dataset)
+            if lm.box.intersection(box) is not None
+        ]
+
+    def count(self) -> int:
+        """Number of stored landmarks."""
+        with self._db.transaction() as txn:
+            return self._db.table("landmark").count(txn)
+
+    def forget(self, landmark_id: int) -> bool:
+        """Remove a landmark; returns whether it existed."""
+        with self._db.transaction() as txn:
+            return self._db.table("landmark").delete(txn, (landmark_id,))

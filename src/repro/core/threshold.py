@@ -1,0 +1,133 @@
+"""Algorithm 1: per-node threshold evaluation through the cache.
+
+Each node runs GetThreshold for its share of the query inside a single
+snapshot-isolation transaction: probe the cache; on a hit, serve the
+points straight from ``cacheData``; on a miss (no entry, or an entry
+whose threshold is higher than requested), evaluate from the raw data
+via the :class:`~repro.core.executor.NodeExecutor` and store the fresh
+result back — replacing a stale entry when one was found.
+
+A concurrent cache refresh of the same entry surfaces as a
+snapshot-isolation write conflict; the computation's result is still
+returned to the user, only the cache update is skipped (the winning
+writer's entry is equivalent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.costmodel import CostLedger
+from repro.core.cache import SemanticCache
+from repro.core.executor import NodeExecutor, RawEvaluation
+from repro.core.query import ThresholdQuery
+from repro.fields.derived import FieldRegistry
+from repro.grid import Box
+from repro.storage import SerializationConflictError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.node import DatabaseNode
+
+
+@dataclass
+class NodeThresholdResult:
+    """One node's contribution to a threshold query."""
+
+    zindexes: np.ndarray
+    values: np.ndarray
+    ledger: CostLedger
+    cache_hit: bool
+    boxes_evaluated: int
+    cache_stored: bool
+
+    def __len__(self) -> int:
+        return len(self.zindexes)
+
+
+def get_threshold_on_node(
+    node: "DatabaseNode",
+    executor: NodeExecutor,
+    cache: SemanticCache | None,
+    registry: FieldRegistry,
+    query: ThresholdQuery,
+    boxes: list[Box],
+    processes: int = 1,
+    io_only: bool = False,
+) -> NodeThresholdResult:
+    """Run Algorithm 1 for this node's ``boxes`` of the query region.
+
+    Args:
+        cache: the node's semantic cache, or ``None`` to bypass caching
+            entirely (the paper's "no cache" baseline).
+        boxes: the node's rectangular pieces of the query box; each piece
+            is cached as its own entry, so partially-cached node shares
+            re-evaluate only the missing pieces.
+        io_only: perform only the raw-data reads (Fig. 8's I/O-only mode;
+            implies no caching and returns no points).
+    """
+    ledger = CostLedger()
+    dataset_spec = node.dataset(query.dataset)
+    derived = registry.get(query.field)
+
+    if not boxes:
+        return NodeThresholdResult(
+            np.empty(0, np.uint64), np.empty(0, np.float64),
+            ledger, cache_hit=False, boxes_evaluated=0, cache_stored=False,
+        )
+
+    all_z: list[np.ndarray] = []
+    all_v: list[np.ndarray] = []
+    hits = 0
+    evaluated = 0
+    stored = True
+
+    txn = node.db.begin(ledger)
+    try:
+        for box in boxes:
+            lookup = None
+            if cache is not None and not io_only:
+                lookup = cache.lookup(
+                    txn, query.dataset, query.field, query.timestep,
+                    box, query.threshold,
+                )
+                if lookup.hit:
+                    hits += 1
+                    all_z.append(lookup.zindexes)
+                    all_v.append(lookup.values)
+                    continue
+            evaluation = executor.evaluate(
+                txn, ledger, dataset_spec, derived, query.timestep,
+                [box], query.threshold, query.fd_order,
+                processes=processes, io_only=io_only,
+            )
+            evaluated += 1
+            all_z.append(evaluation.zindexes)
+            all_v.append(evaluation.values)
+            if cache is not None and not io_only:
+                cache.store(
+                    txn, query.dataset, query.field, query.timestep,
+                    box, query.threshold,
+                    evaluation.zindexes, evaluation.values,
+                    replace_ordinal=lookup.stale_ordinal if lookup else None,
+                )
+        txn.commit()
+    except SerializationConflictError:
+        # A concurrent query refreshed the same entry first; keep the
+        # computed points, skip our cache update.
+        txn.abort()
+        stored = False
+    except Exception:
+        txn.abort()
+        raise
+
+    zindexes = np.concatenate(all_z) if all_z else np.empty(0, np.uint64)
+    values = np.concatenate(all_v) if all_v else np.empty(0, np.float64)
+    return NodeThresholdResult(
+        zindexes, values, ledger,
+        cache_hit=bool(boxes) and hits == len(boxes),
+        boxes_evaluated=evaluated,
+        cache_stored=stored and evaluated > 0,
+    )

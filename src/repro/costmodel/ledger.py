@@ -1,0 +1,157 @@
+"""Cost ledger: simulated-time accounting with parallel composition.
+
+A :class:`CostLedger` accumulates simulated seconds per cost
+:class:`Category`.  Ledgers compose in two ways, mirroring the structure
+of a distributed query:
+
+* **serial** (``a.add(b)``) — phases executed one after another on the
+  same executor; times sum per category.
+* **parallel** (``CostLedger.parallel([...])``) — symmetric data-parallel
+  branches (cluster nodes, or worker processes within a node) that march
+  through the same phases concurrently; the critical path of each phase
+  is its slowest branch, so times combine as a per-category maximum.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable
+
+
+class Category(enum.Enum):
+    """Cost categories matching the stacked bars of the paper's Figure 9."""
+
+    CACHE_LOOKUP = "cache_lookup"
+    IO = "io"
+    COMPUTE = "compute"
+    MEDIATOR_DB = "mediator_db"
+    MEDIATOR_USER = "mediator_user"
+
+    def __repr__(self) -> str:  # terse repr for breakdown dumps
+        return self.value
+
+
+# Standard meter names used across the engine.
+METER_IO_BYTES = "io_bytes"  #: bytes read from the data (HDD) tables
+METER_IO_SEEKS = "io_seeks"  #: discontiguous extents touched on HDD
+METER_CACHE_BYTES = "cache_bytes"  #: bytes read/written on the cache SSD
+METER_COMPUTE_UNITS = "compute_units"  #: kernel work units executed
+METER_RESULT_POINTS = "result_points"  #: points returned to the mediator
+METER_HALO_SECONDS = "halo_seconds"  #: node-to-node boundary transfer time
+METER_HALO_BYTES = "halo_bytes"  #: bytes of boundary data fetched from peers
+
+
+class CostLedger:
+    """Simulated seconds accumulated per :class:`Category`.
+
+    Besides seconds, a ledger carries *meters* — named work counters
+    (bytes read, seeks, kernel points) that compose additively under both
+    serial and parallel merging.  Orchestration layers use them to
+    re-derive a category's time under a different device regime (e.g.
+    I/O time of P processes sharing one disk array).
+    """
+
+    __slots__ = ("_seconds", "_meters")
+
+    def __init__(self, seconds: dict[Category, float] | None = None) -> None:
+        self._seconds: dict[Category, float] = {cat: 0.0 for cat in Category}
+        self._meters: dict[str, float] = {}
+        if seconds:
+            for cat, value in seconds.items():
+                self.charge(cat, value)
+
+    def charge(self, category: Category, seconds: float) -> None:
+        """Add ``seconds`` of simulated time to ``category``.
+
+        Raises:
+            ValueError: on a negative charge.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative charge {seconds} to {category}")
+        self._seconds[category] += float(seconds)
+
+    def count(self, meter: str, amount: float) -> None:
+        """Add ``amount`` units of work to the named meter.
+
+        Raises:
+            ValueError: on a negative amount.
+        """
+        if amount < 0:
+            raise ValueError(f"negative count {amount} for meter {meter!r}")
+        self._meters[meter] = self._meters.get(meter, 0.0) + amount
+
+    def meter(self, name: str) -> float:
+        """Current value of a meter (0 if never counted)."""
+        return self._meters.get(name, 0.0)
+
+    def set_category(self, category: Category, seconds: float) -> None:
+        """Overwrite a category's time (used to re-derive contended I/O).
+
+        Raises:
+            ValueError: on negative seconds.
+        """
+        if seconds < 0:
+            raise ValueError(f"negative time {seconds} for {category}")
+        self._seconds[category] = float(seconds)
+
+    def __getitem__(self, category: Category) -> float:
+        return self._seconds[category]
+
+    @property
+    def total(self) -> float:
+        """Total simulated elapsed seconds across all categories."""
+        return sum(self._seconds.values())
+
+    def add(self, other: "CostLedger") -> None:
+        """Serial composition: append ``other``'s phases after this one's."""
+        for cat in Category:
+            self._seconds[cat] += other._seconds[cat]
+        for name, amount in other._meters.items():
+            self._meters[name] = self._meters.get(name, 0.0) + amount
+
+    @classmethod
+    def parallel(cls, branches: Iterable["CostLedger"]) -> "CostLedger":
+        """Parallel composition of symmetric branches.
+
+        Each phase's critical path is the slowest branch, so seconds
+        combine as a per-category maximum; meters count total work done
+        and therefore sum.  An empty iterable yields an all-zero ledger.
+        """
+        combined = cls()
+        for branch in branches:
+            for cat in Category:
+                combined._seconds[cat] = max(
+                    combined._seconds[cat], branch._seconds[cat]
+                )
+            for name, amount in branch._meters.items():
+                combined._meters[name] = combined._meters.get(name, 0.0) + amount
+        return combined
+
+    def copy(self) -> "CostLedger":
+        """An independent copy (seconds and meters)."""
+        dup = CostLedger(dict(self._seconds))
+        dup._meters = dict(self._meters)
+        return dup
+
+    def scaled(self, factor: float) -> "CostLedger":
+        """A new ledger with seconds and meters multiplied by ``factor``.
+
+        Used to project small-grid measurements to paper scale.
+        """
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        dup = CostLedger({cat: s * factor for cat, s in self._seconds.items()})
+        dup._meters = {name: v * factor for name, v in self._meters.items()}
+        return dup
+
+    def breakdown(self) -> dict[str, float]:
+        """Category-name -> seconds mapping, for reports."""
+        return {cat.value: self._seconds[cat] for cat in Category}
+
+    def __repr__(self) -> str:
+        parts = ", ".join(
+            f"{cat.value}={self._seconds[cat]:.4g}"
+            for cat in Category
+            if self._seconds[cat]
+        )
+        return f"CostLedger({parts or 'empty'})"

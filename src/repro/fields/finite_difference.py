@@ -1,0 +1,130 @@
+"""Central finite-difference derivatives of order 2, 4, 6 and 8.
+
+The JHTDB evaluates spatial derivatives with centred finite differencing
+of selectable order (paper Eq. 2 shows the 4th-order stencil).  An
+order-``2m`` centred first derivative uses the ``2m`` neighbours within
+distance ``m`` along the axis, so the *kernel half-width* — the halo of
+extra data a node must fetch from its neighbours — is ``order // 2``.
+
+Two evaluation modes are provided:
+
+* :func:`derivative_periodic` differentiates a whole periodic domain
+  (ground truth for tests and for client-side baselines);
+* :func:`derivative_interior` differentiates the interior of a block
+  that carries a halo of ``margin`` points on every face, which is how
+  the per-node executor works on assembled atom data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Finite-difference orders with known centred coefficients.
+SUPPORTED_ORDERS = (2, 4, 6, 8)
+
+# Coefficients c_k of sum_k c_k * (f(x + k*dx) - f(x - k*dx)) / dx for the
+# centred first derivative, indexed by order.
+_COEFFICIENTS: dict[int, tuple[float, ...]] = {
+    2: (1 / 2,),
+    4: (2 / 3, -1 / 12),
+    6: (3 / 4, -3 / 20, 1 / 60),
+    8: (4 / 5, -1 / 5, 4 / 105, -1 / 280),
+}
+
+
+def fd_coefficients(order: int) -> tuple[float, ...]:
+    """Centred-difference coefficients ``(c_1, ..., c_m)`` for ``order``.
+
+    Raises:
+        ValueError: for an unsupported order.
+    """
+    try:
+        return _COEFFICIENTS[order]
+    except KeyError:
+        raise ValueError(
+            f"order {order} unsupported; pick one of {SUPPORTED_ORDERS}"
+        ) from None
+
+
+def kernel_half_width(order: int) -> int:
+    """Halo points needed on each face for an ``order`` derivative."""
+    fd_coefficients(order)
+    return order // 2
+
+
+def derivative_periodic(
+    data: np.ndarray, axis: int, spacing: float, order: int = 4
+) -> np.ndarray:
+    """First derivative along ``axis`` of a periodic field.
+
+    ``data`` may have trailing component axes; only ``axis`` (0, 1 or 2)
+    is differentiated.
+
+    Raises:
+        ValueError: bad axis, non-positive spacing or unsupported order.
+    """
+    _check_axis_spacing(axis, spacing)
+    out = np.zeros_like(data, dtype=np.result_type(data, np.float64))
+    for k, coeff in enumerate(fd_coefficients(order), start=1):
+        out += coeff * (np.roll(data, -k, axis=axis) - np.roll(data, k, axis=axis))
+    return out / spacing
+
+
+def derivative_interior(
+    block: np.ndarray, axis: int, spacing: float, order: int = 4, margin: int | None = None
+) -> np.ndarray:
+    """First derivative on the interior of a halo-padded block.
+
+    ``block`` holds the region of interest plus a halo of ``margin``
+    points on every face of the first three axes (``margin`` defaults to
+    the kernel half-width).  The result has the interior shape
+    ``(nx - 2*margin, ny - 2*margin, nz - 2*margin, ...)``.
+
+    Raises:
+        ValueError: if the halo is thinner than the stencil needs.
+    """
+    _check_axis_spacing(axis, spacing)
+    half = kernel_half_width(order)
+    if margin is None:
+        margin = half
+    if margin < half:
+        raise ValueError(f"margin {margin} too small for order {order} (needs {half})")
+    for ax in range(3):
+        if block.shape[ax] < 2 * margin + 1:
+            raise ValueError(
+                f"block axis {ax} of size {block.shape[ax]} thinner than halo"
+            )
+    out = np.zeros(_interior_shape(block.shape, margin), dtype=np.float64)
+    for k, coeff in enumerate(fd_coefficients(order), start=1):
+        plus = _interior_view(block, margin, axis, +k)
+        minus = _interior_view(block, margin, axis, -k)
+        out += coeff * (plus.astype(np.float64) - minus)
+    return out / spacing
+
+
+def _interior_shape(shape: tuple[int, ...], margin: int) -> tuple[int, ...]:
+    return tuple(
+        n - 2 * margin if ax < 3 else n for ax, n in enumerate(shape)
+    )
+
+
+def _interior_view(
+    block: np.ndarray, margin: int, axis: int, offset: int
+) -> np.ndarray:
+    """The interior of ``block`` shifted by ``offset`` along ``axis``."""
+    slices = []
+    for ax in range(block.ndim):
+        if ax >= 3:
+            slices.append(slice(None))
+            continue
+        start = margin + (offset if ax == axis else 0)
+        stop = block.shape[ax] - margin + (offset if ax == axis else 0)
+        slices.append(slice(start, stop))
+    return block[tuple(slices)]
+
+
+def _check_axis_spacing(axis: int, spacing: float) -> None:
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    if spacing <= 0:
+        raise ValueError(f"spacing must be positive, got {spacing}")

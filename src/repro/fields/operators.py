@@ -1,0 +1,120 @@
+"""Differential operators on 3-D vector and scalar fields.
+
+Vector fields are arrays of shape ``(nx, ny, nz, 3)`` indexed ``[x, y,
+z, component]``; scalars drop the trailing axis.  Every operator comes
+in a ``_periodic`` flavour (whole wrapped domain) and an ``_interior``
+flavour (halo-padded block, as assembled by the per-node executor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fields.finite_difference import (
+    derivative_interior,
+    derivative_periodic,
+)
+
+
+def _check_vector(field: np.ndarray) -> None:
+    if field.ndim != 4 or field.shape[3] != 3:
+        raise ValueError(f"expected (nx, ny, nz, 3) vector field, got {field.shape}")
+
+
+def curl_periodic(field: np.ndarray, spacing: float, order: int = 4) -> np.ndarray:
+    """Curl of a periodic vector field (paper Eq. 1).
+
+    Returns an array of the same shape.  For the velocity this is the
+    vorticity; for the magnetic field, the electric current.
+    """
+    _check_vector(field)
+
+    def d(comp: int, axis: int) -> np.ndarray:
+        return derivative_periodic(field[..., comp], axis, spacing, order)
+
+    return np.stack(
+        [d(2, 1) - d(1, 2), d(0, 2) - d(2, 0), d(1, 0) - d(0, 1)], axis=-1
+    )
+
+
+def curl_interior(
+    block: np.ndarray, spacing: float, order: int = 4, margin: int | None = None
+) -> np.ndarray:
+    """Curl on the interior of a halo-padded vector block."""
+    _check_vector(block)
+
+    def d(comp: int, axis: int) -> np.ndarray:
+        return derivative_interior(block[..., comp], axis, spacing, order, margin)
+
+    return np.stack(
+        [d(2, 1) - d(1, 2), d(0, 2) - d(2, 0), d(1, 0) - d(0, 1)], axis=-1
+    )
+
+
+def divergence_periodic(
+    field: np.ndarray, spacing: float, order: int = 4
+) -> np.ndarray:
+    """Divergence of a periodic vector field (0 for solenoidal fields)."""
+    _check_vector(field)
+    return sum(
+        derivative_periodic(field[..., comp], comp, spacing, order)
+        for comp in range(3)
+    )
+
+
+def gradient_tensor_periodic(
+    field: np.ndarray, spacing: float, order: int = 4
+) -> np.ndarray:
+    """Velocity-gradient tensor A_ij = dv_i/dx_j of a periodic field.
+
+    Returns shape ``(nx, ny, nz, 3, 3)``.  The paper notes this tensor
+    has 9 components versus the velocity's 3, which is why shipping it to
+    a client is prohibitively expensive (§5.3).
+    """
+    _check_vector(field)
+    rows = [
+        np.stack(
+            [
+                derivative_periodic(field[..., i], j, spacing, order)
+                for j in range(3)
+            ],
+            axis=-1,
+        )
+        for i in range(3)
+    ]
+    return np.stack(rows, axis=-2)
+
+
+def gradient_tensor_interior(
+    block: np.ndarray, spacing: float, order: int = 4, margin: int | None = None
+) -> np.ndarray:
+    """Velocity-gradient tensor on the interior of a halo-padded block."""
+    _check_vector(block)
+    rows = [
+        np.stack(
+            [
+                derivative_interior(block[..., i], j, spacing, order, margin)
+                for j in range(3)
+            ],
+            axis=-1,
+        )
+        for i in range(3)
+    ]
+    return np.stack(rows, axis=-2)
+
+
+def q_criterion_from_gradient(gradient: np.ndarray) -> np.ndarray:
+    """Second velocity-gradient invariant Q = -tr(A^2)/2.
+
+    For incompressible flow Q = (||Omega||^2 - ||S||^2)/2, positive in
+    rotation-dominated regions (vortex cores).  Computed from all nine
+    tensor components — the non-linear combination the paper cites as
+    the reason Q costs more to evaluate than the vorticity (§5.4).
+    """
+    a_squared = np.einsum("...ij,...ji->...", gradient, gradient)
+    return -0.5 * a_squared
+
+
+def r_invariant_from_gradient(gradient: np.ndarray) -> np.ndarray:
+    """Third velocity-gradient invariant R = -det(A)."""
+    return -np.linalg.det(gradient)

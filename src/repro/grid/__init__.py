@@ -1,0 +1,28 @@
+"""Grid geometry: boxes, 8^3 database atoms, halos and slab partitions.
+
+Simulation output lives on a regular 3-D grid.  The storage layer splits
+each timestep into small cubic *atoms* (8^3 grid points, as in the JHTDB),
+derived-field kernels need *halos* of neighbouring points, and per-node
+work is divided into *slabs* for multi-process evaluation.  This package
+owns all of that index arithmetic.
+"""
+
+from repro.grid.box import Box
+from repro.grid.atoms import (
+    ATOM_SIDE,
+    atom_box,
+    atom_count,
+    atoms_covering,
+    snap_to_atoms,
+)
+from repro.grid.slabs import split_slabs
+
+__all__ = [
+    "ATOM_SIDE",
+    "Box",
+    "atom_box",
+    "atom_count",
+    "atoms_covering",
+    "snap_to_atoms",
+    "split_slabs",
+]

@@ -1,0 +1,95 @@
+"""Database atoms: the 8^3 storage granule of the simulation tables.
+
+Each timestep is spatially subdivided into cubic atoms of
+:data:`ATOM_SIDE` grid points per edge, and each atom is stored as one
+database record keyed by ``(timestep, morton_code_of_lower_corner)``
+(paper, section 2).  The helpers here translate between grid boxes and
+the atoms that cover them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.grid.box import Box
+from repro.morton import MortonRange, box_to_ranges, decode, encode
+
+#: Edge length of a database atom in grid points (8 in the JHTDB).
+ATOM_SIDE = 8
+
+#: Grid points per atom.
+ATOM_VOLUME = ATOM_SIDE**3
+
+
+def snap_to_atoms(box: Box) -> Box:
+    """The smallest atom-aligned box containing ``box``."""
+    lo = tuple((l // ATOM_SIDE) * ATOM_SIDE for l in box.lo)
+    hi = tuple(-(-h // ATOM_SIDE) * ATOM_SIDE for h in box.hi)
+    return Box(lo, hi)
+
+
+def atom_box(code: int) -> Box:
+    """The grid box covered by the atom whose lower corner has Morton ``code``.
+
+    Raises:
+        ValueError: if ``code`` does not sit on an atom corner.
+    """
+    x, y, z = decode(code)
+    if x % ATOM_SIDE or y % ATOM_SIDE or z % ATOM_SIDE:
+        raise ValueError(f"Morton code {code} is not an atom corner")
+    return Box((x, y, z), (x + ATOM_SIDE, y + ATOM_SIDE, z + ATOM_SIDE))
+
+
+def atom_count(domain_side: int) -> int:
+    """Number of atoms in one timestep of a cubic domain."""
+    if domain_side % ATOM_SIDE:
+        raise ValueError(
+            f"domain side {domain_side} is not a multiple of {ATOM_SIDE}"
+        )
+    return (domain_side // ATOM_SIDE) ** 3
+
+
+def atoms_covering(box: Box, domain_side: int) -> Iterator[int]:
+    """Morton codes of all atoms intersecting ``box``, in curve order.
+
+    ``box`` must already be inside the domain (wrap periodic boxes first).
+    """
+    snapped = snap_to_atoms(box)
+    clipped = snapped.clip_to_domain(domain_side)
+    if clipped is None:
+        return
+    for rng in atom_ranges_covering(box, domain_side):
+        # Atom codes advance in steps of one atom volume along the curve.
+        yield from range(rng.start, rng.stop, ATOM_VOLUME)
+
+
+def atom_ranges_covering(box: Box, domain_side: int) -> list[MortonRange]:
+    """Contiguous Morton-code ranges of atoms intersecting ``box``.
+
+    Ranges are expressed in *grid point* Morton codes: a range covers the
+    codes of all grid points of the included atoms, so consecutive atoms
+    along the curve coalesce into one range.  This is the unit a clustered
+    index scan of the atom table works in.
+    """
+    snapped = snap_to_atoms(box)
+    clipped = snapped.clip_to_domain(domain_side)
+    if clipped is None:
+        return []
+    # Work in atom coordinates: divide everything by the atom side; the
+    # Morton code of an atom corner is atom_volume * code(atom coords).
+    atom_lo = tuple(l // ATOM_SIDE for l in clipped.lo)
+    atom_hi = tuple(h // ATOM_SIDE for h in clipped.hi)
+    atom_domain = domain_side // ATOM_SIDE
+    return [
+        MortonRange(rng.start * ATOM_VOLUME, rng.stop * ATOM_VOLUME)
+        for rng in box_to_ranges(atom_lo, atom_hi, atom_domain)
+    ]
+
+
+def atom_code(x: int, y: int, z: int) -> int:
+    """Morton code of the atom containing grid point ``(x, y, z)``."""
+    return encode(
+        (x // ATOM_SIDE) * ATOM_SIDE,
+        (y // ATOM_SIDE) * ATOM_SIDE,
+        (z // ATOM_SIDE) * ATOM_SIDE,
+    )

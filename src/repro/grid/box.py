@@ -1,0 +1,149 @@
+"""Axis-aligned half-open index boxes on a periodic grid.
+
+A :class:`Box` describes a region ``[lo, hi)`` of grid indices.  Boxes may
+extend past the domain boundary (``lo`` negative or ``hi`` beyond the
+domain side): on periodic domains such a box denotes the wrapped region,
+and :meth:`Box.wrap_periodic` resolves it into in-domain pieces together
+with where each piece lands inside a local array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class Box:
+    """Half-open axis-aligned box ``[lo, hi)`` of integer grid indices."""
+
+    lo: tuple[int, int, int]
+    hi: tuple[int, int, int]
+
+    def __post_init__(self) -> None:
+        lo = tuple(int(v) for v in self.lo)
+        hi = tuple(int(v) for v in self.hi)
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+        if len(lo) != 3 or len(hi) != 3:
+            raise ValueError("Box corners must be 3-D")
+        if any(h < l for l, h in zip(lo, hi)):
+            raise ValueError(f"Box upper corner {hi} below lower corner {lo}")
+
+    @classmethod
+    def cube(cls, side: int) -> "Box":
+        """The full domain box ``[0, side)^3``."""
+        return cls((0, 0, 0), (side, side, side))
+
+    @classmethod
+    def from_corners(cls, corners: Sequence[int]) -> "Box":
+        """Build from a flat ``(xl, yl, zl, xu, yu, zu)`` inclusive-exclusive list."""
+        if len(corners) != 6:
+            raise ValueError("expected 6 corner values")
+        return cls(tuple(corners[:3]), tuple(corners[3:]))
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Extent along each axis, ``(nx, ny, nz)``."""
+        return tuple(h - l for l, h in zip(self.lo, self.hi))
+
+    @property
+    def volume(self) -> int:
+        """Number of grid points inside the box."""
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def is_empty(self) -> bool:
+        return self.volume == 0
+
+    def contains_point(self, point: Sequence[int]) -> bool:
+        """Whether grid point ``(x, y, z)`` lies inside the box."""
+        return all(l <= p < h for l, p, h in zip(self.lo, point, self.hi))
+
+    def contains_box(self, other: "Box") -> bool:
+        """Whether ``other`` lies entirely inside this box.
+
+        An empty ``other`` is contained in everything.
+        """
+        if other.is_empty:
+            return True
+        return all(sl <= ol for sl, ol in zip(self.lo, other.lo)) and all(
+            oh <= sh for oh, sh in zip(other.hi, self.hi)
+        )
+
+    def intersection(self, other: "Box") -> "Box | None":
+        """The overlapping box, or ``None`` when disjoint or degenerate."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        if any(l >= h for l, h in zip(lo, hi)):
+            return None
+        return Box(lo, hi)
+
+    def expand(self, margin: int) -> "Box":
+        """Grow the box by ``margin`` points on every face (halo region).
+
+        The result may extend outside the domain; use
+        :meth:`wrap_periodic` to resolve it on a periodic grid.
+        """
+        if margin < 0:
+            raise ValueError("margin must be non-negative")
+        return Box(
+            tuple(l - margin for l in self.lo),
+            tuple(h + margin for h in self.hi),
+        )
+
+    def translate(self, offset: Sequence[int]) -> "Box":
+        """The box shifted by ``offset``."""
+        return Box(
+            tuple(l + o for l, o in zip(self.lo, offset)),
+            tuple(h + o for h, o in zip(self.hi, offset)),
+        )
+
+    def clip_to_domain(self, side: int) -> "Box | None":
+        """Intersection with the domain cube ``[0, side)^3``."""
+        return self.intersection(Box.cube(side))
+
+    def wrap_periodic(self, side: int) -> Iterator[tuple["Box", tuple[int, int, int]]]:
+        """Resolve an out-of-domain box on a periodic domain of ``side``.
+
+        Yields ``(piece, local_offset)`` pairs: ``piece`` is an in-domain
+        box and ``local_offset`` is the index of that piece's lower corner
+        inside a local array shaped like :attr:`shape` (so that stitching
+        every piece at its offset reconstructs the requested region).
+
+        Raises:
+            ValueError: if the box is wider than the domain on any axis
+                (a single local cell would alias multiple domain cells).
+        """
+        if any(n > side for n in self.shape):
+            raise ValueError(
+                f"box shape {self.shape} exceeds periodic domain side {side}"
+            )
+
+        def axis_pieces(lo: int, hi: int) -> list[tuple[int, int, int]]:
+            """Split [lo, hi) into in-domain [a, b) pieces with local start."""
+            pieces = []
+            cursor = lo
+            while cursor < hi:
+                base = cursor % side
+                span = min(hi - cursor, side - base)
+                pieces.append((base, base + span, cursor - lo))
+                cursor += span
+            return pieces
+
+        for xa, xb, xo in axis_pieces(self.lo[0], self.hi[0]):
+            for ya, yb, yo in axis_pieces(self.lo[1], self.hi[1]):
+                for za, zb, zo in axis_pieces(self.lo[2], self.hi[2]):
+                    yield Box((xa, ya, za), (xb, yb, zb)), (xo, yo, zo)
+
+    def iter_points(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate all grid points in the box, x fastest."""
+        for z in range(self.lo[2], self.hi[2]):
+            for y in range(self.lo[1], self.hi[1]):
+                for x in range(self.lo[0], self.hi[0]):
+                    yield (x, y, z)
+
+    def as_corners(self) -> tuple[int, int, int, int, int, int]:
+        """Flat ``(xl, yl, zl, xu, yu, zu)`` form used in query metadata."""
+        return (*self.lo, *self.hi)

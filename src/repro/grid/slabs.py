@@ -1,0 +1,61 @@
+"""Slab decomposition of a box for multi-process evaluation.
+
+Each database node divides its share of a threshold query into ``P``
+slabs, one per worker process (paper, §5.3).  Slabs are cut along the
+longest axis, aligned to atom boundaries so no two processes read the
+same atom for their interior, and each process independently fetches its
+own halo — which is exactly the I/O redundancy the paper observes growing
+with process count.
+"""
+
+from __future__ import annotations
+
+from repro.grid.atoms import ATOM_SIDE
+from repro.grid.box import Box
+
+
+def split_slabs(box: Box, parts: int, align: int = ATOM_SIDE) -> list[Box]:
+    """Split ``box`` into up to ``parts`` disjoint slabs along its longest axis.
+
+    Cuts are aligned to multiples of ``align`` grid points.  Returns fewer
+    than ``parts`` slabs when the box is too thin to honour alignment.
+    Slabs are returned in ascending order along the cut axis and their
+    union is exactly ``box``.
+
+    Raises:
+        ValueError: on ``parts < 1`` or ``align < 1``.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    if align < 1:
+        raise ValueError("align must be >= 1")
+    if box.is_empty:
+        return []
+    if parts == 1:
+        return [box]
+
+    axis = max(range(3), key=lambda i: box.shape[i])
+    lo, hi = box.lo[axis], box.hi[axis]
+    extent = hi - lo
+
+    # Candidate cut positions: aligned, strictly inside (lo, hi).
+    cuts: list[int] = []
+    target = extent / parts
+    for i in range(1, parts):
+        raw = lo + i * target
+        snapped = round(raw / align) * align
+        snapped = max(lo + align, min(snapped, hi - 1))
+        if snapped > lo and snapped < hi and (not cuts or snapped > cuts[-1]):
+            cuts.append(int(snapped))
+
+    bounds = [lo, *cuts, hi]
+    slabs = []
+    for a, b in zip(bounds, bounds[1:]):
+        if b <= a:
+            continue
+        slab_lo = list(box.lo)
+        slab_hi = list(box.hi)
+        slab_lo[axis] = a
+        slab_hi[axis] = b
+        slabs.append(Box(tuple(slab_lo), tuple(slab_hi)))
+    return slabs

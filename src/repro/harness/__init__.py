@@ -1,0 +1,36 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment follows the same pattern: build (or reuse) a cluster
+sized by :class:`~repro.harness.common.ExperimentConfig`, run the
+paper's query protocol, and return an
+:class:`~repro.harness.common.ExperimentReport` whose rows mirror the
+paper's table/figure series.  Reports print as plain-text tables and are
+written to ``benchmarks/results/`` by the benchmark suite.
+
+Experiments (paper reference in parentheses):
+
+* :mod:`~repro.harness.fig2_pdf` — vorticity-norm PDF (Fig. 2)
+* :mod:`~repro.harness.fig3_fig4` — intense points + 4-D FoF clusters
+  (Fig. 3, Fig. 4)
+* :mod:`~repro.harness.table1_fig6` — cache effectiveness (Table 1, Fig. 6)
+* :mod:`~repro.harness.fig7` — scale-up and scale-out (Fig. 7a, 7b)
+* :mod:`~repro.harness.fig8` — total vs I/O-only time (Fig. 8)
+* :mod:`~repro.harness.fig9` — execution-time breakdowns (Fig. 9a-f)
+* :mod:`~repro.harness.local_vs_integrated` — §5.3's 20-hour story
+"""
+
+from repro.harness.common import (
+    PAPER_FRACTIONS,
+    PAPER_POINT_COUNTS,
+    ExperimentConfig,
+    ExperimentReport,
+    threshold_levels,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentReport",
+    "PAPER_FRACTIONS",
+    "PAPER_POINT_COUNTS",
+    "threshold_levels",
+]

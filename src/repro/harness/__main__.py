@@ -1,0 +1,52 @@
+"""Run every paper-figure experiment and print the reports.
+
+Usage::
+
+    python -m repro.harness                 # default 64^3 configuration
+    REPRO_BENCH_SIDE=128 python -m repro.harness
+    python -m repro.harness fig8 table1     # a subset by name
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.harness import fig2_pdf, fig3_fig4, fig7, fig8, fig9, local_vs_integrated, table1_fig6
+from repro.harness.common import ExperimentConfig
+
+EXPERIMENTS = {
+    "fig2": lambda config: fig2_pdf.run(config),
+    "fig3_fig4": lambda config: fig3_fig4.run(config),
+    "table1": lambda config: table1_fig6.run(config),
+    "fig7a": lambda config: fig7.run_scaleup(config),
+    "fig7b": lambda config: fig7.run_scaleout(config),
+    "fig8": lambda config: fig8.run(config),
+    "fig9": lambda config: fig9.run(config),
+    "local_vs_integrated": lambda config: local_vs_integrated.run(config),
+}
+
+
+def main(argv: list[str]) -> int:
+    wanted = argv or list(EXPERIMENTS)
+    unknown = [name for name in wanted if name not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+        return 2
+    config = ExperimentConfig()
+    print(
+        f"configuration: {config.side}^3 grid, {config.timesteps} timesteps, "
+        f"{config.nodes} nodes x {config.processes} processes "
+        "(simulated seconds are paper-scale; see EXPERIMENTS.md)\n"
+    )
+    for name in wanted:
+        start = time.perf_counter()
+        report = EXPERIMENTS[name](config)
+        elapsed = time.perf_counter() - start
+        print(report)
+        print(f"[{name} regenerated in {elapsed:.1f} s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

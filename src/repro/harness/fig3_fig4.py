@@ -1,0 +1,96 @@
+"""Figures 3 and 4: intense-event extraction and 4-D clustering.
+
+Fig. 4 shows every point above 7x the RMS vorticity in one timestep
+(~2.4x10^5 points at 1024^3, i.e. ~0.02% of the grid).  Fig. 3 shows a
+3-D cut through the 4-D friends-of-friends cluster containing the most
+intense event, traced across timesteps.  The qualitative findings to
+reproduce: intense points are a tiny fraction of the grid, they form a
+small number of coherent clusters ("worms"), and the most intense
+cluster persists across neighbouring timesteps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import friends_of_friends_4d, norm_rms
+from repro.core import ThresholdQuery
+from repro.harness.common import (
+    ExperimentConfig,
+    ExperimentReport,
+    ground_truth_norm,
+)
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    rms_multiple: float = 7.0,
+    linking_length: int = 2,
+) -> ExperimentReport:
+    """Threshold every timestep at ``rms_multiple`` x RMS, cluster in 4-D."""
+    config = config or ExperimentConfig()
+    dataset, mediator = config.make_cluster()
+
+    all_t = []
+    all_coords = []
+    all_values = []
+    per_step_counts = []
+    for timestep in range(dataset.spec.timesteps):
+        rms = norm_rms(ground_truth_norm(dataset, "vorticity", timestep))
+        result = mediator.threshold(
+            ThresholdQuery("mhd", "vorticity", timestep, rms_multiple * rms),
+            processes=config.processes,
+        )
+        per_step_counts.append(len(result))
+        if len(result):
+            coords = result.coordinates()
+            all_t.append(np.full(len(result), timestep))
+            all_coords.append(coords)
+            all_values.append(result.values)
+
+    timesteps = np.concatenate(all_t) if all_t else np.empty(0, int)
+    coords = (
+        np.concatenate(all_coords) if all_coords else np.empty((0, 3), int)
+    )
+    values = np.concatenate(all_values) if all_values else np.empty(0)
+
+    clusters = friends_of_friends_4d(
+        timesteps, coords, values, side=dataset.spec.side,
+        linking_length=linking_length, min_size=2,
+    )
+
+    rows = []
+    for timestep, count in enumerate(per_step_counts):
+        fraction = count / dataset.spec.points_per_timestep
+        rows.append(
+            ["points above threshold", f"t={timestep}", count, f"{fraction:.4%}"]
+        )
+    rows.append(["4-D clusters (size >= 2)", "all", len(clusters), ""])
+    for rank, cluster in enumerate(clusters[:3], start=1):
+        rows.append(
+            [
+                f"cluster #{rank}",
+                f"t={cluster.timesteps}",
+                cluster.size,
+                f"peak {cluster.peak_value:.2f}",
+            ]
+        )
+
+    notes = [
+        f"threshold at {rms_multiple} x RMS vorticity, 4-D FoF linking "
+        f"length {linking_length}",
+        "paper Fig. 4: ~2.4e5 of 1024^3 points (0.02%) above 7 x RMS",
+    ]
+    if clusters:
+        most_intense = max(clusters, key=lambda c: c.peak_value)
+        notes.append(
+            f"most intense event sits in a cluster of {most_intense.size} "
+            f"points spanning timesteps {most_intense.timesteps} "
+            "(paper Fig. 3: the peak cluster persists across steps)"
+        )
+    return ExperimentReport(
+        title="Fig. 3 / Fig. 4 -- intense vorticity events and 4-D clusters",
+        headers=["series", "where", "count", "detail"],
+        rows=rows,
+        notes=notes,
+    )

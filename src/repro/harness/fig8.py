@@ -1,0 +1,65 @@
+"""Figure 8: total running time vs the time to perform the I/O only.
+
+The paper runs the medium-threshold query with 1-8 processes per node
+and compares against the same runs with the kernel computation and
+thresholding disabled.  The shapes to reproduce: I/O is about half of
+the single-process total; I/O time shrinks only modestly with more
+processes (shared disk arrays); and the 4-8-process total is about equal
+to the single-process I/O-only time.
+"""
+
+from __future__ import annotations
+
+from repro.core import ThresholdQuery
+from repro.harness.common import (
+    ExperimentConfig,
+    ExperimentReport,
+    threshold_levels,
+)
+
+PROCESS_COUNTS = (1, 2, 4, 8)
+
+#: Fig. 8 read off the paper (seconds): total and I/O-only per process count.
+PAPER_FIG8 = {1: (260, 130), 2: (160, 95), 4: (105, 85), 8: (95, 75)}
+
+
+def run(
+    config: ExperimentConfig | None = None, timestep: int = 0
+) -> ExperimentReport:
+    """Reproduce Fig. 8 on the medium-selectivity vorticity query."""
+    config = config or ExperimentConfig()
+    dataset, mediator = config.make_cluster()
+    threshold = threshold_levels(dataset, "vorticity", timestep)["medium"]
+    query = ThresholdQuery("mhd", "vorticity", timestep, threshold)
+
+    rows = []
+    for processes in PROCESS_COUNTS:
+        mediator.drop_cache_entries("mhd", "vorticity", timestep)
+        mediator.drop_page_caches()
+        total = mediator.threshold(query, processes=processes, use_cache=False)
+
+        mediator.drop_page_caches()
+        io_only = mediator.threshold(
+            query, processes=processes, use_cache=False, io_only=True
+        )
+        paper_total, paper_io = PAPER_FIG8[processes]
+        rows.append(
+            [
+                processes,
+                f"{total.elapsed:.1f}",
+                f"{io_only.elapsed:.1f}",
+                f"{io_only.elapsed / total.elapsed:.0%}",
+                f"{paper_total}/{paper_io}",
+            ]
+        )
+
+    return ExperimentReport(
+        title="Fig. 8 -- total vs I/O-only time by processes per node "
+        "(medium threshold, simulated seconds)",
+        headers=["processes", "total", "I/O only", "I/O share", "paper (~t/io)"],
+        rows=rows,
+        notes=[
+            "shapes to match: I/O ~ half the 1-process total; I/O shrinks "
+            "modestly with processes; total at 4-8 procs ~ I/O-only at 1",
+        ],
+    )

@@ -1,0 +1,37 @@
+"""Morton (z-order) space-filling curve utilities.
+
+The JHTDB lays every timestep of a simulation out along a 3-D Morton
+z-order curve: each 8x8x8 *database atom* is keyed by the Morton code of
+its lower-left corner, and the cluster is sharded by contiguous ranges of
+that curve (paper, section 2).  This package provides the curve itself:
+
+* :mod:`repro.morton.codec` -- scalar and vectorised encode/decode between
+  ``(x, y, z)`` grid coordinates and Morton codes.
+* :mod:`repro.morton.ranges` -- decomposition of an axis-aligned box into
+  the minimal set of contiguous Morton-code ranges, used both to plan
+  clustered-index range scans and to route queries to cluster nodes.
+"""
+
+from repro.morton.codec import (
+    MAX_COORD_BITS,
+    decode,
+    decode_array,
+    encode,
+    encode_array,
+)
+from repro.morton.ranges import (
+    MortonRange,
+    box_to_ranges,
+    split_curve,
+)
+
+__all__ = [
+    "MAX_COORD_BITS",
+    "MortonRange",
+    "box_to_ranges",
+    "decode",
+    "decode_array",
+    "encode",
+    "encode_array",
+    "split_curve",
+]

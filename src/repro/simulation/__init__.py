@@ -1,0 +1,43 @@
+"""Synthetic numerical-simulation datasets.
+
+The paper's experiments run against the JHTDB's 1024^3 forced isotropic
+turbulence and magnetohydrodynamics datasets — multi-terabyte archives
+that cannot ship with a reproduction.  This package synthesises
+statistically realistic stand-ins: divergence-free Gaussian random
+fields with a prescribed turbulence-like energy spectrum, evolved
+smoothly across timesteps so that intense structures persist in time
+(which the 4-D clustering of Fig. 3 depends on).
+
+* :mod:`~repro.simulation.spectral` — solenoidal random field synthesis.
+* :mod:`~repro.simulation.datasets` — isotropic / MHD / channel dataset
+  generators with multi-timestep evolution.
+* :mod:`~repro.simulation.ingest` — cutting fields into 8^3 atoms and
+  back.
+"""
+
+from repro.simulation.spectral import solenoidal_field, von_karman_spectrum
+from repro.simulation.datasets import (
+    DatasetSpec,
+    SyntheticDataset,
+    channel_dataset,
+    isotropic_dataset,
+    mhd_dataset,
+)
+from repro.simulation.ingest import atomize, blob_to_array, array_from_atoms
+from repro.simulation.io import StoredDataset, load_dataset, save_dataset
+
+__all__ = [
+    "StoredDataset",
+    "load_dataset",
+    "save_dataset",
+    "DatasetSpec",
+    "SyntheticDataset",
+    "array_from_atoms",
+    "atomize",
+    "blob_to_array",
+    "channel_dataset",
+    "isotropic_dataset",
+    "mhd_dataset",
+    "solenoidal_field",
+    "von_karman_spectrum",
+]

@@ -1,0 +1,113 @@
+"""Cutting fields into 8^3 database atoms and reassembling them.
+
+Each timestep is "spatially subdivided into database atoms of size 8^3
+... indexed by the time-step and the Morton code of its lower left
+corner" (paper §2).  :func:`atomize` produces exactly those records;
+:func:`array_from_atoms` reassembles any box from a set of atom blobs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.grid import ATOM_SIDE, Box, atom_box
+from repro.morton import encode
+
+
+def atomize(field: np.ndarray) -> Iterator[tuple[int, bytes]]:
+    """Cut a full-domain field into ``(zindex, blob)`` atom records.
+
+    ``field`` has shape ``(side, side, side, ncomp)`` (or 3-D for a
+    scalar, treated as one component).  Blobs are C-order float32 bytes
+    of shape ``(ATOM_SIDE,)*3 + (ncomp,)``, yielded in Morton order of
+    their lower corner.
+
+    Raises:
+        ValueError: if the domain is not an atom multiple or not cubic.
+    """
+    if field.ndim == 3:
+        field = field[..., None]
+    if field.ndim != 4:
+        raise ValueError(f"expected 3-D or 4-D field, got shape {field.shape}")
+    side = field.shape[0]
+    if field.shape[:3] != (side, side, side):
+        raise ValueError(f"field must be cubic, got shape {field.shape}")
+    if side % ATOM_SIDE:
+        raise ValueError(f"side {side} is not a multiple of {ATOM_SIDE}")
+    data = np.ascontiguousarray(field, dtype=np.float32)
+    atoms_per_edge = side // ATOM_SIDE
+    for code_index in range(atoms_per_edge**3):
+        # Enumerate atoms in Morton order of their atom coordinates.
+        ax, ay, az = _morton_decode_small(code_index)
+        if max(ax, ay, az) >= atoms_per_edge:
+            continue
+        x, y, z = ax * ATOM_SIDE, ay * ATOM_SIDE, az * ATOM_SIDE
+        blob = data[
+            x : x + ATOM_SIDE, y : y + ATOM_SIDE, z : z + ATOM_SIDE
+        ].tobytes()
+        yield encode(x, y, z), blob
+
+
+def _morton_decode_small(code: int) -> tuple[int, int, int]:
+    """Decode a small Morton code without the full codec (hot loop)."""
+    x = y = z = 0
+    bit = 0
+    while code:
+        x |= (code & 1) << bit
+        y |= ((code >> 1) & 1) << bit
+        z |= ((code >> 2) & 1) << bit
+        code >>= 3
+        bit += 1
+    return x, y, z
+
+
+def blob_to_array(blob: bytes, ncomp: int) -> np.ndarray:
+    """Decode one atom blob back to ``(ATOM_SIDE,)*3 + (ncomp,)`` float32.
+
+    Raises:
+        ValueError: when the blob size does not match ``ncomp``.
+    """
+    expected = ATOM_SIDE**3 * ncomp * 4
+    if len(blob) != expected:
+        raise ValueError(
+            f"blob of {len(blob)} bytes does not hold {ncomp}-component atom"
+        )
+    return np.frombuffer(blob, dtype=np.float32).reshape(
+        (ATOM_SIDE,) * 3 + (ncomp,)
+    )
+
+
+def array_from_atoms(
+    box: Box, atoms: Mapping[int, bytes] | Iterable[tuple[int, bytes]], ncomp: int
+) -> np.ndarray:
+    """Assemble the exact region ``box`` from atom records.
+
+    ``atoms`` maps the zindex of each atom intersecting ``box`` to its
+    blob.  Atoms that only partially overlap the box are trimmed.
+
+    Raises:
+        ValueError: if any grid point of ``box`` is not covered.
+    """
+    if not isinstance(atoms, Mapping):
+        atoms = dict(atoms)
+    out = np.full(box.shape + (ncomp,), np.nan, dtype=np.float32)
+    for code, blob in atoms.items():
+        abox = atom_box(code)
+        overlap = abox.intersection(box)
+        if overlap is None:
+            continue
+        block = blob_to_array(blob, ncomp)
+        src = tuple(
+            slice(o - a, o2 - a)
+            for a, o, o2 in zip(abox.lo, overlap.lo, overlap.hi)
+        )
+        dst = tuple(
+            slice(o - b, o2 - b)
+            for b, o, o2 in zip(box.lo, overlap.lo, overlap.hi)
+        )
+        out[dst] = block[src]
+    if np.isnan(out).any():
+        raise ValueError("assembled region has uncovered grid points")
+    return out

@@ -1,0 +1,99 @@
+"""Saving and loading synthetic datasets on disk.
+
+The synthetic generators are deterministic, but regenerating a 128^3+
+multi-timestep dataset costs FFTs on every run.  This module persists a
+dataset's fields as flat ``.npy``-style binary files plus a small JSON
+manifest, and serves them back through the same ``field_array``
+interface the ingest path expects — so saved datasets drop into
+:func:`repro.cluster.mediator.build_cluster` unchanged.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.simulation.datasets import DatasetSpec, SyntheticDataset
+
+_MANIFEST = "manifest.json"
+
+
+def save_dataset(
+    dataset: SyntheticDataset, directory: str | pathlib.Path
+) -> pathlib.Path:
+    """Materialise every field and timestep of ``dataset`` under ``directory``.
+
+    Returns the directory path.  Existing files are overwritten.
+    """
+    root = pathlib.Path(directory)
+    root.mkdir(parents=True, exist_ok=True)
+    spec = dataset.spec
+    manifest = {
+        "name": spec.name,
+        "side": spec.side,
+        "timesteps": spec.timesteps,
+        "spacing": spec.spacing,
+        "fields": dict(spec.fields),
+        "seed": spec.seed,
+    }
+    (root / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    for field in spec.fields:
+        for timestep in range(spec.timesteps):
+            array = dataset.field_array(field, timestep)
+            np.save(root / f"{field}_{timestep}.npy", array)
+    return root
+
+
+class StoredDataset:
+    """A dataset served from files written by :func:`save_dataset`.
+
+    Presents the same ``spec`` / ``field_array`` interface as
+    :class:`~repro.simulation.datasets.SyntheticDataset`.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self._root = pathlib.Path(directory)
+        manifest_path = self._root / _MANIFEST
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"no dataset manifest at {manifest_path}"
+            )
+        manifest = json.loads(manifest_path.read_text())
+        self.spec = DatasetSpec(
+            name=manifest["name"],
+            side=manifest["side"],
+            timesteps=manifest["timesteps"],
+            spacing=manifest["spacing"],
+            fields={k: int(v) for k, v in manifest["fields"].items()},
+            seed=manifest["seed"],
+        )
+
+    def field_array(self, field: str, timestep: int) -> np.ndarray:
+        """The stored field at ``timestep``.
+
+        Raises:
+            KeyError: unknown field.
+            ValueError: timestep out of range.
+            FileNotFoundError: manifest promises a file that is missing.
+        """
+        if field not in self.spec.fields:
+            raise KeyError(f"dataset {self.spec.name} has no field {field!r}")
+        if not 0 <= timestep < self.spec.timesteps:
+            raise ValueError(
+                f"timestep {timestep} outside [0, {self.spec.timesteps})"
+            )
+        path = self._root / f"{field}_{timestep}.npy"
+        array = np.load(path)
+        expected = (self.spec.side,) * 3 + (self.spec.fields[field],)
+        if array.shape != expected:
+            raise ValueError(
+                f"{path} has shape {array.shape}, expected {expected}"
+            )
+        return array
+
+
+def load_dataset(directory: str | pathlib.Path) -> StoredDataset:
+    """Open a dataset saved by :func:`save_dataset`."""
+    return StoredDataset(directory)

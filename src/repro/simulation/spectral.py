@@ -1,0 +1,100 @@
+"""Spectral synthesis of divergence-free random turbulence fields.
+
+A Gaussian random vector field with a prescribed energy spectrum is
+built in Fourier space: independent complex Gaussian modes are scaled to
+the target spectrum, projected onto the plane perpendicular to the
+wavevector (making the field exactly solenoidal, like an incompressible
+velocity or a magnetic field), and transformed back with a real inverse
+FFT.  The default von Karman-style spectrum peaks at a controllable
+wavenumber and decays fast, giving the intermittent-looking large-scale
+structures whose extreme values threshold queries go hunting for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+
+def von_karman_spectrum(peak_k: float = 4.0) -> Callable[[np.ndarray], np.ndarray]:
+    """Energy spectrum E(k) ~ k^4 exp(-2 (k/k0)^2), peaked near ``peak_k``."""
+    if peak_k <= 0:
+        raise ValueError("peak_k must be positive")
+
+    def spectrum(k: np.ndarray) -> np.ndarray:
+        return np.power(k, 4) * np.exp(-2.0 * np.square(k / peak_k))
+
+    return spectrum
+
+
+def _wavevectors(side: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Integer wavevector components on the rfft grid of a cubic domain."""
+    k1 = np.fft.fftfreq(side, d=1.0 / side)
+    kz = np.fft.rfftfreq(side, d=1.0 / side)
+    return np.meshgrid(k1, k1, kz, indexing="ij")
+
+
+def solenoidal_field(
+    side: int,
+    seed: int = 0,
+    spectrum: Callable[[np.ndarray], np.ndarray] | None = None,
+    rms: float = 1.0,
+    dtype: np.dtype = np.float32,
+) -> np.ndarray:
+    """A random divergence-free vector field of shape ``(side, side, side, 3)``.
+
+    Args:
+        side: grid points per edge (any positive even number).
+        seed: RNG seed — the same seed always yields the same field.
+        spectrum: energy spectrum E(k); defaults to
+            :func:`von_karman_spectrum` peaked at ``side / 16`` (so the
+            energetic scales stay well resolved at any grid size).
+        rms: target root-mean-square of the field's magnitude.
+        dtype: output dtype (float32 matches the stored datasets).
+
+    Raises:
+        ValueError: on a non-positive or odd side.
+    """
+    if side <= 0 or side % 2:
+        raise ValueError(f"side must be positive and even, got {side}")
+    if spectrum is None:
+        spectrum = von_karman_spectrum(peak_k=max(2.0, side / 16.0))
+
+    rng = np.random.default_rng(seed)
+    kx, ky, kz = _wavevectors(side)
+    k_mag = np.sqrt(kx**2 + ky**2 + kz**2)
+
+    # Independent complex Gaussian modes for each component.
+    shape = k_mag.shape + (3,)
+    modes = rng.normal(size=shape) + 1j * rng.normal(size=shape)
+
+    # Amplitude per mode: |u(k)|^2 ~ E(k) / (4 pi k^2) (shell average).
+    with np.errstate(divide="ignore", invalid="ignore"):
+        amplitude = np.sqrt(spectrum(k_mag) / (4.0 * np.pi * np.square(k_mag)))
+    amplitude[k_mag == 0] = 0.0  # no mean flow
+    # Zero the Nyquist planes: their modes are self-conjugate under the
+    # real FFT, which silently breaks the solenoidal projection.
+    nyquist = side // 2
+    amplitude[(np.abs(kx) == nyquist) | (np.abs(ky) == nyquist) | (kz == nyquist)] = 0.0
+    modes *= amplitude[..., None]
+
+    # Solenoidal projection: u_perp = u - (u . k_hat) k_hat.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        k_hat = np.stack([kx, ky, kz], axis=-1) / k_mag[..., None]
+    k_hat[k_mag == 0] = 0.0
+    parallel = np.sum(modes * k_hat, axis=-1, keepdims=True)
+    modes -= parallel * k_hat
+
+    field = np.stack(
+        [
+            np.fft.irfftn(modes[..., comp], s=(side, side, side), axes=(0, 1, 2))
+            for comp in range(3)
+        ],
+        axis=-1,
+    )
+
+    measured_rms = np.sqrt(np.mean(np.sum(field**2, axis=-1)))
+    if measured_rms > 0:
+        field *= rms / measured_rms
+    return field.astype(dtype)

@@ -1,0 +1,226 @@
+"""An in-memory B+-tree keyed by tuples.
+
+Backs both the clustered primary-key index (key -> version chain) and the
+secondary indexes (key -> set of primary keys).  Leaves are linked for
+ordered range scans, which is what serves the Morton-range scans of the
+atom tables and the clustered-index lookups of the cache tables.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool) -> None:
+        self.keys: list[tuple] = []
+        self.children: list[_Node] | None = None if leaf else []
+        self.values: list[Any] | None = [] if leaf else None
+        self.next_leaf: _Node | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.values is not None
+
+
+class BPlusTree:
+    """B+-tree with tuple keys, unique per key.
+
+    Args:
+        order: maximum number of children of an internal node (>= 4).
+    """
+
+    def __init__(self, order: int = 64) -> None:
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self._order = order
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: tuple) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # -- lookup ------------------------------------------------------------
+
+    def _find_leaf(self, key: tuple) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: tuple, default: Any = None) -> Any:
+        """Value stored at ``key``, or ``default``."""
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return default
+
+    def scan(
+        self,
+        lo: tuple | None = None,
+        hi: tuple | None = None,
+        include_hi: bool = False,
+    ) -> Iterator[tuple[tuple, Any]]:
+        """Yield ``(key, value)`` in key order for keys in ``[lo, hi)``.
+
+        ``lo``/``hi`` of ``None`` mean unbounded; ``include_hi`` turns the
+        upper bound inclusive.  Tuple bounds compare lexicographically, so
+        a prefix bound like ``(t,)`` matches all keys starting with ``t``
+        when paired with ``hi=(t + 1,)``.
+        """
+        if lo is None:
+            leaf = self._leftmost_leaf()
+            idx = 0
+        else:
+            leaf = self._find_leaf(lo)
+            idx = bisect.bisect_left(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if hi is not None:
+                    if key > hi or (key == hi and not include_hi):
+                        return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        """All entries in key order."""
+        return self.scan()
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: tuple, value: Any, replace: bool = True) -> bool:
+        """Store ``value`` at ``key``.
+
+        Returns ``True`` if a new key was added, ``False`` if the key
+        already existed (whose value is overwritten unless ``replace`` is
+        false).
+        """
+        size_before = self._size
+        split = self._insert(self._root, key, value, replace)
+        if split is not None:
+            sep, right = split
+            new_root = _Node(leaf=False)
+            new_root.keys = [sep]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        return self._size > size_before
+
+    def _insert(self, node: _Node, key: tuple, value: Any, replace: bool):
+        """Recursive insert; returns ``(separator, right_node)`` on split."""
+        if node.is_leaf:
+            idx = bisect.bisect_left(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                if replace:
+                    node.values[idx] = value
+                return None
+            node.keys.insert(idx, key)
+            node.values.insert(idx, value)
+            self._size += 1
+            if len(node.keys) >= self._order:
+                return self._split_leaf(node)
+            return None
+        idx = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[idx], key, value, replace)
+        if split is not None:
+            sep, right = split
+            node.keys.insert(idx, sep)
+            node.children.insert(idx + 1, right)
+            if len(node.children) > self._order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep = node.keys[mid]
+        right = _Node(leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep, right
+
+    def delete(self, key: tuple) -> bool:
+        """Remove ``key``.  Returns whether it was present.
+
+        Uses lazy deletion (no rebalancing); leaves may underflow but scans
+        and lookups stay correct, which is sufficient for an index whose
+        working set is rebuilt far more often than it shrinks.
+        """
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx >= len(leaf.keys) or leaf.keys[idx] != key:
+            return False
+        leaf.keys.pop(idx)
+        leaf.values.pop(idx)
+        self._size -= 1
+        return True
+
+    # -- introspection -----------------------------------------------------
+
+    def depth(self) -> int:
+        """Height of the tree (1 for a lone leaf)."""
+        depth, node = 1, self._root
+        while not node.is_leaf:
+            depth += 1
+            node = node.children[0]
+        return depth
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants (used by property tests).
+
+        Raises:
+            AssertionError: if key ordering or fan-out bounds are violated.
+        """
+        collected: list[tuple] = []
+
+        def walk(node: _Node, lo: tuple | None, hi: tuple | None) -> None:
+            assert node.keys == sorted(node.keys)
+            for key in node.keys:
+                assert lo is None or key >= lo
+                assert hi is None or key < hi
+            if node.is_leaf:
+                collected.extend(node.keys)
+                return
+            assert len(node.children) == len(node.keys) + 1
+            assert len(node.children) <= self._order
+            bounds = [lo, *node.keys, hi]
+            for child, (clo, chi) in zip(node.children, zip(bounds, bounds[1:])):
+                walk(child, clo, chi)
+
+        walk(self._root, None, None)
+        assert collected == sorted(collected)
+        assert len(collected) == self._size
+        # Leaf chain agrees with the tree walk.
+        chained = [k for k, _ in self.scan()]
+        assert chained == collected
+
+
+_MISSING = object()

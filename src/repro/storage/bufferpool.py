@@ -1,0 +1,92 @@
+"""LRU buffer pool charging simulated device time for page traffic.
+
+Every page access goes through the pool.  A miss charges the owning
+table's device for one page read (and counts bytes/seeks on the active
+ledger's meters); a hit is free, which is how "SQL Server benefits from a
+larger buffer pool" (paper §5.3) shows up in the model.  Dirty pages are
+charged on write-back at eviction or flush.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from repro.storage.heap import PAGE_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.database import StorageDevice
+
+
+class BufferPool:
+    """A shared LRU pool of ``capacity_pages`` page frames.
+
+    Frames are keyed by ``(file_id, page_no)``.  The pool never stores
+    page *contents* — record bytes live in the heap — it tracks residency
+    so device charges hit only on real misses, mirroring a DBMS buffer
+    cache.
+    """
+
+    def __init__(self, capacity_pages: int = 4096) -> None:
+        if capacity_pages < 1:
+            raise ValueError("capacity_pages must be >= 1")
+        self._capacity = capacity_pages
+        self._frames: OrderedDict[tuple[int, int], bool] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def access(
+        self,
+        device: "StorageDevice",
+        file_id: int,
+        page_no: int,
+        dirty: bool = False,
+        sequential: bool = False,
+    ) -> None:
+        """Touch a page, charging a device read when it is not resident.
+
+        Args:
+            device: the device (and ledger hook) owning the page's file.
+            file_id: identifies the heap file within its database.
+            page_no: page number within the file.
+            dirty: mark the frame dirty (write-back charged on eviction
+                or :meth:`flush`).
+            sequential: suppress the per-page seek charge (the page is
+                part of an already-seeked sequential extent).
+        """
+        key = (file_id, page_no)
+        with self._lock:
+            if key in self._frames:
+                self.hits += 1
+                dirty = dirty or self._frames[key]
+                self._frames.move_to_end(key)
+                self._frames[key] = dirty
+                return
+            self.misses += 1
+            device.charge_read(PAGE_SIZE, seeks=0 if sequential else 1)
+            self._frames[key] = dirty
+            self._evict_if_needed(device)
+
+    def _evict_if_needed(self, device: "StorageDevice") -> None:
+        while len(self._frames) > self._capacity:
+            _, dirty = self._frames.popitem(last=False)
+            if dirty:
+                device.charge_write(PAGE_SIZE, seeks=1)
+
+    def flush(self, device: "StorageDevice") -> None:
+        """Write back every dirty frame (transaction commit)."""
+        with self._lock:
+            for key, dirty in self._frames.items():
+                if dirty:
+                    device.charge_write(PAGE_SIZE, seeks=0)
+                    self._frames[key] = False
+
+    def clear(self) -> None:
+        """Drop all frames without charging (cold-cache experiment reset)."""
+        with self._lock:
+            self._frames.clear()

@@ -1,0 +1,266 @@
+"""Multi-version concurrency control with snapshot isolation.
+
+The paper runs every cache read and update "within a transaction with
+snapshot isolation level to avoid dirty-reads or an inconsistent view of
+the cache" (§4).  This module supplies that machinery: version chains per
+primary key, transactions that read as of a fixed snapshot, and
+first-updater-wins write-conflict detection matching SQL Server's
+``SNAPSHOT`` isolation semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from typing import TYPE_CHECKING, Callable
+
+from repro.costmodel import CostLedger
+from repro.storage.errors import SerializationConflictError, TransactionError
+from repro.storage.heap import RowId
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class TxStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Version:
+    """One version of a row.
+
+    ``begin_ts``/``end_ts`` are commit timestamps once the creating /
+    deleting transaction commits; while that transaction is in flight the
+    corresponding ``creator``/``deleter`` field points at it instead.
+    """
+
+    __slots__ = ("row", "rowid", "begin_ts", "end_ts", "creator", "deleter")
+
+    def __init__(
+        self, row: dict[str, object], rowid: RowId, creator: "Transaction"
+    ) -> None:
+        self.row = row
+        self.rowid = rowid
+        self.begin_ts: int | None = None
+        self.end_ts: int | None = None
+        self.creator: Transaction | None = creator
+        self.deleter: Transaction | None = None
+
+    def visible_to(self, txn: "Transaction") -> bool:
+        """Snapshot-isolation visibility check."""
+        # Own uncommitted insert is visible unless we also deleted it.
+        if self.creator is txn:
+            return self.deleter is not txn
+        # Foreign uncommitted insert is never visible.
+        if self.creator is not None:
+            return False
+        if self.begin_ts is None or self.begin_ts > txn.snapshot_ts:
+            return False
+        # Deleted by us -> gone from our view; deleted by an in-flight
+        # foreign transaction -> still visible to us.
+        if self.deleter is txn:
+            return False
+        if self.end_ts is not None and self.end_ts <= txn.snapshot_ts:
+            return False
+        return True
+
+    @property
+    def committed_live(self) -> bool:
+        """Committed, not deleted by any committed transaction."""
+        return self.creator is None and self.end_ts is None and self.deleter is None
+
+
+class VersionChain:
+    """All versions of one primary key, newest first."""
+
+    __slots__ = ("versions",)
+
+    def __init__(self) -> None:
+        self.versions: list[Version] = []
+
+    def newest(self) -> Version | None:
+        """The most recent version, committed or not."""
+        return self.versions[0] if self.versions else None
+
+    def visible(self, txn: "Transaction") -> Version | None:
+        """The version ``txn`` sees, or ``None``."""
+        for version in self.versions:
+            if version.visible_to(txn):
+                return version
+        return None
+
+    def push(self, version: Version) -> None:
+        """Prepend a new (newest) version."""
+        self.versions.insert(0, version)
+
+    def remove(self, version: Version) -> None:
+        """Unlink an aborted version."""
+        self.versions.remove(version)
+
+    def check_write_allowed(self, txn: "Transaction") -> None:
+        """First-updater-wins conflict detection.
+
+        Raises:
+            SerializationConflictError: when the newest version was
+                written (created or deleted) by a concurrent transaction —
+                either still in flight or committed after our snapshot.
+        """
+        newest = self.newest()
+        if newest is None:
+            return
+        for writer, stamp in (
+            (newest.creator, newest.begin_ts),
+            (newest.deleter, newest.end_ts),
+        ):
+            if writer is not None and writer is not txn:
+                raise SerializationConflictError(
+                    "row is being modified by a concurrent transaction"
+                )
+            if writer is None and stamp is not None and stamp > txn.snapshot_ts:
+                raise SerializationConflictError(
+                    "row was modified after this transaction's snapshot"
+                )
+
+
+class Transaction:
+    """A snapshot-isolation transaction.
+
+    Obtained from :meth:`repro.storage.database.Database.begin` (or the
+    ``transaction()`` context manager).  Reads see the database as of
+    ``snapshot_ts``; writes are private until commit.  The optional
+    ``ledger`` collects simulated device time for every page this
+    transaction touches.
+    """
+
+    def __init__(
+        self, txn_id: int, snapshot_ts: int, manager: "TransactionManager",
+        ledger: CostLedger | None = None, wal=None,
+    ) -> None:
+        self.txn_id = txn_id
+        self.snapshot_ts = snapshot_ts
+        self.ledger = ledger
+        self._manager = manager
+        self._wal = wal
+        self._wal_dirty = False
+        self._status = TxStatus.ACTIVE
+        self._created: list[tuple[VersionChain, Version]] = []
+        self._deleted: list[tuple[VersionChain, Version]] = []
+        self._undo_hooks: list[Callable[[], None]] = []
+        self._commit_hooks: list[Callable[[], None]] = []
+
+    def log(self, kind, table: str, payload: object) -> None:
+        """Append a redo record for this transaction (no-op without WAL)."""
+        if self._wal is not None:
+            self._wal.append(self.txn_id, kind, table, payload)
+            self._wal_dirty = True
+
+    @property
+    def status(self) -> TxStatus:
+        return self._status
+
+    @property
+    def is_active(self) -> bool:
+        return self._status is TxStatus.ACTIVE
+
+    def require_active(self) -> None:
+        """Raise :class:`TransactionError` unless the transaction is live."""
+        if not self.is_active:
+            raise TransactionError(f"transaction {self.txn_id} is {self._status.value}")
+
+    # -- write tracking (called by Table) -----------------------------------
+
+    def record_create(self, chain: VersionChain, version: Version) -> None:
+        """Track a version this transaction created (for commit/abort)."""
+        self._created.append((chain, version))
+
+    def record_delete(self, chain: VersionChain, version: Version) -> None:
+        """Track a version this transaction deleted (for commit/abort)."""
+        self._deleted.append((chain, version))
+
+    def on_abort(self, hook: Callable[[], None]) -> None:
+        """Register an undo action (e.g. secondary-index rollback)."""
+        self._undo_hooks.append(hook)
+
+    def on_commit(self, hook: Callable[[], None]) -> None:
+        """Register a commit action (e.g. buffer-pool flush charge)."""
+        self._commit_hooks.append(hook)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make all writes durable and visible at a fresh commit timestamp.
+
+        With a WAL attached, the COMMIT record is appended and the log
+        forced *before* the writes become visible (write-ahead rule).
+        """
+        self.require_active()
+        if self._wal is not None and self._wal_dirty:
+            from repro.storage.wal import WalKind
+
+            self._wal.append(self.txn_id, WalKind.COMMIT)
+            self._wal.flush()
+        commit_ts = self._manager.advance()
+        for _, version in self._created:
+            version.begin_ts = commit_ts
+            version.creator = None
+        for _, version in self._deleted:
+            version.end_ts = commit_ts
+            version.deleter = None
+        self._status = TxStatus.COMMITTED
+        for hook in self._commit_hooks:
+            hook()
+
+    def abort(self) -> None:
+        """Discard all writes."""
+        self.require_active()
+        if self._wal is not None and self._wal_dirty:
+            from repro.storage.wal import WalKind
+
+            self._wal.append(self.txn_id, WalKind.ABORT)
+        for chain, version in self._created:
+            chain.remove(version)
+        for _, version in self._deleted:
+            version.deleter = None
+        for hook in reversed(self._undo_hooks):
+            hook()
+        self._status = TxStatus.ABORTED
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if not self.is_active:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class TransactionManager:
+    """Issues transaction ids, snapshots and commit timestamps."""
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._clock = 0
+        self._lock = threading.Lock()
+
+    @property
+    def now(self) -> int:
+        return self._clock
+
+    def advance(self) -> int:
+        """Issue the next commit timestamp."""
+        with self._lock:
+            self._clock += 1
+            return self._clock
+
+    def begin(self, ledger: CostLedger | None = None, wal=None) -> Transaction:
+        """Start a transaction with a snapshot of the current clock."""
+        with self._lock:
+            txn_id = next(self._ids)
+            snapshot = self._clock
+        return Transaction(txn_id, snapshot, self, ledger, wal=wal)

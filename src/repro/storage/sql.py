@@ -1,0 +1,561 @@
+"""A small SQL dialect over the storage engine.
+
+Algorithm 1 in the paper drives the cache through SQL strings
+(``SELECT * FROM cachedb..cacheInfo WHERE dataset = d AND ...``); this
+module implements the subset needed to run such statements against
+:class:`~repro.storage.database.Database` tables:
+
+* ``SELECT [cols | *] FROM t [WHERE conj] [ORDER BY col [ASC|DESC]] [LIMIT n]``
+* ``INSERT INTO t (cols) VALUES (vals)``
+* ``UPDATE t SET col = val, ... [WHERE conj]``
+* ``DELETE FROM t [WHERE conj]``
+
+where a conjunction is ``col op literal`` terms joined by ``AND`` with
+ops ``= != <> < <= > >=`` and literals are numbers, single-quoted
+strings, ``NULL`` or ``?`` parameters.  SQL-Server style qualified names
+(``cachedb..cacheInfo``) resolve to their last component.
+
+The executor is index-aware: equality/range constraints on a prefix of
+the primary key become clustered-index lookups or range scans, and
+equality on a secondary index's columns becomes an index lookup;
+remaining terms are applied as residual filters.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.storage.errors import SqlError
+from repro.storage.mvcc import Transaction
+from repro.storage.table import Table
+
+# -- tokenizer -----------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>-?\d+\.\d+(?:[eE][-+]?\d+)?|-?\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*(?:\.\.?[A-Za-z_][A-Za-z_0-9]*)*)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*?])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "AND", "ORDER", "BY", "ASC", "DESC",
+    "LIMIT", "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "NULL",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # 'number' | 'string' | 'ident' | 'keyword' | 'op' | 'punct'
+    text: str
+
+
+def tokenize(text: str) -> list[_Token]:
+    """Split SQL text into tokens.  Raises :class:`SqlError` on junk."""
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise SqlError(f"cannot tokenize SQL near {text[pos:pos+20]!r}")
+            break
+        pos = match.end()
+        kind = match.lastgroup
+        value = match.group(kind)
+        if kind == "ident" and value.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", value.upper()))
+        else:
+            tokens.append(_Token(kind, value))
+    return tokens
+
+
+# -- AST ------------------------------------------------------------------------
+
+_OPS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One ``column op value`` term (value may be the parameter marker)."""
+
+    column: str
+    op: str
+    value: object  # literal, or _Param placeholder
+
+    def matches(self, row: dict[str, object]) -> bool:
+        """Whether a row satisfies the condition (NULLs match nothing)."""
+        actual = row.get(self.column)
+        expected = self.value
+        if actual is None or expected is None:
+            # SQL three-valued logic collapsed to: NULL matches nothing.
+            return False
+        if self.op == "=":
+            return actual == expected
+        if self.op in ("!=", "<>"):
+            return actual != expected
+        if self.op == "<":
+            return actual < expected
+        if self.op == "<=":
+            return actual <= expected
+        if self.op == ">":
+            return actual > expected
+        return actual >= expected
+
+
+@dataclass(frozen=True)
+class _Param:
+    index: int
+
+
+#: Supported aggregate function names.
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+@dataclass
+class SelectStatement:
+    table: str
+    columns: list[str] | None  # None = *
+    where: list[Condition] = field(default_factory=list)
+    order_by: str | None = None
+    descending: bool = False
+    limit: int | None = None
+    aggregate: tuple[str, str | None] | None = None  # (function, column)
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str]
+    values: list[object]
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: dict[str, object]
+    where: list[Condition] = field(default_factory=list)
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: list[Condition] = field(default_factory=list)
+
+
+# -- parser -----------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[_Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._param_count = 0
+
+    def parse(self):
+        head = self._expect("keyword")
+        if head.text == "SELECT":
+            stmt = self._select()
+        elif head.text == "INSERT":
+            stmt = self._insert()
+        elif head.text == "UPDATE":
+            stmt = self._update()
+        elif head.text == "DELETE":
+            stmt = self._delete()
+        else:
+            raise SqlError(f"unsupported statement {head.text}")
+        if self._pos != len(self._tokens):
+            raise SqlError(f"trailing tokens after statement: {self._peek().text!r}")
+        return stmt, self._param_count
+
+    # helpers
+
+    def _peek(self) -> _Token:
+        if self._pos >= len(self._tokens):
+            raise SqlError("unexpected end of SQL")
+        return self._tokens[self._pos]
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        self._pos += 1
+        return token
+
+    def _expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self._advance()
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text or kind
+            raise SqlError(f"expected {wanted}, found {token.text!r}")
+        return token
+
+    def _accept(self, kind: str, text: str | None = None) -> _Token | None:
+        if self._pos < len(self._tokens):
+            token = self._tokens[self._pos]
+            if token.kind == kind and (text is None or token.text == text):
+                self._pos += 1
+                return token
+        return None
+
+    def _table_name(self) -> str:
+        name = self._expect("ident").text
+        return name.split(".")[-1]  # cachedb..cacheInfo -> cacheInfo
+
+    def _literal(self) -> object:
+        token = self._advance()
+        if token.kind == "number":
+            text = token.text
+            if any(c in text for c in ".eE"):
+                return float(text)
+            return int(text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "keyword" and token.text == "NULL":
+            return None
+        if token.kind == "punct" and token.text == "?":
+            param = _Param(self._param_count)
+            self._param_count += 1
+            return param
+        raise SqlError(f"expected literal, found {token.text!r}")
+
+    def _where(self) -> list[Condition]:
+        conditions = []
+        while True:
+            column = self._expect("ident").text
+            op = self._expect("op").text
+            conditions.append(Condition(column, op, self._literal()))
+            if not self._accept("keyword", "AND"):
+                return conditions
+
+    # statements
+
+    def _select(self) -> SelectStatement:
+        columns: list[str] | None = None
+        aggregate: tuple[str, str | None] | None = None
+        if self._accept("punct", "*"):
+            pass
+        elif (
+            self._peek().kind == "ident"
+            and self._peek().text.upper() in _AGGREGATES
+            and self._pos + 1 < len(self._tokens)
+            and self._tokens[self._pos + 1] == _Token("punct", "(")
+        ):
+            function = self._advance().text.upper()
+            self._expect("punct", "(")
+            if self._accept("punct", "*"):
+                if function != "COUNT":
+                    raise SqlError(f"{function}(*) is not supported")
+                aggregate = (function, None)
+            else:
+                aggregate = (function, self._expect("ident").text)
+            self._expect("punct", ")")
+        else:
+            columns = [self._expect("ident").text]
+            while self._accept("punct", ","):
+                columns.append(self._expect("ident").text)
+        self._expect("keyword", "FROM")
+        stmt = SelectStatement(self._table_name(), columns, aggregate=aggregate)
+        if self._accept("keyword", "WHERE"):
+            stmt.where = self._where()
+        if self._accept("keyword", "ORDER"):
+            self._expect("keyword", "BY")
+            stmt.order_by = self._expect("ident").text
+            if self._accept("keyword", "DESC"):
+                stmt.descending = True
+            else:
+                self._accept("keyword", "ASC")
+        if self._accept("keyword", "LIMIT"):
+            limit = self._literal()
+            if not isinstance(limit, int) or limit < 0:
+                raise SqlError("LIMIT requires a non-negative integer literal")
+            stmt.limit = limit
+        return stmt
+
+    def _insert(self) -> InsertStatement:
+        self._expect("keyword", "INTO")
+        table = self._table_name()
+        self._expect("punct", "(")
+        columns = [self._expect("ident").text]
+        while self._accept("punct", ","):
+            columns.append(self._expect("ident").text)
+        self._expect("punct", ")")
+        self._expect("keyword", "VALUES")
+        self._expect("punct", "(")
+        values = [self._literal()]
+        while self._accept("punct", ","):
+            values.append(self._literal())
+        self._expect("punct", ")")
+        if len(values) != len(columns):
+            raise SqlError("INSERT column/value count mismatch")
+        return InsertStatement(table, columns, values)
+
+    def _update(self) -> UpdateStatement:
+        table = self._table_name()
+        self._expect("keyword", "SET")
+        assignments: dict[str, object] = {}
+        while True:
+            column = self._expect("ident").text
+            self._expect("op", "=")
+            assignments[column] = self._literal()
+            if not self._accept("punct", ","):
+                break
+        stmt = UpdateStatement(table, assignments)
+        if self._accept("keyword", "WHERE"):
+            stmt.where = self._where()
+        return stmt
+
+    def _delete(self) -> DeleteStatement:
+        self._expect("keyword", "FROM")
+        stmt = DeleteStatement(self._table_name())
+        if self._accept("keyword", "WHERE"):
+            stmt.where = self._where()
+        return stmt
+
+
+def parse(text: str):
+    """Parse SQL text into a statement AST.
+
+    Returns ``(statement, parameter_count)``.
+    """
+    return _Parser(tokenize(text)).parse()
+
+
+# -- executor -----------------------------------------------------------------------
+
+
+def _bind(value: object, params: list[object]) -> object:
+    if isinstance(value, _Param):
+        if value.index >= len(params):
+            raise SqlError(
+                f"statement needs {value.index + 1} parameters, got {len(params)}"
+            )
+        return params[value.index]
+    return value
+
+
+def _bind_conditions(
+    conditions: list[Condition], params: list[object]
+) -> list[Condition]:
+    return [
+        Condition(c.column, c.op, _bind(c.value, params)) for c in conditions
+    ]
+
+
+def _plan_scan(
+    table: Table, txn: Transaction, conditions: list[Condition]
+) -> tuple[Iterator[dict[str, object]], list[Condition]]:
+    """Choose an access path; returns (row iterator, residual conditions)."""
+    equalities = {c.column: c.value for c in conditions if c.op == "="}
+    pk = table.schema.primary_key
+
+    # Full primary-key equality: point lookup.
+    if all(col in equalities for col in pk):
+        key = tuple(equalities[col] for col in pk)
+        row = table.get(txn, key)
+        rows = iter([row] if row is not None else [])
+        residual = [c for c in conditions if c.column not in pk or c.op != "="]
+        return rows, residual
+
+    # Equality on a secondary index's full column list.
+    for index_name, index_cols in table.schema.indexes.items():
+        if all(col in equalities for col in index_cols):
+            key = tuple(equalities[col] for col in index_cols)
+            rows = table.lookup(txn, index_name, key)
+            residual = [
+                c
+                for c in conditions
+                if c.column not in index_cols or c.op != "="
+            ]
+            return rows, residual
+
+    # Primary-key prefix: bounded clustered scan.
+    prefix: list[object] = []
+    for col in pk:
+        if col in equalities:
+            prefix.append(equalities[col])
+        else:
+            break
+    if prefix:
+        lo = tuple(prefix)
+        hi = tuple(prefix[:-1]) + (_successor(prefix[-1]),)
+        rows = table.scan(txn, lo, hi)
+        consumed = set(pk[: len(prefix)])
+        residual = [
+            c for c in conditions if c.column not in consumed or c.op != "="
+        ]
+        return rows, residual
+
+    return table.scan(txn), list(conditions)
+
+
+def _successor(value: object) -> object:
+    """Smallest value strictly greater than ``value`` for range bounds."""
+    if isinstance(value, bool):
+        raise SqlError("boolean keys unsupported")
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        import math
+
+        return math.nextafter(value, math.inf)
+    if isinstance(value, str):
+        return value + "\x00"
+    raise SqlError(f"cannot form successor of {value!r}")
+
+
+def _aggregate(
+    aggregate: tuple[str, str | None], rows: list[dict[str, object]]
+) -> object:
+    """Evaluate COUNT/SUM/MIN/MAX/AVG over the matched rows.
+
+    ``COUNT(*)`` counts rows; the other functions skip NULLs and return
+    ``None`` over an empty (or all-NULL) input, per SQL semantics.
+    """
+    function, column = aggregate
+    if function == "COUNT" and column is None:
+        return len(rows)
+    values = [row.get(column) for row in rows if row.get(column) is not None]
+    if function == "COUNT":
+        return len(values)
+    if not values:
+        return None
+    if function == "SUM":
+        return sum(values)
+    if function == "MIN":
+        return min(values)
+    if function == "MAX":
+        return max(values)
+    return sum(values) / len(values)  # AVG
+
+
+def explain(database, text: str) -> dict:
+    """Describe the access path a SELECT/UPDATE/DELETE would use.
+
+    Returns a dictionary with the ``table``, the chosen ``access`` path
+    (``pk_lookup``, ``index_lookup``, ``pk_range_scan`` or
+    ``full_scan``), the ``index`` used (if any) and the number of
+    ``residual`` filter terms.  Parameters are treated as opaque values.
+
+    Raises:
+        SqlError: on malformed SQL or an INSERT (which has no plan).
+    """
+    statement, _ = parse(text)
+    if isinstance(statement, InsertStatement):
+        raise SqlError("INSERT statements have no access path to explain")
+    table = database.table(statement.table)
+    conditions = statement.where
+    equalities = {c.column for c in conditions if c.op == "="}
+    pk = table.schema.primary_key
+
+    if all(col in equalities for col in pk):
+        return {
+            "table": statement.table,
+            "access": "pk_lookup",
+            "index": None,
+            "residual": sum(
+                1 for c in conditions if c.column not in pk or c.op != "="
+            ),
+        }
+    for index_name, index_cols in table.schema.indexes.items():
+        if all(col in equalities for col in index_cols):
+            return {
+                "table": statement.table,
+                "access": "index_lookup",
+                "index": index_name,
+                "residual": sum(
+                    1
+                    for c in conditions
+                    if c.column not in index_cols or c.op != "="
+                ),
+            }
+    prefix = 0
+    for col in pk:
+        if col in equalities:
+            prefix += 1
+        else:
+            break
+    if prefix:
+        consumed = set(pk[:prefix])
+        return {
+            "table": statement.table,
+            "access": "pk_range_scan",
+            "index": None,
+            "residual": sum(
+                1 for c in conditions if c.column not in consumed or c.op != "="
+            ),
+        }
+    return {
+        "table": statement.table,
+        "access": "full_scan",
+        "index": None,
+        "residual": len(conditions),
+    }
+
+
+def execute(database, txn: Transaction, text: str, params: list[object]):
+    """Parse and run a SQL statement inside ``txn``.
+
+    Returns a list of row dicts for SELECT (a scalar for aggregate
+    SELECTs) and an affected-row count for INSERT/UPDATE/DELETE.
+    """
+    statement, param_count = parse(text)
+    if param_count > len(params):
+        raise SqlError(
+            f"statement needs {param_count} parameters, got {len(params)}"
+        )
+    table = database.table(statement.table)
+
+    if isinstance(statement, SelectStatement):
+        conditions = _bind_conditions(statement.where, params)
+        rows, residual = _plan_scan(table, txn, conditions)
+        out = [row for row in rows if all(c.matches(row) for c in residual)]
+        if statement.aggregate is not None:
+            return _aggregate(statement.aggregate, out)
+        if statement.order_by is not None:
+            column = statement.order_by
+            out.sort(key=lambda r: r.get(column), reverse=statement.descending)
+        if statement.limit is not None:
+            out = out[: statement.limit]
+        if statement.columns is not None:
+            out = [{c: row.get(c) for c in statement.columns} for row in out]
+        return out
+
+    if isinstance(statement, InsertStatement):
+        row = {
+            col: _bind(val, params)
+            for col, val in zip(statement.columns, statement.values)
+        }
+        table.insert(txn, row)
+        return 1
+
+    if isinstance(statement, UpdateStatement):
+        conditions = _bind_conditions(statement.where, params)
+        changes = {
+            col: _bind(val, params) for col, val in statement.assignments.items()
+        }
+        rows, residual = _plan_scan(table, txn, conditions)
+        keys = [
+            table.schema.key_of(row)
+            for row in rows
+            if all(c.matches(row) for c in residual)
+        ]
+        for key in keys:
+            table.update(txn, key, changes)
+        return len(keys)
+
+    conditions = _bind_conditions(statement.where, params)
+    rows, residual = _plan_scan(table, txn, conditions)
+    keys = [
+        table.schema.key_of(row)
+        for row in rows
+        if all(c.matches(row) for c in residual)
+    ]
+    for key in keys:
+        table.delete(txn, key)
+    return len(keys)

@@ -1,0 +1,336 @@
+"""Tables: clustered primary-key storage with MVCC, indexes and FKs.
+
+A :class:`Table` keeps a B+-tree of version chains keyed by the primary
+key (the clustered index), row payloads in a slotted-page heap whose
+pages are charged through the owning device's buffer pool, optional
+secondary B+-tree indexes, and foreign-key enforcement against parent
+tables.  All access happens inside a :class:`~repro.storage.mvcc.Transaction`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from repro.storage.btree import BPlusTree
+from repro.storage.bufferpool import BufferPool
+from repro.storage.errors import (
+    DuplicateKeyError,
+    ForeignKeyError,
+    SchemaError,
+    StorageError,
+)
+from repro.storage.heap import HeapFile, encode_row
+from repro.storage.mvcc import Transaction, Version, VersionChain
+from repro.storage.schema import ForeignKey, TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.database import StorageDevice
+
+
+class Table:
+    """One table: schema + clustered version chains + heap + indexes."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        device: "StorageDevice",
+        file_id: int,
+        buffer_pool: BufferPool,
+    ) -> None:
+        self.schema = schema
+        self._device = device
+        self._file_id = file_id
+        self._pool = buffer_pool
+        self._heap = HeapFile()
+        self._clustered = BPlusTree()
+        self._indexes: dict[str, BPlusTree] = {
+            name: BPlusTree() for name in schema.indexes
+        }
+        # Wired by the Database: (child_table, fk) pairs referencing us.
+        self._children: list[tuple["Table", ForeignKey]] = []
+        self._parents: dict[str, "Table"] = {}
+
+    # -- catalog wiring ------------------------------------------------------
+
+    def _register_child(self, child: "Table", fk: ForeignKey) -> None:
+        self._children.append((child, fk))
+
+    def _register_parent(self, fk: ForeignKey, parent: "Table") -> None:
+        self._parents[fk.parent_table] = parent
+        if len(fk.columns) != len(parent.schema.primary_key):
+            raise SchemaError(
+                f"{self.schema.name}: foreign key arity does not match "
+                f"{parent.schema.name} primary key"
+            )
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, txn: Transaction, key: tuple) -> dict[str, object] | None:
+        """The visible row at ``key``, or ``None``.  Charges one page read."""
+        txn.require_active()
+        chain = self._clustered.get(key)
+        if chain is None:
+            return None
+        version = chain.visible(txn)
+        if version is None:
+            return None
+        self._touch(txn, version, sequential=False)
+        return dict(version.row)
+
+    def scan(
+        self,
+        txn: Transaction,
+        lo: tuple | None = None,
+        hi: tuple | None = None,
+        include_hi: bool = False,
+        sequential: bool = False,
+        charge: bool = True,
+    ) -> Iterator[dict[str, object]]:
+        """Clustered-index range scan over visible rows in key order.
+
+        The first page of the scan pays a seek (unless ``sequential``
+        marks the scan as a forward continuation of a previous one);
+        subsequent pages are charged as sequential reads.  ``charge``
+        False reads without touching the buffer pool at all — used when
+        a node serves halo bands to a peer, whose cost is accounted as
+        interconnect transfer rather than local I/O.
+        """
+        txn.require_active()
+        first = not sequential
+        for _, chain in self._clustered.scan(lo, hi, include_hi):
+            version = chain.visible(txn)
+            if version is None:
+                continue
+            if charge:
+                self._touch(txn, version, sequential=not first)
+            first = False
+            yield dict(version.row)
+
+    def count(self, txn: Transaction) -> int:
+        """Number of rows visible to ``txn`` (full scan, uncharged)."""
+        txn.require_active()
+        return sum(
+            1 for _, chain in self._clustered.items() if chain.visible(txn)
+        )
+
+    def lookup(
+        self, txn: Transaction, index: str, key: tuple
+    ) -> Iterator[dict[str, object]]:
+        """Visible rows whose ``index`` columns equal ``key``."""
+        txn.require_active()
+        tree = self._index(index)
+        pks: set[tuple] = tree.get(key) or set()
+        for pk in sorted(pks):
+            row = self.get(txn, pk)
+            if row is not None:
+                yield row
+
+    # -- writes ----------------------------------------------------------------
+
+    def insert(self, txn: Transaction, row: dict[str, object]) -> None:
+        """Insert a row.
+
+        Raises:
+            DuplicateKeyError: a visible row already holds this key.
+            ForeignKeyError: a referenced parent row is missing.
+            SerializationConflictError: concurrent write to this key.
+        """
+        txn.require_active()
+        row = self.schema.validate_row(row)
+        key = self.schema.key_of(row)
+        self._check_parents(txn, row)
+        chain = self._clustered.get(key)
+        if chain is None:
+            chain = VersionChain()
+            self._clustered.insert(key, chain)
+            txn.on_abort(lambda: self._drop_chain_if_empty(key))
+        else:
+            chain.check_write_allowed(txn)
+            if chain.visible(txn) is not None:
+                raise DuplicateKeyError(
+                    f"{self.schema.name}: duplicate primary key {key}"
+                )
+        rowid = self._heap.append(encode_row(self.schema, row))
+        self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
+        txn.on_commit(lambda: self._pool.flush(self._device))
+        version = Version(row, rowid, creator=txn)
+        chain.push(version)
+        txn.record_create(chain, version)
+        self._log(txn, "insert", row)
+        for name, columns in self.schema.indexes.items():
+            index_key = tuple(row[c] for c in columns)
+            self._index_add(name, index_key, key)
+            txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
+
+    def delete(self, txn: Transaction, key: tuple) -> bool:
+        """Delete the visible row at ``key``; returns whether one existed.
+
+        Referencing child rows restrict the delete unless their foreign
+        key is declared ``cascade``, in which case they are deleted too.
+        """
+        txn.require_active()
+        chain = self._clustered.get(key)
+        if chain is None:
+            return False
+        version = chain.visible(txn)
+        if version is None:
+            return False
+        chain.check_write_allowed(txn)
+        self._resolve_children(txn, key)
+        version.deleter = txn
+        txn.record_delete(chain, version)
+        self._pool.access(self._device, self._file_id, version.rowid.page, dirty=True)
+        txn.on_commit(lambda: self._pool.flush(self._device))
+        self._log(txn, "delete", key)
+        return True
+
+    def update(
+        self, txn: Transaction, key: tuple, changes: dict[str, object]
+    ) -> bool:
+        """Update columns of the row at ``key``; returns whether it existed.
+
+        Implemented as a new version superseding the old (the primary key
+        may not change).
+        """
+        txn.require_active()
+        if any(col in self.schema.primary_key for col in changes):
+            raise SchemaError(f"{self.schema.name}: cannot update primary key")
+        chain = self._clustered.get(key)
+        if chain is None:
+            return False
+        version = chain.visible(txn)
+        if version is None:
+            return False
+        chain.check_write_allowed(txn)
+        new_row = self.schema.validate_row({**version.row, **changes})
+        self._check_parents(txn, new_row)
+        version.deleter = txn
+        txn.record_delete(chain, version)
+        rowid = self._heap.append(encode_row(self.schema, new_row))
+        self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
+        txn.on_commit(lambda: self._pool.flush(self._device))
+        new_version = Version(new_row, rowid, creator=txn)
+        chain.push(new_version)
+        txn.record_create(chain, new_version)
+        for name, columns in self.schema.indexes.items():
+            index_key = tuple(new_row[c] for c in columns)
+            self._index_add(name, index_key, key)
+            txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
+        self._log(txn, "update", (key, dict(changes)))
+        return True
+
+    # -- maintenance -----------------------------------------------------------
+
+    def vacuum(self) -> int:
+        """Drop versions dead to every current and future snapshot.
+
+        Returns the number of versions reclaimed.  Call between
+        transactions (the engine does not track open snapshots here).
+        """
+        reclaimed = 0
+        empty_keys = []
+        for key, chain in list(self._clustered.items()):
+            keep = []
+            for version in chain.versions:
+                dead = version.creator is None and version.end_ts is not None and version.deleter is None
+                if dead:
+                    self._heap.delete(version.rowid)
+                    reclaimed += 1
+                else:
+                    keep.append(version)
+            chain.versions = keep
+            if not chain.versions:
+                empty_keys.append(key)
+        for key in empty_keys:
+            self._clustered.delete(key)
+            for name, tree in self._indexes.items():
+                for index_key, pks in list(tree.items()):
+                    if key in pks:
+                        pks.discard(key)
+                        if not pks:
+                            tree.delete(index_key)
+        return reclaimed
+
+    @property
+    def heap_pages(self) -> int:
+        return self._heap.page_count
+
+    # -- internals ---------------------------------------------------------------
+
+    def _log(self, txn: Transaction, kind_name: str, payload: object) -> None:
+        if txn._wal is None or not self.schema.logged:
+            return
+        from repro.storage.wal import WalKind
+
+        txn.log(WalKind(kind_name), self.schema.name, payload)
+
+    def _touch(self, txn: Transaction, version: Version, sequential: bool) -> None:
+        self._pool.access(
+            self._device, self._file_id, version.rowid.page, sequential=sequential
+        )
+
+    def _index(self, name: str) -> BPlusTree:
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise StorageError(f"{self.schema.name} has no index {name!r}") from None
+
+    def _index_add(self, name: str, index_key: tuple, pk: tuple) -> None:
+        tree = self._indexes[name]
+        pks = tree.get(index_key)
+        if pks is None:
+            tree.insert(index_key, {pk})
+        else:
+            pks.add(pk)
+
+    def _index_remove(self, name: str, index_key: tuple, pk: tuple) -> None:
+        tree = self._indexes[name]
+        pks = tree.get(index_key)
+        if pks is not None:
+            pks.discard(pk)
+            if not pks:
+                tree.delete(index_key)
+
+    def _drop_chain_if_empty(self, key: tuple) -> None:
+        chain = self._clustered.get(key)
+        if chain is not None and not chain.versions:
+            self._clustered.delete(key)
+
+    def _check_parents(self, txn: Transaction, row: dict[str, object]) -> None:
+        for fk in self.schema.foreign_keys:
+            values = tuple(row[c] for c in fk.columns)
+            if any(v is None for v in values):
+                continue  # null FK: no constraint
+            parent = self._parents[fk.parent_table]
+            chain = parent._clustered.get(values)
+            if chain is None or chain.visible(txn) is None:
+                raise ForeignKeyError(
+                    f"{self.schema.name}: no {fk.parent_table} row {values}"
+                )
+
+    def _resolve_children(self, txn: Transaction, key: tuple) -> None:
+        for child, fk in self._children:
+            index_name = next(
+                (
+                    name
+                    for name, cols in child.schema.indexes.items()
+                    if cols == fk.columns
+                ),
+                None,
+            )
+            if index_name is not None:
+                referencing = child.lookup(txn, index_name, key)
+            else:
+                referencing = (
+                    row
+                    for row in child.scan(txn)
+                    if tuple(row[c] for c in fk.columns) == key
+                )
+            victims = [child.schema.key_of(row) for row in referencing]
+            if victims and not fk.cascade:
+                raise ForeignKeyError(
+                    f"{child.schema.name} rows still reference "
+                    f"{self.schema.name} key {key}"
+                )
+            for victim in victims:
+                child.delete(txn, victim)

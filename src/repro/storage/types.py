@@ -1,0 +1,95 @@
+"""Column types: validation and binary row encoding.
+
+Rows are stored in slotted pages as a compact binary encoding so that the
+engine's byte counts (and hence the simulated I/O charges) reflect real
+record sizes rather than Python object overhead.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+
+from repro.storage.errors import SchemaError
+
+_LEN = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_I32 = struct.Struct("<i")
+_F64 = struct.Struct("<d")
+
+
+class ColumnType(enum.Enum):
+    """Supported SQL column types."""
+
+    INTEGER = "INTEGER"
+    BIGINT = "BIGINT"
+    FLOAT = "FLOAT"
+    TEXT = "TEXT"
+    BLOB = "BLOB"
+
+    def validate(self, value: object, column: str) -> object:
+        """Check (and normalise) a Python value for this column type.
+
+        Returns the normalised value.  Raises :class:`SchemaError` on a
+        type mismatch or out-of-range integer.
+        """
+        if value is None:
+            return None
+        if self in (ColumnType.INTEGER, ColumnType.BIGINT):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SchemaError(f"column {column}: expected int, got {value!r}")
+            bits = 31 if self is ColumnType.INTEGER else 63
+            if not -(1 << bits) <= value < (1 << bits):
+                raise SchemaError(f"column {column}: {value} out of {self.value} range")
+            return value
+        if self is ColumnType.FLOAT:
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SchemaError(f"column {column}: expected float, got {value!r}")
+            return float(value)
+        if self is ColumnType.TEXT:
+            if not isinstance(value, str):
+                raise SchemaError(f"column {column}: expected str, got {value!r}")
+            return value
+        if not isinstance(value, (bytes, bytearray, memoryview)):
+            raise SchemaError(f"column {column}: expected bytes, got {value!r}")
+        return bytes(value)
+
+    def encode(self, value: object) -> bytes:
+        """Binary encoding of a non-null value of this type."""
+        if self is ColumnType.INTEGER:
+            return _I32.pack(value)
+        if self is ColumnType.BIGINT:
+            return _I64.pack(value)
+        if self is ColumnType.FLOAT:
+            return _F64.pack(value)
+        if self is ColumnType.TEXT:
+            raw = value.encode("utf-8")
+            return _LEN.pack(len(raw)) + raw
+        return _LEN.pack(len(value)) + value
+
+    def decode(self, buffer: memoryview, offset: int) -> tuple[object, int]:
+        """Decode one value; returns ``(value, next_offset)``."""
+        if self is ColumnType.INTEGER:
+            return _I32.unpack_from(buffer, offset)[0], offset + 4
+        if self is ColumnType.BIGINT:
+            return _I64.unpack_from(buffer, offset)[0], offset + 8
+        if self is ColumnType.FLOAT:
+            return _F64.unpack_from(buffer, offset)[0], offset + 8
+        length = _LEN.unpack_from(buffer, offset)[0]
+        start = offset + _LEN.size
+        raw = bytes(buffer[start : start + length])
+        if self is ColumnType.TEXT:
+            return raw.decode("utf-8"), start + length
+        return raw, start + length
+
+    def encoded_size(self, value: object) -> int:
+        """Bytes this value occupies in a stored row (excluding null map)."""
+        if value is None:
+            return 0
+        if self is ColumnType.INTEGER:
+            return 4
+        if self in (ColumnType.BIGINT, ColumnType.FLOAT):
+            return 8
+        if self is ColumnType.TEXT:
+            return _LEN.size + len(value.encode("utf-8"))
+        return _LEN.size + len(value)

@@ -1,0 +1,244 @@
+"""Write-ahead logging and crash recovery.
+
+A production analysis cluster must offer "the fault-tolerance,
+scalability and availability guarantees necessary for a system managing
+multi-terabyte datasets" (paper §6) — in the JHTDB's case supplied by
+SQL Server.  This module adds that durability layer to the embedded
+engine: every write appends a logical redo record, commits force the log
+(charging the log device), and :func:`recover` replays the committed
+transactions — in commit order — into a fresh database, discarding
+whatever in-flight transactions the crash cut off.
+
+Logical (operation-level) logging suits this engine: tables are
+rebuilt from records rather than patched page-by-page, so the log is
+small and replay trivially idempotent from an empty start.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.storage.database import Database, StorageDevice
+from repro.storage.errors import StorageError
+from repro.storage.schema import TableSchema
+
+
+class WalKind(enum.Enum):
+    INSERT = "insert"
+    DELETE = "delete"
+    UPDATE = "update"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One log record.
+
+    ``payload`` depends on the kind: the full row for INSERT, the
+    primary key for DELETE, ``(key, changes)`` for UPDATE, nothing for
+    COMMIT/ABORT.
+    """
+
+    lsn: int
+    txn_id: int
+    kind: WalKind
+    table: str | None = None
+    payload: object = None
+
+
+class WriteAheadLog:
+    """An append-only log of logical redo records.
+
+    Args:
+        device: optional device charged for forced flushes at commit
+            (sequential appends; one flush per commit, as group commit
+            would batch them).
+    """
+
+    def __init__(self, device: StorageDevice | None = None) -> None:
+        self._records: list[WalRecord] = []
+        self._lock = threading.Lock()
+        self._device = device
+        self._next_lsn = 0
+        self._unflushed = 0
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def append(
+        self,
+        txn_id: int,
+        kind: WalKind,
+        table: str | None = None,
+        payload: object = None,
+    ) -> WalRecord:
+        """Append one record; returns it with its assigned LSN."""
+        with self._lock:
+            record = WalRecord(self._next_lsn, txn_id, kind, table, payload)
+            self._next_lsn += 1
+            self._records.append(record)
+            self._unflushed += 1
+            return record
+
+    def flush(self) -> int:
+        """Force all appended records to the log device; returns bytes."""
+        with self._lock:
+            pending = self._records[len(self._records) - self._unflushed :]
+            self._unflushed = 0
+        nbytes = sum(_record_size(record) for record in pending)
+        if self._device is not None and nbytes:
+            self._device.charge_write(nbytes, seeks=0)
+        return nbytes
+
+    def records(self) -> list[WalRecord]:
+        """A snapshot of the current log contents."""
+        with self._lock:
+            return list(self._records)
+
+    def truncate_to(self, lsn: int) -> int:
+        """Drop records up to ``lsn`` inclusive (checkpointing).
+
+        Returns how many records were dropped.  Only safe once every
+        transaction at or below ``lsn`` has been checkpointed elsewhere.
+        """
+        with self._lock:
+            keep = [r for r in self._records if r.lsn > lsn]
+            dropped = len(self._records) - len(keep)
+            self._records = keep
+            return dropped
+
+
+def _record_size(record: WalRecord) -> int:
+    """Rough on-disk size of a record for device charging."""
+    base = 24  # lsn + txn + kind + table ref
+    payload = record.payload
+    if isinstance(payload, dict):
+        return base + sum(_value_size(v) for v in payload.values())
+    if isinstance(payload, tuple):
+        return base + sum(_value_size(v) for v in payload)
+    return base + _value_size(payload)
+
+
+def _value_size(value: object) -> int:
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, str):
+        return len(value.encode())
+    if isinstance(value, dict):
+        return sum(_value_size(v) for v in value.values())
+    if isinstance(value, tuple):
+        return sum(_value_size(v) for v in value)
+    return 8
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A fuzzy snapshot of the committed state at some LSN.
+
+    Recovery starts from the checkpoint's rows and replays only the log
+    tail past ``lsn``, bounding recovery time regardless of history
+    length (the reason production engines checkpoint).
+    """
+
+    lsn: int
+    rows: dict[str, list[dict]]  # table -> committed rows
+
+
+def checkpoint(db: Database, log: WriteAheadLog) -> Checkpoint:
+    """Capture the committed state of every *logged* table.
+
+    Must run without concurrent writers (a quiesced checkpoint).  The
+    caller may afterwards call :meth:`WriteAheadLog.truncate_to` with
+    the checkpoint's ``lsn`` to bound the log.
+    """
+    records = log.records()
+    lsn = records[-1].lsn if records else -1
+    rows: dict[str, list[dict]] = {}
+    with db.transaction() as txn:
+        # Creation order puts FK parents before children, so replaying
+        # the snapshot in this order satisfies referential checks.
+        for name in db._tables:
+            table = db.table(name)
+            if table.schema.logged:
+                rows[name] = [dict(row) for row in table.scan(txn)]
+    return Checkpoint(lsn, rows)
+
+
+def recover(
+    log: WriteAheadLog | Iterable[WalRecord],
+    schemas: list[tuple[TableSchema, str]],
+    devices: list[StorageDevice],
+    name: str = "recovered",
+    from_checkpoint: Checkpoint | None = None,
+) -> Database:
+    """Rebuild a database from a log (and optional checkpoint) after a crash.
+
+    Args:
+        log: the surviving log (or its records).
+        schemas: ``(schema, device_name)`` pairs of the catalog, in
+            creation order (parents before FK children).
+        devices: devices to register on the recovered database.
+        from_checkpoint: start from this snapshot and replay only the
+            records past its LSN.
+
+    Returns:
+        a fresh :class:`Database` containing exactly the effects of the
+        committed transactions, applied in commit order.
+
+    Raises:
+        StorageError: if replay hits an inconsistency (e.g. a logged
+            table missing from the catalog).
+    """
+    records = log.records() if isinstance(log, WriteAheadLog) else list(log)
+    db = Database(name)
+    for device in devices:
+        db.add_device(device)
+    for schema, device_name in schemas:
+        db.create_table(schema, device=device_name)
+
+    if from_checkpoint is not None:
+        with db.transaction() as txn:
+            for table_name, rows in from_checkpoint.rows.items():
+                if table_name not in db.table_names:
+                    raise StorageError(
+                        f"checkpoint references unknown table {table_name!r}"
+                    )
+                for row in rows:
+                    db.table(table_name).insert(txn, dict(row))
+        records = [r for r in records if r.lsn > from_checkpoint.lsn]
+
+    # Group data records by transaction; note commit order.
+    operations: dict[int, list[WalRecord]] = {}
+    commit_order: list[int] = []
+    for record in records:
+        if record.kind is WalKind.COMMIT:
+            commit_order.append(record.txn_id)
+        elif record.kind is WalKind.ABORT:
+            operations.pop(record.txn_id, None)
+        else:
+            operations.setdefault(record.txn_id, []).append(record)
+
+    for txn_id in commit_order:
+        ops = operations.pop(txn_id, [])
+        with db.transaction() as txn:
+            for record in ops:
+                if record.table not in db.table_names:
+                    raise StorageError(
+                        f"log references unknown table {record.table!r}"
+                    )
+                table = db.table(record.table)
+                if record.kind is WalKind.INSERT:
+                    table.insert(txn, dict(record.payload))
+                elif record.kind is WalKind.DELETE:
+                    # Cascaded child deletes were logged individually, so
+                    # a parent's replayed cascade may have removed this
+                    # row already.
+                    table.delete(txn, tuple(record.payload))
+                else:
+                    key, changes = record.payload
+                    table.update(txn, tuple(key), dict(changes))
+    return db

@@ -1,0 +1,18 @@
+"""Shared fixtures: a small MHD cluster reused across test modules."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.simulation import mhd_dataset
+
+
+@pytest.fixture(scope="session")
+def small_mhd():
+    """A 32^3, 2-timestep MHD dataset (session-wide, read-only)."""
+    return mhd_dataset(side=32, timesteps=2)
+
+
+@pytest.fixture()
+def mhd_cluster(small_mhd):
+    """A fresh 4-node cluster loaded with the small MHD dataset."""
+    return build_cluster(small_mhd, nodes=4)

@@ -1,0 +1,159 @@
+"""Tests for friends-of-friends clustering (3-D and 4-D)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import friends_of_friends, friends_of_friends_4d
+
+
+def cluster_sets(clusters):
+    return {frozenset(c.indices.tolist()) for c in clusters}
+
+
+class TestFriendsOfFriends3d:
+    def test_empty_input(self):
+        assert friends_of_friends(np.empty((0, 3)), np.empty(0), 32) == []
+
+    def test_single_point(self):
+        clusters = friends_of_friends(np.array([[1, 2, 3]]), np.array([5.0]), 32)
+        assert len(clusters) == 1
+        assert clusters[0].size == 1
+        assert clusters[0].peak_value == 5.0
+
+    def test_two_near_points_link(self):
+        coords = np.array([[0, 0, 0], [0, 0, 2]])
+        clusters = friends_of_friends(coords, np.array([1.0, 2.0]), 32, 2)
+        assert len(clusters) == 1
+        assert clusters[0].size == 2
+
+    def test_two_far_points_do_not_link(self):
+        coords = np.array([[0, 0, 0], [0, 0, 5]])
+        clusters = friends_of_friends(coords, np.array([1.0, 2.0]), 32, 2)
+        assert len(clusters) == 2
+
+    def test_chain_links_transitively(self):
+        coords = np.array([[0, 0, 0], [0, 0, 2], [0, 0, 4], [0, 0, 6]])
+        clusters = friends_of_friends(coords, np.ones(4), 32, 2)
+        assert len(clusters) == 1 and clusters[0].size == 4
+
+    def test_periodic_wraparound_links(self):
+        coords = np.array([[0, 0, 0], [0, 0, 31]])
+        clusters = friends_of_friends(coords, np.ones(2), 32, 2)
+        assert len(clusters) == 1
+
+    def test_chebyshev_metric(self):
+        # Diagonal neighbours at (2, 2, 2) offset have Chebyshev distance 2.
+        coords = np.array([[0, 0, 0], [2, 2, 2]])
+        assert len(friends_of_friends(coords, np.ones(2), 32, 2)) == 1
+        assert len(friends_of_friends(coords, np.ones(2), 32, 1)) == 2
+
+    def test_peak_identification(self):
+        coords = np.array([[0, 0, 0], [0, 0, 1], [0, 0, 2]])
+        values = np.array([1.0, 9.0, 2.0])
+        clusters = friends_of_friends(coords, values, 32, 1)
+        assert clusters[0].peak_index == 1
+        assert clusters[0].peak_value == 9.0
+
+    def test_min_size_filters(self):
+        coords = np.array([[0, 0, 0], [10, 10, 10], [10, 10, 11]])
+        clusters = friends_of_friends(coords, np.ones(3), 32, 1, min_size=2)
+        assert len(clusters) == 1
+        assert clusters[0].size == 2
+
+    def test_sorted_by_size_then_peak(self):
+        coords = np.array(
+            [[0, 0, 0], [0, 0, 1], [0, 0, 2], [10, 0, 0], [20, 0, 0]]
+        )
+        values = np.array([1.0, 1.0, 1.0, 5.0, 9.0])
+        clusters = friends_of_friends(coords, values, 32, 1)
+        assert [c.size for c in clusters] == [3, 1, 1]
+        assert clusters[1].peak_value == 9.0  # ties broken by peak
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((2, 2)), np.zeros(2), 32)
+        with pytest.raises(ValueError):
+            friends_of_friends(np.zeros((2, 3)), np.zeros(3), 32)
+
+    def test_lifetime_zero_for_3d(self):
+        clusters = friends_of_friends(np.array([[0, 0, 0]]), np.ones(1), 32)
+        assert clusters[0].lifetime == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(*[st.integers(0, 15)] * 3), min_size=1,
+                    max_size=40, unique=True))
+    def test_matches_brute_force(self, points):
+        """FoF labels agree with brute-force connected components."""
+        side, length = 16, 2
+        coords = np.array(points)
+        values = np.arange(len(points), dtype=float)
+        clusters = friends_of_friends(coords, values, side, length)
+
+        # Brute-force union-find over all pairs with periodic Chebyshev.
+        parent = list(range(len(points)))
+
+        def find(i):
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        for i in range(len(points)):
+            for j in range(i + 1, len(points)):
+                dist = max(
+                    min(abs(a - b), side - abs(a - b))
+                    for a, b in zip(points[i], points[j])
+                )
+                if dist <= length:
+                    parent[find(i)] = find(j)
+        expected = {}
+        for i in range(len(points)):
+            expected.setdefault(find(i), set()).add(i)
+        assert cluster_sets(clusters) == {
+            frozenset(group) for group in expected.values()
+        }
+
+
+class TestFriendsOfFriends4d:
+    def test_same_place_adjacent_times_link(self):
+        timesteps = np.array([0, 1])
+        coords = np.array([[5, 5, 5], [5, 5, 6]])
+        clusters = friends_of_friends_4d(timesteps, coords, np.ones(2), 32, 2)
+        assert len(clusters) == 1
+        assert clusters[0].timesteps == (0, 1)
+        assert clusters[0].lifetime == 2
+
+    def test_time_gap_beyond_linking_separates(self):
+        timesteps = np.array([0, 5])
+        coords = np.array([[5, 5, 5], [5, 5, 5]])
+        clusters = friends_of_friends_4d(timesteps, coords, np.ones(2), 32, 2)
+        assert len(clusters) == 2
+
+    def test_time_gap_at_linking_length_links(self):
+        timesteps = np.array([0, 2])
+        coords = np.array([[5, 5, 5], [5, 5, 5]])
+        clusters = friends_of_friends_4d(timesteps, coords, np.ones(2), 32, 2)
+        assert len(clusters) == 1
+
+    def test_moving_structure_traced_through_time(self):
+        # A blob drifting 2 cells/step stays one 4-D cluster.
+        timesteps = np.arange(5)
+        coords = np.array([[i * 2, 0, 0] for i in range(5)])
+        clusters = friends_of_friends_4d(
+            timesteps, coords, np.ones(5), 64, 2
+        )
+        assert len(clusters) == 1
+        assert clusters[0].timesteps == (0, 1, 2, 3, 4)
+
+    def test_empty(self):
+        assert friends_of_friends_4d(
+            np.empty(0), np.empty((0, 3)), np.empty(0), 32
+        ) == []
+
+    def test_alignment_validation(self):
+        with pytest.raises(ValueError):
+            friends_of_friends_4d(
+                np.zeros(2), np.zeros((3, 3)), np.zeros(3), 32
+            )

@@ -1,0 +1,60 @@
+"""Tests for threshold-selection statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import norm_rms, threshold_at_rms_multiple, threshold_for_fraction
+
+
+class TestNormRms:
+    def test_constant_field(self):
+        assert norm_rms(np.full((4, 4, 4), 3.0)) == pytest.approx(3.0)
+
+    def test_known_values(self):
+        assert norm_rms(np.array([3.0, 4.0])) == pytest.approx(np.sqrt(12.5))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            norm_rms(np.array([]))
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_rms_bounds(self, values):
+        rms = norm_rms(np.array(values))
+        assert min(values) - 1e-9 <= rms <= max(values) + 1e-9
+
+
+class TestRmsMultiple:
+    def test_multiple(self):
+        norm = np.full(10, 2.0)
+        assert threshold_at_rms_multiple(norm, 7.0) == pytest.approx(14.0)
+
+    def test_negative_multiple_rejected(self):
+        with pytest.raises(ValueError):
+            threshold_at_rms_multiple(np.ones(3), -1.0)
+
+
+class TestFractionThreshold:
+    def test_fraction_selects_tail(self):
+        norm = np.arange(10000, dtype=float)
+        threshold = threshold_for_fraction(norm, 0.01)
+        assert np.mean(norm >= threshold) == pytest.approx(0.01, abs=2e-3)
+
+    def test_fraction_one_keeps_everything(self):
+        norm = np.arange(100, dtype=float)
+        assert threshold_for_fraction(norm, 1.0) <= norm.min()
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            threshold_for_fraction(np.ones(4), 0.0)
+        with pytest.raises(ValueError):
+            threshold_for_fraction(np.ones(4), 1.5)
+
+    @given(st.floats(1e-4, 0.5))
+    def test_monotone_in_fraction(self, fraction):
+        rng = np.random.default_rng(0)
+        norm = rng.exponential(size=5000)
+        tighter = threshold_for_fraction(norm, fraction / 2)
+        looser = threshold_for_fraction(norm, fraction)
+        assert tighter >= looser

@@ -1,0 +1,120 @@
+"""Tests for batched threshold evaluation with shared scans."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdQuery, ThresholdTooLowError
+from repro.costmodel import Category
+from repro.costmodel.ledger import METER_IO_BYTES
+from repro.fields import default_registry
+from repro.core.batch import check_batchable
+from tests.test_core_threshold import ground_truth_norm
+
+
+def make_batch(small_mhd, q_vort=0.999, q_q=0.999):
+    vorticity_norm = ground_truth_norm(small_mhd, "vorticity", 0)
+    thr_v = float(np.quantile(vorticity_norm, q_vort))
+    # Q-criterion threshold via the registry's own kernel.
+    return [
+        ThresholdQuery("mhd", "vorticity", 0, thr_v),
+        ThresholdQuery("mhd", "q_criterion", 0, thr_v**2),
+    ]
+
+
+class TestValidation:
+    def test_batchable_pair(self, small_mhd):
+        queries = make_batch(small_mhd)
+        assert check_batchable(queries, default_registry()) == "velocity"
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            check_batchable([], default_registry())
+
+    def test_mixed_source_rejected(self):
+        queries = [
+            ThresholdQuery("mhd", "vorticity", 0, 1.0),
+            ThresholdQuery("mhd", "magnetic", 0, 1.0),
+        ]
+        with pytest.raises(ValueError):
+            check_batchable(queries, default_registry())
+
+    def test_mixed_timestep_rejected(self):
+        queries = [
+            ThresholdQuery("mhd", "vorticity", 0, 1.0),
+            ThresholdQuery("mhd", "vorticity", 1, 1.0),
+        ]
+        with pytest.raises(ValueError):
+            check_batchable(queries, default_registry())
+
+
+class TestBatchCorrectness:
+    def test_matches_individual_queries(self, small_mhd, mhd_cluster):
+        queries = make_batch(small_mhd)
+        individual = [
+            mhd_cluster.threshold(q, use_cache=False) for q in queries
+        ]
+        mhd_cluster.drop_page_caches()
+        batch = mhd_cluster.batch_threshold(queries, use_cache=False)
+        assert len(batch) == 2
+        for got, expected in zip(batch.results, individual):
+            assert np.array_equal(got.zindexes, expected.zindexes)
+            assert np.allclose(got.values, expected.values, atol=1e-9)
+
+    def test_batch_reads_once(self, small_mhd, mhd_cluster):
+        """Two same-source queries cost one scan, not two."""
+        queries = make_batch(small_mhd)
+        mhd_cluster.drop_page_caches()
+        single = mhd_cluster.threshold(queries[0], use_cache=False)
+        mhd_cluster.drop_page_caches()
+        batch = mhd_cluster.batch_threshold(queries, use_cache=False)
+        assert batch.ledger.meter(METER_IO_BYTES) == pytest.approx(
+            single.ledger.meter(METER_IO_BYTES), rel=0.1
+        )
+
+    def test_batch_cheaper_than_sequential(self, small_mhd, mhd_cluster):
+        queries = make_batch(small_mhd)
+        mhd_cluster.drop_page_caches()
+        sequential = 0.0
+        for query in queries:
+            result = mhd_cluster.threshold(query, use_cache=False)
+            sequential += result.elapsed
+            mhd_cluster.drop_page_caches()
+        batch = mhd_cluster.batch_threshold(queries, use_cache=False)
+        assert batch.ledger.total < 0.8 * sequential
+
+    def test_compute_charged_for_every_field(self, small_mhd, mhd_cluster):
+        queries = make_batch(small_mhd)
+        mhd_cluster.drop_page_caches()
+        batch = mhd_cluster.batch_threshold(queries, use_cache=False)
+        single = mhd_cluster.threshold(queries[0], use_cache=False)
+        assert batch.ledger[Category.COMPUTE] > single.ledger[Category.COMPUTE]
+
+
+class TestBatchCaching:
+    def test_batch_populates_cache_per_query(self, small_mhd, mhd_cluster):
+        queries = make_batch(small_mhd)
+        first = mhd_cluster.batch_threshold(queries)
+        assert all(r.cache_hits == 0 for r in first.results)
+        second = mhd_cluster.batch_threshold(queries)
+        assert all(
+            r.cache_hits == len(mhd_cluster.nodes) for r in second.results
+        )
+
+    def test_partial_batch_hit_evaluates_only_misses(self, small_mhd, mhd_cluster):
+        queries = make_batch(small_mhd)
+        mhd_cluster.threshold(queries[0])  # warm only the vorticity entry
+        mhd_cluster.drop_page_caches()
+        batch = mhd_cluster.batch_threshold(queries)
+        assert batch.results[0].cache_hits == len(mhd_cluster.nodes)
+        assert batch.results[1].cache_hits == 0
+        # Points are still correct for both.
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        assert len(batch.results[0]) == (norm >= queries[0].threshold).sum()
+
+    def test_limit_applies_per_query(self, small_mhd, mhd_cluster):
+        queries = [
+            ThresholdQuery("mhd", "vorticity", 0, 0.0),
+            ThresholdQuery("mhd", "q_criterion", 0, 1e12),
+        ]
+        with pytest.raises(ThresholdTooLowError):
+            mhd_cluster.batch_threshold(queries, use_cache=False, max_points=100)

@@ -1,0 +1,81 @@
+"""End-to-end tests on the channel-flow dataset (the paper's 4th dataset)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import PdfQuery, ThresholdQuery
+from repro.fields import curl_periodic
+from repro.morton import encode_array
+from repro.simulation import channel_dataset
+
+
+@pytest.fixture(scope="module")
+def channel():
+    dataset = channel_dataset(side=32, timesteps=2)
+    mediator = build_cluster(dataset, nodes=4)
+    return dataset, mediator
+
+
+class TestChannelFlow:
+    def test_threshold_matches_ground_truth(self, channel):
+        dataset, mediator = channel
+        velocity = dataset.field_array("velocity", 0).astype(np.float64)
+        norm = np.linalg.norm(
+            curl_periodic(velocity, dataset.spec.spacing, 4), axis=-1
+        )
+        threshold = float(np.quantile(norm, 0.995))
+        result = mediator.threshold(
+            ThresholdQuery("channel", "vorticity", 0, threshold),
+            use_cache=False,
+        )
+        mask = norm >= threshold
+        assert len(result) == mask.sum()
+        ix, iy, iz = np.nonzero(mask)
+        assert np.array_equal(
+            result.zindexes, np.sort(encode_array(ix, iy, iz))
+        )
+
+    def test_intense_vorticity_avoids_damped_wall_layer(self, channel):
+        """Fluctuations vanish at the walls, so intense events sit inside.
+
+        (The synthetic channel damps fluctuations with a sin(pi*y/L)
+        envelope; unlike real channel turbulence it does not grow a
+        near-wall vorticity peak — see DESIGN.md's substitution notes.)
+        """
+        dataset, mediator = channel
+        velocity = dataset.field_array("velocity", 0).astype(np.float64)
+        norm = np.linalg.norm(
+            curl_periodic(velocity, dataset.spec.spacing, 4), axis=-1
+        )
+        threshold = float(np.quantile(norm, 0.99))
+        result = mediator.threshold(
+            ThresholdQuery("channel", "vorticity", 0, threshold)
+        )
+        y = result.coordinates()[:, 1]
+        wall_distance = np.minimum(y, 32 - 1 - y)
+        assert wall_distance.min() >= 2  # none inside the damped layer
+
+    def test_streamwise_velocity_threshold(self, channel):
+        """Raw velocity-norm thresholding picks the channel centre."""
+        dataset, mediator = channel
+        velocity = dataset.field_array("velocity", 0).astype(np.float64)
+        norm = np.linalg.norm(velocity, axis=-1)
+        threshold = float(np.quantile(norm, 0.99))
+        result = mediator.threshold(
+            ThresholdQuery("channel", "velocity", 0, threshold)
+        )
+        y = result.coordinates()[:, 1]
+        centre_distance = np.abs(y - 15.5)
+        assert np.median(centre_distance) < 8  # fast fluid mid-channel
+
+    def test_pdf_and_cache_work(self, channel):
+        dataset, mediator = channel
+        pdf = mediator.pdf(
+            PdfQuery("channel", "vorticity", 1, (0.0, 5.0, 10.0))
+        )
+        assert pdf.total_points == 32**3
+        query = ThresholdQuery("channel", "vorticity", 1, 8.0)
+        mediator.threshold(query)
+        warm = mediator.threshold(query)
+        assert warm.cache_hits == len(mediator.nodes)

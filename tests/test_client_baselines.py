@@ -1,0 +1,121 @@
+"""Tests for the client facade and the local-evaluation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.client import TurbulenceClient, local_threshold_evaluation
+from repro.core import ThresholdQuery
+from repro.costmodel import Category
+from repro.grid import Box
+from tests.test_core_threshold import ground_truth_norm
+
+
+@pytest.fixture()
+def client(mhd_cluster):
+    return TurbulenceClient(mhd_cluster)
+
+
+class TestClientFacade:
+    def test_get_threshold(self, small_mhd, client):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        threshold = float(np.quantile(norm, 0.995))
+        result = client.get_threshold("mhd", "vorticity", 0, threshold)
+        assert len(result) == (norm >= threshold).sum()
+
+    def test_get_pdf(self, client):
+        result = client.get_pdf("mhd", "vorticity", 0, (0.0, 2.0, 4.0))
+        assert result.total_points == 32**3
+
+    def test_get_topk(self, small_mhd, client):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        result = client.get_topk("mhd", "vorticity", 0, k=5)
+        assert len(result) == 5
+        assert result.values[0] == pytest.approx(norm.max(), abs=1e-5)
+
+    def test_get_field_returns_norm_over_box(self, small_mhd, client):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        box = Box((0, 0, 0), (16, 16, 16))
+        array, seconds = client.get_field("mhd", "vorticity", 0, box)
+        assert array.shape == (16, 16, 16)
+        assert np.allclose(array, norm[:16, :16, :16], atol=1e-5)
+        assert seconds > 0
+
+    def test_get_velocity_gradient(self, small_mhd, client):
+        box = Box((0, 0, 0), (16, 16, 16))
+        tensor, seconds = client.get_velocity_gradient("mhd", 0, box)
+        assert tensor.shape == (16, 16, 16, 3, 3)
+        from repro.fields import gradient_tensor_periodic
+
+        velocity = small_mhd.field_array("velocity", 0).astype(np.float64)
+        expected = gradient_tensor_periodic(
+            velocity, small_mhd.spec.spacing, 4
+        )
+        assert np.allclose(tensor, expected[:16, :16, :16], atol=1e-4)
+
+
+class TestSuggestThreshold:
+    def test_suggested_threshold_hits_target_scale(self, small_mhd, client):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        for target in (50, 500):
+            threshold = client.suggest_threshold(
+                "mhd", "vorticity", 0, target_points=target
+            )
+            kept = int((norm >= threshold).sum())
+            assert kept <= target
+            # Not absurdly over-tight either: within ~one fine bin.
+            looser = int((norm >= threshold * 0.9).sum())
+            assert looser >= target * 0.2
+
+    def test_target_larger_than_grid_returns_zero(self, client):
+        assert client.suggest_threshold("mhd", "vorticity", 0, 10**9) == 0.0
+
+    def test_invalid_target(self, client):
+        with pytest.raises(ValueError):
+            client.suggest_threshold("mhd", "vorticity", 0, 0)
+
+    def test_suggestion_makes_query_admissible(self, client, mhd_cluster):
+        threshold = client.suggest_threshold(
+            "mhd", "vorticity", 0, target_points=200
+        )
+        result = mhd_cluster.threshold(
+            ThresholdQuery("mhd", "vorticity", 0, threshold),
+            max_points=200,
+        )
+        assert len(result) <= 200
+
+
+class TestLocalBaseline:
+    def test_matches_integrated_result(self, small_mhd, mhd_cluster):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        threshold = float(np.quantile(norm, 0.99))
+        integrated = mhd_cluster.threshold(
+            ThresholdQuery("mhd", "vorticity", 0, threshold), use_cache=False
+        )
+        local = local_threshold_evaluation(
+            mhd_cluster, "mhd", 0, threshold, chunk_side=16
+        )
+        assert np.array_equal(local.zindexes, integrated.zindexes)
+        assert np.allclose(local.values, integrated.values, atol=1e-6)
+
+    def test_subquery_count(self, mhd_cluster):
+        local = local_threshold_evaluation(
+            mhd_cluster, "mhd", 0, 1e9, chunk_side=16
+        )
+        assert local.subqueries == (32 // 16) ** 3
+        assert len(local) == 0
+
+    def test_bytes_downloaded_counts_gradient(self, mhd_cluster):
+        local = local_threshold_evaluation(
+            mhd_cluster, "mhd", 0, 1e9, chunk_side=32
+        )
+        assert local.bytes_downloaded == 32**3 * 9 * 4
+
+    def test_wan_dominates_local_cost(self, mhd_cluster):
+        local = local_threshold_evaluation(
+            mhd_cluster, "mhd", 0, 1e9, chunk_side=16
+        )
+        assert local.ledger[Category.MEDIATOR_USER] > 0.5 * local.elapsed
+
+    def test_invalid_chunk_side(self, mhd_cluster):
+        with pytest.raises(ValueError):
+            local_threshold_evaluation(mhd_cluster, "mhd", 0, 1.0, chunk_side=12)

@@ -1,0 +1,123 @@
+"""Tests for database nodes, ingest and the mediator's plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DatabaseNode, Mediator, MortonPartitioner, build_cluster
+from repro.costmodel import Category, CostLedger, paper_cluster
+from repro.grid import Box
+from repro.grid.atoms import atom_ranges_covering
+from repro.morton import encode
+from repro.simulation import blob_to_array, isotropic_dataset, mhd_dataset
+
+
+class TestDatabaseNode:
+    def test_register_dataset_creates_tables(self, small_mhd):
+        node = DatabaseNode(0, paper_cluster())
+        node.register_dataset(small_mhd.spec)
+        assert "atoms_mhd_velocity" in node.db.table_names
+        assert "atoms_mhd_magnetic" in node.db.table_names
+        assert "atoms_mhd_pressure" in node.db.table_names
+
+    def test_duplicate_dataset_rejected(self, small_mhd):
+        node = DatabaseNode(0, paper_cluster())
+        node.register_dataset(small_mhd.spec)
+        with pytest.raises(ValueError):
+            node.register_dataset(small_mhd.spec)
+
+    def test_unknown_dataset(self):
+        node = DatabaseNode(0, paper_cluster())
+        with pytest.raises(KeyError):
+            node.dataset("nope")
+
+    def test_store_and_read_atoms(self, small_mhd):
+        node = DatabaseNode(0, paper_cluster())
+        node.register_dataset(small_mhd.spec)
+        blob = b"\x00" * (8 * 8 * 8 * 3 * 4)
+        with node.db.transaction() as txn:
+            node.store_atom(txn, "mhd", "velocity", 0, 0, blob)
+            node.store_atom(txn, "mhd", "velocity", 0, 512, blob)
+            node.store_atom(txn, "mhd", "velocity", 1, 0, blob)
+        with node.db.transaction() as txn:
+            atoms = node.read_atoms_for_box(
+                txn, "mhd", "velocity", 0, Box((0, 0, 0), (16, 8, 8))
+            )
+        assert set(atoms) == {0, 512}
+
+    def test_serve_halo_charges_requester_ledger(self, mhd_cluster):
+        node = mhd_cluster.nodes[1]
+        ledger = CostLedger()
+        ranges = atom_ranges_covering(Box((0, 0, 0), (8, 8, 8)), 32)
+        node_of_atom = mhd_cluster.partitioner.node_of_atom(0)
+        peer = mhd_cluster.nodes[node_of_atom]
+        atoms = peer.serve_halo("mhd", "velocity", 0, ranges, ledger)
+        assert len(atoms) == 1
+        assert ledger[Category.IO] > 0
+
+
+class TestIngest:
+    def test_load_dataset_routes_atoms(self, small_mhd):
+        mediator = build_cluster(small_mhd, nodes=4, load=False)
+        stored = mediator.load_dataset(small_mhd, timesteps=[0], fields=["velocity"])
+        atoms_per_timestep = (32 // 8) ** 3
+        assert stored == atoms_per_timestep
+        # Every node holds exactly its share.
+        for node_id, node in enumerate(mediator.nodes):
+            with node.db.transaction() as txn:
+                count = node.db.table("atoms_mhd_velocity").count(txn)
+            assert count == atoms_per_timestep // 4
+
+    def test_ingested_blobs_decode_to_source(self, small_mhd):
+        mediator = build_cluster(small_mhd, nodes=2, load=False)
+        mediator.load_dataset(small_mhd, timesteps=[0], fields=["magnetic"])
+        source = small_mhd.field_array("magnetic", 0)
+        node = mediator.nodes[0]
+        with node.db.transaction() as txn:
+            row = node.db.table("atoms_mhd_magnetic").get(txn, (0, 0))
+        block = blob_to_array(row["blob"], 3)
+        assert np.array_equal(block, source[:8, :8, :8])
+
+    def test_side_mismatch_rejected(self, small_mhd):
+        other = isotropic_dataset(side=16)
+        mediator = build_cluster(small_mhd, nodes=2, load=False)
+        with pytest.raises(ValueError):
+            mediator.load_dataset(other)
+
+
+class TestMediatorPlumbing:
+    def test_node_count_must_match_partitioner(self, small_mhd):
+        nodes = [DatabaseNode(i, paper_cluster()) for i in range(2)]
+        with pytest.raises(ValueError):
+            Mediator(nodes, MortonPartitioner(32, 4))
+
+    def test_query_box_validation(self, mhd_cluster):
+        from repro.core import ThresholdQuery
+
+        query = ThresholdQuery(
+            "mhd", "vorticity", 0, 1.0, box=Box((0, 0, 0), (40, 8, 8))
+        )
+        with pytest.raises(ValueError):
+            mhd_cluster.threshold(query)
+
+    def test_cache_disabled_cluster(self, small_mhd):
+        mediator = build_cluster(small_mhd, nodes=2, cache_capacity_bytes=None)
+        assert all(cache is None for cache in mediator.caches)
+        from repro.core import ThresholdQuery
+
+        result = mediator.threshold(ThresholdQuery("mhd", "vorticity", 0, 2.0))
+        assert len(result) > 0
+        assert result.cache_hits == 0
+
+    def test_drop_cache_entries(self, mhd_cluster):
+        from repro.core import ThresholdQuery
+
+        mhd_cluster.threshold(ThresholdQuery("mhd", "vorticity", 0, 2.0))
+        dropped = mhd_cluster.drop_cache_entries("mhd", "vorticity", 0)
+        assert dropped == 8  # 4 nodes x 2 octant pieces each
+
+    def test_clear_caches(self, mhd_cluster):
+        from repro.core import ThresholdQuery
+
+        mhd_cluster.threshold(ThresholdQuery("mhd", "vorticity", 0, 2.0))
+        mhd_cluster.threshold(ThresholdQuery("mhd", "magnetic", 1, 1.0))
+        assert mhd_cluster.clear_caches() == 16

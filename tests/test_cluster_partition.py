@@ -1,0 +1,109 @@
+"""Tests for the Morton partitioner."""
+
+import pytest
+
+from repro.cluster import MortonPartitioner
+from repro.grid import Box
+from repro.grid.atoms import atom_code
+from repro.morton import encode
+
+
+class TestConstruction:
+    def test_supported_node_counts(self):
+        for nodes in (1, 2, 4, 8):
+            MortonPartitioner(32, nodes)
+
+    def test_unsupported_node_count(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner(32, 3)
+
+    def test_invalid_domain(self):
+        with pytest.raises(ValueError):
+            MortonPartitioner(24, 4)
+        with pytest.raises(ValueError):
+            MortonPartitioner(4, 1)  # not an atom multiple
+
+
+class TestRanges:
+    def test_ranges_partition_curve(self):
+        part = MortonPartitioner(32, 4)
+        total = 0
+        for node_id in range(4):
+            total += len(part.node_ranges(node_id))
+        assert total == 32**3
+
+    def test_node_of_code_consistent_with_ranges(self):
+        part = MortonPartitioner(16, 8)
+        for node_id in range(8):
+            rng = part.node_ranges(node_id)
+            assert part.node_of_code(rng.start) == node_id
+            assert part.node_of_code(rng.stop - 1) == node_id
+
+    def test_out_of_domain_code_rejected(self):
+        part = MortonPartitioner(16, 2)
+        with pytest.raises(ValueError):
+            part.node_of_code(16**3)
+
+    def test_atoms_of_node(self):
+        part = MortonPartitioner(32, 4)
+        assert part.atoms_of_node(0) == (32 // 8) ** 3 // 4
+
+
+class TestBoxes:
+    def test_single_node_owns_domain(self):
+        part = MortonPartitioner(16, 1)
+        assert part.node_boxes(0) == [Box.cube(16)]
+
+    def test_eight_nodes_own_octants(self):
+        part = MortonPartitioner(16, 8)
+        for node_id in range(8):
+            boxes = part.node_boxes(node_id)
+            assert len(boxes) == 1
+            assert boxes[0].shape == (8, 8, 8)
+
+    def test_boxes_tile_domain(self):
+        part = MortonPartitioner(16, 4)
+        total = sum(
+            box.volume for node in range(4) for box in part.node_boxes(node)
+        )
+        assert total == 16**3
+
+    def test_boxes_agree_with_code_ownership(self):
+        part = MortonPartitioner(16, 2)
+        for node_id in range(2):
+            for box in part.node_boxes(node_id):
+                corner_code = encode(*box.lo)
+                assert part.node_of_code(corner_code) == node_id
+
+    def test_node_of_point_via_atom(self):
+        part = MortonPartitioner(16, 8)
+        # Point (9, 1, 1) belongs to the atom at (8, 0, 0): octant 1.
+        assert part.node_of_point(9, 1, 1) == part.node_of_code(atom_code(9, 1, 1))
+
+    def test_invalid_node_id(self):
+        part = MortonPartitioner(16, 2)
+        with pytest.raises(ValueError):
+            part.node_boxes(2)
+
+
+class TestQueryBoxes:
+    def test_full_domain_query_covers_all_nodes(self):
+        part = MortonPartitioner(16, 4)
+        query = Box.cube(16)
+        for node_id in range(4):
+            pieces = part.query_boxes(node_id, query)
+            assert pieces == part.node_boxes(node_id)
+
+    def test_small_query_touches_one_node(self):
+        part = MortonPartitioner(16, 8)
+        query = Box((0, 0, 0), (4, 4, 4))
+        touched = [n for n in range(8) if part.query_boxes(n, query)]
+        assert touched == [0]
+
+    def test_query_pieces_tile_query(self):
+        part = MortonPartitioner(16, 8)
+        query = Box((2, 3, 4), (13, 14, 15))
+        pieces = [
+            piece for n in range(8) for piece in part.query_boxes(n, query)
+        ]
+        assert sum(p.volume for p in pieces) == query.volume

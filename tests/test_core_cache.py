@@ -1,0 +1,235 @@
+"""Tests for the semantic cache's containment, dominance, LRU and FKs."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CacheLookup, SemanticCache
+from repro.costmodel import Category, paper_cluster
+from repro.costmodel.devices import HddArraySpec, SsdSpec
+from repro.grid import Box
+from repro.morton import encode_array
+from repro.storage import Database, StorageDevice
+
+
+def make_cache(capacity_bytes=1 << 20, point_record_bytes=20):
+    db = Database("cachehost")
+    db.add_device(StorageDevice("hdd", HddArraySpec(), Category.IO))
+    db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+    return db, SemanticCache(db, capacity_bytes, point_record_bytes)
+
+
+def points_in_box(box, count, value=10.0, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.integers(box.lo[0], box.hi[0], count)
+    ys = rng.integers(box.lo[1], box.hi[1], count)
+    zs = rng.integers(box.lo[2], box.hi[2], count)
+    zindexes = np.unique(encode_array(xs, ys, zs))
+    values = np.linspace(value, value * 2, len(zindexes))
+    return zindexes, values
+
+
+BOX = Box((0, 0, 0), (16, 16, 16))
+
+
+class TestLookupSemantics:
+    def test_empty_cache_misses(self):
+        db, cache = make_cache()
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, 5.0)
+        assert not lookup.hit and lookup.stale_ordinal is None
+
+    def test_exact_hit(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 50)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, 5.0)
+        assert lookup.hit
+        assert np.array_equal(np.sort(lookup.zindexes), np.sort(zindexes))
+
+    def test_higher_threshold_hits_and_filters(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 60)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+        cut = float(np.median(values))
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, cut)
+        assert lookup.hit
+        assert (lookup.values >= cut).all()
+        assert len(lookup.values) == int((values >= cut).sum())
+
+    def test_lower_threshold_is_stale_miss(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 10)
+        with db.transaction() as txn:
+            ordinal = cache.store(
+                txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values
+            )
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, 2.0)
+        assert not lookup.hit
+        assert lookup.stale_ordinal == ordinal
+
+    def test_contained_region_hits_and_clips(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 200, seed=3)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+        sub = Box((4, 4, 4), (12, 12, 12))
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, sub, 5.0)
+        assert lookup.hit
+        from repro.morton import decode_array
+
+        x, y, z = decode_array(lookup.zindexes)
+        assert (x >= 4).all() and (x < 12).all()
+        assert (y >= 4).all() and (z < 12).all()
+
+    def test_disjoint_region_misses(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 10)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+        other = Box((16, 16, 16), (32, 32, 32))
+        with db.transaction() as txn:
+            assert not cache.lookup(txn, "mhd", "vorticity", 0, other, 5.0).hit
+
+    def test_different_key_dimensions_miss(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 10)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+        with db.transaction() as txn:
+            assert not cache.lookup(txn, "mhd", "vorticity", 1, BOX, 5.0).hit
+            assert not cache.lookup(txn, "mhd", "q_criterion", 0, BOX, 5.0).hit
+            assert not cache.lookup(txn, "iso", "vorticity", 0, BOX, 5.0).hit
+
+    def test_hit_results_sorted_by_zindex(self):
+        db, cache = make_cache()
+        zindexes, values = points_in_box(BOX, 100, seed=9)
+        shuffled = np.random.default_rng(1).permutation(len(zindexes))
+        with db.transaction() as txn:
+            cache.store(
+                txn, "mhd", "vorticity", 0, BOX, 5.0,
+                zindexes[shuffled], values[shuffled],
+            )
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, 5.0)
+        assert (np.diff(lookup.zindexes.astype(np.int64)) > 0).all()
+
+
+class TestStoreAndReplace:
+    def test_store_replaces_stale_entry(self):
+        db, cache = make_cache()
+        z1, v1 = points_in_box(BOX, 10)
+        with db.transaction() as txn:
+            stale = cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, z1, v1)
+        z2, v2 = points_in_box(BOX, 30, seed=5)
+        with db.transaction() as txn:
+            cache.store(
+                txn, "mhd", "vorticity", 0, BOX, 2.0, z2, v2,
+                replace_ordinal=stale,
+            )
+            assert cache.entry_count(txn) == 1
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "vorticity", 0, BOX, 2.0)
+        assert lookup.hit and len(lookup.zindexes) == len(z2)
+
+    def test_store_mismatched_arrays_rejected(self):
+        db, cache = make_cache()
+        with db.transaction() as txn:
+            with pytest.raises(ValueError):
+                cache.store(
+                    txn, "mhd", "vorticity", 0, BOX, 5.0,
+                    np.array([1], np.uint64), np.array([], np.float64),
+                )
+            txn.abort()
+
+    def test_oversized_result_rejected(self):
+        db, cache = make_cache(capacity_bytes=100)
+        zindexes, values = points_in_box(BOX, 50)
+        with db.transaction() as txn:
+            with pytest.raises(ValueError):
+                cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+            txn.abort()
+
+    def test_used_bytes_accounting(self):
+        db, cache = make_cache(point_record_bytes=20)
+        zindexes, values = points_in_box(BOX, 40)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, zindexes, values)
+            assert cache.used_bytes(txn) == len(zindexes) * 20
+
+
+class TestLruEviction:
+    def test_least_recently_used_evicted_first(self):
+        db, cache = make_cache(capacity_bytes=3000, point_record_bytes=20)
+        boxes = [Box((i * 4, 0, 0), ((i + 1) * 4, 4, 4)) for i in range(4)]
+        # Three entries of ~50 points x 20 B = ~1000 B each fill the cache.
+        for t, box in enumerate(boxes[:3]):
+            z, v = points_in_box(box, 100, seed=t)
+            z, v = z[:50], v[:50]
+            with db.transaction() as txn:
+                cache.store(txn, "mhd", "vorticity", t, box, 5.0, z, v)
+        # Touch entry 0 so entry for t=1 becomes LRU.
+        with db.transaction() as txn:
+            assert cache.lookup(txn, "mhd", "vorticity", 0, boxes[0], 5.0).hit
+        z, v = points_in_box(boxes[3], 100, seed=9)
+        z, v = z[:50], v[:50]
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 3, boxes[3], 5.0, z, v)
+        with db.transaction() as txn:
+            assert cache.lookup(txn, "mhd", "vorticity", 0, boxes[0], 5.0).hit
+            assert not cache.lookup(txn, "mhd", "vorticity", 1, boxes[1], 5.0).hit
+            assert cache.lookup(txn, "mhd", "vorticity", 3, boxes[3], 5.0).hit
+
+    def test_eviction_cascades_to_cache_data(self):
+        db, cache = make_cache(capacity_bytes=1200, point_record_bytes=20)
+        z1, v1 = points_in_box(BOX, 100, seed=1)
+        z1, v1 = z1[:50], v1[:50]
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 0, BOX, 5.0, z1, v1)
+        z2, v2 = points_in_box(BOX, 100, seed=2)
+        z2, v2 = z2[:50], v2[:50]
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "vorticity", 1, BOX, 5.0, z2, v2)
+        with db.transaction() as txn:
+            data_rows = db.table("cacheData").count(txn)
+            assert data_rows == len(z2)  # first entry's rows cascaded away
+
+
+class TestMaintenance:
+    def test_drop_timestep(self):
+        db, cache = make_cache()
+        for t in range(3):
+            z, v = points_in_box(BOX, 10, seed=t)
+            with db.transaction() as txn:
+                cache.store(txn, "mhd", "vorticity", t, BOX, 5.0, z, v)
+        assert cache.drop_timestep("mhd", "vorticity", 1) == 1
+        with db.transaction() as txn:
+            assert cache.entry_count(txn) == 2
+            assert not cache.lookup(txn, "mhd", "vorticity", 1, BOX, 5.0).hit
+
+    def test_clear(self):
+        db, cache = make_cache()
+        for t in range(2):
+            z, v = points_in_box(BOX, 5, seed=t)
+            with db.transaction() as txn:
+                cache.store(txn, "mhd", "vorticity", t, BOX, 5.0, z, v)
+        assert cache.clear() == 2
+        with db.transaction() as txn:
+            assert cache.entry_count(txn) == 0
+            assert db.table("cacheData").count(txn) == 0
+
+    def test_capacity_validation(self):
+        db = Database()
+        db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+        with pytest.raises(ValueError):
+            SemanticCache(db, capacity_bytes=0)
+
+    def test_cache_tables_live_on_ssd_device(self):
+        db, cache = make_cache()
+        info = db.table("cacheInfo")
+        assert info._device.category is Category.CACHE_LOOKUP

@@ -1,0 +1,112 @@
+"""Tests for PDF and top-k queries."""
+
+import numpy as np
+import pytest
+
+from repro.core import PdfQuery, TopKQuery
+from repro.costmodel import Category
+from tests.test_core_threshold import ground_truth_norm
+
+
+class TestPdf:
+    def test_counts_match_ground_truth(self, small_mhd, mhd_cluster):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        edges = tuple(np.linspace(0, norm.max() * 0.9, 10))
+        result = mhd_cluster.pdf(PdfQuery("mhd", "vorticity", 0, edges))
+        expected, _ = np.histogram(norm, bins=np.append(edges, np.inf))
+        assert np.array_equal(result.counts, expected)
+        assert result.total_points <= norm.size
+
+    def test_total_points_counts_everything_above_first_edge(self, small_mhd, mhd_cluster):
+        result = mhd_cluster.pdf(
+            PdfQuery("mhd", "vorticity", 0, (0.0, 1.0, 2.0))
+        )
+        assert result.total_points == 32**3
+
+    def test_pdf_of_raw_field(self, small_mhd, mhd_cluster):
+        norm = ground_truth_norm(small_mhd, "magnetic", 1)
+        edges = tuple(np.linspace(0, norm.max(), 8))
+        result = mhd_cluster.pdf(PdfQuery("mhd", "magnetic", 1, edges))
+        expected, _ = np.histogram(norm, bins=np.append(edges, np.inf))
+        assert np.array_equal(result.counts, expected)
+
+    def test_pdf_charges_io_and_compute(self, mhd_cluster):
+        mhd_cluster.drop_page_caches()
+        result = mhd_cluster.pdf(PdfQuery("mhd", "vorticity", 0, (0.0, 5.0)))
+        assert result.ledger[Category.IO] > 0
+        assert result.ledger[Category.COMPUTE] > 0
+
+    def test_edge_validation(self):
+        with pytest.raises(ValueError):
+            PdfQuery("mhd", "vorticity", 0, (1.0,))
+        with pytest.raises(ValueError):
+            PdfQuery("mhd", "vorticity", 0, (2.0, 1.0))
+
+
+class TestTopK:
+    def test_topk_matches_ground_truth(self, small_mhd, mhd_cluster):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        k = 25
+        result = mhd_cluster.topk(TopKQuery("mhd", "vorticity", 0, k))
+        assert len(result) == k
+        expected = np.sort(norm.ravel())[-k:][::-1]
+        assert np.allclose(result.values, expected, atol=1e-5)
+        # Values arrive in descending order, coordinates consistent.
+        assert (np.diff(result.values) <= 1e-12).all()
+        coords = result.coordinates()
+        for (x, y, z), value in zip(coords.tolist(), result.values.tolist()):
+            assert norm[x, y, z] == pytest.approx(value, abs=1e-5)
+
+    def test_k_larger_than_domain(self, small_mhd, mhd_cluster):
+        result = mhd_cluster.topk(TopKQuery("mhd", "magnetic", 0, 10))
+        assert len(result) == 10
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            TopKQuery("mhd", "vorticity", 0, 0)
+
+    def test_topk_served_from_threshold_cache(self, small_mhd, mhd_cluster):
+        """A dominating cached entry answers top-k without raw I/O."""
+        from repro.core import ThresholdQuery
+        from repro.costmodel import Category
+
+        norm = ground_truth_norm(small_mhd, "vorticity", 1)
+        # Cache a low-threshold entry with plenty of points per node.
+        low = float(np.quantile(norm, 0.9))
+        mhd_cluster.threshold(ThresholdQuery("mhd", "vorticity", 1, low))
+        mhd_cluster.drop_page_caches()
+        k = 10
+        result = mhd_cluster.topk(TopKQuery("mhd", "vorticity", 1, k))
+        expected = np.sort(norm.ravel())[-k:][::-1]
+        assert np.allclose(result.values, expected, atol=1e-5)
+        assert result.ledger[Category.IO] == 0.0  # answered from SSD cache
+
+    def test_topk_with_small_cache_entry_recomputes(self, small_mhd, mhd_cluster):
+        """Entries with fewer than k points cannot answer top-k."""
+        from repro.core import ThresholdQuery
+        from repro.costmodel import Category
+
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        high = float(np.quantile(norm, 0.9999))  # only a few points cached
+        mhd_cluster.drop_cache_entries("mhd", "vorticity", 0)
+        mhd_cluster.threshold(ThresholdQuery("mhd", "vorticity", 0, high))
+        mhd_cluster.drop_page_caches()
+        k = 100
+        result = mhd_cluster.topk(TopKQuery("mhd", "vorticity", 0, k))
+        expected = np.sort(norm.ravel())[-k:][::-1]
+        assert np.allclose(result.values, expected, atol=1e-5)
+        assert result.ledger[Category.IO] > 0.0  # needed the raw data
+
+    def test_topk_equals_threshold_at_kth_value(self, small_mhd, mhd_cluster):
+        """Top-k and thresholding at the k-th value agree (paper §1)."""
+        from repro.core import ThresholdQuery
+
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        k = 50
+        kth = np.sort(norm.ravel())[-k]
+        topk = mhd_cluster.topk(TopKQuery("mhd", "vorticity", 0, k))
+        thresh = mhd_cluster.threshold(
+            ThresholdQuery("mhd", "vorticity", 0, float(kth)), use_cache=False
+        )
+        assert set(topk.zindexes.tolist()) <= set(thresh.zindexes.tolist())
+        assert len(thresh) >= k

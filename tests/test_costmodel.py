@@ -1,0 +1,184 @@
+"""Tests for the cost ledger and device models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.costmodel import (
+    Category,
+    ClusterSpec,
+    CostLedger,
+    CpuSpec,
+    HddArraySpec,
+    NetworkSpec,
+    SsdSpec,
+    paper_cluster,
+)
+
+
+class TestCostLedger:
+    def test_starts_empty(self):
+        ledger = CostLedger()
+        assert ledger.total == 0.0
+        assert all(ledger[cat] == 0.0 for cat in Category)
+
+    def test_charge_accumulates(self):
+        ledger = CostLedger()
+        ledger.charge(Category.IO, 1.5)
+        ledger.charge(Category.IO, 0.5)
+        assert ledger[Category.IO] == 2.0
+        assert ledger.total == 2.0
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            CostLedger().charge(Category.IO, -1.0)
+
+    def test_serial_composition_sums(self):
+        a = CostLedger({Category.IO: 1.0, Category.COMPUTE: 2.0})
+        b = CostLedger({Category.IO: 3.0})
+        a.add(b)
+        assert a[Category.IO] == 4.0
+        assert a[Category.COMPUTE] == 2.0
+
+    def test_parallel_composition_takes_max_per_category(self):
+        a = CostLedger({Category.IO: 1.0, Category.COMPUTE: 5.0})
+        b = CostLedger({Category.IO: 3.0, Category.COMPUTE: 2.0})
+        combined = CostLedger.parallel([a, b])
+        assert combined[Category.IO] == 3.0
+        assert combined[Category.COMPUTE] == 5.0
+
+    def test_parallel_of_nothing_is_zero(self):
+        assert CostLedger.parallel([]).total == 0.0
+
+    def test_scaled(self):
+        ledger = CostLedger({Category.IO: 2.0}).scaled(2.5)
+        assert ledger[Category.IO] == 5.0
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CostLedger().scaled(-1)
+
+    def test_copy_is_independent(self):
+        a = CostLedger({Category.IO: 1.0})
+        b = a.copy()
+        b.charge(Category.IO, 1.0)
+        assert a[Category.IO] == 1.0
+
+    def test_breakdown_names(self):
+        bd = CostLedger({Category.CACHE_LOOKUP: 0.1}).breakdown()
+        assert bd["cache_lookup"] == 0.1
+        assert set(bd) == {c.value for c in Category}
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=8))
+    def test_parallel_never_exceeds_serial(self, times):
+        branches = [CostLedger({Category.IO: t}) for t in times]
+        par = CostLedger.parallel(branches)
+        assert par[Category.IO] == max(times)
+        assert par[Category.IO] <= sum(times)
+
+
+class TestSsd:
+    def test_read_time_scales_with_bytes(self):
+        ssd = SsdSpec(read_mib_s=100.0, latency_s=0.0)
+        assert ssd.read_time(100 * (1 << 20)) == pytest.approx(1.0)
+
+    def test_latency_per_seek(self):
+        ssd = SsdSpec(read_mib_s=100.0, latency_s=0.001)
+        assert ssd.read_time(0, seeks=5) == pytest.approx(0.005)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SsdSpec(read_mib_s=0)
+
+
+class TestHddArray:
+    def test_single_stream_base_rate(self):
+        hdd = HddArraySpec(stream_mib_s=50.0, seek_s=0.0)
+        assert hdd.read_time(50 * (1 << 20)) == pytest.approx(1.0)
+
+    def test_parallel_gain_saturates(self):
+        hdd = HddArraySpec(stream_mib_s=50.0, parallel_gain=0.8)
+        t1 = hdd.aggregate_throughput(1)
+        t2 = hdd.aggregate_throughput(2)
+        t8 = hdd.aggregate_throughput(8)
+        assert t1 < t2 < t8
+        assert t8 < t1 * (1 + 0.8)  # never exceeds the asymptote
+
+    def test_two_streams_gain(self):
+        hdd = HddArraySpec(stream_mib_s=100.0, parallel_gain=0.8)
+        assert hdd.aggregate_throughput(2) == pytest.approx(140.0)
+
+    def test_read_time_decreases_sublinearly_with_streams(self):
+        hdd = HddArraySpec(seek_s=0.0)
+        nbytes = 1 << 30
+        t1 = hdd.read_time(nbytes, streams=1)
+        t4 = hdd.read_time(nbytes, streams=4)
+        assert t4 < t1
+        assert t4 > t1 / 4  # far from linear speedup: shared disks
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            HddArraySpec().read_time(1, streams=0)
+
+    def test_invalid_gain(self):
+        with pytest.raises(ValueError):
+            HddArraySpec(parallel_gain=1.5)
+
+
+class TestNetwork:
+    def test_inflation_applies_to_bytes(self):
+        net = NetworkSpec(bandwidth_mib_s=1.0, latency_s=0.0, inflation=5.0)
+        assert net.transfer_time(1 << 20) == pytest.approx(5.0)
+
+    def test_latency_per_round_trip(self):
+        net = NetworkSpec(bandwidth_mib_s=1000.0, latency_s=0.1)
+        assert net.transfer_time(0, round_trips=3) == pytest.approx(0.3)
+
+    def test_rejects_deflation(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(bandwidth_mib_s=1.0, inflation=0.5)
+
+
+class TestCpu:
+    def test_compute_time(self):
+        cpu = CpuSpec(units_per_s=1e6)
+        assert cpu.compute_time(2_000_000, 1.0) == pytest.approx(2.0)
+
+    def test_heavier_kernels_cost_more(self):
+        cpu = CpuSpec()
+        assert cpu.compute_time(1000, 1.8) > cpu.compute_time(1000, 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            CpuSpec().compute_time(-1, 1.0)
+
+
+class TestClusterSpec:
+    def test_paper_cluster_defaults(self):
+        spec = paper_cluster()
+        assert spec.hdd.arrays == 4
+        assert spec.wan.inflation > 1.0
+
+    def test_with_overrides(self):
+        spec = paper_cluster().with_overrides(point_record_bytes=32)
+        assert spec.point_record_bytes == 32
+        assert paper_cluster().point_record_bytes == 20
+
+    def test_calibration_single_process_io_near_paper(self):
+        """One process reads ~3 GiB (one node's 1024^3 share) in ~2 min."""
+        spec = paper_cluster()
+        node_share = (1024**3 // 4) * 3 * 4  # points x 3 comps x float32
+        t = spec.hdd.read_time(node_share, seeks=10, streams=1)
+        assert 90 <= t <= 180  # Fig. 8 I/O-only bar at 1 process (~130 s)
+
+    def test_calibration_compute_near_paper(self):
+        """Vorticity kernel over one node's share: ~2 min single-process."""
+        spec = paper_cluster()
+        t = spec.cpu.compute_time(1024**3 // 4, 1.0)
+        assert 90 <= t <= 180
+
+
+def test_cluster_spec_is_immutable():
+    spec = ClusterSpec()
+    with pytest.raises(AttributeError):
+        spec.point_record_bytes = 10

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples run to completion.
+
+Only the two fastest examples run in the default suite; the full set is
+exercised manually (`python examples/<name>.py`) and by the benchmarks.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=240,
+    )
+
+
+@pytest.mark.parametrize("name", ["quickstart.py", "webservice_demo.py"])
+def test_example_runs(name):
+    result = run_example(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip()
+
+
+def test_all_examples_exist_and_are_documented():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 3  # the deliverable minimum (we ship more)
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith('"""'), f"{script.name} lacks a docstring"
+        assert "def main" in text

@@ -1,0 +1,96 @@
+"""Fuzzing the expression compiler: no input may crash it.
+
+Hypothesis generates both random grammar-shaped expressions (which must
+compile and evaluate to finite scalars) and arbitrary junk (which must
+raise :class:`ExpressionError`, never anything else).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fields.expressions import ExpressionError, compile_expression
+
+
+def scalar_exprs():
+    """Recursively generated well-typed scalar expressions."""
+    vector = st.recursive(
+        st.sampled_from(["velocity", "magnetic"]).map(lambda f: (f, f)),
+        lambda children: children.flatmap(
+            lambda child: st.just((f"curl({child[0]})", child[1]))
+        ),
+        max_leaves=3,
+    )
+    scalar_of_vector = vector.flatmap(
+        lambda v: st.sampled_from(
+            [f"norm({v[0]})", f"abs(q({v[0]}))", f"abs(r({v[0]}))",
+             f"abs(div({v[0]}))"]
+        ).map(lambda s: (s, v[1]))
+    )
+    base = st.one_of(
+        scalar_of_vector,
+        st.just(("abs(pressure)", "pressure")),
+        st.just(("norm(grad(pressure))", "pressure")),
+    )
+
+    def combine(children):
+        return st.tuples(children, children, st.sampled_from("+-*")).flatmap(
+            lambda pair: (
+                st.just((f"({pair[0][0]}) {pair[2]} ({pair[1][0]})", pair[0][1]))
+                if pair[0][1] == pair[1][1]
+                else st.just(pair[0])
+            )
+        )
+
+    return st.recursive(base, combine, max_leaves=3)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expr=scalar_exprs(), scale=st.floats(0.25, 4.0))
+def test_generated_expressions_compile_and_evaluate(expr, scale):
+    text, source = expr
+    text = f"({text}) * {scale:.3f}"
+    compiled = compile_expression(text)
+    assert compiled.source == source
+    derived = compiled.as_derived_field("fuzz")
+    rng = np.random.default_rng(0)
+    ncomp = compiled.source_components
+    field = rng.normal(size=(12, 12, 12, ncomp))
+    margin = derived.halo(4)
+    block = (
+        np.pad(field, [(margin,) * 2] * 3 + [(0, 0)], mode="wrap")
+        if margin
+        else field
+    )
+    norm = derived.norm(block, 0.5, 4)
+    assert norm.shape == (12, 12, 12)
+    assert np.isfinite(norm).all()
+    assert (norm >= 0).all()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    text=st.text(
+        alphabet="abcdefgnorm curlqdiv()+-*.0123456789_,",
+        max_size=40,
+    )
+)
+def test_junk_never_crashes(text):
+    """Arbitrary text either compiles or raises ExpressionError."""
+    try:
+        compile_expression(text)
+    except ExpressionError:
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(depth=st.integers(1, 4))
+def test_nested_curl_halo_scales_with_depth(depth):
+    text = "velocity"
+    for _ in range(depth):
+        text = f"curl({text})"
+    compiled = compile_expression(f"norm({text})")
+    assert compiled.depth == depth
+    derived = compiled.as_derived_field(f"curl{depth}")
+    assert derived.halo(4) == 2 * depth

@@ -1,0 +1,169 @@
+"""Tests for the declarative derived-field expression language."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.fields import default_registry
+from repro.fields.expressions import (
+    ExpressionError,
+    compile_expression,
+)
+from repro.fields.finite_difference import kernel_half_width
+
+
+def padded(field, margin):
+    if margin == 0:
+        return field
+    pads = [(margin,) * 2] * 3 + [(0, 0)]
+    return np.pad(field, pads, mode="wrap")
+
+
+def evaluate(text, field, spacing=0.5, order=4):
+    expression = compile_expression(text)
+    derived = expression.as_derived_field("test")
+    block = padded(field, derived.halo(order))
+    return derived.norm(block, spacing, order), derived
+
+
+@pytest.fixture(scope="module")
+def velocity():
+    rng = np.random.default_rng(3)
+    return rng.normal(size=(16, 16, 16, 3))
+
+
+class TestCompilation:
+    def test_vorticity_expression(self):
+        expression = compile_expression("norm(curl(velocity))")
+        assert expression.source == "velocity"
+        assert expression.depth == 1
+        assert expression.units_per_point > 1.0
+
+    def test_nested_depth(self):
+        expression = compile_expression("norm(curl(curl(velocity)))")
+        assert expression.depth == 2
+
+    def test_grad_of_scalar(self):
+        expression = compile_expression("norm(grad(pressure))")
+        assert expression.source == "pressure"
+        assert expression.source_components == 1
+
+    def test_syntax_errors(self):
+        for bad in ("norm(curl(velocity)", "norm curl velocity", "", "1 +"):
+            with pytest.raises(ExpressionError):
+                compile_expression(bad)
+
+    def test_type_errors(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("curl(pressure)")  # scalar into curl
+        with pytest.raises(ExpressionError):
+            compile_expression("abs(velocity)")  # vector into abs
+        with pytest.raises(ExpressionError):
+            compile_expression("curl(velocity)")  # vector result
+        with pytest.raises(ExpressionError):
+            compile_expression("velocity + velocity")
+
+    def test_unknown_names(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("norm(curl(vorticity))")
+        with pytest.raises(ExpressionError):
+            compile_expression("enstrophy(velocity)")
+
+    def test_constant_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("1 + 2")
+
+    def test_multiple_sources_rejected(self):
+        with pytest.raises(ExpressionError):
+            compile_expression("norm(velocity) + norm(magnetic)")
+
+    def test_raw_scalar_allowed(self):
+        expression = compile_expression("abs(pressure)")
+        assert expression.depth == 0
+
+
+class TestEvaluation:
+    def test_matches_builtin_vorticity(self, velocity):
+        norm, derived = evaluate("norm(curl(velocity))", velocity)
+        builtin = default_registry().get("vorticity")
+        block = padded(velocity, builtin.halo(4))
+        expected = builtin.norm(block, 0.5, 4)
+        assert norm.shape == (16, 16, 16)
+        assert np.allclose(norm, expected, atol=1e-10)
+
+    def test_matches_builtin_q(self, velocity):
+        norm, _ = evaluate("abs(q(velocity))", velocity)
+        builtin = default_registry().get("q_criterion")
+        block = padded(velocity, builtin.halo(4))
+        assert np.allclose(norm, builtin.norm(block, 0.5, 4), atol=1e-10)
+
+    def test_scaling_literal(self, velocity):
+        half_norm, _ = evaluate("norm(curl(velocity)) * 0.5", velocity)
+        full_norm, _ = evaluate("norm(curl(velocity))", velocity)
+        assert np.allclose(half_norm, 0.5 * full_norm, atol=1e-12)
+
+    def test_sum_of_invariants(self, velocity):
+        combined, _ = evaluate("abs(q(velocity)) + abs(r(velocity))", velocity)
+        q, _ = evaluate("abs(q(velocity))", velocity)
+        r, _ = evaluate("abs(r(velocity))", velocity)
+        assert np.allclose(combined, q + r, atol=1e-10)
+
+    def test_divergence_of_solenoidal_is_small(self):
+        from repro.simulation import solenoidal_field
+
+        field = solenoidal_field(16, seed=1, dtype=np.float64)
+        norm, _ = evaluate("abs(div(velocity))", field, spacing=2 * np.pi / 16, order=8)
+        vorticity, _ = evaluate(
+            "norm(curl(velocity))", field, spacing=2 * np.pi / 16, order=8
+        )
+        assert norm.mean() < 0.1 * vorticity.mean()
+
+    def test_nested_curl_halo(self, velocity):
+        """curl(curl(v)) needs a doubled halo and produces finite values."""
+        norm, derived = evaluate("norm(curl(curl(velocity)))", velocity)
+        assert derived.halo(4) == 2 * kernel_half_width(4)
+        assert np.isfinite(norm).all()
+
+    def test_grad_pressure(self):
+        rng = np.random.default_rng(5)
+        pressure = rng.normal(size=(16, 16, 16, 1))
+        norm, _ = evaluate("norm(grad(pressure))", pressure)
+        assert norm.shape == (16, 16, 16)
+        assert (norm >= 0).all()
+
+
+class TestEndToEnd:
+    def test_expression_field_in_cluster_query(self, small_mhd):
+        """An expression field thresholds identically to its builtin twin."""
+        from repro.cluster import build_cluster
+
+        registry = default_registry()
+        registry.register_expression("my_vorticity", "norm(curl(velocity))")
+        mediator = build_cluster(small_mhd, nodes=2, registry=registry)
+
+        builtin = mediator.threshold(
+            ThresholdQuery("mhd", "vorticity", 0, 3.0), use_cache=False
+        )
+        custom = mediator.threshold(
+            ThresholdQuery("mhd", "my_vorticity", 0, 3.0), use_cache=False
+        )
+        assert np.array_equal(builtin.zindexes, custom.zindexes)
+        assert np.allclose(builtin.values, custom.values, atol=1e-6)
+
+    def test_registry_register_expression_rejects_duplicates(self):
+        registry = default_registry()
+        registry.register_expression("x1", "abs(pressure)")
+        with pytest.raises(ValueError):
+            registry.register_expression("x1", "abs(pressure)")
+
+    def test_expression_field_is_cacheable(self, small_mhd):
+        from repro.cluster import build_cluster
+
+        registry = default_registry()
+        registry.register_expression("current_like", "norm(curl(magnetic))")
+        mediator = build_cluster(small_mhd, nodes=2, registry=registry)
+        query = ThresholdQuery("mhd", "current_like", 0, 3.0)
+        first = mediator.threshold(query)
+        second = mediator.threshold(query)
+        assert second.cache_hits == 2
+        assert np.array_equal(first.zindexes, second.zindexes)

@@ -1,0 +1,214 @@
+"""Tests for finite differences and differential operators."""
+
+import numpy as np
+import pytest
+
+from repro.fields import (
+    SUPPORTED_ORDERS,
+    curl_interior,
+    curl_periodic,
+    derivative_interior,
+    derivative_periodic,
+    divergence_periodic,
+    fd_coefficients,
+    gradient_tensor_interior,
+    gradient_tensor_periodic,
+    kernel_half_width,
+)
+from repro.fields.operators import (
+    q_criterion_from_gradient,
+    r_invariant_from_gradient,
+)
+
+SIDE = 32
+SPACING = 2 * np.pi / SIDE
+
+
+def grid():
+    coords = np.arange(SIDE) * SPACING
+    return np.meshgrid(coords, coords, coords, indexing="ij")
+
+
+class TestCoefficients:
+    def test_supported_orders(self):
+        for order in SUPPORTED_ORDERS:
+            coeffs = fd_coefficients(order)
+            assert len(coeffs) == order // 2
+
+    def test_unsupported_order(self):
+        with pytest.raises(ValueError):
+            fd_coefficients(3)
+
+    def test_half_width(self):
+        assert kernel_half_width(2) == 1
+        assert kernel_half_width(4) == 2
+        assert kernel_half_width(8) == 4
+
+    def test_fourth_order_matches_paper_eq2(self):
+        # Paper Eq. 2: 2/3 (f+1 - f-1) - 1/12 (f+2 - f-2).
+        assert fd_coefficients(4) == (2 / 3, -1 / 12)
+
+    def test_coefficients_are_consistent(self):
+        # A centred first-derivative stencil must reproduce d(x)/dx = 1:
+        # sum_k c_k * 2k = 1.
+        for order in SUPPORTED_ORDERS:
+            total = sum(2 * k * c for k, c in enumerate(fd_coefficients(order), 1))
+            assert total == pytest.approx(1.0)
+
+
+class TestPeriodicDerivative:
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_derivative_of_sine(self, order):
+        x, _, _ = grid()
+        data = np.sin(x)
+        out = derivative_periodic(data, 0, SPACING, order)
+        error = np.max(np.abs(out - np.cos(x)))
+        assert error < 10.0 ** (-(order - 1))
+
+    def test_higher_order_is_more_accurate(self):
+        x, _, _ = grid()
+        data = np.sin(3 * x)
+        errors = [
+            np.max(np.abs(derivative_periodic(data, 0, SPACING, o) - 3 * np.cos(3 * x)))
+            for o in SUPPORTED_ORDERS
+        ]
+        assert errors == sorted(errors, reverse=True)
+
+    def test_axis_selection(self):
+        _, y, _ = grid()
+        data = np.sin(y)
+        out = derivative_periodic(data, 1, SPACING, 4)
+        assert np.allclose(out, np.cos(y), atol=1e-3)
+        assert np.allclose(derivative_periodic(data, 0, SPACING, 4), 0, atol=1e-10)
+
+    def test_constant_has_zero_derivative(self):
+        data = np.full((8, 8, 8), 3.14)
+        assert np.allclose(derivative_periodic(data, 2, 1.0, 4), 0)
+
+    def test_invalid_arguments(self):
+        data = np.zeros((8, 8, 8))
+        with pytest.raises(ValueError):
+            derivative_periodic(data, 3, 1.0)
+        with pytest.raises(ValueError):
+            derivative_periodic(data, 0, 0.0)
+
+    def test_trailing_component_axes_pass_through(self):
+        x, _, _ = grid()
+        data = np.stack([np.sin(x), np.cos(x)], axis=-1)
+        out = derivative_periodic(data, 0, SPACING, 4)
+        assert np.allclose(out[..., 0], np.cos(x), atol=1e-3)
+        assert np.allclose(out[..., 1], -np.sin(x), atol=1e-3)
+
+
+class TestInteriorDerivative:
+    @pytest.mark.parametrize("order", SUPPORTED_ORDERS)
+    def test_matches_periodic_on_interior(self, order):
+        x, y, z = grid()
+        data = np.sin(x) * np.cos(2 * y) + np.sin(z)
+        margin = kernel_half_width(order)
+        padded = np.pad(data, margin, mode="wrap")
+        interior = derivative_interior(padded, 0, SPACING, order)
+        full = derivative_periodic(data, 0, SPACING, order)
+        assert np.allclose(interior, full, atol=1e-10)
+
+    def test_margin_larger_than_stencil(self):
+        x, _, _ = grid()
+        data = np.sin(x)
+        padded = np.pad(data, 4, mode="wrap")
+        out = derivative_interior(padded, 0, SPACING, 2, margin=4)
+        assert out.shape == data.shape
+        assert np.allclose(out, np.cos(x), atol=1e-1)
+
+    def test_margin_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            derivative_interior(np.zeros((10, 10, 10)), 0, 1.0, 8, margin=1)
+
+    def test_block_thinner_than_halo_rejected(self):
+        with pytest.raises(ValueError):
+            derivative_interior(np.zeros((3, 10, 10)), 0, 1.0, 4)
+
+
+class TestCurl:
+    def test_curl_of_known_field(self):
+        # v = (0, 0, sin(x)) -> curl = (0, -cos(x), 0)... wait:
+        # curl = (dvz/dy - dvy/dz, dvx/dz - dvz/dx, dvy/dx - dvx/dy)
+        x, _, _ = grid()
+        field = np.zeros(x.shape + (3,))
+        field[..., 2] = np.sin(x)
+        curl = curl_periodic(field, SPACING, 4)
+        assert np.allclose(curl[..., 0], 0, atol=1e-10)
+        assert np.allclose(curl[..., 1], -np.cos(x), atol=1e-3)
+        assert np.allclose(curl[..., 2], 0, atol=1e-10)
+
+    def test_curl_of_gradient_vanishes(self):
+        x, y, z = grid()
+        phi = np.sin(x) * np.cos(y) * np.sin(2 * z)
+        gradient = np.stack(
+            [derivative_periodic(phi, ax, SPACING, 8) for ax in range(3)], axis=-1
+        )
+        curl = curl_periodic(gradient, SPACING, 8)
+        assert np.max(np.abs(curl)) < 1e-4
+
+    def test_interior_matches_periodic(self):
+        rng = np.random.default_rng(0)
+        field = rng.normal(size=(16, 16, 16, 3))
+        margin = kernel_half_width(4)
+        padded = np.pad(field, [(margin,) * 2] * 3 + [(0, 0)], mode="wrap")
+        interior = curl_interior(padded, 1.0, 4)
+        full = curl_periodic(field, 1.0, 4)
+        assert np.allclose(interior, full, atol=1e-10)
+
+    def test_rejects_non_vector(self):
+        with pytest.raises(ValueError):
+            curl_periodic(np.zeros((8, 8, 8)), 1.0)
+
+
+class TestGradientTensorAndInvariants:
+    def test_tensor_shape_and_values(self):
+        x, y, _ = grid()
+        field = np.zeros(x.shape + (3,))
+        field[..., 0] = np.sin(y)  # dvx/dy = cos(y)
+        tensor = gradient_tensor_periodic(field, SPACING, 4)
+        assert tensor.shape == x.shape + (3, 3)
+        assert np.allclose(tensor[..., 0, 1], np.cos(y), atol=1e-3)
+        assert np.allclose(tensor[..., 1, 0], 0, atol=1e-10)
+
+    def test_interior_matches_periodic(self):
+        rng = np.random.default_rng(1)
+        field = rng.normal(size=(16, 16, 16, 3))
+        margin = kernel_half_width(6)
+        padded = np.pad(field, [(margin,) * 2] * 3 + [(0, 0)], mode="wrap")
+        interior = gradient_tensor_interior(padded, 1.0, 6)
+        assert np.allclose(interior, gradient_tensor_periodic(field, 1.0, 6), atol=1e-10)
+
+    def test_q_criterion_of_pure_rotation_positive(self):
+        # Solid-body rotation: A = [[0, -w, 0], [w, 0, 0], [0, 0, 0]].
+        omega = 2.0
+        tensor = np.zeros((4, 4, 4, 3, 3))
+        tensor[..., 0, 1] = -omega
+        tensor[..., 1, 0] = omega
+        q = q_criterion_from_gradient(tensor)
+        assert np.allclose(q, omega**2)
+
+    def test_q_criterion_of_pure_strain_negative(self):
+        tensor = np.zeros((2, 2, 2, 3, 3))
+        tensor[..., 0, 0] = 1.0
+        tensor[..., 1, 1] = -1.0
+        q = q_criterion_from_gradient(tensor)
+        assert np.all(q < 0)
+
+    def test_r_invariant_is_negative_determinant(self):
+        rng = np.random.default_rng(2)
+        tensor = rng.normal(size=(3, 3, 3, 3, 3))
+        r = r_invariant_from_gradient(tensor)
+        assert np.allclose(r, -np.linalg.det(tensor))
+
+
+class TestDivergence:
+    def test_divergence_of_solenoidal_projection(self):
+        from repro.simulation import solenoidal_field
+
+        field = solenoidal_field(SIDE, seed=5, dtype=np.float64)
+        div = divergence_periodic(field, SPACING, 8)
+        scale = np.sqrt(np.mean(np.sum(field**2, axis=-1)))
+        assert np.max(np.abs(div)) / scale < 0.35  # FD residual of spectral solenoidality

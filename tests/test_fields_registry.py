@@ -1,0 +1,123 @@
+"""Tests for the derived-field registry."""
+
+import numpy as np
+import pytest
+
+from repro.fields import (
+    DerivedField,
+    FieldRegistry,
+    UnknownFieldError,
+    curl_periodic,
+    default_registry,
+    kernel_half_width,
+)
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return default_registry()
+
+
+def padded_block(field, margin):
+    if margin == 0:
+        return field
+    return np.pad(field, [(margin,) * 2] * 3 + [(0, 0)], mode="wrap")
+
+
+class TestRegistry:
+    def test_stock_fields_present(self, registry):
+        for name in (
+            "vorticity",
+            "q_criterion",
+            "r_invariant",
+            "electric_current",
+            "magnetic",
+            "velocity",
+            "pressure",
+        ):
+            assert name in registry
+
+    def test_unknown_field(self, registry):
+        with pytest.raises(UnknownFieldError):
+            registry.get("enstrophy")
+
+    def test_duplicate_registration_rejected(self):
+        registry = FieldRegistry()
+        field = default_registry().get("vorticity")
+        registry.register(field)
+        with pytest.raises(ValueError):
+            registry.register(field)
+
+    def test_names_sorted(self, registry):
+        assert registry.names() == sorted(registry.names())
+
+    def test_halo_of_differential_fields(self, registry):
+        assert registry.get("vorticity").halo(4) == 2
+        assert registry.get("q_criterion").halo(8) == 4
+
+    def test_halo_of_raw_fields_is_zero(self, registry):
+        assert registry.get("magnetic").halo(4) == 0
+        assert registry.get("pressure").halo(8) == 0
+
+    def test_sources(self, registry):
+        assert registry.get("vorticity").source == "velocity"
+        assert registry.get("electric_current").source == "magnetic"
+
+    def test_compute_costs_ordering(self, registry):
+        """Q-criterion must cost more than vorticity; raw fields ~nothing."""
+        vorticity = registry.get("vorticity").units_per_point
+        q = registry.get("q_criterion").units_per_point
+        raw = registry.get("magnetic").units_per_point
+        assert q > vorticity > raw
+
+
+class TestNormKernels:
+    def test_vorticity_norm_matches_curl(self, registry):
+        rng = np.random.default_rng(0)
+        velocity = rng.normal(size=(16, 16, 16, 3))
+        spacing, order = 0.5, 4
+        field = registry.get("vorticity")
+        block = padded_block(velocity, field.halo(order))
+        norm = field.norm(block, spacing, order)
+        expected = np.linalg.norm(curl_periodic(velocity, spacing, order), axis=-1)
+        assert norm.shape == (16, 16, 16)
+        assert np.allclose(norm, expected, atol=1e-10)
+
+    def test_q_criterion_norm_is_nonnegative(self, registry):
+        rng = np.random.default_rng(1)
+        velocity = rng.normal(size=(16, 16, 16, 3))
+        field = registry.get("q_criterion")
+        block = padded_block(velocity, field.halo(4))
+        norm = field.norm(block, 0.5, 4)
+        assert (norm >= 0).all()
+
+    def test_raw_vector_norm(self, registry):
+        field = registry.get("magnetic")
+        block = np.zeros((4, 4, 4, 3))
+        block[..., 0] = 3.0
+        block[..., 1] = 4.0
+        assert np.allclose(field.norm(block, 1.0, 4), 5.0)
+
+    def test_raw_scalar_norm_is_abs(self, registry):
+        field = registry.get("pressure")
+        block = np.full((4, 4, 4, 1), -2.5)
+        assert np.allclose(field.norm(block, 1.0, 4), 2.5)
+
+    def test_electric_current_uses_magnetic_source(self, registry):
+        rng = np.random.default_rng(2)
+        magnetic = rng.normal(size=(12, 12, 12, 3))
+        field = registry.get("electric_current")
+        block = padded_block(magnetic, field.halo(2))
+        norm = field.norm(block, 1.0, 2)
+        expected = np.linalg.norm(curl_periodic(magnetic, 1.0, 2), axis=-1)
+        assert np.allclose(norm, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("order", [2, 4, 6, 8])
+    def test_vorticity_norm_all_orders(self, registry, order):
+        rng = np.random.default_rng(3)
+        velocity = rng.normal(size=(20, 20, 20, 3))
+        field = registry.get("vorticity")
+        block = padded_block(velocity, field.halo(order))
+        norm = field.norm(block, 1.0, order)
+        assert norm.shape == (20, 20, 20)
+        assert np.isfinite(norm).all()

@@ -1,0 +1,119 @@
+"""Tests for atom decomposition and slab partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import ATOM_SIDE, Box, atom_box, atom_count, atoms_covering, snap_to_atoms, split_slabs
+from repro.grid.atoms import ATOM_VOLUME, atom_code, atom_ranges_covering
+from repro.morton import decode, encode
+
+
+class TestAtoms:
+    def test_snap_to_atoms(self):
+        box = Box((3, 8, 15), (9, 16, 17))
+        assert snap_to_atoms(box) == Box((0, 8, 8), (16, 16, 24))
+
+    def test_atom_box_round_trip(self):
+        code = encode(8, 16, 24)
+        box = atom_box(code)
+        assert box.lo == (8, 16, 24)
+        assert box.shape == (ATOM_SIDE,) * 3
+
+    def test_atom_box_rejects_unaligned_code(self):
+        with pytest.raises(ValueError):
+            atom_box(encode(1, 0, 0))
+
+    def test_atom_count(self):
+        assert atom_count(32) == 64
+
+    def test_atom_count_rejects_unaligned_domain(self):
+        with pytest.raises(ValueError):
+            atom_count(30)
+
+    def test_atoms_covering_full_domain(self):
+        codes = list(atoms_covering(Box.cube(16), 16))
+        assert len(codes) == atom_count(16)
+        assert codes == sorted(codes)
+
+    def test_atoms_covering_sub_box(self):
+        # A box inside one atom needs exactly that atom.
+        codes = list(atoms_covering(Box((1, 1, 1), (4, 4, 4)), 32))
+        assert codes == [0]
+
+    def test_atoms_covering_straddling_box(self):
+        codes = set(atoms_covering(Box((6, 6, 6), (10, 10, 10)), 32))
+        expected = {
+            encode(x, y, z)
+            for x in (0, 8)
+            for y in (0, 8)
+            for z in (0, 8)
+        }
+        assert codes == expected
+
+    def test_atom_ranges_are_grid_point_scaled(self):
+        ranges = atom_ranges_covering(Box.cube(16), 16)
+        assert len(ranges) == 1
+        assert len(ranges[0]) == 16**3
+
+    def test_atom_code(self):
+        assert atom_code(9, 17, 25) == encode(8, 16, 24)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.tuples(*[st.integers(0, 31)] * 3), st.tuples(*[st.integers(1, 16)] * 3))
+    def test_covering_atoms_exactly_cover_box(self, lo, shape):
+        side = 64
+        hi = tuple(min(l + s, side) for l, s in zip(lo, shape))
+        box = Box(lo, hi)
+        codes = set(atoms_covering(box, side))
+        # Every grid point of the box lies in some listed atom...
+        for x, y, z in box.iter_points():
+            assert atom_code(x, y, z) in codes
+        # ...and every listed atom intersects the box.
+        for code in codes:
+            assert atom_box(code).intersection(box) is not None
+
+
+class TestSlabs:
+    def test_single_part_returns_box(self):
+        box = Box.cube(32)
+        assert split_slabs(box, 1) == [box]
+
+    def test_slabs_partition_box(self):
+        box = Box.cube(64)
+        slabs = split_slabs(box, 4)
+        assert len(slabs) == 4
+        assert sum(s.volume for s in slabs) == box.volume
+        for a, b in zip(slabs, slabs[1:]):
+            assert a.intersection(b) is None
+
+    def test_cuts_along_longest_axis(self):
+        box = Box((0, 0, 0), (8, 64, 8))
+        slabs = split_slabs(box, 2)
+        assert all(s.shape[0] == 8 and s.shape[2] == 8 for s in slabs)
+
+    def test_alignment(self):
+        slabs = split_slabs(Box.cube(64), 3)
+        for slab in slabs:
+            assert all(l % ATOM_SIDE == 0 for l in slab.lo)
+
+    def test_thin_box_yields_fewer_slabs(self):
+        slabs = split_slabs(Box.cube(8), 4)
+        assert len(slabs) == 1
+
+    def test_empty_box(self):
+        assert split_slabs(Box((0, 0, 0), (0, 4, 4)), 4) == []
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            split_slabs(Box.cube(8), 0)
+        with pytest.raises(ValueError):
+            split_slabs(Box.cube(8), 2, align=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(1, 8), st.integers(1, 16))
+    def test_partition_property(self, parts, blocks):
+        box = Box((0, 0, 0), (8, 8, 8 * blocks))
+        slabs = split_slabs(box, parts)
+        assert sum(s.volume for s in slabs) == box.volume
+        assert 1 <= len(slabs) <= parts

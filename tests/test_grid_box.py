@@ -1,0 +1,132 @@
+"""Tests for Box geometry and periodic wrapping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import Box
+
+
+class TestBoxBasics:
+    def test_shape_and_volume(self):
+        box = Box((1, 2, 3), (4, 6, 9))
+        assert box.shape == (3, 4, 6)
+        assert box.volume == 72
+
+    def test_cube_constructor(self):
+        assert Box.cube(8) == Box((0, 0, 0), (8, 8, 8))
+
+    def test_from_corners_round_trips(self):
+        box = Box.from_corners((1, 2, 3, 4, 5, 6))
+        assert box.as_corners() == (1, 2, 3, 4, 5, 6)
+
+    def test_from_corners_requires_six(self):
+        with pytest.raises(ValueError):
+            Box.from_corners((1, 2, 3))
+
+    def test_invalid_corners_rejected(self):
+        with pytest.raises(ValueError):
+            Box((0, 0, 0), (1, -1, 1))
+
+    def test_empty_box(self):
+        assert Box((2, 2, 2), (2, 5, 5)).is_empty
+
+    def test_contains_point_half_open(self):
+        box = Box((0, 0, 0), (4, 4, 4))
+        assert box.contains_point((0, 0, 0))
+        assert box.contains_point((3, 3, 3))
+        assert not box.contains_point((4, 0, 0))
+
+    def test_contains_box(self):
+        outer = Box((0, 0, 0), (10, 10, 10))
+        assert outer.contains_box(Box((2, 2, 2), (5, 5, 5)))
+        assert outer.contains_box(outer)
+        assert not outer.contains_box(Box((2, 2, 2), (5, 5, 11)))
+
+    def test_empty_box_contained_everywhere(self):
+        assert Box((0, 0, 0), (1, 1, 1)).contains_box(Box((9, 9, 9), (9, 9, 9)))
+
+
+class TestBoxOperations:
+    def test_intersection(self):
+        a = Box((0, 0, 0), (5, 5, 5))
+        b = Box((3, 3, 3), (8, 8, 8))
+        assert a.intersection(b) == Box((3, 3, 3), (5, 5, 5))
+
+    def test_disjoint_intersection_is_none(self):
+        a = Box((0, 0, 0), (2, 2, 2))
+        assert a.intersection(Box((2, 0, 0), (4, 2, 2))) is None
+
+    def test_expand(self):
+        box = Box((2, 2, 2), (4, 4, 4)).expand(3)
+        assert box == Box((-1, -1, -1), (7, 7, 7))
+
+    def test_expand_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Box.cube(4).expand(-1)
+
+    def test_translate(self):
+        assert Box.cube(2).translate((1, 2, 3)) == Box((1, 2, 3), (3, 4, 5))
+
+    def test_clip_to_domain(self):
+        box = Box((-2, 0, 6), (3, 4, 10))
+        assert box.clip_to_domain(8) == Box((0, 0, 6), (3, 4, 8))
+
+    def test_iter_points_order_and_count(self):
+        box = Box((0, 0, 0), (2, 2, 1))
+        assert list(box.iter_points()) == [(0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0)]
+
+
+class TestPeriodicWrap:
+    def test_interior_box_is_single_piece(self):
+        box = Box((1, 1, 1), (3, 3, 3))
+        pieces = list(box.wrap_periodic(8))
+        assert pieces == [(box, (0, 0, 0))]
+
+    def test_wrap_below_zero(self):
+        box = Box((-2, 0, 0), (2, 1, 1))
+        pieces = dict()
+        for piece, offset in box.wrap_periodic(8):
+            pieces[offset] = piece
+        assert pieces[(0, 0, 0)] == Box((6, 0, 0), (8, 1, 1))
+        assert pieces[(2, 0, 0)] == Box((0, 0, 0), (2, 1, 1))
+
+    def test_wrap_past_side(self):
+        box = Box((6, 6, 6), (10, 10, 10))
+        pieces = list(box.wrap_periodic(8))
+        assert len(pieces) == 8
+        total = sum(piece.volume for piece, _ in pieces)
+        assert total == box.volume
+
+    def test_wrap_rejects_oversized_box(self):
+        with pytest.raises(ValueError):
+            list(Box((0, 0, 0), (9, 1, 1)).wrap_periodic(8))
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.tuples(*[st.integers(-8, 8)] * 3),
+        st.tuples(*[st.integers(1, 8)] * 3),
+    )
+    def test_wrap_reconstructs_region(self, lo, shape):
+        """Stitching wrapped pieces reproduces the periodic extension."""
+        side = 8
+        domain = np.arange(side**3).reshape(side, side, side)  # [x, y, z]
+        box = Box(lo, tuple(l + s for l, s in zip(lo, shape)))
+        local = np.full(box.shape, -1)
+        for piece, offset in box.wrap_periodic(side):
+            sl_local = tuple(
+                slice(o, o + n) for o, n in zip(offset, piece.shape)
+            )
+            sl_domain = tuple(
+                slice(a, b) for a, b in zip(piece.lo, piece.hi)
+            )
+            local[sl_local] = domain[sl_domain]
+        # Compare against direct periodic indexing.
+        for idx in np.ndindex(*box.shape):
+            gx, gy, gz = (
+                (box.lo[0] + idx[0]) % side,
+                (box.lo[1] + idx[1]) % side,
+                (box.lo[2] + idx[2]) % side,
+            )
+            assert local[idx] == domain[gx, gy, gz]

@@ -1,0 +1,112 @@
+"""Tests for the landmark database (paper §7 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.core.landmarks import LandmarkDatabase
+from repro.costmodel import Category
+from repro.costmodel.devices import SsdSpec
+from repro.grid import Box
+from repro.storage import Database, StorageDevice
+from tests.test_core_threshold import ground_truth_norm
+
+
+@pytest.fixture()
+def landmark_host(mhd_cluster):
+    """A landmark database hosted next to node 0's cache tables."""
+    return LandmarkDatabase(mhd_cluster.nodes[0].db)
+
+
+@pytest.fixture()
+def recorded(small_mhd, mhd_cluster, landmark_host):
+    norm = ground_truth_norm(small_mhd, "vorticity", 0)
+    threshold = float(np.quantile(norm, 0.995))
+    query = ThresholdQuery("mhd", "vorticity", 0, threshold)
+    result = mhd_cluster.threshold(query, use_cache=False)
+    ids = landmark_host.record_threshold_result(
+        query, result, domain_side=32, min_size=2
+    )
+    return landmark_host, query, result, ids
+
+
+class TestRecording:
+    def test_records_clusters(self, recorded):
+        host, query, result, ids = recorded
+        assert len(ids) >= 1
+        assert host.count() == len(ids)
+
+    def test_empty_result_records_nothing(self, landmark_host):
+        from repro.costmodel import CostLedger
+        from repro.core.query import ThresholdResult
+
+        query = ThresholdQuery("mhd", "vorticity", 0, 1e9)
+        result = ThresholdResult(
+            np.empty(0, np.uint64), np.empty(0, np.float64), CostLedger()
+        )
+        assert landmark_host.record_threshold_result(query, result, 32) == []
+
+    def test_landmark_statistics_consistent(self, small_mhd, recorded):
+        host, query, result, _ = recorded
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        for lm in host.landmarks("mhd", "vorticity"):
+            x, y, z = lm.peak_location
+            assert norm[x, y, z] == pytest.approx(lm.peak_value, abs=1e-5)
+            assert lm.box.contains_point(lm.peak_location)
+            assert lm.threshold == pytest.approx(query.threshold)
+            assert lm.mean_value <= lm.peak_value + 1e-9
+            assert lm.point_count >= 2
+
+    def test_peak_is_global_max(self, recorded):
+        host, _, result, _ = recorded
+        best = host.most_intense("mhd", "vorticity", k=1)[0]
+        assert best.peak_value == pytest.approx(result.values.max(), abs=1e-9)
+
+
+class TestQuerying:
+    def test_sorted_by_peak(self, recorded):
+        host = recorded[0]
+        landmarks = host.landmarks("mhd", "vorticity")
+        peaks = [lm.peak_value for lm in landmarks]
+        assert peaks == sorted(peaks, reverse=True)
+
+    def test_filter_by_timestep(self, recorded):
+        host = recorded[0]
+        assert host.landmarks(timestep=0) == host.landmarks("mhd", "vorticity")
+        assert host.landmarks(timestep=1) == []
+
+    def test_filter_by_min_peak(self, recorded):
+        host = recorded[0]
+        all_landmarks = host.landmarks("mhd", "vorticity")
+        cut = all_landmarks[0].peak_value
+        assert len(host.landmarks("mhd", "vorticity", min_peak=cut)) == 1
+
+    def test_filter_by_field(self, recorded):
+        host = recorded[0]
+        assert host.landmarks("mhd", "q_criterion") == []
+
+    def test_in_region(self, recorded):
+        host = recorded[0]
+        everywhere = host.in_region(Box.cube(32))
+        assert len(everywhere) == host.count()
+        best = everywhere[0]
+        nowhere = [
+            lm
+            for lm in host.in_region(best.box)
+            if lm.landmark_id == best.landmark_id
+        ]
+        assert nowhere  # the landmark intersects its own box
+
+    def test_forget(self, recorded):
+        host, _, _, ids = recorded
+        assert host.forget(ids[0]) is True
+        assert host.forget(ids[0]) is False
+        assert host.count() == len(ids) - 1
+
+
+class TestStandaloneHost:
+    def test_works_on_dedicated_database(self):
+        db = Database("landmarks")
+        db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+        host = LandmarkDatabase(db)
+        assert host.count() == 0

@@ -1,0 +1,103 @@
+"""Unit and property tests for the Morton codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.morton import decode, decode_array, encode, encode_array
+from repro.morton.codec import MAX_COORD_BITS
+
+COORD = st.integers(min_value=0, max_value=(1 << MAX_COORD_BITS) - 1)
+
+
+class TestScalarCodec:
+    def test_origin_maps_to_zero(self):
+        assert encode(0, 0, 0) == 0
+
+    def test_unit_axes_interleave_in_xyz_order(self):
+        assert encode(1, 0, 0) == 0b001
+        assert encode(0, 1, 0) == 0b010
+        assert encode(0, 0, 1) == 0b100
+
+    def test_known_code(self):
+        # (3, 5, 1): x=011, y=101, z=001; per-bit (z y x) groups are
+        # bit2: 010, bit1: 001, bit0: 111 -> code 0b010_001_111.
+        assert encode(3, 5, 1) == 0b010001111
+
+    def test_decode_inverts_encode(self):
+        assert decode(encode(100, 200, 300)) == (100, 200, 300)
+
+    def test_max_coordinate_round_trips(self):
+        m = (1 << MAX_COORD_BITS) - 1
+        assert decode(encode(m, m, m)) == (m, m, m)
+
+    def test_negative_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            encode(-1, 0, 0)
+
+    def test_too_large_coordinate_rejected(self):
+        with pytest.raises(ValueError):
+            encode(1 << MAX_COORD_BITS, 0, 0)
+
+    def test_negative_code_rejected(self):
+        with pytest.raises(ValueError):
+            decode(-1)
+
+    def test_too_wide_code_rejected(self):
+        with pytest.raises(ValueError):
+            decode(1 << 63)
+
+    def test_x_varies_fastest_along_curve(self):
+        # The first 8 codes enumerate the unit cube with x fastest.
+        expected = [
+            (0, 0, 0), (1, 0, 0), (0, 1, 0), (1, 1, 0),
+            (0, 0, 1), (1, 0, 1), (0, 1, 1), (1, 1, 1),
+        ]
+        assert [decode(c) for c in range(8)] == expected
+
+
+class TestCodecProperties:
+    @given(COORD, COORD, COORD)
+    def test_round_trip(self, x, y, z):
+        assert decode(encode(x, y, z)) == (x, y, z)
+
+    @given(COORD, COORD, COORD, COORD, COORD, COORD)
+    def test_codes_are_unique(self, x1, y1, z1, x2, y2, z2):
+        if (x1, y1, z1) != (x2, y2, z2):
+            assert encode(x1, y1, z1) != encode(x2, y2, z2)
+
+    @given(st.integers(min_value=0, max_value=2**18 - 1))
+    def test_octant_locality(self, code):
+        # All 8 codes of one octant share the same parent cell coordinates.
+        base = code * 8
+        parents = {
+            tuple(c // 2 for c in decode(base + i)) for i in range(8)
+        }
+        assert len(parents) == 1
+
+
+class TestArrayCodec:
+    def test_matches_scalar_codec(self):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 1 << 12, size=(64, 3))
+        codes = encode_array(pts[:, 0], pts[:, 1], pts[:, 2])
+        expected = [encode(*map(int, p)) for p in pts]
+        assert codes.tolist() == expected
+
+    def test_decode_array_inverts(self):
+        codes = np.arange(4096, dtype=np.uint64)
+        x, y, z = decode_array(codes)
+        assert encode_array(x, y, z).tolist() == codes.tolist()
+
+    def test_preserves_shape(self):
+        x = np.zeros((3, 4), dtype=np.int64)
+        assert encode_array(x, x, x).shape == (3, 4)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            encode_array(np.array([-1]), np.array([0]), np.array([0]))
+
+    def test_empty_arrays(self):
+        out = encode_array(np.array([], int), np.array([], int), np.array([], int))
+        assert out.size == 0

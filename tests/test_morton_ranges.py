@@ -1,0 +1,120 @@
+"""Tests for Morton range covering and curve splitting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.morton import MortonRange, box_to_ranges, decode, encode, split_curve
+
+
+class TestMortonRange:
+    def test_length_and_membership(self):
+        rng = MortonRange(4, 10)
+        assert len(rng) == 6
+        assert 4 in rng and 9 in rng
+        assert 10 not in rng and 3 not in rng
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            MortonRange(5, 4)
+        with pytest.raises(ValueError):
+            MortonRange(-1, 4)
+
+    def test_overlap_and_intersection(self):
+        a, b = MortonRange(0, 10), MortonRange(5, 20)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert a.intersection(b) == MortonRange(5, 10)
+        assert a.intersection(MortonRange(10, 12)) is None
+
+
+class TestBoxToRanges:
+    def test_full_domain_is_single_range(self):
+        ranges = box_to_ranges((0, 0, 0), (8, 8, 8), 8)
+        assert ranges == [MortonRange(0, 512)]
+
+    def test_single_cell(self):
+        ranges = box_to_ranges((3, 5, 1), (4, 6, 2), 8)
+        assert ranges == [MortonRange(encode(3, 5, 1), encode(3, 5, 1) + 1)]
+
+    def test_empty_box(self):
+        assert box_to_ranges((2, 2, 2), (2, 5, 5), 8) == []
+
+    def test_octant_is_contiguous(self):
+        # The upper-corner octant of a side-8 domain is one range.
+        ranges = box_to_ranges((4, 4, 4), (8, 8, 8), 8)
+        assert len(ranges) == 1
+        assert len(ranges[0]) == 64
+
+    def test_rejects_non_power_of_two_domain(self):
+        with pytest.raises(ValueError):
+            box_to_ranges((0, 0, 0), (3, 3, 3), 12)
+
+    def test_rejects_box_outside_domain(self):
+        with pytest.raises(ValueError):
+            box_to_ranges((0, 0, 0), (9, 8, 8), 8)
+        with pytest.raises(ValueError):
+            box_to_ranges((-1, 0, 0), (4, 4, 4), 8)
+
+    def test_ranges_are_sorted_disjoint_nonadjacent(self):
+        ranges = box_to_ranges((1, 2, 3), (7, 6, 8), 8)
+        for a, b in zip(ranges, ranges[1:]):
+            assert a.stop < b.start  # merged, so a gap must separate them
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 16), min_size=6, max_size=6))
+    def test_cover_is_exact(self, corners):
+        lo = tuple(min(corners[i], corners[i + 3]) for i in range(3))
+        hi = tuple(max(corners[i], corners[i + 3]) for i in range(3))
+        ranges = box_to_ranges(lo, hi, 16)
+        covered = set()
+        for rng in ranges:
+            covered.update(range(rng.start, rng.stop))
+        expected = {
+            encode(x, y, z)
+            for x in range(lo[0], hi[0])
+            for y in range(lo[1], hi[1])
+            for z in range(lo[2], hi[2])
+        }
+        assert covered == expected
+
+    def test_plane_decomposes_into_expected_count(self):
+        # A 1-thick z-plane in a side-4 domain touches every z-column once.
+        ranges = box_to_ranges((0, 0, 0), (4, 4, 1), 4)
+        total = sum(len(r) for r in ranges)
+        assert total == 16
+
+
+class TestSplitCurve:
+    def test_partitions_whole_curve(self):
+        parts = split_curve(8, 4)
+        assert parts[0].start == 0
+        assert parts[-1].stop == 512
+        for a, b in zip(parts, parts[1:]):
+            assert a.stop == b.start
+
+    def test_near_equal_sizes(self):
+        parts = split_curve(8, 3)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 512
+
+    def test_single_part(self):
+        assert split_curve(4, 1) == [MortonRange(0, 64)]
+
+    def test_more_parts_than_codes_drops_empties(self):
+        parts = split_curve(1, 5)
+        assert parts == [MortonRange(0, 1)]
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            split_curve(8, 0)
+        with pytest.raises(ValueError):
+            split_curve(10, 2)
+
+    def test_power_of_two_split_aligns_to_octants(self):
+        parts = split_curve(8, 8)
+        assert all(len(p) == 64 for p in parts)
+        # Each part is then exactly one spatial octant.
+        for part in parts:
+            corner = decode(part.start)
+            assert all(c % 4 == 0 for c in corner)

@@ -1,0 +1,86 @@
+"""Tests for durable nodes: cache state survives a simulated crash."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import DatabaseNode
+from repro.core import ThresholdQuery
+from repro.core.cache import SemanticCache
+from repro.costmodel import Category, paper_cluster
+from repro.grid import Box
+from repro.morton import encode_array
+from repro.storage import StorageDevice
+from repro.storage.wal import WalKind, recover
+from repro.costmodel.devices import SsdSpec
+
+
+@pytest.fixture()
+def durable_node(small_mhd):
+    node = DatabaseNode(0, paper_cluster(), durable=True)
+    node.register_dataset(small_mhd.spec)
+    return node
+
+
+class TestDurableNode:
+    def test_atom_ingest_is_unlogged(self, durable_node):
+        blob = b"\x00" * (8**3 * 3 * 4)
+        with durable_node.db.transaction() as txn:
+            durable_node.store_atom(txn, "mhd", "velocity", 0, 0, blob)
+        # Bulk data loads append nothing (no COMMIT either: txn clean).
+        assert len(durable_node.db.wal) == 0
+
+    def test_cache_writes_are_logged(self, durable_node):
+        cache = SemanticCache(durable_node.db)
+        z = encode_array(np.array([1]), np.array([2]), np.array([3]))
+        with durable_node.db.transaction() as txn:
+            cache.store(
+                txn, "mhd", "vorticity", 0, Box.cube(8), 5.0,
+                z, np.array([7.0]),
+            )
+        kinds = {record.kind for record in durable_node.db.wal.records()}
+        assert WalKind.INSERT in kinds and WalKind.COMMIT in kinds
+
+    def test_cache_state_survives_crash(self, durable_node):
+        """Replaying the WAL restores cacheInfo/cacheData exactly."""
+        cache = SemanticCache(durable_node.db)
+        z = encode_array(np.arange(5), np.arange(5), np.arange(5))
+        values = np.linspace(5.0, 9.0, 5)
+        with durable_node.db.transaction() as txn:
+            cache.store(
+                txn, "mhd", "vorticity", 0, Box.cube(8), 5.0, z, values
+            )
+
+        # "Crash": rebuild the cache tables from the log alone.
+        replica = recover(
+            durable_node.db.wal,
+            [
+                (durable_node.db.table("cacheInfo").schema, "ssd"),
+                (durable_node.db.table("cacheData").schema, "ssd"),
+            ],
+            [StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP)],
+        )
+        with replica.transaction() as txn:
+            info_rows = list(replica.table("cacheInfo").scan(txn))
+            data_rows = list(replica.table("cacheData").scan(txn))
+        assert len(info_rows) == 1
+        assert info_rows[0]["threshold"] == 5.0
+        assert len(data_rows) == 5
+        assert sorted(r["dataValue"] for r in data_rows) == values.tolist()
+
+    def test_wal_flush_charges_query_ledger(self, durable_node, small_mhd, mhd_cluster):
+        """A durable node's cache update pays log-force time."""
+        from repro.costmodel import CostLedger
+
+        cache = SemanticCache(durable_node.db)
+        ledger = CostLedger()
+        z = encode_array(np.array([0]), np.array([0]), np.array([0]))
+        with durable_node.db.transaction(ledger) as txn:
+            cache.store(
+                txn, "mhd", "vorticity", 1, Box.cube(8), 2.0,
+                z, np.array([3.0]),
+            )
+        assert ledger[Category.CACHE_LOOKUP] > 0
+
+    def test_default_nodes_are_not_durable(self, small_mhd):
+        node = DatabaseNode(1, paper_cluster())
+        assert node.db.wal is None

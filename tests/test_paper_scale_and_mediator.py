@@ -1,0 +1,98 @@
+"""Tests for paper-scale spec scaling and mediator field endpoints."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import Category, paper_cluster, paper_scale_spec
+from repro.grid import Box
+from tests.test_core_threshold import ground_truth_norm
+
+
+class TestPaperScaleSpec:
+    def test_throughputs_scaled_by_volume_ratio(self):
+        base = paper_cluster()
+        scaled = paper_scale_spec(64, base)
+        factor = (1024 / 64) ** 3
+        assert scaled.hdd.stream_mib_s == pytest.approx(
+            base.hdd.stream_mib_s / factor
+        )
+        assert scaled.ssd.read_mib_s == pytest.approx(
+            base.ssd.read_mib_s / factor
+        )
+        assert scaled.wan.bandwidth_mib_s == pytest.approx(
+            base.wan.bandwidth_mib_s / factor
+        )
+        assert scaled.cpu.units_per_s == pytest.approx(
+            base.cpu.units_per_s / factor
+        )
+
+    def test_latencies_and_seeks_unscaled(self):
+        base = paper_cluster()
+        scaled = paper_scale_spec(64, base)
+        assert scaled.hdd.seek_s == base.hdd.seek_s
+        assert scaled.wan.latency_s == base.wan.latency_s
+        assert scaled.ssd.latency_s == base.ssd.latency_s
+
+    def test_interconnect_unscaled(self):
+        base = paper_cluster()
+        scaled = paper_scale_spec(64, base)
+        assert scaled.interconnect.bandwidth_mib_s == (
+            base.interconnect.bandwidth_mib_s
+        )
+
+    def test_full_size_is_identity(self):
+        base = paper_cluster()
+        same = paper_scale_spec(1024, base)
+        assert same.hdd.stream_mib_s == base.hdd.stream_mib_s
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paper_scale_spec(0)
+        with pytest.raises(ValueError):
+            paper_scale_spec(2048)
+
+    def test_read_time_is_scale_invariant(self):
+        """Reading a node's share charges the same seconds at any scale."""
+        base = paper_cluster()
+        for side in (64, 128, 256):
+            spec = paper_scale_spec(side, base)
+            share_bytes = (side**3 // 4) * 12  # velocity share on 4 nodes
+            seconds = spec.hdd.read_time(share_bytes, seeks=0)
+            full = base.hdd.read_time((1024**3 // 4) * 12, seeks=0)
+            assert seconds == pytest.approx(full, rel=1e-9)
+
+
+class TestMediatorFieldEndpoints:
+    def test_get_field_matches_ground_truth(self, small_mhd, mhd_cluster):
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        box = Box((4, 4, 4), (24, 20, 28))
+        array, ledger = mhd_cluster.get_field("mhd", "vorticity", 0, box)
+        assert array.shape == box.shape
+        assert np.allclose(array, norm[4:24, 4:20, 4:28], atol=1e-5)
+        assert ledger[Category.MEDIATOR_USER] > 0
+
+    def test_get_field_charges_compute_for_derived(self, mhd_cluster):
+        box = Box((0, 0, 0), (16, 16, 16))
+        _, ledger = mhd_cluster.get_field("mhd", "vorticity", 0, box)
+        assert ledger[Category.COMPUTE] > 0
+
+    def test_get_gradient_shape_and_cost(self, mhd_cluster):
+        box = Box((0, 0, 0), (16, 16, 16))
+        tensor, ledger = mhd_cluster.get_gradient("mhd", "velocity", 0, box)
+        assert tensor.shape == (16, 16, 16, 3, 3)
+        # 9 components cross the wire vs 1 for the norm: 9x the payload
+        # (per-request latency excluded).
+        _, norm_ledger = mhd_cluster.get_field("mhd", "vorticity", 0, box)
+        latency = mhd_cluster.spec.wan.latency_s
+        gradient_payload = ledger[Category.MEDIATOR_USER] - latency
+        norm_payload = norm_ledger[Category.MEDIATOR_USER] - latency
+        assert gradient_payload == pytest.approx(9 * norm_payload, rel=1e-6)
+
+    def test_gradient_spans_node_boundaries(self, small_mhd, mhd_cluster):
+        from repro.fields import gradient_tensor_periodic
+
+        box = Box((8, 8, 8), (24, 24, 24))  # crosses all octants
+        tensor, _ = mhd_cluster.get_gradient("mhd", "velocity", 0, box)
+        velocity = small_mhd.field_array("velocity", 0).astype(np.float64)
+        expected = gradient_tensor_periodic(velocity, small_mhd.spec.spacing, 4)
+        assert np.allclose(tensor, expected[8:24, 8:24, 8:24], atol=1e-4)

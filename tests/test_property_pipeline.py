@@ -1,0 +1,118 @@
+"""Property-based tests of the whole query pipeline against ground truth."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import build_cluster
+from repro.core import PdfQuery, ThresholdQuery, TopKQuery
+from repro.grid import Box
+from repro.simulation import isotropic_dataset
+from repro.fields import curl_periodic
+from repro.morton import encode_array
+
+SIDE = 32
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    dataset = isotropic_dataset(side=SIDE, timesteps=2, seed=21)
+    mediator = build_cluster(dataset, nodes=4)
+    velocity = dataset.field_array("velocity", 0).astype(np.float64)
+    norm = np.linalg.norm(
+        curl_periodic(velocity, dataset.spec.spacing, 4), axis=-1
+    )
+    return mediator, norm
+
+
+boxes = st.builds(
+    lambda lo, shape: Box(
+        lo, tuple(min(l + s, SIDE) for l, s in zip(lo, shape))
+    ),
+    st.tuples(*[st.integers(0, SIDE - 1)] * 3),
+    st.tuples(*[st.integers(1, SIDE)] * 3),
+)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(box=boxes, quantile=st.floats(0.5, 0.9999))
+def test_threshold_matches_ground_truth_on_any_box(pipeline, box, quantile):
+    """For arbitrary boxes and thresholds, the engine equals numpy."""
+    mediator, norm = pipeline
+    threshold = float(np.quantile(norm, quantile))
+    result = mediator.threshold(
+        ThresholdQuery("isotropic", "vorticity", 0, threshold, box=box),
+        use_cache=False,
+        max_points=SIDE**3 + 1,
+    )
+    region = norm[
+        box.lo[0]:box.hi[0], box.lo[1]:box.hi[1], box.lo[2]:box.hi[2]
+    ]
+    mask = region >= threshold
+    assert len(result) == mask.sum()
+    if mask.any():
+        ix, iy, iz = np.nonzero(mask)
+        expected = np.sort(
+            encode_array(ix + box.lo[0], iy + box.lo[1], iz + box.lo[2])
+        )
+        assert np.array_equal(result.zindexes, expected)
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    quantile_a=st.floats(0.9, 0.9999),
+    quantile_b=st.floats(0.9, 0.9999),
+)
+def test_cache_reuse_never_changes_answers(pipeline, quantile_a, quantile_b):
+    """Any interleaving of thresholds yields exactly the cold answer."""
+    mediator, norm = pipeline
+    for quantile in (quantile_a, quantile_b, quantile_a):
+        threshold = float(np.quantile(norm, quantile))
+        result = mediator.threshold(
+            ThresholdQuery("isotropic", "vorticity", 0, threshold),
+            max_points=SIDE**3 + 1,
+        )
+        assert len(result) == (norm >= threshold).sum()
+        assert (result.values >= threshold - 1e-12).all()
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(k=st.integers(1, 200))
+def test_topk_is_consistent_with_threshold(pipeline, k):
+    """top-k values equal the k largest ground-truth norms."""
+    mediator, norm = pipeline
+    result = mediator.topk(TopKQuery("isotropic", "vorticity", 0, k))
+    expected = np.sort(norm.ravel())[-k:][::-1]
+    assert np.allclose(result.values, expected, atol=1e-5)
+
+
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    edges=st.lists(
+        st.floats(0.0, 50.0), min_size=2, max_size=8, unique=True
+    ).map(lambda e: tuple(sorted(e)))
+)
+def test_pdf_counts_match_numpy_histogram(pipeline, edges):
+    mediator, norm = pipeline
+    result = mediator.pdf(
+        PdfQuery("isotropic", "vorticity", 0, edges), use_cache=False
+    )
+    expected, _ = np.histogram(norm, bins=np.append(np.asarray(edges), np.inf))
+    assert np.array_equal(result.counts, expected)

@@ -1,0 +1,52 @@
+"""Tests for the mediator's service statistics (cache hit ratios)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdQuery
+from tests.test_core_threshold import ground_truth_norm
+
+
+@pytest.fixture()
+def query(small_mhd):
+    norm = ground_truth_norm(small_mhd, "vorticity", 0)
+    return ThresholdQuery(
+        "mhd", "vorticity", 0, float(np.quantile(norm, 0.99))
+    )
+
+
+class TestServiceStatistics:
+    def test_starts_empty(self, mhd_cluster):
+        stats = mhd_cluster.statistics
+        assert stats.threshold_queries == 0
+        assert stats.cache_hit_ratio == 0.0
+
+    def test_counts_queries_and_hits(self, mhd_cluster, query):
+        mhd_cluster.threshold(query)  # miss
+        mhd_cluster.threshold(query)  # hit
+        mhd_cluster.threshold(query)  # hit
+        stats = mhd_cluster.statistics
+        assert stats.threshold_queries == 3
+        assert stats.node_queries == 12
+        assert stats.node_cache_hits == 8
+        assert stats.cache_hit_ratio == pytest.approx(8 / 12)
+
+    def test_points_and_seconds_accumulate(self, mhd_cluster, query):
+        first = mhd_cluster.threshold(query)
+        stats = mhd_cluster.statistics
+        assert stats.points_returned == len(first)
+        assert stats.simulated_seconds == pytest.approx(first.elapsed)
+        mhd_cluster.threshold(query)
+        assert stats.points_returned == 2 * len(first)
+
+    def test_structured_workload_reaches_high_hit_ratio(self, small_mhd, mhd_cluster):
+        """Paper §5.2: structured workloads produce high hit ratios."""
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        base = float(np.quantile(norm, 0.99))
+        # One cold exploration, then a structured sweep of refinements.
+        mhd_cluster.threshold(ThresholdQuery("mhd", "vorticity", 0, base))
+        for scale in (1.05, 1.1, 1.2, 1.3, 1.5, 2.0):
+            mhd_cluster.threshold(
+                ThresholdQuery("mhd", "vorticity", 0, base * scale)
+            )
+        assert mhd_cluster.statistics.cache_hit_ratio > 0.8

@@ -1,0 +1,57 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import build_cluster
+from repro.core import ThresholdQuery
+from repro.simulation import mhd_dataset
+from repro.simulation.io import load_dataset, save_dataset
+
+
+@pytest.fixture()
+def saved(tmp_path, small_mhd):
+    return save_dataset(small_mhd, tmp_path / "mhd32")
+
+
+class TestRoundTrip:
+    def test_spec_preserved(self, saved, small_mhd):
+        stored = load_dataset(saved)
+        assert stored.spec == small_mhd.spec
+
+    def test_arrays_identical(self, saved, small_mhd):
+        stored = load_dataset(saved)
+        for field in small_mhd.spec.fields:
+            for timestep in range(small_mhd.spec.timesteps):
+                assert np.array_equal(
+                    stored.field_array(field, timestep),
+                    small_mhd.field_array(field, timestep),
+                )
+
+    def test_validation(self, saved):
+        stored = load_dataset(saved)
+        with pytest.raises(KeyError):
+            stored.field_array("nope", 0)
+        with pytest.raises(ValueError):
+            stored.field_array("velocity", 99)
+
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "empty")
+
+    def test_corrupt_shape_detected(self, saved):
+        stored = load_dataset(saved)
+        np.save(saved / "velocity_0.npy", np.zeros((2, 2)))
+        with pytest.raises(ValueError, match="shape"):
+            stored.field_array("velocity", 0)
+
+
+class TestClusterIntegration:
+    def test_stored_dataset_feeds_a_cluster(self, saved, small_mhd):
+        stored = load_dataset(saved)
+        mediator = build_cluster(stored, nodes=2)
+        reference = build_cluster(small_mhd, nodes=2)
+        query = ThresholdQuery("mhd", "vorticity", 0, 3.0)
+        a = mediator.threshold(query, use_cache=False)
+        b = reference.threshold(query, use_cache=False)
+        assert np.array_equal(a.zindexes, b.zindexes)

@@ -1,0 +1,138 @@
+"""Tests for the B+-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get((1,)) is None
+        assert (1,) not in tree
+        assert list(tree.items()) == []
+
+    def test_insert_and_get(self):
+        tree = BPlusTree()
+        assert tree.insert((1,), "a") is True
+        assert tree.get((1,)) == "a"
+        assert (1,) in tree
+
+    def test_overwrite(self):
+        tree = BPlusTree()
+        tree.insert((1,), "a")
+        assert tree.insert((1,), "b") is False
+        assert tree.get((1,)) == "b"
+        assert len(tree) == 1
+
+    def test_insert_no_replace(self):
+        tree = BPlusTree()
+        tree.insert((1,), "a")
+        tree.insert((1,), "b", replace=False)
+        assert tree.get((1,)) == "a"
+
+    def test_delete(self):
+        tree = BPlusTree()
+        tree.insert((1,), "a")
+        assert tree.delete((1,)) is True
+        assert tree.get((1,)) is None
+        assert tree.delete((1,)) is False
+        assert len(tree) == 0
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_compound_keys(self):
+        tree = BPlusTree()
+        tree.insert((1, 100), "a")
+        tree.insert((1, 50), "b")
+        tree.insert((2, 1), "c")
+        assert [k for k, _ in tree.items()] == [(1, 50), (1, 100), (2, 1)]
+
+
+class TestScaling:
+    def test_many_inserts_stay_sorted(self):
+        tree = BPlusTree(order=8)
+        keys = list(range(1000))
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), k * 2)
+        assert len(tree) == 1000
+        assert [k for k, _ in tree.items()] == [(k,) for k in range(1000)]
+        assert tree.depth() > 1
+        tree.check_invariants()
+
+    def test_scan_range(self):
+        tree = BPlusTree(order=8)
+        for k in range(100):
+            tree.insert((k,), k)
+        got = [k[0] for k, _ in tree.scan((10,), (20,))]
+        assert got == list(range(10, 20))
+
+    def test_scan_inclusive_hi(self):
+        tree = BPlusTree()
+        for k in range(10):
+            tree.insert((k,), k)
+        got = [k[0] for k, _ in tree.scan((3,), (6,), include_hi=True)]
+        assert got == [3, 4, 5, 6]
+
+    def test_scan_unbounded(self):
+        tree = BPlusTree(order=8)
+        for k in range(50):
+            tree.insert((k,), k)
+        assert len(list(tree.scan())) == 50
+        assert [k[0] for k, _ in tree.scan(lo=(45,))] == [45, 46, 47, 48, 49]
+        assert [k[0] for k, _ in tree.scan(hi=(5,))] == [0, 1, 2, 3, 4]
+
+    def test_scan_prefix_bound(self):
+        tree = BPlusTree()
+        for t in range(3):
+            for z in range(5):
+                tree.insert((t, z), None)
+        got = [k for k, _ in tree.scan((1,), (2,))]
+        assert got == [(1, z) for z in range(5)]
+
+    def test_delete_interleaved_with_split(self):
+        tree = BPlusTree(order=4)
+        for k in range(200):
+            tree.insert((k,), k)
+        for k in range(0, 200, 2):
+            assert tree.delete((k,))
+        assert len(tree) == 100
+        assert [k[0] for k, _ in tree.items()] == list(range(1, 200, 2))
+        tree.check_invariants()
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(0, 500), max_size=300))
+    def test_matches_dict_semantics(self, ops):
+        tree = BPlusTree(order=6)
+        model = {}
+        for op in ops:
+            key = (op % 100,)
+            if op % 3 == 0 and key in model:
+                tree.delete(key)
+                del model[key]
+            else:
+                tree.insert(key, op)
+                model[key] = op
+        assert len(tree) == len(model)
+        assert dict(tree.items()) == model
+        tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 1000), max_size=200), st.integers(0, 1000), st.integers(0, 1000))
+    def test_range_scan_matches_filter(self, keys, a, b):
+        lo, hi = min(a, b), max(a, b)
+        tree = BPlusTree(order=5)
+        for k in keys:
+            tree.insert((k,), k)
+        got = [k[0] for k, _ in tree.scan((lo,), (hi,))]
+        assert got == sorted(k for k in keys if lo <= k < hi)

@@ -1,0 +1,153 @@
+"""Tests for heap files and the buffer pool's device charging."""
+
+import pytest
+
+from repro.costmodel import Category, CostLedger
+from repro.costmodel.devices import HddArraySpec, SsdSpec
+from repro.costmodel.ledger import METER_CACHE_BYTES, METER_IO_BYTES, METER_IO_SEEKS
+from repro.storage.bufferpool import BufferPool
+from repro.storage.database import StorageDevice
+from repro.storage.errors import StorageError
+from repro.storage.heap import PAGE_SIZE, HeapFile, RowId
+
+
+class TestHeapFile:
+    def test_append_and_get(self):
+        heap = HeapFile()
+        rid = heap.append(b"hello")
+        assert heap.get(rid) == b"hello"
+        assert heap.record_count == 1
+
+    def test_small_records_share_a_page(self):
+        heap = HeapFile()
+        rids = [heap.append(b"x" * 100) for _ in range(10)]
+        assert {r.page for r in rids} == {0}
+
+    def test_large_records_get_own_pages(self):
+        heap = HeapFile()
+        blob = b"x" * 6144  # one 8^3 x 3 x float32 atom
+        first, second = heap.append(blob), heap.append(blob)
+        assert first.page != second.page
+
+    def test_page_overflow_allocates(self):
+        heap = HeapFile()
+        for _ in range(3):
+            heap.append(b"y" * (PAGE_SIZE // 2))
+        assert heap.page_count >= 2
+
+    def test_delete_frees_slot(self):
+        heap = HeapFile()
+        rid = heap.append(b"gone")
+        heap.delete(rid)
+        assert heap.record_count == 0
+        with pytest.raises(StorageError):
+            heap.get(rid)
+        with pytest.raises(StorageError):
+            heap.delete(rid)
+
+    def test_invalid_rowid(self):
+        heap = HeapFile()
+        with pytest.raises(StorageError):
+            heap.get(RowId(5, 0))
+        heap.append(b"a")
+        with pytest.raises(StorageError):
+            heap.get(RowId(0, 7))
+
+
+def make_device(category=Category.IO):
+    spec = HddArraySpec() if category is Category.IO else SsdSpec()
+    return StorageDevice("dev", spec, category)
+
+
+class TestBufferPool:
+    def test_miss_charges_read(self):
+        pool = BufferPool(capacity_pages=8)
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0)
+        assert ledger[Category.IO] > 0
+        assert ledger.meter(METER_IO_BYTES) == PAGE_SIZE
+        assert ledger.meter(METER_IO_SEEKS) == 1
+
+    def test_hit_is_free(self):
+        pool = BufferPool(capacity_pages=8)
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0)
+        before = ledger[Category.IO]
+        pool.access(device, 0, 0)
+        assert ledger[Category.IO] == before
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_sequential_access_skips_seek(self):
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool = BufferPool(8)
+        pool.access(device, 0, 0, sequential=True)
+        assert ledger.meter(METER_IO_SEEKS) == 0
+
+    def test_eviction_respects_capacity(self):
+        pool = BufferPool(capacity_pages=2)
+        device = make_device()
+        device.bind_ledger(CostLedger())
+        for page in range(5):
+            pool.access(device, 0, page)
+        assert len(pool) == 2
+
+    def test_lru_eviction_order(self):
+        pool = BufferPool(capacity_pages=2)
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0)
+        pool.access(device, 0, 1)
+        pool.access(device, 0, 0)  # refresh page 0
+        pool.access(device, 0, 2)  # evicts page 1
+        misses_before = pool.misses
+        pool.access(device, 0, 0)  # still resident
+        assert pool.misses == misses_before
+
+    def test_dirty_eviction_charges_write(self):
+        pool = BufferPool(capacity_pages=1)
+        device = make_device(Category.CACHE_LOOKUP)
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0, dirty=True)
+        after_write = ledger[Category.CACHE_LOOKUP]
+        pool.access(device, 0, 1)  # evicts dirty page 0 -> write-back
+        assert ledger[Category.CACHE_LOOKUP] > after_write
+        assert ledger.meter(METER_CACHE_BYTES) == 3 * PAGE_SIZE
+
+    def test_flush_writes_dirty_once(self):
+        pool = BufferPool(8)
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0, dirty=True)
+        pool.flush(device)
+        after = ledger.meter(METER_IO_BYTES)
+        pool.flush(device)  # now clean: no further charge
+        assert ledger.meter(METER_IO_BYTES) == after
+
+    def test_clear_drops_without_charging(self):
+        pool = BufferPool(8)
+        device = make_device()
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        pool.access(device, 0, 0)
+        before = ledger.total
+        pool.clear()
+        assert len(pool) == 0
+        assert ledger.total == before
+
+    def test_unbound_ledger_charges_nothing(self):
+        pool = BufferPool(8)
+        device = make_device()
+        pool.access(device, 0, 0)  # must not raise
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(0)

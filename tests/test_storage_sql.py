@@ -1,0 +1,339 @@
+"""Tests for the SQL tokenizer, parser and executor."""
+
+import pytest
+
+from repro.costmodel import Category
+from repro.costmodel.devices import SsdSpec
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    SqlError,
+    StorageDevice,
+    TableSchema,
+)
+from repro.storage.sql import Condition, parse, tokenize
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+    database.create_table(
+        TableSchema(
+            "cacheInfo",
+            (
+                Column("ordinal", ColumnType.INTEGER),
+                Column("dataset", ColumnType.TEXT),
+                Column("field", ColumnType.TEXT),
+                Column("timestep", ColumnType.INTEGER),
+                Column("threshold", ColumnType.FLOAT),
+            ),
+            primary_key=("ordinal",),
+            indexes={"by_query": ("dataset", "field", "timestep")},
+        ),
+        device="ssd",
+    )
+    database.create_table(
+        TableSchema(
+            "cacheData",
+            (
+                Column("cacheInfoOrdinal", ColumnType.INTEGER),
+                Column("zindex", ColumnType.BIGINT),
+                Column("dataValue", ColumnType.FLOAT),
+            ),
+            primary_key=("cacheInfoOrdinal", "zindex"),
+        ),
+        device="ssd",
+    )
+    with database.transaction() as txn:
+        for i, (ds, f, t, k) in enumerate(
+            [
+                ("mhd", "vorticity", 0, 44.0),
+                ("mhd", "vorticity", 1, 60.0),
+                ("mhd", "q", 0, 10.0),
+                ("iso", "vorticity", 0, 30.0),
+            ]
+        ):
+            database.sql(
+                txn,
+                "INSERT INTO cacheInfo (ordinal, dataset, field, timestep, threshold)"
+                " VALUES (?, ?, ?, ?, ?)",
+                [i, ds, f, t, k],
+            )
+    return database
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = 5")
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["keyword", "punct", "keyword", "ident", "keyword", "ident", "op", "number"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("SELECT * FROM t WHERE a = 'it''s'")
+        assert tokens[-1].text == "'it''s'"
+
+    def test_qualified_name(self):
+        tokens = tokenize("SELECT * FROM cachedb..cacheInfo")
+        assert tokens[-1].text == "cachedb..cacheInfo"
+
+    def test_junk_rejected(self):
+        with pytest.raises(SqlError):
+            tokenize("SELECT # FROM t")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select * from t")
+        assert tokens[0].kind == "keyword" and tokens[0].text == "SELECT"
+
+
+class TestParser:
+    def test_select_star(self):
+        stmt, nparams = parse("SELECT * FROM cacheInfo")
+        assert stmt.columns is None and stmt.table == "cacheInfo"
+        assert nparams == 0
+
+    def test_select_columns_where_order_limit(self):
+        stmt, _ = parse(
+            "SELECT a, b FROM t WHERE x = 1 AND y >= 2.5 ORDER BY a DESC LIMIT 10"
+        )
+        assert stmt.columns == ["a", "b"]
+        assert stmt.where == [Condition("x", "=", 1), Condition("y", ">=", 2.5)]
+        assert stmt.order_by == "a" and stmt.descending
+        assert stmt.limit == 10
+
+    def test_qualified_table_resolves_last_component(self):
+        stmt, _ = parse("SELECT * FROM cachedb..cacheInfo")
+        assert stmt.table == "cacheInfo"
+
+    def test_parameters_counted(self):
+        _, nparams = parse("SELECT * FROM t WHERE a = ? AND b = ?")
+        assert nparams == 2
+
+    def test_insert(self):
+        stmt, _ = parse("INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert stmt.columns == ["a", "b"] and stmt.values == [1, "x"]
+
+    def test_insert_count_mismatch(self):
+        with pytest.raises(SqlError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        stmt, _ = parse("UPDATE t SET a = 1, b = 'z' WHERE c = 2")
+        assert stmt.assignments == {"a": 1, "b": "z"}
+
+    def test_delete(self):
+        stmt, _ = parse("DELETE FROM t WHERE a != 3")
+        assert stmt.where == [Condition("a", "!=", 3)]
+
+    def test_null_literal(self):
+        stmt, _ = parse("SELECT * FROM t WHERE a = NULL")
+        assert stmt.where[0].value is None
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t extra")
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SqlError):
+            parse("DROP TABLE t")
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t WHERE")
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(SqlError):
+            parse("SELECT * FROM t LIMIT -1")
+
+    def test_scientific_float(self):
+        stmt, _ = parse("SELECT * FROM t WHERE a > 1.5e3")
+        assert stmt.where[0].value == 1500.0
+
+
+class TestExecutor:
+    def run(self, db, text, params=()):
+        with db.transaction() as txn:
+            return db.sql(txn, text, params)
+
+    def test_select_all(self, db):
+        rows = self.run(db, "SELECT * FROM cacheInfo")
+        assert len(rows) == 4
+
+    def test_point_lookup_by_pk(self, db):
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE ordinal = 2")
+        assert len(rows) == 1 and rows[0]["field"] == "q"
+
+    def test_secondary_index_path(self, db):
+        rows = self.run(
+            db,
+            "SELECT * FROM cacheInfo WHERE dataset = ? AND field = ? AND timestep = ?",
+            ["mhd", "vorticity", 1],
+        )
+        assert len(rows) == 1 and rows[0]["threshold"] == 60.0
+
+    def test_residual_filter(self, db):
+        rows = self.run(
+            db, "SELECT * FROM cacheInfo WHERE dataset = 'mhd' AND threshold < 50"
+        )
+        assert [r["ordinal"] for r in rows] == [0, 2]
+
+    def test_projection(self, db):
+        rows = self.run(db, "SELECT dataset, threshold FROM cacheInfo WHERE ordinal = 0")
+        assert rows == [{"dataset": "mhd", "threshold": 44.0}]
+
+    def test_order_by_desc_limit(self, db):
+        rows = self.run(
+            db, "SELECT ordinal FROM cacheInfo ORDER BY threshold DESC LIMIT 2"
+        )
+        assert [r["ordinal"] for r in rows] == [1, 0]
+
+    def test_qualified_table_name(self, db):
+        rows = self.run(db, "SELECT * FROM cachedb..cacheInfo WHERE ordinal = 0")
+        assert len(rows) == 1
+
+    def test_insert_via_sql(self, db):
+        count = self.run(
+            db,
+            "INSERT INTO cacheInfo (ordinal, dataset, field, timestep, threshold)"
+            " VALUES (9, 'mhd', 'current', 5, 12.0)",
+        )
+        assert count == 1
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE ordinal = 9")
+        assert rows[0]["field"] == "current"
+
+    def test_update_via_sql(self, db):
+        count = self.run(db, "UPDATE cacheInfo SET threshold = 99.0 WHERE dataset = 'mhd'")
+        assert count == 3
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE dataset = 'iso'")
+        assert rows[0]["threshold"] == 30.0
+
+    def test_delete_via_sql(self, db):
+        count = self.run(db, "DELETE FROM cacheInfo WHERE timestep = 0")
+        assert count == 3
+        assert len(self.run(db, "SELECT * FROM cacheInfo")) == 1
+
+    def test_pk_prefix_range_scan(self, db):
+        with db.transaction() as txn:
+            for z in range(5):
+                db.sql(
+                    txn,
+                    "INSERT INTO cacheData (cacheInfoOrdinal, zindex, dataValue)"
+                    " VALUES (?, ?, ?)",
+                    [0, z, float(z)],
+                )
+                db.sql(
+                    txn,
+                    "INSERT INTO cacheData (cacheInfoOrdinal, zindex, dataValue)"
+                    " VALUES (?, ?, ?)",
+                    [1, z, float(z)],
+                )
+        rows = self.run(db, "SELECT * FROM cacheData WHERE cacheInfoOrdinal = 1")
+        assert len(rows) == 5
+        assert all(r["cacheInfoOrdinal"] == 1 for r in rows)
+
+    def test_missing_params_rejected(self, db):
+        with pytest.raises(SqlError):
+            self.run(db, "SELECT * FROM cacheInfo WHERE ordinal = ?")
+
+    def test_null_comparison_matches_nothing(self, db):
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE dataset = NULL")
+        assert rows == []
+
+    def test_string_comparison_operators(self, db):
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE dataset > 'iso'")
+        assert len(rows) == 3
+
+    def test_float_successor_range(self, db):
+        # Equality on a FLOAT pk-prefix must not skip adjacent values.
+        rows = self.run(db, "SELECT * FROM cacheInfo WHERE threshold = 44.0")
+        assert len(rows) == 1
+
+
+class TestAggregates:
+    def run(self, db, text, params=()):
+        with db.transaction() as txn:
+            return db.sql(txn, text, params)
+
+    def test_count_star(self, db):
+        assert self.run(db, "SELECT COUNT(*) FROM cacheInfo") == 4
+
+    def test_count_star_with_where(self, db):
+        total = self.run(
+            db, "SELECT COUNT(*) FROM cacheInfo WHERE dataset = 'mhd'"
+        )
+        assert total == 3
+
+    def test_sum(self, db):
+        total = self.run(
+            db, "SELECT SUM(threshold) FROM cacheInfo WHERE dataset = 'mhd'"
+        )
+        assert total == pytest.approx(44.0 + 60.0 + 10.0)
+
+    def test_min_max_avg(self, db):
+        assert self.run(db, "SELECT MIN(threshold) FROM cacheInfo") == 10.0
+        assert self.run(db, "SELECT MAX(threshold) FROM cacheInfo") == 60.0
+        assert self.run(db, "SELECT AVG(threshold) FROM cacheInfo") == pytest.approx(36.0)
+
+    def test_aggregate_over_empty_set(self, db):
+        assert self.run(
+            db, "SELECT SUM(threshold) FROM cacheInfo WHERE dataset = 'none'"
+        ) is None
+        assert self.run(
+            db, "SELECT COUNT(*) FROM cacheInfo WHERE dataset = 'none'"
+        ) == 0
+
+    def test_sum_star_rejected(self, db):
+        with pytest.raises(SqlError):
+            self.run(db, "SELECT SUM(*) FROM cacheInfo")
+
+    def test_aggregate_name_case_insensitive(self, db):
+        assert self.run(db, "SELECT count(*) FROM cacheInfo") == 4
+
+
+class TestExplain:
+    def test_pk_lookup(self, db):
+        from repro.storage.sql import explain
+
+        plan = explain(db, "SELECT * FROM cacheInfo WHERE ordinal = 1")
+        assert plan["access"] == "pk_lookup"
+        assert plan["residual"] == 0
+
+    def test_index_lookup(self, db):
+        from repro.storage.sql import explain
+
+        plan = explain(
+            db,
+            "SELECT * FROM cacheInfo WHERE dataset = ? AND field = ?"
+            " AND timestep = ? AND threshold > 5",
+        )
+        assert plan["access"] == "index_lookup"
+        assert plan["index"] == "by_query"
+        assert plan["residual"] == 1
+
+    def test_pk_range_scan(self, db):
+        from repro.storage.sql import explain
+
+        plan = explain(db, "SELECT * FROM cacheData WHERE cacheInfoOrdinal = 3")
+        assert plan["access"] == "pk_range_scan"
+
+    def test_full_scan(self, db):
+        from repro.storage.sql import explain
+
+        plan = explain(db, "SELECT * FROM cacheInfo WHERE threshold > 5")
+        assert plan["access"] == "full_scan"
+        assert plan["residual"] == 1
+
+    def test_delete_and_update_explainable(self, db):
+        from repro.storage.sql import explain
+
+        assert explain(db, "DELETE FROM cacheInfo WHERE ordinal = 1")[
+            "access"
+        ] == "pk_lookup"
+        assert explain(db, "UPDATE cacheInfo SET threshold = 1 WHERE ordinal = 2")[
+            "access"
+        ] == "pk_lookup"
+
+    def test_insert_rejected(self, db):
+        from repro.storage.sql import explain
+
+        with pytest.raises(SqlError):
+            explain(db, "INSERT INTO cacheInfo (ordinal) VALUES (1)")

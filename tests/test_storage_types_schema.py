@@ -1,0 +1,173 @@
+"""Tests for column types, row codec and table schemas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.storage import Column, ColumnType, ForeignKey, SchemaError, TableSchema
+from repro.storage.heap import decode_row, encode_row
+
+
+def make_schema(**kwargs):
+    defaults = dict(
+        name="t",
+        columns=(
+            Column("id", ColumnType.INTEGER),
+            Column("name", ColumnType.TEXT, nullable=True),
+            Column("value", ColumnType.FLOAT, nullable=True),
+            Column("payload", ColumnType.BLOB, nullable=True),
+            Column("big", ColumnType.BIGINT, nullable=True),
+        ),
+        primary_key=("id",),
+    )
+    defaults.update(kwargs)
+    return TableSchema(**defaults)
+
+
+class TestColumnType:
+    def test_integer_validation(self):
+        assert ColumnType.INTEGER.validate(5, "c") == 5
+
+    def test_integer_range(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(2**31, "c")
+        assert ColumnType.BIGINT.validate(2**31, "c") == 2**31
+
+    def test_bool_is_not_int(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INTEGER.validate(True, "c")
+
+    def test_float_accepts_int(self):
+        assert ColumnType.FLOAT.validate(3, "c") == 3.0
+
+    def test_text_rejects_bytes(self):
+        with pytest.raises(SchemaError):
+            ColumnType.TEXT.validate(b"x", "c")
+
+    def test_blob_normalises_memoryview(self):
+        assert ColumnType.BLOB.validate(memoryview(b"abc"), "c") == b"abc"
+
+    def test_none_passes_through(self):
+        assert ColumnType.TEXT.validate(None, "c") is None
+
+    @given(st.integers(-(2**63), 2**63 - 1))
+    def test_bigint_codec_round_trip(self, value):
+        raw = ColumnType.BIGINT.encode(value)
+        out, end = ColumnType.BIGINT.decode(memoryview(raw), 0)
+        assert out == value and end == len(raw)
+
+    @given(st.floats(allow_nan=False))
+    def test_float_codec_round_trip(self, value):
+        raw = ColumnType.FLOAT.encode(value)
+        out, _ = ColumnType.FLOAT.decode(memoryview(raw), 0)
+        assert out == value
+
+    @given(st.text(max_size=50))
+    def test_text_codec_round_trip(self, value):
+        raw = ColumnType.TEXT.encode(value)
+        out, _ = ColumnType.TEXT.decode(memoryview(raw), 0)
+        assert out == value
+
+    def test_encoded_size_matches_encoding(self):
+        for ctype, value in [
+            (ColumnType.INTEGER, 7),
+            (ColumnType.BIGINT, 1 << 40),
+            (ColumnType.FLOAT, 2.5),
+            (ColumnType.TEXT, "héllo"),
+            (ColumnType.BLOB, b"12345"),
+        ]:
+            assert ctype.encoded_size(value) == len(ctype.encode(value))
+
+    def test_encoded_size_of_null_is_zero(self):
+        assert ColumnType.TEXT.encoded_size(None) == 0
+
+
+class TestTableSchema:
+    def test_valid_schema(self):
+        schema = make_schema()
+        assert schema.column_names[0] == "id"
+        assert schema.column("name").nullable
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                (Column("a", ColumnType.INTEGER), Column("a", ColumnType.TEXT)),
+                ("a",),
+            )
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", ColumnType.INTEGER),), ())
+
+    def test_pk_on_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", (Column("a", ColumnType.INTEGER),), ("b",))
+
+    def test_nullable_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t", (Column("a", ColumnType.INTEGER, nullable=True),), ("a",)
+            )
+
+    def test_index_on_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(indexes={"ix": ("nope",)})
+
+    def test_fk_on_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(foreign_keys=(ForeignKey(("nope",), "parent"),))
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("bad name", (Column("a", ColumnType.INTEGER),), ("a",))
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INTEGER)
+
+    def test_validate_row_fills_nullable(self):
+        row = make_schema().validate_row({"id": 1})
+        assert row["name"] is None and row["value"] is None
+
+    def test_validate_row_rejects_missing_required(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row({"name": "x"})
+
+    def test_validate_row_rejects_unknown(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row({"id": 1, "zzz": 2})
+
+    def test_key_of(self):
+        schema = make_schema()
+        assert schema.key_of({"id": 9, "name": None}) == (9,)
+
+    def test_row_size_counts_everything(self):
+        schema = make_schema()
+        row = schema.validate_row({"id": 1, "payload": b"x" * 100})
+        assert schema.row_size(row) > 100
+
+
+class TestRowCodec:
+    def test_round_trip(self):
+        schema = make_schema()
+        row = schema.validate_row(
+            {"id": 42, "name": "atom", "value": 1.5, "payload": b"\x00\x01", "big": 1 << 40}
+        )
+        assert decode_row(schema, encode_row(schema, row)) == row
+
+    def test_nulls_round_trip(self):
+        schema = make_schema()
+        row = schema.validate_row({"id": 1})
+        assert decode_row(schema, encode_row(schema, row)) == row
+
+    @given(
+        st.integers(-(2**31), 2**31 - 1),
+        st.one_of(st.none(), st.text(max_size=20)),
+        st.one_of(st.none(), st.floats(allow_nan=False)),
+        st.one_of(st.none(), st.binary(max_size=64)),
+    )
+    def test_round_trip_property(self, id_, name, value, payload):
+        schema = make_schema()
+        row = schema.validate_row(
+            {"id": id_, "name": name, "value": value, "payload": payload}
+        )
+        assert decode_row(schema, encode_row(schema, row)) == row

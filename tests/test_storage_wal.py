@@ -1,0 +1,245 @@
+"""Tests for write-ahead logging and crash recovery."""
+
+import pytest
+
+from repro.costmodel import Category, CostLedger
+from repro.costmodel.devices import SsdSpec
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    ForeignKey,
+    StorageDevice,
+    TableSchema,
+)
+from repro.storage.wal import WalKind, WriteAheadLog, checkpoint, recover
+
+
+def schemas():
+    parent = TableSchema(
+        "info",
+        (
+            Column("id", ColumnType.INTEGER),
+            Column("label", ColumnType.TEXT, nullable=True),
+            Column("value", ColumnType.FLOAT, nullable=True),
+        ),
+        primary_key=("id",),
+    )
+    child = TableSchema(
+        "data",
+        (
+            Column("info_id", ColumnType.INTEGER),
+            Column("seq", ColumnType.INTEGER),
+        ),
+        primary_key=("info_id", "seq"),
+        indexes={"by_info": ("info_id",)},
+        foreign_keys=(ForeignKey(("info_id",), "info", cascade=True),),
+    )
+    return [(parent, "ssd"), (child, "ssd")]
+
+
+def make_db(wal=None):
+    db = Database("primary", wal=wal)
+    db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+    for schema, device in schemas():
+        db.create_table(schema, device=device)
+    return db
+
+
+def recovered_from(wal):
+    return recover(
+        wal,
+        schemas(),
+        [StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP)],
+    )
+
+
+class TestLogging:
+    def test_writes_append_records(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "label": "a"})
+        kinds = [r.kind for r in wal.records()]
+        assert kinds == [WalKind.INSERT, WalKind.COMMIT]
+
+    def test_read_only_txn_logs_nothing(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").get(txn, (1,))
+        assert len(wal) == 0
+
+    def test_abort_logged(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        txn = db.begin()
+        db.table("info").insert(txn, {"id": 1, "label": "a"})
+        txn.abort()
+        assert wal.records()[-1].kind is WalKind.ABORT
+
+    def test_commit_flush_charges_log_device(self):
+        device = StorageDevice("log", SsdSpec(), Category.IO)
+        ledger = CostLedger()
+        device.bind_ledger(ledger)
+        wal = WriteAheadLog(device)
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "label": "abc"})
+        assert ledger[Category.IO] > 0
+
+    def test_truncate(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        for i in range(3):
+            with db.transaction() as txn:
+                db.table("info").insert(txn, {"id": i})
+        high = wal.records()[-1].lsn
+        assert wal.truncate_to(high) == 6
+        assert len(wal) == 0
+
+
+class TestRecovery:
+    def test_committed_transactions_survive(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "label": "a", "value": 2.0})
+            db.table("data").insert(txn, {"info_id": 1, "seq": 0})
+        replica = recovered_from(wal)
+        with replica.transaction() as txn:
+            assert replica.table("info").get(txn, (1,))["label"] == "a"
+            assert replica.table("data").count(txn) == 1
+
+    def test_uncommitted_transactions_lost(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1})
+        crashed = db.begin()  # never commits: the "crash"
+        db.table("info").insert(crashed, {"id": 2})
+        replica = recovered_from(wal)
+        with replica.transaction() as txn:
+            assert replica.table("info").get(txn, (1,)) is not None
+            assert replica.table("info").get(txn, (2,)) is None
+
+    def test_aborted_transactions_lost(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        txn = db.begin()
+        db.table("info").insert(txn, {"id": 9})
+        txn.abort()
+        replica = recovered_from(wal)
+        with replica.transaction() as reader:
+            assert replica.table("info").count(reader) == 0
+
+    def test_updates_and_deletes_replay(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "value": 1.0})
+            db.table("info").insert(txn, {"id": 2, "value": 2.0})
+        with db.transaction() as txn:
+            db.table("info").update(txn, (1,), {"value": 10.0})
+            db.table("info").delete(txn, (2,))
+        replica = recovered_from(wal)
+        with replica.transaction() as txn:
+            assert replica.table("info").get(txn, (1,))["value"] == 10.0
+            assert replica.table("info").get(txn, (2,)) is None
+
+    def test_cascade_deletes_replay(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1})
+            for seq in range(3):
+                db.table("data").insert(txn, {"info_id": 1, "seq": seq})
+        with db.transaction() as txn:
+            db.table("info").delete(txn, (1,))
+        replica = recovered_from(wal)
+        with replica.transaction() as txn:
+            assert replica.table("info").count(txn) == 0
+            assert replica.table("data").count(txn) == 0
+
+    def test_commit_order_respected(self):
+        """A later commit's update wins, regardless of begin order."""
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "label": "original"})
+        first = db.begin()
+        db.table("info").update(first, (1,), {"label": "first"})
+        first.commit()
+        second = db.begin()
+        db.table("info").update(second, (1,), {"label": "second"})
+        second.commit()
+        replica = recovered_from(wal)
+        with replica.transaction() as txn:
+            assert replica.table("info").get(txn, (1,))["label"] == "second"
+
+    def test_recover_from_checkpoint_plus_tail(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        with db.transaction() as txn:
+            db.table("info").insert(txn, {"id": 1, "label": "pre"})
+            db.table("data").insert(txn, {"info_id": 1, "seq": 0})
+        snap = checkpoint(db, wal)
+        dropped = wal.truncate_to(snap.lsn)
+        assert dropped > 0
+        with db.transaction() as txn:  # tail activity after the checkpoint
+            db.table("info").insert(txn, {"id": 2, "label": "post"})
+            db.table("info").update(txn, (1,), {"label": "updated"})
+        replica = recover(
+            wal,
+            schemas(),
+            [StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP)],
+            from_checkpoint=snap,
+        )
+        with replica.transaction() as txn:
+            assert replica.table("info").get(txn, (1,))["label"] == "updated"
+            assert replica.table("info").get(txn, (2,))["label"] == "post"
+            assert replica.table("data").count(txn) == 1
+
+    def test_checkpoint_skips_unlogged_tables(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        from repro.storage import TableSchema as TS, Column as C, ColumnType as CT
+
+        db.create_table(
+            TS("bulk", (C("k", CT.INTEGER),), ("k",), logged=False),
+            device="ssd",
+        )
+        with db.transaction() as txn:
+            db.table("bulk").insert(txn, {"k": 1})
+        snap = checkpoint(db, wal)
+        assert "bulk" not in snap.rows
+
+    def test_replica_matches_primary_state(self):
+        wal = WriteAheadLog()
+        db = make_db(wal)
+        import random
+
+        rng = random.Random(5)
+        live = set()
+        for _ in range(60):
+            op = rng.random()
+            with db.transaction() as txn:
+                if op < 0.6 or not live:
+                    key = rng.randrange(100)
+                    if key not in live:
+                        db.table("info").insert(
+                            txn, {"id": key, "value": float(key)}
+                        )
+                        live.add(key)
+                elif op < 0.8:
+                    key = rng.choice(sorted(live))
+                    db.table("info").update(txn, (key,), {"value": -1.0})
+                else:
+                    key = rng.choice(sorted(live))
+                    db.table("info").delete(txn, (key,))
+                    live.discard(key)
+        replica = recovered_from(wal)
+        with db.transaction() as a, replica.transaction() as b:
+            primary_rows = list(db.table("info").scan(a))
+            replica_rows = list(replica.table("info").scan(b))
+        assert primary_rows == replica_rows

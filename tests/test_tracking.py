@@ -1,0 +1,119 @@
+"""Tests for intense-event tracking."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.tracking import (
+    EventTrack,
+    _periodic_centroid,
+    track_events,
+)
+
+
+def synthetic_track(positions, peaks):
+    """Points for one blob of 3 cells drifting through timesteps."""
+    timesteps, coords, values = [], [], []
+    for t, ((x, y, z), peak) in enumerate(zip(positions, peaks)):
+        for dz, value in ((0, peak), (1, peak * 0.8), (2, peak * 0.6)):
+            timesteps.append(t)
+            coords.append((x, y, z + dz))
+            values.append(value)
+    return np.array(timesteps), np.array(coords), np.array(values)
+
+
+class TestPeriodicCentroid:
+    def test_simple_mean(self):
+        coords = np.array([[1, 1, 1], [3, 3, 3]])
+        assert _periodic_centroid(coords, 32) == (2.0, 2.0, 2.0)
+
+    def test_wraps_across_boundary(self):
+        coords = np.array([[31, 0, 0], [1, 0, 0]])
+        cx, _, _ = _periodic_centroid(coords, 32)
+        assert cx in (0.0, 32.0) or abs(cx - 0.0) < 1e-9
+
+
+class TestTrackEvents:
+    def test_single_drifting_event(self):
+        timesteps, coords, values = synthetic_track(
+            positions=[(5, 5, 5), (7, 5, 5), (9, 5, 5)],
+            peaks=[10.0, 14.0, 11.0],
+        )
+        tracks = track_events(timesteps, coords, values, side=32)
+        assert len(tracks) == 1
+        track = tracks[0]
+        assert track.lifetime == 3
+        assert track.birth == 0 and track.death == 2
+        assert track.peak_value == 14.0
+        assert track.peak_timestep == 1
+        assert track.total_points == 9
+        assert track.drift(32) == pytest.approx(2.0, abs=0.2)
+
+    def test_snapshot_details(self):
+        timesteps, coords, values = synthetic_track(
+            positions=[(5, 5, 5)], peaks=[9.0]
+        )
+        track = track_events(timesteps, coords, values, side=32, min_size=1)[0]
+        snap = track.snapshots[0]
+        assert snap.size == 3
+        assert snap.peak_location == (5, 5, 5)
+        assert snap.peak_value == 9.0
+        assert track.drift(32) == 0.0
+
+    def test_two_separate_events_two_tracks(self):
+        t1, c1, v1 = synthetic_track([(2, 2, 2), (2, 2, 2)], [5.0, 5.0])
+        t2, c2, v2 = synthetic_track([(20, 20, 20)], [8.0])
+        tracks = track_events(
+            np.concatenate([t1, t2]),
+            np.concatenate([c1, c2]),
+            np.concatenate([v1, v2]),
+            side=32,
+        )
+        assert len(tracks) == 2
+        assert tracks[0].peak_value == 8.0  # sorted by peak
+
+    def test_fast_mover_splits_into_tracks(self):
+        """Jumping farther than the linking length breaks the track."""
+        timesteps, coords, values = synthetic_track(
+            positions=[(5, 5, 5), (15, 5, 5)], peaks=[5.0, 5.0]
+        )
+        tracks = track_events(
+            timesteps, coords, values, side=32, linking_length=2
+        )
+        assert len(tracks) == 2
+
+    def test_periodic_drift(self):
+        """A blob crossing the domain boundary keeps one coherent track."""
+        timesteps, coords, values = synthetic_track(
+            positions=[(30, 5, 5), (0, 5, 5), (2, 5, 5)],
+            peaks=[5.0, 5.0, 5.0],
+        )
+        tracks = track_events(timesteps, coords, values, side=32)
+        assert len(tracks) == 1
+        assert tracks[0].drift(32) == pytest.approx(2.0, abs=0.2)
+
+    def test_from_real_cluster_results(self, small_mhd, mhd_cluster):
+        from repro.core import ThresholdQuery
+        from tests.test_core_threshold import ground_truth_norm
+
+        all_t, all_c, all_v = [], [], []
+        for timestep in range(2):
+            norm = ground_truth_norm(small_mhd, "vorticity", timestep)
+            result = mhd_cluster.threshold(
+                ThresholdQuery(
+                    "mhd", "vorticity", timestep,
+                    float(np.quantile(norm, 0.999)),
+                ),
+                use_cache=False,
+            )
+            all_t.append(np.full(len(result), timestep))
+            all_c.append(result.coordinates())
+            all_v.append(result.values)
+        tracks = track_events(
+            np.concatenate(all_t),
+            np.concatenate(all_c),
+            np.concatenate(all_v),
+            side=32,
+        )
+        assert tracks
+        for track in tracks:
+            assert track.birth <= track.peak_timestep <= track.death

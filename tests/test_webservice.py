@@ -1,0 +1,221 @@
+"""Tests for the web-service request/response tier."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cluster.webservice import WebService
+from tests.test_core_threshold import ground_truth_norm
+
+
+@pytest.fixture()
+def service(mhd_cluster):
+    return WebService(mhd_cluster)
+
+
+def threshold_request(small_mhd, **overrides):
+    norm = ground_truth_norm(small_mhd, "vorticity", 0)
+    request = {
+        "method": "GetThreshold",
+        "dataset": "mhd",
+        "field": "vorticity",
+        "timestep": 0,
+        "threshold": float(np.quantile(norm, 0.999)),
+    }
+    request.update(overrides)
+    return request
+
+
+class TestGetThreshold:
+    def test_ok_response(self, small_mhd, service):
+        response = service.handle(threshold_request(small_mhd))
+        assert response["status"] == "ok"
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        threshold = float(np.quantile(norm, 0.999))
+        assert response["count"] == (norm >= threshold).sum()
+        point = response["points"][0]
+        assert norm[point["x"], point["y"], point["z"]] == pytest.approx(
+            point["value"], abs=1e-5
+        )
+
+    def test_response_is_json_serializable(self, small_mhd, service):
+        response = service.handle(threshold_request(small_mhd))
+        json.dumps(response)  # must not raise
+
+    def test_box_parameter(self, small_mhd, service):
+        response = service.handle(
+            threshold_request(small_mhd, box=[0, 0, 0, 16, 16, 16])
+        )
+        assert response["status"] == "ok"
+        for point in response["points"]:
+            assert max(point["x"], point["y"], point["z"]) < 16
+
+    def test_threshold_too_low_error(self, small_mhd, mhd_cluster):
+        service = WebService(mhd_cluster, max_points=100)
+        response = service.handle(threshold_request(small_mhd, threshold=0.0))
+        assert response["status"] == "error"
+        assert response["code"] == "threshold_too_low"
+        assert "PDF" in response["message"]
+
+    def test_unknown_field_error(self, small_mhd, service):
+        response = service.handle(
+            threshold_request(small_mhd, field="enstrophy")
+        )
+        assert response == {
+            "status": "error",
+            "code": "unknown_field",
+            "message": response["message"],
+        }
+
+    def test_missing_parameter(self, service):
+        response = service.handle({"method": "GetThreshold", "dataset": "mhd"})
+        assert response["code"] == "bad_request"
+
+    def test_wrong_type(self, small_mhd, service):
+        response = service.handle(threshold_request(small_mhd, timestep="zero"))
+        assert response["code"] == "bad_request"
+
+    def test_malformed_box(self, small_mhd, service):
+        response = service.handle(threshold_request(small_mhd, box=[1, 2, 3]))
+        assert response["code"] == "bad_request"
+
+
+class TestOtherMethods:
+    def test_get_pdf(self, service):
+        response = service.handle(
+            {
+                "method": "GetPdf",
+                "dataset": "mhd",
+                "field": "vorticity",
+                "timestep": 0,
+                "bin_edges": [0.0, 2.0, 4.0],
+            }
+        )
+        assert response["status"] == "ok"
+        assert sum(response["counts"]) == 32**3
+
+    def test_get_topk(self, small_mhd, service):
+        response = service.handle(
+            {
+                "method": "GetTopK",
+                "dataset": "mhd",
+                "field": "vorticity",
+                "timestep": 0,
+                "k": 3,
+            }
+        )
+        assert response["status"] == "ok"
+        norm = ground_truth_norm(small_mhd, "vorticity", 0)
+        assert response["points"][0]["value"] == pytest.approx(
+            norm.max(), abs=1e-5
+        )
+
+    def test_list_fields(self, service):
+        response = service.handle({"method": "ListFields"})
+        assert "vorticity" in response["fields"]
+
+    def test_list_datasets(self, service):
+        response = service.handle({"method": "ListDatasets"})
+        assert response["datasets"] == ["mhd"]
+
+    def test_get_statistics(self, small_mhd, service):
+        before = service.handle({"method": "GetStatistics"})
+        assert before["threshold_queries"] == 0
+        service.handle(threshold_request(small_mhd))
+        service.handle(threshold_request(small_mhd))
+        after = service.handle({"method": "GetStatistics"})
+        assert after["threshold_queries"] == 2
+        assert after["cache_hit_ratio"] == pytest.approx(0.5)
+        assert after["points_returned"] > 0
+
+
+class TestBatchAndRegistration:
+    def test_batch_threshold(self, small_mhd, mhd_cluster):
+        import numpy as np
+
+        service = WebService(mhd_cluster)
+        vort = ground_truth_norm(small_mhd, "vorticity", 0)
+        response = service.handle(
+            {
+                "method": "GetBatchThreshold",
+                "queries": [
+                    {"dataset": "mhd", "field": "vorticity", "timestep": 0,
+                     "threshold": float(np.quantile(vort, 0.999))},
+                    {"dataset": "mhd", "field": "q_criterion", "timestep": 0,
+                     "threshold": 1e6},
+                ],
+            }
+        )
+        assert response["status"] == "ok"
+        assert len(response["results"]) == 2
+        assert response["results"][0]["count"] > 0
+
+    def test_batch_rejects_mixed_sources(self, service):
+        response = service.handle(
+            {
+                "method": "GetBatchThreshold",
+                "queries": [
+                    {"dataset": "mhd", "field": "vorticity", "timestep": 0,
+                     "threshold": 1.0},
+                    {"dataset": "mhd", "field": "magnetic", "timestep": 0,
+                     "threshold": 1.0},
+                ],
+            }
+        )
+        assert response["code"] == "bad_request"
+
+    def test_register_field_then_query(self, small_mhd, mhd_cluster):
+        service = WebService(mhd_cluster)
+        registered = service.handle(
+            {
+                "method": "RegisterField",
+                "name": "ws_current",
+                "expression": "norm(curl(magnetic))",
+            }
+        )
+        assert registered["status"] == "ok"
+        assert registered["source"] == "magnetic"
+        result = service.handle(
+            {
+                "method": "GetThreshold", "dataset": "mhd",
+                "field": "ws_current", "timestep": 0, "threshold": 10.0,
+            }
+        )
+        assert result["status"] == "ok"
+
+    def test_register_bad_expression(self, service):
+        response = service.handle(
+            {
+                "method": "RegisterField",
+                "name": "bad",
+                "expression": "curl(velocity",
+            }
+        )
+        assert response["code"] == "bad_expression"
+
+    def test_register_duplicate(self, service):
+        response = service.handle(
+            {
+                "method": "RegisterField",
+                "name": "vorticity",
+                "expression": "norm(curl(velocity))",
+            }
+        )
+        assert response["code"] == "duplicate_field"
+
+
+class TestDispatch:
+    def test_unknown_method(self, service):
+        response = service.handle({"method": "DropTables"})
+        assert response["code"] == "unknown_method"
+
+    def test_missing_method(self, service):
+        response = service.handle({})
+        assert response["code"] == "bad_request"
+
+    def test_never_raises(self, service):
+        # Garbage of various shapes must come back as error responses.
+        for garbage in ({"method": 42}, {"method": "GetPdf"}, {"method": "GetThreshold", "dataset": 1}):
+            response = service.handle(garbage)
+            assert response["status"] == "error"
