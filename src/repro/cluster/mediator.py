@@ -17,7 +17,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
 import numpy as np
 
@@ -43,6 +43,11 @@ from repro.fields.derived import FieldRegistry, default_registry
 from repro.grid import Box
 from repro.simulation.datasets import SyntheticDataset
 from repro.simulation.ingest import atomize
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.pdfcache import PdfCache
+
+T = TypeVar("T")
 
 
 @dataclass
@@ -104,6 +109,12 @@ class Mediator:
         self.partitioner = partitioner
         self.sequential_scatter = sequential_scatter
         self.statistics = ServiceStatistics()
+        # One long-lived scatter pool per mediator, created lazily on
+        # first use: building a ThreadPoolExecutor per query costs thread
+        # spawns on the latency-critical path and briefly doubles the
+        # thread count under concurrent clients.
+        self._scatter_pool: ThreadPoolExecutor | None = None
+        self._pool_lock = threading.Lock()
         self.registry = registry or default_registry()
         self.spec = spec or paper_cluster()
         self.executors = [
@@ -512,7 +523,7 @@ class Mediator:
             raise ValueError(f"query box {box} outside domain of side {side}")
         return box
 
-    def _scatter(self, task):
+    def _scatter(self, task: Callable[[int], T]) -> list[T]:
         """Submit a per-node task asynchronously and gather the results.
 
         With ``sequential_scatter`` the node tasks run one after another
@@ -525,11 +536,34 @@ class Mediator:
         """
         if self.sequential_scatter:
             return [task(node_id) for node_id in range(len(self.nodes))]
-        with ThreadPoolExecutor(max_workers=len(self.nodes)) as pool:
-            futures = [
-                pool.submit(task, node_id) for node_id in range(len(self.nodes))
-            ]
-            return [future.result() for future in futures]
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(task, node_id) for node_id in range(len(self.nodes))
+        ]
+        return [future.result() for future in futures]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        """The shared scatter pool, created on first asynchronous query.
+
+        Sized at nodes x a small oversubscription factor so that several
+        concurrent client queries scatter without queueing behind each
+        other (the paper's mediator keeps every data node busy per
+        request; concurrent requests interleave at the node level).
+        """
+        with self._pool_lock:
+            if self._scatter_pool is None:
+                self._scatter_pool = ThreadPoolExecutor(
+                    max_workers=max(8, 4 * len(self.nodes)),
+                    thread_name_prefix="scatter",
+                )
+            return self._scatter_pool
+
+    def close(self) -> None:
+        """Shut down the scatter pool (idempotent; pool restarts lazily)."""
+        with self._pool_lock:
+            pool, self._scatter_pool = self._scatter_pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
 
     def _charge_networks(self, ledger: CostLedger, result_points: int) -> None:
         result_bytes = result_points * self.spec.point_record_bytes

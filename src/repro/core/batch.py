@@ -134,14 +134,22 @@ def get_batch_on_node(
                 per_query_v[i].append(evaluation.values)
                 if cache is not None:
                     lookup = lookups.get(i)
-                    cache.store(
-                        txn, queries[i].dataset, queries[i].field,
-                        queries[i].timestep, box, queries[i].threshold,
-                        evaluation.zindexes, evaluation.values,
-                        replace_ordinal=(
-                            lookup.stale_ordinal if lookup else None
-                        ),
-                    )
+                    try:
+                        cache.store(
+                            txn, queries[i].dataset, queries[i].field,
+                            queries[i].timestep, box, queries[i].threshold,
+                            evaluation.zindexes, evaluation.values,
+                            replace_ordinal=(
+                                lookup.stale_ordinal if lookup else None
+                            ),
+                        )
+                    except SerializationConflictError:
+                        # A concurrent query refreshed this entry first;
+                        # keep the computed points and finish the batch
+                        # under a fresh snapshot rather than truncating.
+                        txn.abort()
+                        stored = False
+                        txn = node.db.begin(ledger)
         txn.commit()
     except SerializationConflictError:
         txn.abort()

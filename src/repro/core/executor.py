@@ -43,7 +43,10 @@ from repro.simulation.ingest import array_from_atoms
 from repro.storage import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Sequence
+
     from repro.cluster.node import DatabaseNode
+    from repro.cluster.partition import MortonPartitioner
 
 
 @dataclass
@@ -68,7 +71,12 @@ class NodeExecutor:
         partitioner: the cluster's spatial partitioner.
     """
 
-    def __init__(self, node: "DatabaseNode", peers, partitioner) -> None:
+    def __init__(
+        self,
+        node: "DatabaseNode",
+        peers: "Sequence[DatabaseNode]",
+        partitioner: "MortonPartitioner",
+    ) -> None:
         self._node = node
         self._peers = peers
         self._partitioner = partitioner

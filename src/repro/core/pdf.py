@@ -19,9 +19,11 @@ from repro.core.executor import NodeExecutor
 from repro.core.query import PdfQuery
 from repro.fields.derived import FieldRegistry
 from repro.grid import Box
+from repro.storage import SerializationConflictError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.node import DatabaseNode
+    from repro.core.pdfcache import PdfCache
 
 
 @dataclass
@@ -39,7 +41,7 @@ def get_pdf_on_node(
     query: PdfQuery,
     boxes: list[Box],
     processes: int = 1,
-    pdf_cache=None,
+    pdf_cache: "PdfCache | None" = None,
 ) -> NodePdfResult:
     """Histogram the field norm over this node's ``boxes``.
 
@@ -53,13 +55,15 @@ def get_pdf_on_node(
         return NodePdfResult(np.zeros(len(query.bin_edges), np.int64), ledger)
     dataset_spec = node.dataset(query.dataset)
     derived = registry.get(query.field)
-    with node.db.transaction(ledger) as txn:
+    txn = node.db.begin(ledger)
+    try:
         if pdf_cache is not None:
             cached = pdf_cache.lookup(
                 txn, query.dataset, query.field, query.timestep,
                 query.fd_order, query.bin_edges,
             )
             if cached is not None:
+                txn.commit()
                 return NodePdfResult(cached, ledger)
         evaluation = executor.evaluate(
             txn, ledger, dataset_spec, derived, query.timestep,
@@ -71,4 +75,12 @@ def get_pdf_on_node(
                 txn, query.dataset, query.field, query.timestep,
                 query.fd_order, query.bin_edges, evaluation.histogram,
             )
+        txn.commit()
+    except SerializationConflictError:
+        # A concurrent query stored the same histogram first; theirs is
+        # identical, so keep our computed counts and drop the store.
+        txn.abort()
+    except Exception:
+        txn.abort()
+        raise
     return NodePdfResult(evaluation.histogram, ledger)

@@ -18,7 +18,14 @@ import itertools
 
 import numpy as np
 
-from repro.storage import Column, ColumnType, Database, TableSchema, Transaction
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    SerializationConflictError,
+    TableSchema,
+    Transaction,
+)
 
 #: Maximum cached histograms per node (they are tiny; this bounds scans).
 DEFAULT_MAX_ENTRIES = 1024
@@ -73,9 +80,14 @@ class PdfCache:
         )
         for row in rows:
             if row["fd_order"] == fd_order and row["edges"] == wanted:
-                self._db.table("pdfCache").update(
-                    txn, (row["ordinal"],), {"last_used": next(self._recency)}
-                )
+                # Recency is advisory: a concurrent bump of the same entry
+                # must not turn this hit into a failed query.
+                try:
+                    self._db.table("pdfCache").update(
+                        txn, (row["ordinal"],), {"last_used": next(self._recency)}
+                    )
+                except SerializationConflictError:
+                    pass
                 return np.frombuffer(row["counts"], dtype=np.int64).copy()
         return None
 

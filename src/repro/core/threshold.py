@@ -107,16 +107,23 @@ def get_threshold_on_node(
             all_z.append(evaluation.zindexes)
             all_v.append(evaluation.values)
             if cache is not None and not io_only:
-                cache.store(
-                    txn, query.dataset, query.field, query.timestep,
-                    box, query.threshold,
-                    evaluation.zindexes, evaluation.values,
-                    replace_ordinal=lookup.stale_ordinal if lookup else None,
-                )
+                try:
+                    cache.store(
+                        txn, query.dataset, query.field, query.timestep,
+                        box, query.threshold,
+                        evaluation.zindexes, evaluation.values,
+                        replace_ordinal=lookup.stale_ordinal if lookup else None,
+                    )
+                except SerializationConflictError:
+                    # A concurrent query refreshed the same entry first;
+                    # keep the computed points, skip our cache update and
+                    # evaluate the REMAINING boxes under a fresh snapshot
+                    # (aborting mid-loop must not truncate the result).
+                    txn.abort()
+                    stored = False
+                    txn = node.db.begin(ledger)
         txn.commit()
     except SerializationConflictError:
-        # A concurrent query refreshed the same entry first; keep the
-        # computed points, skip our cache update.
         txn.abort()
         stored = False
     except Exception:

@@ -1,0 +1,23 @@
+"""turblint: AST-based invariant checkers for the threshold-query engine.
+
+The engine's correctness rests on invariants the runtime never checks:
+snapshot-isolation transactions must commit or abort on every
+control-flow path, every byte moved and grid point computed must be
+charged to the :class:`~repro.costmodel.ledger.CostLedger`, kernel halo
+half-widths must cover their stencils, lock acquisition must stay
+acyclic, and wire/engine errors must use the typed hierarchies.  This
+package enforces them statically over the project's own AST.
+
+Run as ``python -m repro.lint src/``; a non-zero exit code means
+violations (for CI).  Individual diagnostics are suppressed with a
+``# turblint: disable=CODE`` comment on the flagged line, or file-wide
+with ``# turblint: disable-file=CODE``.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Checker
+from repro.lint.cli import main, run_paths
+from repro.lint.diagnostics import Diagnostic, SourceFile
+
+__all__ = ["Checker", "Diagnostic", "SourceFile", "main", "run_paths"]

@@ -1,0 +1,27 @@
+"""The turblint checker suite."""
+
+from __future__ import annotations
+
+from repro.lint.checkers.cost01 import CostAccounting
+from repro.lint.checkers.err01 import ErrorTaxonomy
+from repro.lint.checkers.halo01 import HaloConsistency
+from repro.lint.checkers.lock01 import LockHygiene
+from repro.lint.checkers.txn01 import TxnDiscipline
+
+#: Checker classes in reporting order.
+ALL_CHECKERS = (
+    TxnDiscipline,
+    CostAccounting,
+    HaloConsistency,
+    LockHygiene,
+    ErrorTaxonomy,
+)
+
+__all__ = [
+    "ALL_CHECKERS",
+    "CostAccounting",
+    "ErrorTaxonomy",
+    "HaloConsistency",
+    "LockHygiene",
+    "TxnDiscipline",
+]

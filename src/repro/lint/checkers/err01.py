@@ -1,0 +1,105 @@
+"""ERR01 — error taxonomy.
+
+The web service maps engine failures onto typed wire errors
+(``TurbulenceError`` codes mirroring the service's documented error
+table), and the storage engine signals conflicts with
+:class:`~repro.storage.errors.SerializationConflictError` so callers
+can retry first-updater-wins aborts.  Both contracts die the moment a
+module catches everything or raises an untyped ``Exception``:
+
+* ``except:`` (bare) also swallows ``KeyboardInterrupt``/``SystemExit``
+  and is always a bug;
+* ``raise Exception(...)`` / ``raise BaseException(...)`` produces an
+  error no caller can dispatch on — raise a member of the typed
+  hierarchy in :mod:`repro.storage.errors` instead;
+* ``except Exception`` that does not re-raise converts every engine
+  failure (including serialization conflicts that *must* propagate to
+  the retry loop) into silent mis-behaviour.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, dotted_name, module_in
+from repro.lint.diagnostics import Diagnostic, SourceFile
+
+BROAD = {"Exception", "BaseException"}
+
+
+class ErrorTaxonomy(Checker):
+    """Typed errors only: no bare excepts, no raise Exception."""
+
+    code = "ERR01"
+    description = (
+        "cluster/storage code must raise typed errors and never swallow "
+        "broad exception classes"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module_in(module, "repro.cluster.", "repro.storage.")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.ExceptHandler):
+                diags.extend(self._check_handler(source, node))
+            elif isinstance(node, ast.Raise):
+                diags.extend(self._check_raise(source, node))
+        return diags
+
+    def _check_handler(
+        self, source: SourceFile, node: ast.ExceptHandler
+    ) -> list[Diagnostic]:
+        if node.type is None:
+            return [
+                self.report(
+                    source,
+                    node,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt "
+                    "— catch a typed error from repro.storage.errors",
+                )
+            ]
+        caught = (
+            node.type.elts
+            if isinstance(node.type, ast.Tuple)
+            else [node.type]
+        )
+        names = {
+            (dotted_name(t) or "").rsplit(".", 1)[-1] for t in caught
+        }
+        if names & BROAD and not self._reraises(node):
+            return [
+                self.report(
+                    source,
+                    node,
+                    "broad 'except Exception' without re-raise — engine "
+                    "errors (including serialization conflicts that the "
+                    "retry loop needs) would be silently swallowed",
+                )
+            ]
+        return []
+
+    def _reraises(self, node: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(sub, ast.Raise) for sub in ast.walk(node)
+        )
+
+    def _check_raise(
+        self, source: SourceFile, node: ast.Raise
+    ) -> list[Diagnostic]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = (dotted_name(exc) or "") if exc is not None else ""
+        if name.rsplit(".", 1)[-1] in BROAD:
+            return [
+                self.report(
+                    source,
+                    node,
+                    f"raise {name} is untyped — raise a member of the "
+                    "typed hierarchy in repro.storage.errors so callers "
+                    "can dispatch on it",
+                )
+            ]
+        return []

@@ -1,0 +1,393 @@
+"""LOCK01 — concurrency hygiene.
+
+The mediator scatters one task per data node across a thread pool
+(paper §5: queries are "executed in parallel on the data nodes"), so
+the storage and cluster layers are run concurrently.  Two static rules
+keep that safe:
+
+* the *lock-order graph* — an edge ``A -> B`` whenever lock ``B`` is
+  acquired while ``A`` is held — must stay acyclic, or two threads can
+  deadlock; acquiring a non-reentrant ``threading.Lock`` while already
+  holding it is an immediate self-deadlock;
+* a field that is mutated under ``with self._lock`` somewhere must not
+  also be mutated outside the lock in a *public* method (private
+  helpers are assumed to be called with the lock held — a documented
+  heuristic matching this codebase's convention).
+
+Lock identity is syntactic (``Class.attr``): two classes sharing one
+lock object are modelled as separate nodes, which can only under-report
+cycles, never invent them.  Method-call propagation is one level deep
+and same-class only.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.lint.base import Checker, dotted_name, module_in
+from repro.lint.diagnostics import Diagnostic, SourceFile
+
+LOCK_NAME_RE = re.compile(r"(?i)(lock|latch|mutex)")
+#: threading factory names; plain Lock is the non-reentrant one.
+LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"}
+
+
+@dataclass
+class _ClassLocks:
+    """Lock attributes of one class, keyed by attribute name."""
+
+    name: str
+    attrs: set[str] = field(default_factory=set)
+    #: Attribute names known to be plain (non-reentrant) threading.Lock.
+    non_reentrant: set[str] = field(default_factory=set)
+
+
+@dataclass
+class _Mutation:
+    attr: str
+    method: str
+    locked: bool
+    node: ast.AST
+
+
+class LockHygiene(Checker):
+    """Acyclic lock order; shared fields mutated only under their lock."""
+
+    code = "LOCK01"
+    description = (
+        "lock acquisition order must be acyclic and fields guarded by a "
+        "lock must not be mutated outside it in public methods"
+    )
+
+    def __init__(self) -> None:
+        #: edge -> (path, line) where first observed.
+        self._edges: dict[tuple[str, str], tuple[str, int]] = {}
+
+    def applies(self, module: str) -> bool:
+        return module_in(module, "repro.storage.", "repro.cluster.")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for stmt in source.tree.body:
+            if isinstance(stmt, ast.ClassDef):
+                diags.extend(self._check_class(source, stmt))
+        return diags
+
+    # -- per-class analysis ---------------------------------------------------
+
+    def _check_class(
+        self, source: SourceFile, cls: ast.ClassDef
+    ) -> list[Diagnostic]:
+        locks = self._collect_locks(cls)
+        if not locks.attrs:
+            return []
+        diags: list[Diagnostic] = []
+        mutations: list[_Mutation] = []
+        method_acquires: dict[str, set[str]] = {}
+        lock_held_calls: list[tuple[str, str]] = []  # (held lock, method)
+
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for method in methods:
+            acquired: set[str] = set()
+            self._walk(
+                source,
+                locks,
+                method,
+                method.body,
+                [],
+                diags,
+                mutations,
+                acquired,
+                lock_held_calls,
+            )
+            method_acquires[method.name] = acquired
+
+        # One-level, same-class propagation: calling a lock-taking method
+        # while holding a lock orders the held lock before the taken ones.
+        for held, callee in lock_held_calls:
+            for taken in method_acquires.get(callee, ()):
+                if taken != held:
+                    self._edges.setdefault(
+                        (held, taken), (str(source.path), 1)
+                    )
+
+        diags.extend(self._check_mutations(source, locks, mutations))
+        return diags
+
+    def _collect_locks(self, cls: ast.ClassDef) -> _ClassLocks:
+        locks = _ClassLocks(cls.name)
+        for node in ast.walk(cls):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        self._classify(locks, target.attr, node.value)
+            elif isinstance(node, ast.AnnAssign):
+                # dataclass field: _lock: threading.Lock = field(...)
+                if isinstance(node.target, ast.Name) and (
+                    LOCK_NAME_RE.search(node.target.id)
+                    or "Lock" in ast.dump(node.annotation)
+                ):
+                    locks.attrs.add(node.target.id)
+                    if node.annotation is not None and ast.dump(
+                        node.annotation
+                    ).count("'Lock'"):
+                        locks.non_reentrant.add(node.target.id)
+        return locks
+
+    def _classify(
+        self, locks: _ClassLocks, attr: str, value: ast.expr
+    ) -> None:
+        if isinstance(value, ast.Call):
+            dotted = dotted_name(value.func)
+            factory = dotted.split(".")[-1] if dotted else None
+            if factory in LOCK_FACTORIES:
+                locks.attrs.add(attr)
+                if factory == "Lock":
+                    locks.non_reentrant.add(attr)
+                return
+        if LOCK_NAME_RE.search(attr) and isinstance(
+            value, (ast.Name, ast.Attribute)
+        ):
+            # lock passed in from outside (e.g. a shared database latch)
+            locks.attrs.add(attr)
+
+    # -- lock-stack walk ------------------------------------------------------
+
+    def _walk(
+        self,
+        source: SourceFile,
+        locks: _ClassLocks,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        stmts: list[ast.stmt],
+        stack: list[str],
+        diags: list[Diagnostic],
+        mutations: list[_Mutation],
+        acquired: set[str],
+        lock_held_calls: list[tuple[str, str]],
+    ) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                inner = list(stack)
+                for item in stmt.items:
+                    key = self._lock_key(locks, item.context_expr)
+                    if key is None:
+                        continue
+                    attr = key.rsplit(".", 1)[-1]
+                    if key in inner and attr in locks.non_reentrant:
+                        diags.append(
+                            self.report(
+                                source,
+                                item.context_expr,
+                                f"re-acquiring non-reentrant lock {key} "
+                                "while already holding it — self-deadlock",
+                            )
+                        )
+                    if inner and inner[-1] != key:
+                        self._edges.setdefault(
+                            (inner[-1], key),
+                            (
+                                str(source.path),
+                                getattr(item.context_expr, "lineno", 1),
+                            ),
+                        )
+                    inner.append(key)
+                    acquired.add(key)
+                self._walk(
+                    source,
+                    locks,
+                    method,
+                    stmt.body,
+                    inner,
+                    diags,
+                    mutations,
+                    acquired,
+                    lock_held_calls,
+                )
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # nested defs run later (often on other threads): fresh stack
+                self._walk(
+                    source,
+                    locks,
+                    method,
+                    stmt.body,
+                    [],
+                    diags,
+                    mutations,
+                    acquired,
+                    lock_held_calls,
+                )
+                continue
+            self._record_statement(
+                locks, method, stmt, stack, mutations, lock_held_calls
+            )
+            for block in ("body", "orelse", "finalbody"):
+                nested = getattr(stmt, block, None)
+                if nested:
+                    self._walk(
+                        source,
+                        locks,
+                        method,
+                        nested,
+                        stack,
+                        diags,
+                        mutations,
+                        acquired,
+                        lock_held_calls,
+                    )
+            for handler in getattr(stmt, "handlers", []):
+                self._walk(
+                    source,
+                    locks,
+                    method,
+                    handler.body,
+                    stack,
+                    diags,
+                    mutations,
+                    acquired,
+                    lock_held_calls,
+                )
+
+    def _record_statement(
+        self,
+        locks: _ClassLocks,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        stmt: ast.stmt,
+        stack: list[str],
+        mutations: list[_Mutation],
+        lock_held_calls: list[tuple[str, str]],
+    ) -> None:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+            targets = [stmt.target]
+        for target in targets:
+            attr = self._mutated_attr(target)
+            if attr is not None and attr not in locks.attrs:
+                mutations.append(
+                    _Mutation(attr, method.name, bool(stack), stmt)
+                )
+        if stack:
+            for node in ast.walk(stmt):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id == "self"
+                ):
+                    lock_held_calls.append((stack[-1], node.func.attr))
+
+    def _mutated_attr(self, target: ast.expr) -> str | None:
+        node = target
+        if isinstance(node, ast.Subscript):
+            node = node.value
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+        return None
+
+    def _lock_key(
+        self, locks: _ClassLocks, expr: ast.expr
+    ) -> str | None:
+        dotted = dotted_name(expr)
+        if dotted is None or not dotted.startswith("self."):
+            return None
+        path = dotted[len("self.") :]
+        leaf = path.rsplit(".", 1)[-1]
+        if path in locks.attrs or LOCK_NAME_RE.search(leaf):
+            return f"{locks.name}.{path}"
+        return None
+
+    # -- guarded-field mutations ----------------------------------------------
+
+    def _check_mutations(
+        self,
+        source: SourceFile,
+        locks: _ClassLocks,
+        mutations: list[_Mutation],
+    ) -> list[Diagnostic]:
+        guarded = {m.attr for m in mutations if m.locked}
+        diags = []
+        for mutation in mutations:
+            if (
+                mutation.attr in guarded
+                and not mutation.locked
+                and not mutation.method.startswith("_")
+            ):
+                diags.append(
+                    self.report(
+                        source,
+                        mutation.node,
+                        f"field self.{mutation.attr} is mutated under "
+                        f"{locks.name}'s lock elsewhere but without it in "
+                        f"public method {mutation.method}() — racy update",
+                    )
+                )
+        return diags
+
+    # -- whole-run lock-order cycle detection ---------------------------------
+
+    def finish(self) -> list[Diagnostic]:
+        graph: dict[str, list[str]] = {}
+        for a, b in self._edges:
+            graph.setdefault(a, []).append(b)
+        cycles = self._find_cycles(graph)
+        diags = []
+        for cycle in cycles:
+            first_edge = (cycle[0], cycle[1])
+            path, line = self._edges.get(first_edge, ("<lock graph>", 1))
+            diags.append(
+                Diagnostic(
+                    self.code,
+                    "lock-order cycle: "
+                    + " -> ".join(cycle)
+                    + " — threads taking these locks in opposite orders "
+                    "can deadlock",
+                    path,
+                    line,
+                )
+            )
+        return diags
+
+    def _find_cycles(self, graph: dict[str, list[str]]) -> list[list[str]]:
+        seen_cycles: set[tuple[str, ...]] = set()
+        cycles: list[list[str]] = []
+        state: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+        def visit(node: str, path: list[str]) -> None:
+            state[node] = 1
+            path.append(node)
+            for succ in graph.get(node, ()):
+                if state.get(succ) == 1:
+                    start = path.index(succ)
+                    cycle = path[start:] + [succ]
+                    lowest = min(range(len(cycle) - 1), key=cycle.__getitem__)
+                    canonical = tuple(
+                        cycle[lowest:-1] + cycle[:lowest] + [cycle[lowest]]
+                    )
+                    if canonical not in seen_cycles:
+                        seen_cycles.add(canonical)
+                        cycles.append(list(canonical))
+                elif state.get(succ) is None:
+                    visit(succ, path)
+            path.pop()
+            state[node] = 2
+
+        for node in sorted(graph):
+            if state.get(node) is None:
+                visit(node, [])
+        return cycles

@@ -1,0 +1,160 @@
+"""Command-line front end: ``python -m repro.lint src/``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.lint.checkers import ALL_CHECKERS
+from repro.lint.diagnostics import Diagnostic, LintSyntaxError, SourceFile
+
+#: Exit codes (CI contract).
+EXIT_CLEAN = 0
+EXIT_VIOLATIONS = 1
+EXIT_USAGE = 2
+
+
+def module_name_for(path: Path) -> str:
+    """Dotted module name for a file, anchored at ``src`` or ``repro``.
+
+    ``src/repro/storage/wal.py`` -> ``repro.storage.wal``;
+    ``.../repro/lint/__init__.py`` -> ``repro.lint``.  Files outside any
+    recognised root fall back to their stem, which keeps them out of the
+    scoped checkers (only COST01/HALO01 apply everywhere under
+    ``repro.``).
+    """
+    parts = list(path.resolve().with_suffix("").parts)
+    module: list[str]
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src")
+        module = parts[anchor + 1 :]
+    elif "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        module = parts[anchor:]
+    else:
+        module = [parts[-1]]
+    if module and module[-1] == "__init__":
+        module = module[:-1]
+    return ".".join(module) if module else path.stem
+
+
+def discover(paths: Iterable[str | Path]) -> list[Path]:
+    """All ``.py`` files under the given files/directories, sorted."""
+    files: set[Path] = set()
+    for entry in paths:
+        path = Path(entry)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def run_paths(
+    paths: Iterable[str | Path], select: Sequence[str] | None = None
+) -> tuple[list[Diagnostic], int]:
+    """Lint the given paths.
+
+    Returns ``(diagnostics, file_count)`` with suppressions already
+    applied.  ``select`` restricts the run to the named checker codes.
+    """
+    wanted = {code.upper() for code in select} if select else None
+    checkers = [
+        cls()
+        for cls in ALL_CHECKERS
+        if wanted is None or cls.code in wanted
+    ]
+    diagnostics: list[Diagnostic] = []
+    sources: dict[str, SourceFile] = {}
+    files = discover(paths)
+    for file in files:
+        try:
+            source = SourceFile(file, module_name_for(file))
+        except LintSyntaxError as error:
+            diagnostics.append(
+                Diagnostic("PARSE", str(error), str(file), 1)
+            )
+            continue
+        sources[str(source.path)] = source
+        for checker in checkers:
+            if not checker.applies(source.module):
+                continue
+            for diag in checker.check(source):
+                if not source.suppressed(diag.code, diag.line):
+                    diagnostics.append(diag)
+    for checker in checkers:
+        for diag in checker.finish():
+            source = sources.get(diag.path)
+            if source is not None and source.suppressed(
+                diag.code, diag.line
+            ):
+                continue
+            diagnostics.append(diag)
+    diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
+    return diagnostics, len(files)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "turblint: AST invariant checkers for the threshold-query "
+            "engine (transaction discipline, cost accounting, halo "
+            "consistency, lock hygiene, error taxonomy)"
+        ),
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], help="files or directories"
+    )
+    parser.add_argument(
+        "--select",
+        action="append",
+        metavar="CODE",
+        help="run only the named checker (repeatable)",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list checker codes and exit",
+    )
+    try:
+        options = parser.parse_args(argv)
+    except SystemExit as error:
+        return EXIT_USAGE if error.code not in (0, None) else 0
+
+    from repro.lint.checkers import ALL_CHECKERS as registry
+
+    if options.list_checkers:
+        for cls in registry:
+            print(f"{cls.code}  {cls.description}")
+        return EXIT_CLEAN
+
+    missing = [path for path in options.paths if not Path(path).exists()]
+    if missing:
+        print(
+            f"no such file or directory: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    known = {cls.code for cls in registry}
+    if options.select:
+        unknown = {code.upper() for code in options.select} - known
+        if unknown:
+            print(
+                f"unknown checker(s): {', '.join(sorted(unknown))}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    diagnostics, file_count = run_paths(options.paths, options.select)
+    for diag in diagnostics:
+        print(diag.render())
+    issues = len(diagnostics)
+    print(
+        f"turblint: {file_count} file(s) checked, {issues} issue(s) found"
+    )
+    return EXIT_VIOLATIONS if issues else EXIT_CLEAN

@@ -1,0 +1,111 @@
+"""Diagnostics, suppression comments and source-file loading.
+
+Every checker reports :class:`Diagnostic` records against a
+:class:`SourceFile`, which owns the parsed AST plus the suppression
+comments extracted from the raw text.  Suppressions use the syntax::
+
+    do_risky_thing()  # turblint: disable=TXN01
+    # turblint: disable-file=LOCK01     (anywhere in the file)
+
+``disable=all`` silences every checker for the line (or file).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*turblint:\s*(disable|disable-file)\s*=\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*|all)"
+)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One reported violation, pointing at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+
+    def render(self) -> str:
+        """The ``path:line:col: CODE message`` display form."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class LintSyntaxError(Exception):
+    """A scanned file failed to parse (reported, never swallowed)."""
+
+
+class SourceFile:
+    """A parsed Python source file plus its suppression directives.
+
+    Args:
+        path: filesystem path (used in diagnostics).
+        module: dotted module name used for checker scoping (e.g.
+            ``repro.storage.wal``).  Tests pass synthetic names to run a
+            fixture under a specific checker's scope.
+        text: source text; read from ``path`` when omitted.
+    """
+
+    def __init__(
+        self, path: str | Path, module: str, text: str | None = None
+    ) -> None:
+        self.path = Path(path)
+        self.module = module
+        self.text = self.path.read_text() if text is None else text
+        try:
+            self.tree = ast.parse(self.text, filename=str(self.path))
+        except SyntaxError as error:
+            raise LintSyntaxError(f"{self.path}: {error}") from error
+        self.line_disables: dict[int, set[str]] = {}
+        self.file_disables: set[str] = set()
+        self._parse_suppressions()
+        self._parents: dict[ast.AST, ast.AST] | None = None
+
+    def _parse_suppressions(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(line)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper() for code in match.group(2).split(",")
+            }
+            if match.group(1) == "disable-file":
+                self.file_disables |= codes
+            else:
+                self.line_disables.setdefault(lineno, set()).update(codes)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        """Whether a diagnostic of ``code`` at ``line`` is silenced."""
+        for scope in (self.file_disables, self.line_disables.get(line, set())):
+            if "ALL" in scope or code.upper() in scope:
+                return True
+        return False
+
+    def parents(self) -> dict[ast.AST, ast.AST]:
+        """Child-to-parent map over the AST (built once, cached)."""
+        if self._parents is None:
+            table: dict[ast.AST, ast.AST] = {}
+            for node in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(node):
+                    table[child] = node
+            self._parents = table
+        return self._parents
+
+    def enclosing(
+        self, node: ast.AST, *kinds: type[ast.AST]
+    ) -> list[ast.AST]:
+        """Ancestors of ``node`` matching ``kinds``, innermost first."""
+        parents = self.parents()
+        found = []
+        current = parents.get(node)
+        while current is not None:
+            if isinstance(current, kinds):
+                found.append(current)
+            current = parents.get(current)
+        return found

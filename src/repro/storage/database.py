@@ -10,7 +10,7 @@ cost ledger under the device's cost category.
 from __future__ import annotations
 
 import threading
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.costmodel import Category, CostLedger
 from repro.costmodel.devices import HddArraySpec, SsdSpec
@@ -24,6 +24,9 @@ from repro.storage.errors import SchemaError, TableNotFoundError
 from repro.storage.mvcc import Transaction, TransactionManager
 from repro.storage.schema import TableSchema
 from repro.storage.table import Table
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.storage.wal import WriteAheadLog
 
 
 class StorageDevice:
@@ -96,13 +99,22 @@ class Database:
     """
 
     def __init__(
-        self, name: str = "db", buffer_pages: int = 4096, wal=None
+        self,
+        name: str = "db",
+        buffer_pages: int = 4096,
+        wal: "WriteAheadLog | None" = None,
     ) -> None:
         self.name = name
         self._buffer_pages = buffer_pages
         self._tables: dict[str, Table] = {}
         self._devices: dict[str, StorageDevice] = {}
-        self._manager = TransactionManager()
+        # One re-entrant latch serialises structural access across every
+        # table AND transaction commit/abort publishing.  Per-table locks
+        # would deadlock: FK checks walk child -> parent while cascaded
+        # deletes walk parent -> child, so the cacheInfo/cacheData pair
+        # alone creates both lock orders.
+        self._latch = threading.RLock()
+        self._manager = TransactionManager(latch=self._latch)
         self._next_file_id = 0
         self.wal = wal  # optional WriteAheadLog (see repro.storage.wal)
 
@@ -142,6 +154,7 @@ class Database:
             self.device(device),
             self._next_file_id,
             BufferPool(self._buffer_pages),
+            latch=self._latch,
         )
         self._next_file_id += 1
         for fk in schema.foreign_keys:

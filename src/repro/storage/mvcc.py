@@ -20,7 +20,7 @@ from repro.storage.errors import SerializationConflictError, TransactionError
 from repro.storage.heap import RowId
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    pass
+    from repro.storage.wal import WalKind, WriteAheadLog
 
 
 class TxStatus(enum.Enum):
@@ -137,12 +137,13 @@ class Transaction:
 
     def __init__(
         self, txn_id: int, snapshot_ts: int, manager: "TransactionManager",
-        ledger: CostLedger | None = None, wal=None,
+        ledger: CostLedger | None = None, wal: "WriteAheadLog | None" = None,
     ) -> None:
         self.txn_id = txn_id
         self.snapshot_ts = snapshot_ts
         self.ledger = ledger
         self._manager = manager
+        self._latch = manager.latch
         self._wal = wal
         self._wal_dirty = False
         self._status = TxStatus.ACTIVE
@@ -151,7 +152,7 @@ class Transaction:
         self._undo_hooks: list[Callable[[], None]] = []
         self._commit_hooks: list[Callable[[], None]] = []
 
-    def log(self, kind, table: str, payload: object) -> None:
+    def log(self, kind: "WalKind", table: str, payload: object) -> None:
         """Append a redo record for this transaction (no-op without WAL)."""
         if self._wal is not None:
             self._wal.append(self.txn_id, kind, table, payload)
@@ -202,16 +203,19 @@ class Transaction:
 
             self._wal.append(self.txn_id, WalKind.COMMIT)
             self._wal.flush()
-        commit_ts = self._manager.advance()
-        for _, version in self._created:
-            version.begin_ts = commit_ts
-            version.creator = None
-        for _, version in self._deleted:
-            version.end_ts = commit_ts
-            version.deleter = None
-        self._status = TxStatus.COMMITTED
-        for hook in self._commit_hooks:
-            hook()
+        # Publishing happens under the shared database latch so readers
+        # never observe a half-committed write set.
+        with self._latch:
+            commit_ts = self._manager.advance()
+            for _, version in self._created:
+                version.begin_ts = commit_ts
+                version.creator = None
+            for _, version in self._deleted:
+                version.end_ts = commit_ts
+                version.deleter = None
+            self._status = TxStatus.COMMITTED
+            for hook in self._commit_hooks:
+                hook()
 
     def abort(self) -> None:
         """Discard all writes."""
@@ -220,13 +224,14 @@ class Transaction:
             from repro.storage.wal import WalKind
 
             self._wal.append(self.txn_id, WalKind.ABORT)
-        for chain, version in self._created:
-            chain.remove(version)
-        for _, version in self._deleted:
-            version.deleter = None
-        for hook in reversed(self._undo_hooks):
-            hook()
-        self._status = TxStatus.ABORTED
+        with self._latch:
+            for chain, version in self._created:
+                chain.remove(version)
+            for _, version in self._deleted:
+                version.deleter = None
+            for hook in reversed(self._undo_hooks):
+                hook()
+            self._status = TxStatus.ABORTED
 
     def __enter__(self) -> "Transaction":
         return self
@@ -241,12 +246,20 @@ class Transaction:
 
 
 class TransactionManager:
-    """Issues transaction ids, snapshots and commit timestamps."""
+    """Issues transaction ids, snapshots and commit timestamps.
 
-    def __init__(self) -> None:
+    Args:
+        latch: the owning database's re-entrant latch, shared with its
+            tables; commit/abort publish version timestamps under it.  A
+            private latch is created for standalone (single-database
+            unit-test) use.
+    """
+
+    def __init__(self, latch: "threading.RLock | None" = None) -> None:
         self._ids = itertools.count(1)
         self._clock = 0
         self._lock = threading.Lock()
+        self.latch = latch if latch is not None else threading.RLock()
 
     @property
     def now(self) -> int:
@@ -258,7 +271,9 @@ class TransactionManager:
             self._clock += 1
             return self._clock
 
-    def begin(self, ledger: CostLedger | None = None, wal=None) -> Transaction:
+    def begin(
+        self, ledger: CostLedger | None = None, wal: "WriteAheadLog | None" = None
+    ) -> Transaction:
         """Start a transaction with a snapshot of the current clock."""
         with self._lock:
             txn_id = next(self._ids)

@@ -9,6 +9,7 @@ tables.  All access happens inside a :class:`~repro.storage.mvcc.Transaction`.
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from repro.storage.btree import BPlusTree
@@ -36,11 +37,16 @@ class Table:
         device: "StorageDevice",
         file_id: int,
         buffer_pool: BufferPool,
+        latch: "threading.RLock | None" = None,
     ) -> None:
         self.schema = schema
         self._device = device
         self._file_id = file_id
         self._pool = buffer_pool
+        # Shared with every sibling table and the transaction manager of
+        # the owning Database: the B+-trees and version chains are not
+        # thread-safe, and the mediator scatters queries across threads.
+        self._latch = latch if latch is not None else threading.RLock()
         self._heap = HeapFile()
         self._clustered = BPlusTree()
         self._indexes: dict[str, BPlusTree] = {
@@ -68,14 +74,15 @@ class Table:
     def get(self, txn: Transaction, key: tuple) -> dict[str, object] | None:
         """The visible row at ``key``, or ``None``.  Charges one page read."""
         txn.require_active()
-        chain = self._clustered.get(key)
-        if chain is None:
-            return None
-        version = chain.visible(txn)
-        if version is None:
-            return None
-        self._touch(txn, version, sequential=False)
-        return dict(version.row)
+        with self._latch:
+            chain = self._clustered.get(key)
+            if chain is None:
+                return None
+            version = chain.visible(txn)
+            if version is None:
+                return None
+            self._touch(txn, version, sequential=False)
+            return dict(version.row)
 
     def scan(
         self,
@@ -94,36 +101,47 @@ class Table:
         False reads without touching the buffer pool at all — used when
         a node serves halo bands to a peer, whose cost is accounted as
         interconnect transfer rather than local I/O.
+
+        Rows are materialised under the database latch so a concurrent
+        commit cannot rebalance the B+-tree mid-scan; every caller
+        consumes the scan fully, so the charges are identical.
         """
         txn.require_active()
-        first = not sequential
-        for _, chain in self._clustered.scan(lo, hi, include_hi):
-            version = chain.visible(txn)
-            if version is None:
-                continue
-            if charge:
-                self._touch(txn, version, sequential=not first)
-            first = False
-            yield dict(version.row)
+        with self._latch:
+            rows: list[dict[str, object]] = []
+            first = not sequential
+            for _, chain in self._clustered.scan(lo, hi, include_hi):
+                version = chain.visible(txn)
+                if version is None:
+                    continue
+                if charge:
+                    self._touch(txn, version, sequential=not first)
+                first = False
+                rows.append(dict(version.row))
+        return iter(rows)
 
     def count(self, txn: Transaction) -> int:
         """Number of rows visible to ``txn`` (full scan, uncharged)."""
         txn.require_active()
-        return sum(
-            1 for _, chain in self._clustered.items() if chain.visible(txn)
-        )
+        with self._latch:
+            return sum(
+                1 for _, chain in self._clustered.items() if chain.visible(txn)
+            )
 
     def lookup(
         self, txn: Transaction, index: str, key: tuple
     ) -> Iterator[dict[str, object]]:
         """Visible rows whose ``index`` columns equal ``key``."""
         txn.require_active()
-        tree = self._index(index)
-        pks: set[tuple] = tree.get(key) or set()
-        for pk in sorted(pks):
-            row = self.get(txn, pk)
-            if row is not None:
-                yield row
+        with self._latch:
+            tree = self._index(index)
+            pks: set[tuple] = tree.get(key) or set()
+            rows = []
+            for pk in sorted(pks):
+                row = self.get(txn, pk)
+                if row is not None:
+                    rows.append(row)
+        return iter(rows)
 
     # -- writes ----------------------------------------------------------------
 
@@ -138,29 +156,30 @@ class Table:
         txn.require_active()
         row = self.schema.validate_row(row)
         key = self.schema.key_of(row)
-        self._check_parents(txn, row)
-        chain = self._clustered.get(key)
-        if chain is None:
-            chain = VersionChain()
-            self._clustered.insert(key, chain)
-            txn.on_abort(lambda: self._drop_chain_if_empty(key))
-        else:
-            chain.check_write_allowed(txn)
-            if chain.visible(txn) is not None:
-                raise DuplicateKeyError(
-                    f"{self.schema.name}: duplicate primary key {key}"
-                )
-        rowid = self._heap.append(encode_row(self.schema, row))
-        self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
-        txn.on_commit(lambda: self._pool.flush(self._device))
-        version = Version(row, rowid, creator=txn)
-        chain.push(version)
-        txn.record_create(chain, version)
-        self._log(txn, "insert", row)
-        for name, columns in self.schema.indexes.items():
-            index_key = tuple(row[c] for c in columns)
-            self._index_add(name, index_key, key)
-            txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
+        with self._latch:
+            self._check_parents(txn, row)
+            chain = self._clustered.get(key)
+            if chain is None:
+                chain = VersionChain()
+                self._clustered.insert(key, chain)
+                txn.on_abort(lambda: self._drop_chain_if_empty(key))
+            else:
+                chain.check_write_allowed(txn)
+                if chain.visible(txn) is not None:
+                    raise DuplicateKeyError(
+                        f"{self.schema.name}: duplicate primary key {key}"
+                    )
+            rowid = self._heap.append(encode_row(self.schema, row))
+            self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
+            txn.on_commit(lambda: self._pool.flush(self._device))
+            version = Version(row, rowid, creator=txn)
+            chain.push(version)
+            txn.record_create(chain, version)
+            self._log(txn, "insert", row)
+            for name, columns in self.schema.indexes.items():
+                index_key = tuple(row[c] for c in columns)
+                self._index_add(name, index_key, key)
+                txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
 
     def delete(self, txn: Transaction, key: tuple) -> bool:
         """Delete the visible row at ``key``; returns whether one existed.
@@ -169,20 +188,21 @@ class Table:
         key is declared ``cascade``, in which case they are deleted too.
         """
         txn.require_active()
-        chain = self._clustered.get(key)
-        if chain is None:
-            return False
-        version = chain.visible(txn)
-        if version is None:
-            return False
-        chain.check_write_allowed(txn)
-        self._resolve_children(txn, key)
-        version.deleter = txn
-        txn.record_delete(chain, version)
-        self._pool.access(self._device, self._file_id, version.rowid.page, dirty=True)
-        txn.on_commit(lambda: self._pool.flush(self._device))
-        self._log(txn, "delete", key)
-        return True
+        with self._latch:
+            chain = self._clustered.get(key)
+            if chain is None:
+                return False
+            version = chain.visible(txn)
+            if version is None:
+                return False
+            chain.check_write_allowed(txn)
+            self._resolve_children(txn, key)
+            version.deleter = txn
+            txn.record_delete(chain, version)
+            self._pool.access(self._device, self._file_id, version.rowid.page, dirty=True)
+            txn.on_commit(lambda: self._pool.flush(self._device))
+            self._log(txn, "delete", key)
+            return True
 
     def update(
         self, txn: Transaction, key: tuple, changes: dict[str, object]
@@ -195,29 +215,30 @@ class Table:
         txn.require_active()
         if any(col in self.schema.primary_key for col in changes):
             raise SchemaError(f"{self.schema.name}: cannot update primary key")
-        chain = self._clustered.get(key)
-        if chain is None:
-            return False
-        version = chain.visible(txn)
-        if version is None:
-            return False
-        chain.check_write_allowed(txn)
-        new_row = self.schema.validate_row({**version.row, **changes})
-        self._check_parents(txn, new_row)
-        version.deleter = txn
-        txn.record_delete(chain, version)
-        rowid = self._heap.append(encode_row(self.schema, new_row))
-        self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
-        txn.on_commit(lambda: self._pool.flush(self._device))
-        new_version = Version(new_row, rowid, creator=txn)
-        chain.push(new_version)
-        txn.record_create(chain, new_version)
-        for name, columns in self.schema.indexes.items():
-            index_key = tuple(new_row[c] for c in columns)
-            self._index_add(name, index_key, key)
-            txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
-        self._log(txn, "update", (key, dict(changes)))
-        return True
+        with self._latch:
+            chain = self._clustered.get(key)
+            if chain is None:
+                return False
+            version = chain.visible(txn)
+            if version is None:
+                return False
+            chain.check_write_allowed(txn)
+            new_row = self.schema.validate_row({**version.row, **changes})
+            self._check_parents(txn, new_row)
+            version.deleter = txn
+            txn.record_delete(chain, version)
+            rowid = self._heap.append(encode_row(self.schema, new_row))
+            self._pool.access(self._device, self._file_id, rowid.page, dirty=True)
+            txn.on_commit(lambda: self._pool.flush(self._device))
+            new_version = Version(new_row, rowid, creator=txn)
+            chain.push(new_version)
+            txn.record_create(chain, new_version)
+            for name, columns in self.schema.indexes.items():
+                index_key = tuple(new_row[c] for c in columns)
+                self._index_add(name, index_key, key)
+                txn.on_abort(lambda n=name, ik=index_key, pk=key: self._index_remove(n, ik, pk))
+            self._log(txn, "update", (key, dict(changes)))
+            return True
 
     # -- maintenance -----------------------------------------------------------
 
@@ -229,26 +250,27 @@ class Table:
         """
         reclaimed = 0
         empty_keys = []
-        for key, chain in list(self._clustered.items()):
-            keep = []
-            for version in chain.versions:
-                dead = version.creator is None and version.end_ts is not None and version.deleter is None
-                if dead:
-                    self._heap.delete(version.rowid)
-                    reclaimed += 1
-                else:
-                    keep.append(version)
-            chain.versions = keep
-            if not chain.versions:
-                empty_keys.append(key)
-        for key in empty_keys:
-            self._clustered.delete(key)
-            for name, tree in self._indexes.items():
-                for index_key, pks in list(tree.items()):
-                    if key in pks:
-                        pks.discard(key)
-                        if not pks:
-                            tree.delete(index_key)
+        with self._latch:
+            for key, chain in list(self._clustered.items()):
+                keep = []
+                for version in chain.versions:
+                    dead = version.creator is None and version.end_ts is not None and version.deleter is None
+                    if dead:
+                        self._heap.delete(version.rowid)
+                        reclaimed += 1
+                    else:
+                        keep.append(version)
+                chain.versions = keep
+                if not chain.versions:
+                    empty_keys.append(key)
+            for key in empty_keys:
+                self._clustered.delete(key)
+                for name, tree in self._indexes.items():
+                    for index_key, pks in list(tree.items()):
+                        if key in pks:
+                            pks.discard(key)
+                            if not pks:
+                                tree.delete(index_key)
         return reclaimed
 
     @property

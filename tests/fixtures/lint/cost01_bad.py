@@ -1,0 +1,13 @@
+# Three COST01 violations: wall-clock import, wall-clock call,
+# discarded device time.
+import time
+from time import perf_counter
+
+
+def stamp():
+    return time.time()
+
+
+def discarded(spec):
+    spec.read_time(4096)
+    return perf_counter

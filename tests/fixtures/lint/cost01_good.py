@@ -1,0 +1,11 @@
+# Device times are charged to the ledger; no wall-clock reads.
+
+
+def charge_read(spec, ledger, category):
+    seconds = spec.read_time(4096, seeks=1)
+    ledger.charge(category, seconds)
+    return seconds
+
+
+def charge_inline(spec, ledger, category):
+    ledger.charge(category, spec.write_time(8192))

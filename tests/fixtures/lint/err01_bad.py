@@ -1,0 +1,20 @@
+# Three ERR01 violations: bare except, swallowing broad catch,
+# untyped raise.
+
+
+def swallow_everything(job):
+    try:
+        job()
+    except:  # noqa: E722
+        pass
+
+
+def swallow_broad(job):
+    try:
+        return job()
+    except Exception:
+        return None
+
+
+def untyped_failure():
+    raise Exception("boom")

@@ -1,0 +1,16 @@
+# Typed errors only; broad catches re-raise.
+from repro.storage.errors import SerializationConflictError, TransactionError
+
+
+def retry_on_conflict(job):
+    try:
+        return job()
+    except SerializationConflictError:
+        return None
+
+
+def wrap_unexpected(job):
+    try:
+        return job()
+    except Exception as error:
+        raise TransactionError(str(error)) from error

@@ -1,0 +1,29 @@
+# Six HALO01 violations: short coefficient row, odd order, hard-coded
+# margin, missing margin, and both DerivedField flag mismatches.
+from repro.fields.derived import DerivedField
+from repro.fields.fd import curl_interior, kernel_half_width
+
+BROKEN_COEFFICIENTS = {
+    4: (1.0,),
+    3: (1.0, 2.0),
+}
+
+
+def hard_coded_margin(field):
+    return curl_interior(field, 0, 0, 2)
+
+
+def missing_margin(field):
+    return curl_interior(field, 0, 0)
+
+
+def flat_norm(block):
+    return abs(block)
+
+
+def stencil_norm(block, order):
+    return curl_interior(block, 0, 0, kernel_half_width(order))
+
+
+PHANTOM_HALO = DerivedField("phantom", "u", 3, True, 4, flat_norm)
+MISSING_HALO = DerivedField("missing", "u", 3, False, 4, stencil_norm)

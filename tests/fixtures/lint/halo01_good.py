@@ -1,0 +1,39 @@
+# Coefficient table, margins and DerivedField flags all agree.
+from repro.fields.derived import DerivedField
+from repro.fields.fd import (
+    curl_interior,
+    derivative_interior,
+    gradient_tensor_interior,
+    kernel_half_width,
+)
+
+CENTRAL_COEFFICIENTS = {
+    2: (0.5,),
+    4: (2.0 / 3.0, -1.0 / 12.0),
+    6: (0.75, -0.15, 1.0 / 60.0),
+}
+
+
+def margin_via_binding(field, order):
+    margin = kernel_half_width(order)
+    return curl_interior(field, 0, 0, margin)
+
+
+def margin_via_keyword(block, order):
+    return gradient_tensor_interior(block, 0, 0, margin=kernel_half_width(order))
+
+
+def margin_optional(field):
+    return derivative_interior(field, 0)
+
+
+def stencil_norm(block, order):
+    return curl_interior(block, 0, 0, kernel_half_width(order))
+
+
+def plain_norm(block):
+    return (block * block).sum()
+
+
+VORTICITY = DerivedField("vorticity", "u", 3, True, 4, stencil_norm)
+ENERGY = DerivedField("energy", "u", 3, False, 0, plain_norm)

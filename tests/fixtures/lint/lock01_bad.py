@@ -1,0 +1,32 @@
+# Self-deadlock, a racy public mutation, and a lock-order cycle.
+import threading
+
+
+class SelfDeadlock:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def outer(self):
+        with self._lock:
+            with self._lock:
+                self._count += 1
+
+    def racy(self):
+        self._count += 1
+
+
+class OppositeOrders:
+    def __init__(self):
+        self._a_lock = threading.Lock()
+        self._b_lock = threading.Lock()
+
+    def forward(self):
+        with self._a_lock:
+            with self._b_lock:
+                return 1
+
+    def backward(self):
+        with self._b_lock:
+            with self._a_lock:
+                return 2

@@ -1,0 +1,26 @@
+# Guarded mutations and a single consistent lock order.
+import threading
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+
+    def bump(self):
+        with self._lock:
+            self._count += 1
+
+    def _bump_already_locked(self):
+        self._count += 1
+
+
+class Ordered:
+    def __init__(self):
+        self._first_lock = threading.Lock()
+        self._second_lock = threading.Lock()
+
+    def both(self):
+        with self._first_lock:
+            with self._second_lock:
+                return True

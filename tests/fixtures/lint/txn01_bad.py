@@ -1,0 +1,21 @@
+# Four distinct TXN01 violations, one per function.
+
+
+def leak_discarded(db):
+    db.begin()
+
+
+def never_finished(db, work):
+    txn = db.begin()
+    work(txn)
+
+
+def unprotected_commit(db, work):
+    txn = db.begin()
+    work(txn)
+    txn.commit()
+
+
+def untransacted_mutation(db):
+    table = db.table("cacheInfo")
+    table.insert({"k": 1})

@@ -1,0 +1,31 @@
+# Clean transaction discipline: every path commits or aborts.
+
+
+def with_statement(db):
+    with db.transaction() as txn:
+        db.table("cacheInfo").insert(txn, {"k": 1})
+
+
+def explicit_lifecycle(db, ledger):
+    txn = db.begin(ledger)
+    try:
+        table = db.table("cacheInfo")
+        table.insert(txn, {"k": 1})
+        table.update(txn, 1, {"k": 2})
+        txn.commit()
+    except Exception:
+        txn.abort()
+        raise
+
+
+def finally_abort(db):
+    txn = db.begin()
+    try:
+        txn.commit()
+    finally:
+        if txn.is_active:
+            txn.abort()
+
+
+def helper_takes_txn(txn, db):
+    db.table("cacheData").insert(txn, {"k": 2})

@@ -1,0 +1,38 @@
+"""Shared plumbing for the turblint checker tests.
+
+Fixture files live under ``tests/fixtures/lint/``; they are loaded with a
+*synthetic* module name so each lands inside the checker's scope (the
+paths themselves resolve to bare stems, which no scoped checker covers).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.lint import Checker, Diagnostic, SourceFile
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+
+
+def load(name: str, module: str) -> SourceFile:
+    """Load ``tests/fixtures/lint/<name>`` under a synthetic module name."""
+    return SourceFile(FIXTURES / name, module)
+
+
+def run_checker(
+    checker: Checker, *sources: SourceFile
+) -> list[Diagnostic]:
+    """Run one checker over the sources, including its finish() pass."""
+    diagnostics: list[Diagnostic] = []
+    for source in sources:
+        assert checker.applies(source.module), (
+            f"{checker.code} does not apply to {source.module}; "
+            "fix the test's synthetic module name"
+        )
+        diagnostics.extend(
+            diag
+            for diag in checker.check(source)
+            if not source.suppressed(diag.code, diag.line)
+        )
+    diagnostics.extend(checker.finish())
+    return diagnostics

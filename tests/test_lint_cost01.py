@@ -1,0 +1,35 @@
+"""COST01 (cost accounting / wall-clock ban) checker tests."""
+
+from repro.lint.checkers.cost01 import CostAccounting
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("cost01_good.py", "repro.core.fixture_good")
+    assert run_checker(CostAccounting(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("cost01_bad.py", "repro.core.fixture_bad")
+    diags = run_checker(CostAccounting(), source)
+    assert len(diags) == 3
+    messages = "\n".join(d.message for d in diags)
+    assert "from time import perf_counter" in messages
+    assert "time.time()" in messages
+    assert "computed but discarded" in messages
+
+
+def test_harness_and_benchmarks_are_exempt():
+    checker = CostAccounting()
+    assert not checker.applies("repro.harness.bench")
+    assert not checker.applies("repro.benchmarks.figure9")
+    assert checker.applies("repro.core.threshold")
+    assert checker.applies("repro.costmodel.devices")
+    assert not checker.applies("numpy.random")
+
+
+def test_wall_clock_allowed_in_harness_scope():
+    # The same violating text is clean when scoped under the harness.
+    source = load("cost01_bad.py", "repro.harness.fixture")
+    assert not CostAccounting().applies(source.module)

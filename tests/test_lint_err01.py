@@ -1,0 +1,35 @@
+"""ERR01 (error taxonomy) checker tests."""
+
+from repro.lint.checkers.err01 import ErrorTaxonomy
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("err01_good.py", "repro.cluster.fixture_good")
+    assert run_checker(ErrorTaxonomy(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("err01_bad.py", "repro.cluster.fixture_bad")
+    diags = run_checker(ErrorTaxonomy(), source)
+    assert len(diags) == 3
+    messages = "\n".join(d.message for d in diags)
+    assert "bare 'except:'" in messages
+    assert "broad 'except Exception' without re-raise" in messages
+    assert "raise Exception is untyped" in messages
+
+
+def test_broad_catch_with_reraise_is_allowed():
+    # err01_good.wrap_unexpected catches Exception but re-raises a typed
+    # error, which is the sanctioned wrapping pattern.
+    source = load("err01_good.py", "repro.storage.fixture_good")
+    assert run_checker(ErrorTaxonomy(), source) == []
+
+
+def test_scope_is_cluster_and_storage_only():
+    checker = ErrorTaxonomy()
+    assert checker.applies("repro.cluster.mediator")
+    assert checker.applies("repro.storage.table")
+    assert not checker.applies("repro.fields.fd")
+    assert not checker.applies("repro.webservice")

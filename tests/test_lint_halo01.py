@@ -1,0 +1,39 @@
+"""HALO01 (stencil/halo consistency) checker tests."""
+
+from repro.lint.checkers.halo01 import HaloConsistency
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("halo01_good.py", "repro.fields.fixture_good")
+    assert run_checker(HaloConsistency(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("halo01_bad.py", "repro.fields.fixture_bad")
+    diags = run_checker(HaloConsistency(), source)
+    assert len(diags) == 6
+    messages = "\n".join(d.message for d in diags)
+    # H1: coefficient table shape.
+    assert "must list exactly 2 one-sided coefficients" in messages
+    assert "FD order 3 must be a positive even integer" in messages
+    # H2: margins.
+    assert "hard-coded halo margin 2" in messages
+    assert "without an explicit margin" in messages
+    # H3: differential flag vs. norm body.
+    assert "differential=True but norm 'flat_norm'" in messages
+    assert "differential=False but norm 'stencil_norm'" in messages
+
+
+def test_margin_from_parameter_is_allowed():
+    # A margin passed through an enclosing parameter cannot be proven to
+    # come from kernel_half_width, so the checker trusts it (documented
+    # heuristic: the caller was itself checked).
+    source = load("halo01_good.py", "repro.fields.fixture_good")
+    diags = [
+        d
+        for d in run_checker(HaloConsistency(), source)
+        if "margin" in d.message
+    ]
+    assert diags == []

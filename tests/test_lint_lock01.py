@@ -1,0 +1,41 @@
+"""LOCK01 (lock hygiene) checker tests."""
+
+from repro.lint.checkers.lock01 import LockHygiene
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("lock01_good.py", "repro.storage.fixture_good")
+    assert run_checker(LockHygiene(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("lock01_bad.py", "repro.storage.fixture_bad")
+    diags = run_checker(LockHygiene(), source)
+    messages = "\n".join(d.message for d in diags)
+    assert len(diags) == 3
+    assert "self-deadlock" in messages
+    assert "without it in public method racy()" in messages
+    assert "lock-order cycle" in messages
+    cycle = next(d for d in diags if "cycle" in d.message)
+    assert "OppositeOrders._a_lock" in cycle.message
+    assert "OppositeOrders._b_lock" in cycle.message
+
+
+def test_private_helpers_may_mutate_without_lock():
+    # lock01_good.Guarded._bump_already_locked mutates self._count with
+    # no lock held; the leading-underscore convention exempts it.
+    source = load("lock01_good.py", "repro.cluster.fixture_good")
+    assert run_checker(LockHygiene(), source) == []
+
+
+def test_edges_accumulate_across_files_only_within_one_run():
+    # A fresh checker instance has an empty lock-order graph: the cycle
+    # from the bad fixture must not leak into later runs.
+    bad = load("lock01_bad.py", "repro.storage.fixture_bad")
+    assert any(
+        "cycle" in d.message for d in run_checker(LockHygiene(), bad)
+    )
+    good = load("lock01_good.py", "repro.storage.fixture_good")
+    assert run_checker(LockHygiene(), good) == []

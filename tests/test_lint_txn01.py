@@ -1,0 +1,54 @@
+"""TXN01 (transaction discipline) checker tests."""
+
+from repro.lint.checkers.txn01 import TxnDiscipline
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("txn01_good.py", "repro.storage.fixture_good")
+    assert run_checker(TxnDiscipline(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("txn01_bad.py", "repro.storage.fixture_bad")
+    diags = run_checker(TxnDiscipline(), source)
+    assert len(diags) == 4
+    assert all(d.code == "TXN01" for d in diags)
+    messages = "\n".join(d.message for d in diags)
+    assert "immediately discarded" in messages
+    assert "never committed or aborted" in messages
+    assert "unprotected" in messages
+    assert "outside a transaction" in messages
+
+
+def test_out_of_scope_module_is_skipped():
+    checker = TxnDiscipline()
+    assert not checker.applies("repro.fields.fd")
+    assert not checker.applies("repro.harness.bench")
+    assert checker.applies("repro.storage.mvcc")
+    assert checker.applies("repro.core.threshold")
+
+
+def test_core_engine_modules_are_clean():
+    checker = TxnDiscipline()
+    sources = [
+        load_real(name)
+        for name in (
+            "src/repro/core/threshold.py",
+            "src/repro/core/batch.py",
+            "src/repro/core/pdf.py",
+            "src/repro/core/cache.py",
+        )
+    ]
+    assert run_checker(checker, *sources) == []
+
+
+def load_real(rel: str):
+    from pathlib import Path
+
+    from repro.lint import SourceFile
+    from repro.lint.cli import module_name_for
+
+    path = Path(__file__).parent.parent / rel
+    return SourceFile(path, module_name_for(path))
