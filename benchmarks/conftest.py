@@ -5,15 +5,29 @@ the module-scoped fixture runs the experiment harness, writes the
 resulting table to ``benchmarks/results/<name>.txt`` (and echoes it to
 the terminal), and the pytest-benchmark functions time the underlying
 queries of that experiment.
+
+At session end, each benchmarked module additionally gets a machine-
+readable ``BENCH_<module>.json`` at the repo root: the wall-clock
+timing statistics of its benchmark functions plus the key engine
+metrics of the run (semantic-cache hit rate, simulated I/O bytes),
+sampled from the shared cluster's metrics registry.  CI uploads these
+as artifacts so perf history survives the run.
 """
 
+import json
 import pathlib
 
 import pytest
 
 from repro.harness.common import ExperimentConfig
+from repro.obs import report
+from repro.obs.clock import unix_now
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+#: Mediators whose metrics are sampled into the BENCH_*.json files.
+_OBSERVED_MEDIATORS = []
 
 
 @pytest.fixture(scope="session")
@@ -24,17 +38,72 @@ def config() -> ExperimentConfig:
 @pytest.fixture(scope="session")
 def shared_cluster(config):
     """One default cluster shared by experiments that can reuse it."""
-    return config.make_cluster()
+    dataset, mediator = config.make_cluster()
+    _OBSERVED_MEDIATORS.append(mediator)
+    return dataset, mediator
 
 
 @pytest.fixture(scope="session")
 def save_report():
     """Write an ExperimentReport to results/<name>.txt and echo it."""
 
-    def _save(name: str, report) -> None:
+    def _save(name: str, experiment_report) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
-        text = str(report)
+        text = str(experiment_report)
         (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{text}\n")
+        report(f"\n{text}\n")
 
     return _save
+
+
+def _engine_metrics() -> dict:
+    """Key engine counters summed over the session's observed clusters."""
+    hits = misses = io_bytes = sim_seconds = 0.0
+    for mediator in _OBSERVED_MEDIATORS:
+        metrics = mediator.metrics
+        hits += metrics.get("semantic_cache_hits_total").value
+        misses += metrics.get("semantic_cache_misses_total").value
+        io_bytes += metrics.get("io_bytes_total").value
+        family = metrics.get("simulated_seconds_total")
+        for _, series in family.series():
+            sim_seconds += series.value
+    probes = hits + misses
+    return {
+        "semantic_cache_hits": hits,
+        "semantic_cache_misses": misses,
+        "semantic_cache_hit_rate": hits / probes if probes else 0.0,
+        "io_bytes": io_bytes,
+        "simulated_seconds": sim_seconds,
+    }
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write ``BENCH_<module>.json`` for every benchmarked module."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        module = pathlib.Path(bench.fullname.split("::")[0]).stem
+        stats = bench.stats
+        by_module.setdefault(module, []).append(
+            {
+                "test": bench.name,
+                "rounds": stats.rounds,
+                "mean_seconds": stats.mean,
+                "min_seconds": stats.min,
+                "max_seconds": stats.max,
+                "stddev_seconds": stats.stddev,
+            }
+        )
+    metrics = _engine_metrics() if _OBSERVED_MEDIATORS else {}
+    for module, timings in sorted(by_module.items()):
+        payload = {
+            "module": module,
+            "written_at_unix": unix_now(),
+            "timings": timings,
+            "metrics": metrics,
+        }
+        path = REPO_ROOT / f"BENCH_{module}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        report(f"wrote {path}")

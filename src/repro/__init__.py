@@ -11,6 +11,7 @@ that makes repeated threshold queries over an order of magnitude faster.
 Quickstart::
 
     from repro import build_cluster, mhd_dataset, TurbulenceClient
+    from repro.obs import report
 
     dataset = mhd_dataset(side=64, timesteps=4)
     mediator = build_cluster(dataset, nodes=4)
@@ -18,8 +19,8 @@ Quickstart::
 
     result = client.get_threshold("mhd", "vorticity", timestep=0,
                                   threshold=3.0)
-    print(len(result), "intense points in",
-          f"{result.elapsed:.1f} simulated seconds")
+    report(len(result), "intense points in",
+           f"{result.elapsed:.1f} simulated seconds")
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-figure reproductions.

@@ -14,6 +14,7 @@ result limit.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -38,8 +39,10 @@ from repro.core.topk import get_topk_on_node
 from repro.cluster.node import DatabaseNode
 from repro.cluster.partition import MortonPartitioner
 from repro.costmodel import Category, ClusterSpec, CostLedger, paper_cluster
-from repro.costmodel.ledger import METER_RESULT_POINTS
+from repro.costmodel.ledger import METER_IO_BYTES, METER_RESULT_POINTS
 from repro.fields.derived import FieldRegistry, default_registry
+from repro.obs import tracing
+from repro.obs.metrics import MetricsRegistry
 from repro.grid import Box
 from repro.simulation.datasets import SyntheticDataset
 from repro.simulation.ingest import atomize
@@ -137,6 +140,135 @@ class Mediator:
                 for node in self.nodes
             ]
             self.pdf_caches = [PdfCache(node.db) for node in self.nodes]
+        self.metrics = MetricsRegistry()
+        self._build_instruments()
+
+    def _build_instruments(self) -> None:
+        """Register this mediator's metric families and engine samplers.
+
+        Counters on the query path are incremented once per query (see
+        :meth:`_observe_query`); engine-internal statistics the hot paths
+        keep as plain integers are exposed through export-time sampling
+        callbacks, so an idle (unscraped) cluster pays nothing for them.
+        """
+        self._m_queries = self.metrics.counter(
+            "queries_total", "Queries served, by kind", labelnames=["kind"]
+        )
+        self._m_points = self.metrics.counter(
+            "result_points_total", "Points returned to clients"
+        )
+        self._m_cache_hits = self.metrics.counter(
+            "semantic_cache_hits_total",
+            "Node-level semantic-cache hits (whole node share served)",
+        )
+        self._m_cache_misses = self.metrics.counter(
+            "semantic_cache_misses_total",
+            "Node-level semantic-cache misses",
+        )
+        self._m_sim_seconds = self.metrics.counter(
+            "simulated_seconds_total",
+            "Simulated seconds, by Figure-9 cost category",
+            labelnames=["category"],
+        )
+        self._m_io_bytes = self.metrics.counter(
+            "io_bytes_total", "Raw bytes read from the atom tables"
+        )
+        self._m_fanout = self.metrics.histogram(
+            "scatter_fanout",
+            "Participating nodes per query",
+            buckets=[1, 2, 4, 8, 16, 32],
+        )
+        # Pre-resolved series for the hot query path: labels() takes the
+        # family lock on every call, so the per-query observation code
+        # uses these bound series instead.
+        self._m_queries_by_kind = {
+            kind: self._m_queries.labels(kind=kind)
+            for kind in ("threshold", "batch_threshold", "pdf", "topk")
+        }
+        self._m_sim_by_category = {
+            category.value: self._m_sim_seconds.labels(category=category.value)
+            for category in Category
+        }
+
+        storage_keys = (
+            "bufferpool_hits", "bufferpool_misses", "btree_splits",
+            "txn_begun", "txn_committed", "txn_aborted", "txn_conflicts",
+            "wal_appends", "wal_flushes", "wal_flushed_bytes",
+        )
+        for key in storage_keys:
+            self.metrics.gauge_callback(
+                f"storage_{key}",
+                lambda key=key: sum(
+                    node.db.storage_stats().get(key, 0.0)
+                    for node in self.nodes
+                ),
+                f"Cluster-wide {key.replace('_', ' ')} (sampled at export)",
+            )
+
+        def hit_rate() -> float:
+            hits = misses = 0.0
+            for node in self.nodes:
+                stats = node.db.storage_stats()
+                hits += stats["bufferpool_hits"]
+                misses += stats["bufferpool_misses"]
+            return hits / (hits + misses) if hits + misses else 0.0
+
+        self.metrics.gauge_callback(
+            "storage_bufferpool_hit_rate",
+            hit_rate,
+            "Cluster-wide buffer-pool hit rate (sampled at export)",
+        )
+
+        cache_keys = (
+            "hits", "misses", "dominance_rejections", "evictions",
+            "stored_points", "stored_bytes",
+        )
+        for key in cache_keys:
+            self.metrics.gauge_callback(
+                f"semantic_cache_probe_{key}",
+                lambda key=key: float(sum(
+                    cache.stats.snapshot()[key]
+                    for cache in self.caches
+                    if cache is not None
+                )),
+                f"Per-box semantic-cache {key.replace('_', ' ')}",
+            )
+        for key in ("hits", "misses", "evictions"):
+            self.metrics.gauge_callback(
+                f"pdf_cache_{key}",
+                lambda key=key: float(sum(
+                    cache.stats.snapshot()[key]
+                    for cache in self.pdf_caches
+                    if cache is not None
+                )),
+                f"PDF-cache {key}",
+            )
+
+    def _observe_query(
+        self,
+        kind: str,
+        ledger: CostLedger,
+        points: int,
+        fanout: int,
+        node_hits: int = 0,
+        node_misses: int = 0,
+    ) -> None:
+        """Fold one finished query into the metrics registry."""
+        series = self._m_queries_by_kind.get(kind)
+        (series if series is not None else self._m_queries.labels(kind=kind)).inc()
+        if points:
+            self._m_points.inc(points)
+        io_bytes = ledger.meter(METER_IO_BYTES)
+        if io_bytes:
+            self._m_io_bytes.inc(io_bytes)
+        for category, seconds in ledger.breakdown().items():
+            if seconds:
+                self._m_sim_by_category[category].inc(seconds)
+        self._m_fanout.observe(fanout)
+        if node_hits:
+            self._m_cache_hits.inc(node_hits)
+        if node_misses:
+            self._m_cache_misses.inc(node_misses)
 
     # -- data loading ---------------------------------------------------------------
 
@@ -201,49 +333,66 @@ class Mediator:
         Raises:
             ThresholdTooLowError: when more than ``max_points`` match.
         """
-        box = self._query_box(query.dataset, query.box)
-        node_results = self._scatter(
-            lambda node_id: get_threshold_on_node(
-                self.nodes[node_id],
-                self.executors[node_id],
-                self.caches[node_id] if use_cache else None,
-                self.registry,
-                query,
-                self.partitioner.query_boxes(node_id, box),
-                processes=processes,
-                io_only=io_only,
+        query_id = tracing.new_trace_id()
+        with tracing.span(
+            "query.threshold", trace_id=query_id,
+            dataset=query.dataset, field=query.field,
+            timestep=query.timestep, threshold=query.threshold,
+        ) as root:
+            box = self._query_box(query.dataset, query.box)
+            node_results = self._scatter(
+                lambda node_id: get_threshold_on_node(
+                    self.nodes[node_id],
+                    self.executors[node_id],
+                    self.caches[node_id] if use_cache else None,
+                    self.registry,
+                    query,
+                    self.partitioner.query_boxes(node_id, box),
+                    processes=processes,
+                    io_only=io_only,
+                )
             )
-        )
-        total = sum(len(r) for r in node_results)
-        if total > max_points:
-            raise ThresholdTooLowError(total, max_points)
+            total = sum(len(r) for r in node_results)
+            if total > max_points:
+                raise ThresholdTooLowError(total, max_points)
 
-        ledger = CostLedger.parallel([r.ledger for r in node_results])
-        self._charge_networks(ledger, total)
-        ledger.count(METER_RESULT_POINTS, total)
+            ledger = CostLedger.parallel([r.ledger for r in node_results])
+            self._charge_networks(ledger, total)
+            ledger.count(METER_RESULT_POINTS, total)
 
-        zindexes = np.concatenate(
-            [r.zindexes for r in node_results]
-            or [np.empty(0, np.uint64)]
-        )
-        values = np.concatenate(
-            [r.values for r in node_results] or [np.empty(0, np.float64)]
-        )
-        order = np.argsort(zindexes, kind="stable")
-        hits = sum(1 for r in node_results if r.cache_hit)
-        self.statistics._record(
-            nodes=sum(1 for r in node_results if len(r) or r.boxes_evaluated or r.cache_hit),
-            hits=hits,
-            points=total,
-            seconds=ledger.total,
-        )
-        return ThresholdResult(
-            zindexes[order],
-            values[order],
-            ledger,
-            cache_hits=hits,
-            nodes=len(self.nodes),
-        )
+            zindexes = np.concatenate(
+                [r.zindexes for r in node_results]
+                or [np.empty(0, np.uint64)]
+            )
+            values = np.concatenate(
+                [r.values for r in node_results] or [np.empty(0, np.float64)]
+            )
+            order = np.argsort(zindexes, kind="stable")
+            hits = sum(1 for r in node_results if r.cache_hit)
+            participating = sum(
+                1 for r in node_results
+                if len(r) or r.boxes_evaluated or r.cache_hit
+            )
+            self.statistics._record(
+                nodes=participating,
+                hits=hits,
+                points=total,
+                seconds=ledger.total,
+            )
+            self._observe_query(
+                "threshold", ledger, total, fanout=participating,
+                node_hits=hits, node_misses=participating - hits,
+            )
+            root.set("points", total)
+            root.attach_ledger(ledger)
+            return ThresholdResult(
+                zindexes[order],
+                values[order],
+                ledger,
+                cache_hits=hits,
+                nodes=len(self.nodes),
+                query_id=query_id,
+            )
 
     def batch_threshold(
         self,
@@ -273,84 +422,105 @@ class Mediator:
         )
 
         check_batchable(queries, self.registry)
-        box = self._query_box(queries[0].dataset, queries[0].box)
-        node_results = self._scatter(
-            lambda node_id: get_batch_on_node(
-                self.nodes[node_id],
-                self.executors[node_id],
-                self.caches[node_id] if use_cache else None,
-                self.registry,
-                queries,
-                self.partitioner.query_boxes(node_id, box),
-                processes=processes,
-            )
-        )
-        ledger = CostLedger.parallel(
-            [per_node[0].ledger for per_node in node_results]
-        )
-        results = []
-        total_points = 0
-        for i, query in enumerate(queries):
-            zindexes = np.concatenate(
-                [per_node[i].zindexes for per_node in node_results]
-                or [np.empty(0, np.uint64)]
-            )
-            values = np.concatenate(
-                [per_node[i].values for per_node in node_results]
-                or [np.empty(0, np.float64)]
-            )
-            if len(zindexes) > max_points:
-                raise ThresholdTooLowError(len(zindexes), max_points)
-            total_points += len(zindexes)
-            order = np.argsort(zindexes, kind="stable")
-            results.append(
-                ThresholdResult(
-                    zindexes[order], values[order], ledger,
-                    cache_hits=sum(
-                        1 for per_node in node_results if per_node[i].cache_hit
-                    ),
-                    nodes=len(self.nodes),
+        query_id = tracing.new_trace_id()
+        with tracing.span(
+            "query.batch_threshold", trace_id=query_id,
+            dataset=queries[0].dataset, queries=len(queries),
+        ) as root:
+            box = self._query_box(queries[0].dataset, queries[0].box)
+            node_results = self._scatter(
+                lambda node_id: get_batch_on_node(
+                    self.nodes[node_id],
+                    self.executors[node_id],
+                    self.caches[node_id] if use_cache else None,
+                    self.registry,
+                    queries,
+                    self.partitioner.query_boxes(node_id, box),
+                    processes=processes,
                 )
             )
-        self._charge_networks(ledger, total_points)
-        ledger.count(METER_RESULT_POINTS, total_points)
-        for i in range(len(queries)):
-            participating = sum(
-                1
-                for per_node in node_results
-                if len(per_node[i])
-                or per_node[i].boxes_evaluated
-                or per_node[i].cache_hit
+            ledger = CostLedger.parallel(
+                [per_node[0].ledger for per_node in node_results]
             )
-            self.statistics._record(
-                nodes=participating,
-                hits=results[i].cache_hits,
-                points=len(results[i]),
-                seconds=ledger.total if i == 0 else 0.0,
+            results = []
+            total_points = 0
+            for i, query in enumerate(queries):
+                zindexes = np.concatenate(
+                    [per_node[i].zindexes for per_node in node_results]
+                    or [np.empty(0, np.uint64)]
+                )
+                values = np.concatenate(
+                    [per_node[i].values for per_node in node_results]
+                    or [np.empty(0, np.float64)]
+                )
+                if len(zindexes) > max_points:
+                    raise ThresholdTooLowError(len(zindexes), max_points)
+                total_points += len(zindexes)
+                order = np.argsort(zindexes, kind="stable")
+                results.append(
+                    ThresholdResult(
+                        zindexes[order], values[order], ledger,
+                        cache_hits=sum(
+                            1 for per_node in node_results if per_node[i].cache_hit
+                        ),
+                        nodes=len(self.nodes),
+                        query_id=query_id,
+                    )
+                )
+            self._charge_networks(ledger, total_points)
+            ledger.count(METER_RESULT_POINTS, total_points)
+            for i in range(len(queries)):
+                participating = sum(
+                    1
+                    for per_node in node_results
+                    if len(per_node[i])
+                    or per_node[i].boxes_evaluated
+                    or per_node[i].cache_hit
+                )
+                self.statistics._record(
+                    nodes=participating,
+                    hits=results[i].cache_hits,
+                    points=len(results[i]),
+                    seconds=ledger.total if i == 0 else 0.0,
+                )
+            self._observe_query(
+                "batch_threshold", ledger, total_points,
+                fanout=len(node_results),
             )
-        return BatchThresholdResult(results, ledger)
+            root.set("points", total_points)
+            root.attach_ledger(ledger)
+            return BatchThresholdResult(results, ledger)
 
     def pdf(
         self, query: PdfQuery, processes: int = 1, use_cache: bool = True
     ) -> PdfResult:
         """Histogram a field's norm over an entire timestep (Fig. 2)."""
-        box = self._query_box(query.dataset, None)
-        node_results = self._scatter(
-            lambda node_id: get_pdf_on_node(
-                self.nodes[node_id],
-                self.executors[node_id],
-                self.registry,
-                query,
-                self.partitioner.query_boxes(node_id, box),
-                processes=processes,
-                pdf_cache=self.pdf_caches[node_id] if use_cache else None,
+        query_id = tracing.new_trace_id()
+        with tracing.span(
+            "query.pdf", trace_id=query_id,
+            dataset=query.dataset, field=query.field, timestep=query.timestep,
+        ) as root:
+            box = self._query_box(query.dataset, None)
+            node_results = self._scatter(
+                lambda node_id: get_pdf_on_node(
+                    self.nodes[node_id],
+                    self.executors[node_id],
+                    self.registry,
+                    query,
+                    self.partitioner.query_boxes(node_id, box),
+                    processes=processes,
+                    pdf_cache=self.pdf_caches[node_id] if use_cache else None,
+                )
             )
-        )
-        counts = sum(r.counts for r in node_results)
-        ledger = CostLedger.parallel([r.ledger for r in node_results])
-        # A PDF response is a handful of numbers; charge latency only.
-        self._charge_networks(ledger, result_points=0)
-        return PdfResult(counts, query.bin_edges, ledger)
+            counts = sum(r.counts for r in node_results)
+            ledger = CostLedger.parallel([r.ledger for r in node_results])
+            # A PDF response is a handful of numbers; charge latency only.
+            self._charge_networks(ledger, result_points=0)
+            self._observe_query(
+                "pdf", ledger, points=0, fanout=len(node_results),
+            )
+            root.attach_ledger(ledger)
+            return PdfResult(counts, query.bin_edges, ledger, query_id=query_id)
 
     def topk(
         self, query: TopKQuery, processes: int = 1, use_cache: bool = True
@@ -361,27 +531,39 @@ class Mediator:
         answers its share from the cache (see
         :func:`repro.core.topk.get_topk_on_node`).
         """
-        box = self._query_box(query.dataset, None)
-        node_results = self._scatter(
-            lambda node_id: get_topk_on_node(
-                self.nodes[node_id],
-                self.executors[node_id],
-                self.registry,
-                query,
-                self.partitioner.query_boxes(node_id, box),
-                processes=processes,
-                cache=self.caches[node_id] if use_cache else None,
+        query_id = tracing.new_trace_id()
+        with tracing.span(
+            "query.topk", trace_id=query_id,
+            dataset=query.dataset, field=query.field,
+            timestep=query.timestep, k=query.k,
+        ) as root:
+            box = self._query_box(query.dataset, None)
+            node_results = self._scatter(
+                lambda node_id: get_topk_on_node(
+                    self.nodes[node_id],
+                    self.executors[node_id],
+                    self.registry,
+                    query,
+                    self.partitioner.query_boxes(node_id, box),
+                    processes=processes,
+                    cache=self.caches[node_id] if use_cache else None,
+                )
             )
-        )
-        zindexes = np.concatenate([r.zindexes for r in node_results])
-        values = np.concatenate([r.values for r in node_results])
-        if len(values) > query.k:
-            keep = np.argpartition(values, -query.k)[-query.k :]
-            zindexes, values = zindexes[keep], values[keep]
-        order = np.argsort(values)[::-1]
-        ledger = CostLedger.parallel([r.ledger for r in node_results])
-        self._charge_networks(ledger, len(values))
-        return TopKResult(zindexes[order], values[order], ledger)
+            zindexes = np.concatenate([r.zindexes for r in node_results])
+            values = np.concatenate([r.values for r in node_results])
+            if len(values) > query.k:
+                keep = np.argpartition(values, -query.k)[-query.k :]
+                zindexes, values = zindexes[keep], values[keep]
+            order = np.argsort(values)[::-1]
+            ledger = CostLedger.parallel([r.ledger for r in node_results])
+            self._charge_networks(ledger, len(values))
+            self._observe_query(
+                "topk", ledger, len(values), fanout=len(node_results),
+            )
+            root.attach_ledger(ledger)
+            return TopKResult(
+                zindexes[order], values[order], ledger, query_id=query_id
+            )
 
     def get_field(
         self,
@@ -533,12 +715,26 @@ class Mediator:
         simulated-second output bit-for-bit reproducible.  Experiments
         use this; interactive use keeps the asynchronous scheduling of
         the paper's mediator.
+
+        Each node part runs under its own trace span.  Pool workers do
+        not inherit the submitting thread's contextvars, so every submit
+        ships a copy of the current context — that is what parents the
+        part spans under the query's root span across threads.
         """
+        def run(node_id: int) -> T:
+            with tracing.span("node.part", node=node_id) as part:
+                result = task(node_id)
+                ledger = getattr(result, "ledger", None)
+                if ledger is not None:
+                    part.attach_ledger(ledger)
+                return result
+
         if self.sequential_scatter:
-            return [task(node_id) for node_id in range(len(self.nodes))]
+            return [run(node_id) for node_id in range(len(self.nodes))]
         pool = self._ensure_pool()
         futures = [
-            pool.submit(task, node_id) for node_id in range(len(self.nodes))
+            pool.submit(contextvars.copy_context().run, run, node_id)
+            for node_id in range(len(self.nodes))
         ]
         return [future.result() for future in futures]
 

@@ -15,6 +15,7 @@ from repro.costmodel.ledger import METER_HALO_BYTES, METER_HALO_SECONDS
 from repro.grid import Box
 from repro.grid.atoms import atom_ranges_covering
 from repro.morton import MortonRange
+from repro.obs import tracing
 from repro.simulation.datasets import DatasetSpec
 from repro.storage import (
     Column,
@@ -182,14 +183,17 @@ class DatabaseNode:
         leaves no trace in this node's buffer pool (its own scan of the
         same query pays for those pages itself).
         """
-        with self.db.transaction(None) as txn:
-            atoms = self.read_atoms(
-                txn, dataset, field, timestep, ranges, charge=False
-            )
-        if ledger is not None:
-            nbytes = sum(len(blob) for blob in atoms.values())
-            seconds = self.spec.interconnect.transfer_time(nbytes)
-            ledger.charge(Category.IO, seconds)
-            ledger.count(METER_HALO_SECONDS, seconds)
-            ledger.count(METER_HALO_BYTES, nbytes)
+        with tracing.span("node.halo", category="io") as halo_span:
+            halo_span.set("server", self.node_id)
+            with self.db.transaction(None) as txn:
+                atoms = self.read_atoms(
+                    txn, dataset, field, timestep, ranges, charge=False
+                )
+            if ledger is not None:
+                nbytes = sum(len(blob) for blob in atoms.values())
+                seconds = self.spec.interconnect.transfer_time(nbytes)
+                ledger.charge(Category.IO, seconds)
+                ledger.count(METER_HALO_SECONDS, seconds)
+                ledger.count(METER_HALO_BYTES, nbytes)
+                halo_span.set("bytes", nbytes)
         return atoms

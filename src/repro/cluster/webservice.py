@@ -12,6 +12,7 @@ low" (§4).
 
 from __future__ import annotations
 
+import json
 from typing import Callable
 
 import numpy as np
@@ -25,6 +26,11 @@ from repro.core import (
 )
 from repro.fields.derived import UnknownFieldError
 from repro.grid import Box
+from repro.obs import tracing
+from repro.obs.metrics import timed
+
+#: Content type of the Prometheus text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
 
 
 class WebServiceError(Exception):
@@ -61,7 +67,17 @@ class WebService:
             "GetStatistics": self._get_statistics,
             "GetBatchThreshold": self._get_batch_threshold,
             "RegisterField": self._register_field,
+            "GetStats": self._get_stats,
+            "GetTrace": self._get_trace,
         }
+        self._latency = mediator.metrics.histogram(
+            "webservice_request_seconds",
+            "Request handling wall seconds, by method",
+            labelnames=["method"],
+        )
+        self._in_flight = mediator.metrics.gauge(
+            "webservice_in_flight", "Requests currently being handled"
+        )
 
     def handle(self, request: dict) -> dict:
         """Process one request; never raises, always answers.
@@ -70,6 +86,22 @@ class WebService:
         ``{"status": "ok", ...}`` or ``{"status": "error", "code",
         "message"}``.
         """
+        method_name = request.get("method")
+        # Unknown method names share one label value so a client spraying
+        # garbage cannot blow the latency family's cardinality cap.
+        label = (
+            method_name
+            if isinstance(method_name, str) and method_name in self._methods
+            else "<unknown>"
+        )
+        self._in_flight.inc()
+        try:
+            with timed(self._latency.labels(method=label)):
+                return self._dispatch(request)
+        finally:
+            self._in_flight.dec()
+
+    def _dispatch(self, request: dict) -> dict:
         try:
             method_name = request.get("method")
             if not isinstance(method_name, str):
@@ -90,6 +122,37 @@ class WebService:
             return WebServiceError("unknown_field", str(error)).to_response()
         except (KeyError, ValueError, TypeError) as error:
             return WebServiceError("bad_request", str(error)).to_response()
+
+    def handle_http(self, method: str, path: str) -> tuple[int, str, str]:
+        """Route an HTTP-style introspection request.
+
+        The dictionary protocol stays the service's front door for
+        queries; this thin router exposes the two live-introspection
+        endpoints — ``GET /stats`` (Prometheus text) and
+        ``GET /trace/<query_id>`` (the trace as JSON) — the way a
+        scraper or a browser expects them.
+
+        Returns ``(status_code, content_type, body)``.
+        """
+        if method.upper() != "GET":
+            return 405, "text/plain", "method not allowed\n"
+        if path in ("/stats", "/stats/"):
+            return (
+                200,
+                PROMETHEUS_CONTENT_TYPE,
+                self._mediator.metrics.render_prometheus(),
+            )
+        if path.startswith("/trace/"):
+            query_id = path[len("/trace/"):]
+            response = self.handle({"method": "GetTrace", "query_id": query_id})
+            if response["status"] == "ok":
+                return 200, "application/json", json.dumps(response)
+            status = {
+                "unknown_trace": 404,
+                "tracing_disabled": 503,
+            }.get(response["code"], 400)
+            return status, "application/json", json.dumps(response)
+        return 404, "text/plain", f"no route for {path!r}\n"
 
     # -- methods -----------------------------------------------------------------
 
@@ -119,6 +182,7 @@ class WebService:
             "count": len(result),
             "cache_hits": result.cache_hits,
             "elapsed_seconds": result.elapsed,
+            "query_id": result.query_id,
         }
 
     def _get_pdf(self, request: dict) -> dict:
@@ -136,6 +200,7 @@ class WebService:
             "bin_edges": list(result.bin_edges),
             "counts": [int(c) for c in result.counts],
             "elapsed_seconds": result.ledger.total,
+            "query_id": result.query_id,
         }
 
     def _get_topk(self, request: dict) -> dict:
@@ -157,6 +222,7 @@ class WebService:
                 )
             ],
             "elapsed_seconds": result.ledger.total,
+            "query_id": result.query_id,
         }
 
     def _list_fields(self, request: dict) -> dict:
@@ -232,6 +298,50 @@ class WebService:
             "cache_hit_ratio": stats.cache_hit_ratio,
             "points_returned": stats.points_returned,
             "simulated_seconds": stats.simulated_seconds,
+        }
+
+    def _get_stats(self, request: dict) -> dict:
+        """The full metrics registry; ``format: "prometheus"`` for text."""
+        fmt = request.get("format", "json")
+        if fmt == "prometheus":
+            return {
+                "status": "ok",
+                "content_type": PROMETHEUS_CONTENT_TYPE,
+                "body": self._mediator.metrics.render_prometheus(),
+            }
+        if fmt != "json":
+            raise WebServiceError(
+                "bad_request", "format must be 'json' or 'prometheus'"
+            )
+        statistics = self._get_statistics(request)
+        del statistics["status"]
+        return {
+            "status": "ok",
+            "metrics": self._mediator.metrics.to_dict(),
+            "statistics": statistics,
+        }
+
+    def _get_trace(self, request: dict) -> dict:
+        """One query's recorded span tree, by query id."""
+        query_id = self._require(request, "query_id", str)
+        collector = tracing.collector()
+        if collector is None:
+            raise WebServiceError(
+                "tracing_disabled",
+                "no trace collector is installed; call repro.obs.install()",
+            )
+        spans = collector.trace(query_id)
+        if not spans:
+            raise WebServiceError(
+                "unknown_trace",
+                f"no trace recorded for query {query_id!r}",
+            )
+        return {
+            "status": "ok",
+            "query_id": query_id,
+            "spans": [span.to_json() for span in spans],
+            "category_totals": tracing.category_totals(spans),
+            "tree": tracing.render_tree(spans),
         }
 
     def _list_datasets(self, request: dict) -> dict:

@@ -22,6 +22,7 @@ by a byte budget (the paper's per-node SSD space).
 from __future__ import annotations
 
 import itertools
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -60,6 +61,69 @@ class CacheLookup:
     stale_box: Box | None = None
 
 
+class CacheStats:
+    """Thread-safe workload counters for a cache instance.
+
+    Updated on the query path (plain increments under a lock — the
+    scatter pool probes one node's cache from several threads) and
+    sampled by the observability layer at export time.
+    """
+
+    __slots__ = (
+        "_lock", "hits", "misses", "dominance_rejections",
+        "evictions", "stored_points", "stored_bytes",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.dominance_rejections = 0
+        self.evictions = 0
+        self.stored_points = 0
+        self.stored_bytes = 0
+
+    def record_hit(self) -> None:
+        """Count one probe answered from the cache."""
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self, dominance_rejected: bool = False) -> None:
+        """Count one probe that fell through to raw evaluation.
+
+        ``dominance_rejected`` marks misses where an entry covered the
+        region but its threshold was too high to answer from (threshold
+        dominance failed, paper §4).
+        """
+        with self._lock:
+            self.misses += 1
+            if dominance_rejected:
+                self.dominance_rejections += 1
+
+    def record_store(self, points: int, nbytes: int) -> None:
+        """Count one freshly-stored entry of ``points`` / ``nbytes``."""
+        with self._lock:
+            self.stored_points += points
+            self.stored_bytes += nbytes
+
+    def record_eviction(self) -> None:
+        """Count one capacity eviction."""
+        with self._lock:
+            self.evictions += 1
+
+    def snapshot(self) -> dict[str, int]:
+        """A consistent copy of all counters."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "dominance_rejections": self.dominance_rejections,
+                "evictions": self.evictions,
+                "stored_points": self.stored_points,
+                "stored_bytes": self.stored_bytes,
+            }
+
+
 class SemanticCache:
     """Per-node query-result cache backed by SSD-resident tables.
 
@@ -91,6 +155,7 @@ class SemanticCache:
         self.policy = policy
         self._ordinals = itertools.count(1)
         self._recency = itertools.count(1)
+        self.stats = CacheStats()
         self._create_tables()
 
     def _create_tables(self) -> None:
@@ -175,7 +240,9 @@ class SemanticCache:
                 txn, entry["ordinal"], box, cached_box, threshold
             )
             self._touch(txn, entry["ordinal"])
+            self.stats.record_hit()
             return CacheLookup(hit=True, zindexes=zindexes, values=values)
+        self.stats.record_miss(dominance_rejected=stale_ordinal is not None)
         return CacheLookup(
             hit=False, stale_ordinal=stale_ordinal, stale_box=stale_box
         )
@@ -282,6 +349,7 @@ class SemanticCache:
                     "dataValue": float(value),
                 },
             )
+        self.stats.record_store(len(zindexes), new_bytes)
         return ordinal
 
     def _evict_until_fits(self, txn: Transaction, new_bytes: int) -> None:
@@ -297,6 +365,7 @@ class SemanticCache:
             if not victims:
                 return
             self._db.table("cacheInfo").delete(txn, (victims[0]["ordinal"],))
+            self.stats.record_eviction()
 
     # -- introspection ----------------------------------------------------------
 

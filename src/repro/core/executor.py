@@ -36,6 +36,7 @@ from repro.costmodel.ledger import (
 )
 from repro.fields.derived import DerivedField
 from repro.grid import Box, split_slabs
+from repro.obs import tracing
 from repro.grid.atoms import atom_ranges_covering
 from repro.morton import MortonRange, encode_array
 from repro.simulation.datasets import DatasetSpec
@@ -129,23 +130,26 @@ class NodeExecutor:
 
         for chain_id, slabs in enumerate(chains):
             for slab in slabs:
-                block = self._fetch_block(
-                    txn, ledger, dataset_spec, derived, timestep, slab, fd_order
-                )
+                with tracing.span("node.io", category="io"):
+                    block = self._fetch_block(
+                        txn, ledger, dataset_spec, derived, timestep, slab, fd_order
+                    )
                 if io_only:
                     continue
-                norm = derived.norm(block, dataset_spec.spacing, fd_order)
-                units = slab.volume * derived.units_per_point
-                chain_compute[chain_id] += self._node.spec.cpu.compute_time(
-                    slab.volume, derived.units_per_point
-                )
-                ledger.count(METER_COMPUTE_UNITS, units)
-                if histogram is not None:
-                    histogram += _histogram_open_ended(norm, bin_edges)
-                if topk is not None:
-                    zidx, vals = _topk_scan(norm, slab, topk)
-                else:
-                    zidx, vals = _threshold_scan(norm, slab, threshold)
+                with tracing.span("node.kernel", category="compute") as kernel_span:
+                    kernel_span.set("field", derived.name)
+                    norm = derived.norm(block, dataset_spec.spacing, fd_order)
+                    units = slab.volume * derived.units_per_point
+                    chain_compute[chain_id] += self._node.spec.cpu.compute_time(
+                        slab.volume, derived.units_per_point
+                    )
+                    ledger.count(METER_COMPUTE_UNITS, units)
+                    if histogram is not None:
+                        histogram += _histogram_open_ended(norm, bin_edges)
+                    if topk is not None:
+                        zidx, vals = _topk_scan(norm, slab, topk)
+                    else:
+                        zidx, vals = _threshold_scan(norm, slab, threshold)
                 if len(zidx):
                     all_z.append(zidx)
                     all_v.append(vals)

@@ -19,6 +19,7 @@ from repro.core.executor import NodeExecutor
 from repro.core.query import PdfQuery
 from repro.fields.derived import FieldRegistry
 from repro.grid import Box
+from repro.obs import tracing
 from repro.storage import SerializationConflictError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -32,6 +33,7 @@ class NodePdfResult:
 
     counts: np.ndarray
     ledger: CostLedger
+    cache_hit: bool = False
 
 
 def get_pdf_on_node(
@@ -58,18 +60,21 @@ def get_pdf_on_node(
     txn = node.db.begin(ledger)
     try:
         if pdf_cache is not None:
-            cached = pdf_cache.lookup(
-                txn, query.dataset, query.field, query.timestep,
-                query.fd_order, query.bin_edges,
-            )
+            with tracing.span("cache.lookup", category="cache_lookup") as probe:
+                cached = pdf_cache.lookup(
+                    txn, query.dataset, query.field, query.timestep,
+                    query.fd_order, query.bin_edges,
+                )
+                probe.set("hit", cached is not None)
             if cached is not None:
                 txn.commit()
-                return NodePdfResult(cached, ledger)
-        evaluation = executor.evaluate(
-            txn, ledger, dataset_spec, derived, query.timestep,
-            boxes, threshold=np.inf, fd_order=query.fd_order,
-            processes=processes, bin_edges=query.bin_edges,
-        )
+                return NodePdfResult(cached, ledger, cache_hit=True)
+        with tracing.span("node.evaluate"):
+            evaluation = executor.evaluate(
+                txn, ledger, dataset_spec, derived, query.timestep,
+                boxes, threshold=np.inf, fd_order=query.fd_order,
+                processes=processes, bin_edges=query.bin_edges,
+            )
         if pdf_cache is not None:
             pdf_cache.store(
                 txn, query.dataset, query.field, query.timestep,

@@ -18,6 +18,7 @@ import itertools
 
 import numpy as np
 
+from repro.core.cache import CacheStats
 from repro.storage import (
     Column,
     ColumnType,
@@ -41,6 +42,7 @@ class PdfCache:
         self.max_entries = max_entries
         self._ordinals = itertools.count(1)
         self._recency = itertools.count(1)
+        self.stats = CacheStats()
         db.create_table(
             TableSchema(
                 "pdfCache",
@@ -88,7 +90,9 @@ class PdfCache:
                     )
                 except SerializationConflictError:
                     pass
+                self.stats.record_hit()
                 return np.frombuffer(row["counts"], dtype=np.int64).copy()
+        self.stats.record_miss()
         return None
 
     def store(
@@ -111,6 +115,7 @@ class PdfCache:
             if not victims:
                 break
             table.delete(txn, (victims[0]["ordinal"],))
+            self.stats.record_eviction()
         ordinal = next(self._ordinals)
         table.insert(
             txn,
@@ -125,6 +130,8 @@ class PdfCache:
                 "last_used": next(self._recency),
             },
         )
+        counts = np.asarray(counts, dtype=np.int64)
+        self.stats.record_store(int(counts.size), counts.nbytes)
         return ordinal
 
     def entry_count(self, txn: Transaction) -> int:

@@ -56,6 +56,8 @@ class ThresholdResult:
     ledger: CostLedger
     cache_hits: int = 0
     nodes: int = 0
+    #: Trace id assigned by the mediator; keys ``GET /trace/<query_id>``.
+    query_id: str | None = None
 
     def __post_init__(self) -> None:
         if len(self.zindexes) != len(self.values):
@@ -100,6 +102,7 @@ class PdfResult:
     counts: np.ndarray
     bin_edges: tuple[float, ...]
     ledger: CostLedger
+    query_id: str | None = None
 
     @property
     def total_points(self) -> int:
@@ -129,6 +132,7 @@ class TopKResult:
     zindexes: np.ndarray
     values: np.ndarray
     ledger: CostLedger = dataclass_field(default_factory=CostLedger)
+    query_id: str | None = None
 
     def __len__(self) -> int:
         return len(self.zindexes)

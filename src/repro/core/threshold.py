@@ -26,6 +26,7 @@ from repro.core.executor import NodeExecutor, RawEvaluation
 from repro.core.query import ThresholdQuery
 from repro.fields.derived import FieldRegistry
 from repro.grid import Box
+from repro.obs import tracing
 from repro.storage import SerializationConflictError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -89,31 +90,36 @@ def get_threshold_on_node(
         for box in boxes:
             lookup = None
             if cache is not None and not io_only:
-                lookup = cache.lookup(
-                    txn, query.dataset, query.field, query.timestep,
-                    box, query.threshold,
-                )
+                with tracing.span("cache.lookup", category="cache_lookup") as probe:
+                    lookup = cache.lookup(
+                        txn, query.dataset, query.field, query.timestep,
+                        box, query.threshold,
+                    )
+                    probe.set("hit", lookup.hit)
                 if lookup.hit:
                     hits += 1
                     all_z.append(lookup.zindexes)
                     all_v.append(lookup.values)
                     continue
-            evaluation = executor.evaluate(
-                txn, ledger, dataset_spec, derived, query.timestep,
-                [box], query.threshold, query.fd_order,
-                processes=processes, io_only=io_only,
-            )
+            with tracing.span("node.evaluate") as evaluation_span:
+                evaluation = executor.evaluate(
+                    txn, ledger, dataset_spec, derived, query.timestep,
+                    [box], query.threshold, query.fd_order,
+                    processes=processes, io_only=io_only,
+                )
+                evaluation_span.set("points", len(evaluation.zindexes))
             evaluated += 1
             all_z.append(evaluation.zindexes)
             all_v.append(evaluation.values)
             if cache is not None and not io_only:
                 try:
-                    cache.store(
-                        txn, query.dataset, query.field, query.timestep,
-                        box, query.threshold,
-                        evaluation.zindexes, evaluation.values,
-                        replace_ordinal=lookup.stale_ordinal if lookup else None,
-                    )
+                    with tracing.span("cache.store", category="cache_lookup"):
+                        cache.store(
+                            txn, query.dataset, query.field, query.timestep,
+                            box, query.threshold,
+                            evaluation.zindexes, evaluation.values,
+                            replace_ordinal=lookup.stale_ordinal if lookup else None,
+                        )
                 except SerializationConflictError:
                     # A concurrent query refreshed the same entry first;
                     # keep the computed points, skip our cache update and

@@ -10,10 +10,10 @@ Usage::
 from __future__ import annotations
 
 import sys
-import time
 
 from repro.harness import fig2_pdf, fig3_fig4, fig7, fig8, fig9, local_vs_integrated, table1_fig6
 from repro.harness.common import ExperimentConfig
+from repro.obs import Stopwatch, report
 
 EXPERIMENTS = {
     "fig2": lambda config: fig2_pdf.run(config),
@@ -31,20 +31,19 @@ def main(argv: list[str]) -> int:
     wanted = argv or list(EXPERIMENTS)
     unknown = [name for name in wanted if name not in EXPERIMENTS]
     if unknown:
-        print(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
+        report(f"unknown experiments: {unknown}; known: {list(EXPERIMENTS)}")
         return 2
     config = ExperimentConfig()
-    print(
+    report(
         f"configuration: {config.side}^3 grid, {config.timesteps} timesteps, "
         f"{config.nodes} nodes x {config.processes} processes "
         "(simulated seconds are paper-scale; see EXPERIMENTS.md)\n"
     )
     for name in wanted:
-        start = time.perf_counter()
-        report = EXPERIMENTS[name](config)
-        elapsed = time.perf_counter() - start
-        print(report)
-        print(f"[{name} regenerated in {elapsed:.1f} s wall]\n")
+        with Stopwatch() as watch:
+            rendered = EXPERIMENTS[name](config)
+        report(rendered)
+        report(f"[{name} regenerated in {watch.elapsed:.1f} s wall]\n")
     return 0
 
 

@@ -6,6 +6,7 @@ from repro.lint.checkers.cost01 import CostAccounting
 from repro.lint.checkers.err01 import ErrorTaxonomy
 from repro.lint.checkers.halo01 import HaloConsistency
 from repro.lint.checkers.lock01 import LockHygiene
+from repro.lint.checkers.obs01 import ObsDiscipline
 from repro.lint.checkers.txn01 import TxnDiscipline
 
 #: Checker classes in reporting order.
@@ -15,6 +16,7 @@ ALL_CHECKERS = (
     HaloConsistency,
     LockHygiene,
     ErrorTaxonomy,
+    ObsDiscipline,
 )
 
 __all__ = [
@@ -23,5 +25,6 @@ __all__ = [
     "ErrorTaxonomy",
     "HaloConsistency",
     "LockHygiene",
+    "ObsDiscipline",
     "TxnDiscipline",
 ]

@@ -8,7 +8,9 @@ break that contract:
 
 * reading the wall clock (``time.time``, ``perf_counter``,
   ``datetime.now``…) inside engine code — timings would vary run to
-  run, so wall-clock reads are only allowed in the benchmark harness;
+  run, so wall-clock reads are only allowed in the benchmark harness
+  and in ``repro.obs`` (the observability layer measures real elapsed
+  time by design; it never feeds it back into query results);
 * computing a simulated device time (``read_time``/``write_time``/
   ``compute_time``/``transfer_time``) and discarding the result — the
   cost was modelled but never charged, silently understating a
@@ -58,7 +60,9 @@ class CostAccounting(Checker):
     def applies(self, module: str) -> bool:
         if not module_in(module, "repro."):
             return False
-        return not module_in(module, "repro.harness.", "repro.benchmarks.")
+        return not module_in(
+            module, "repro.harness.", "repro.benchmarks.", "repro.obs."
+        )
 
     def check(self, source: SourceFile) -> list[Diagnostic]:
         diags: list[Diagnostic] = []

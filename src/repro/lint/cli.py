@@ -3,12 +3,12 @@
 from __future__ import annotations
 
 import argparse
-import sys
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.checkers import ALL_CHECKERS
 from repro.lint.diagnostics import Diagnostic, LintSyntaxError, SourceFile
+from repro.obs.report import report
 
 #: Exit codes (CI contract).
 EXIT_CLEAN = 0
@@ -129,14 +129,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if options.list_checkers:
         for cls in registry:
-            print(f"{cls.code}  {cls.description}")
+            report(f"{cls.code}  {cls.description}")
         return EXIT_CLEAN
 
     missing = [path for path in options.paths if not Path(path).exists()]
     if missing:
-        print(
+        report(
             f"no such file or directory: {', '.join(missing)}",
-            file=sys.stderr,
+            error=True,
         )
         return EXIT_USAGE
 
@@ -144,17 +144,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if options.select:
         unknown = {code.upper() for code in options.select} - known
         if unknown:
-            print(
+            report(
                 f"unknown checker(s): {', '.join(sorted(unknown))}",
-                file=sys.stderr,
+                error=True,
             )
             return EXIT_USAGE
 
     diagnostics, file_count = run_paths(options.paths, options.select)
     for diag in diagnostics:
-        print(diag.render())
+        report(diag.render())
     issues = len(diagnostics)
-    print(
+    report(
         f"turblint: {file_count} file(s) checked, {issues} issue(s) found"
     )
     return EXIT_VIOLATIONS if issues else EXIT_CLEAN

@@ -1,0 +1,175 @@
+"""Command-line front-end for the observability layer.
+
+Render a trace export::
+
+    python -m repro.obs trace.jsonl                 # every trace, as trees
+    python -m repro.obs trace.jsonl --trace-id q000001
+    python -m repro.obs trace.jsonl --totals        # Figure-9 breakdown only
+
+Self-test (used by CI)::
+
+    python -m repro.obs --selftest
+
+The self-test stands up a small in-process cluster, traces a threshold
+query end to end, and verifies the tentpole invariants: span trees
+propagate across the mediator's scatter threads, the root span's
+simulated-time breakdown equals the query's returned ledger, the
+semantic-cache hit counter moves on a repeated query, and the JSON-lines
+export round-trips.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.obs import metrics, tracing
+from repro.obs.report import report
+
+
+def _render_file(path: Path, trace_id: str | None, totals_only: bool) -> int:
+    spans = tracing.TraceCollector.from_jsonl(path.read_text())
+    if trace_id is not None:
+        spans = [span for span in spans if span.trace_id == trace_id]
+        if not spans:
+            report(f"no spans for trace {trace_id!r} in {path}")
+            return 1
+    by_trace: dict[str, list[tracing.Span]] = {}
+    for span in spans:
+        by_trace.setdefault(span.trace_id, []).append(span)
+    for tid in sorted(by_trace):
+        trace = by_trace[tid]
+        report(f"trace {tid} ({len(trace)} spans)")
+        if not totals_only:
+            report(tracing.render_tree(trace))
+        totals = tracing.category_totals(trace)
+        if totals:
+            report("  simulated seconds by category:")
+            for category, seconds in sorted(totals.items()):
+                report(f"    {category:>14}: {seconds:.6f}")
+        report()
+    return 0
+
+
+def _selftest() -> int:
+    failures: list[str] = []
+
+    def check(condition: bool, label: str) -> None:
+        if condition:
+            report(f"  ok: {label}")
+        else:
+            failures.append(label)
+
+    report("repro.obs selftest")
+
+    # -- metrics ------------------------------------------------------------
+    registry = metrics.MetricsRegistry()
+    queries = registry.counter("queries_total", labelnames=["kind"])
+    queries.labels(kind="threshold").inc()
+    queries.labels(kind="threshold").inc(2)
+    latency = registry.histogram("latency_seconds", buckets=[0.1, 1.0])
+    latency.observe(0.05)
+    latency.observe(5.0)
+    text = registry.render_prometheus()
+    check(queries.labels(kind="threshold").value == 3.0, "counter arithmetic")
+    check('queries_total{kind="threshold"} 3.0' in text, "prometheus counter line")
+    check('latency_seconds_bucket{le="+Inf"} 2' in text, "prometheus +Inf bucket")
+    check("latency_seconds" in registry.to_dict(), "JSON export")
+
+    # -- tracing, no collector: spans must be inert no-ops ------------------
+    tracing.uninstall()
+    with tracing.span("noop.root") as outer:
+        with tracing.span("noop.child") as inner:
+            pass
+    check(outer is inner, "no-op spans are the shared singleton")
+    check(tracing.collector() is None, "no collector installed by default")
+
+    # -- traced threshold query on a live cluster ---------------------------
+    from repro.cluster.mediator import build_cluster
+    from repro.core.query import ThresholdQuery
+    from repro.simulation.datasets import mhd_dataset
+
+    mediator = build_cluster(
+        mhd_dataset(side=32, timesteps=1), nodes=2, buffer_pages=64
+    )
+    collector = tracing.install(tracing.TraceCollector())
+    try:
+        query = ThresholdQuery("mhd", "vorticity", 0, 1e9)
+        first = mediator.threshold(query)
+        second = mediator.threshold(query)
+
+        check(bool(first.query_id), "query carries a query_id")
+        check(first.query_id != second.query_id, "query ids are unique")
+        spans = collector.trace(second.query_id or "")
+        check(len(spans) > 1, "trace holds the root and node-part spans")
+        threads = {span.thread for span in spans}
+        check(len(threads) > 1, "spans cross the scatter-pool threads")
+        totals = tracing.category_totals(spans)
+        check(
+            totals == second.ledger.breakdown(),
+            "root-span category totals equal the returned CostLedger",
+        )
+        hits = mediator.metrics.get("semantic_cache_hits_total").value
+        check(hits > 0, "repeated query registers semantic-cache hits")
+
+        exported = collector.to_jsonl(second.query_id)
+        reparsed = tracing.TraceCollector.from_jsonl(exported)
+        check(len(reparsed) == len(spans), "JSON-lines export round-trips")
+        check(
+            tracing.category_totals(reparsed) == totals,
+            "round-tripped breakdown is intact",
+        )
+        report()
+        report(tracing.render_tree(spans))
+    finally:
+        tracing.uninstall()
+        mediator.close()
+
+    if failures:
+        report()
+        for failure in failures:
+            report(f"  FAIL: {failure}")
+        report(f"selftest FAILED ({len(failures)} checks)")
+        return 1
+    report()
+    report("selftest passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro.obs``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render trace exports; run the observability selftest.",
+    )
+    parser.add_argument(
+        "path", nargs="?", type=Path,
+        help="JSON-lines trace export to render",
+    )
+    parser.add_argument(
+        "--trace-id", help="render only this trace (e.g. q000001)"
+    )
+    parser.add_argument(
+        "--totals", action="store_true",
+        help="print only the per-category simulated-time totals",
+    )
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="trace a query on an in-process cluster and verify invariants",
+    )
+    args = parser.parse_args(argv)
+
+    if args.selftest:
+        return _selftest()
+    if args.path is None:
+        parser.print_help(file=sys.stderr)
+        return 2
+    if not args.path.exists():
+        report(f"no such file: {args.path}")
+        return 2
+    return _render_file(args.path, args.trace_id, args.totals)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,67 @@
+"""The engine's console sink.
+
+Engine invariant OBS01 bans bare ``print`` calls outside ``repro.obs``:
+anything the engine, harness or lint CLI wants a human to read goes
+through :func:`report`, so output can be redirected (tests, services
+that must keep stdout clean) or silenced in one place.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO
+
+
+class ConsoleSink:
+    """Writes report lines to a stream (default: ``sys.stdout`` at call time).
+
+    Resolving the stream lazily keeps the sink compatible with pytest's
+    ``capsys`` and any other harness that swaps ``sys.stdout``.
+    ``fallback="stderr"`` makes the lazy default ``sys.stderr`` instead,
+    for usage errors and other diagnostics that must not pollute piped
+    output.
+    """
+
+    def __init__(
+        self, stream: IO[str] | None = None, fallback: str = "stdout"
+    ) -> None:
+        self._stream = stream
+        self._fallback = fallback
+
+    @property
+    def stream(self) -> IO[str]:
+        """The destination stream currently in effect."""
+        if self._stream is not None:
+            return self._stream
+        return sys.stderr if self._fallback == "stderr" else sys.stdout
+
+    def emit(self, *parts: object, sep: str = " ", end: str = "\n") -> None:
+        """Write one report line, ``print``-style."""
+        self.stream.write(sep.join(str(part) for part in parts) + end)
+
+
+#: The process-wide sink `report` writes to.
+_SINK = ConsoleSink()
+#: Sink for usage errors and other diagnostics (defaults to ``sys.stderr``).
+_ERROR_SINK = ConsoleSink(fallback="stderr")
+
+
+def report(
+    *parts: object, sep: str = " ", end: str = "\n", error: bool = False
+) -> None:
+    """Emit one line of human-facing output through the active sink.
+
+    ``error=True`` routes the line through the error sink (by default
+    ``sys.stderr``), keeping diagnostics out of piped stdout.
+    """
+    (_ERROR_SINK if error else _SINK).emit(*parts, sep=sep, end=end)
+
+
+def set_stream(stream: IO[str] | None) -> None:
+    """Redirect :func:`report` output (``None`` restores ``sys.stdout``)."""
+    _SINK._stream = stream
+
+
+def get_stream() -> IO[str]:
+    """The stream :func:`report` currently writes to."""
+    return _SINK.stream

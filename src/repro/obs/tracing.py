@@ -1,0 +1,442 @@
+"""Hierarchical query tracing: spans, context propagation, collection.
+
+A :class:`Span` covers one phase of a query (the whole query, one node
+part, a cache probe, a slab's raw I/O...).  Spans carry *two* clocks:
+
+* wall time (start/end via :mod:`repro.obs.clock`) — what the process
+  actually did;
+* an attached :class:`~repro.costmodel.ledger.CostLedger` snapshot —
+  the *simulated* seconds the paper's evaluation reasons about, broken
+  down into the Figure-9 categories (cache-lookup / I/O / compute /
+  mediator-db / mediator-user).
+
+Spans nest through a :mod:`contextvars` variable, so concurrently
+executing queries (and the mediator's scatter-pool threads, which run
+each node part under a copied context) build separate trees.  With no
+collector installed the module-level :data:`TRACER` hands out a shared
+no-op span: instrumentation costs one attribute check per call site.
+
+Finished spans go to a :class:`TraceCollector`, which keeps a bounded
+ring of recent traces keyed by trace id (the mediator's query id) and
+exports them as JSON lines — the format ``python -m repro.obs`` renders
+back into a tree.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs import clock
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.costmodel import CostLedger
+
+#: The innermost open span of the current execution context.
+_CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_span", default=None
+)
+
+
+class Span:
+    """One timed phase of a query, linked into a trace tree.
+
+    Use as a context manager (turblint OBS01 enforces this — it is what
+    guarantees every span closes on every path)::
+
+        with tracer.span("cache.lookup", category="cache_lookup") as span:
+            ...
+            span.attach_ledger(ledger)
+    """
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "category",
+        "start", "end", "attributes", "breakdown", "meters", "thread",
+        "_tracer", "_token",
+    )
+
+    def __init__(
+        self,
+        trace_id: str,
+        span_id: int,
+        parent_id: int | None,
+        name: str,
+        category: str | None,
+        attributes: dict[str, object],
+        tracer: "Tracer | None" = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.category = category
+        self.start = 0.0
+        self.end: float | None = None
+        self.attributes = attributes
+        self.breakdown: dict[str, float] | None = None
+        self.meters: dict[str, float] | None = None
+        self.thread = ""
+        self._tracer = tracer
+        self._token: contextvars.Token | None = None
+
+    @property
+    def wall_seconds(self) -> float:
+        """Wall-clock duration (0.0 while the span is still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def set(self, key: str, value: object) -> None:
+        """Attach one attribute to the span."""
+        self.attributes[key] = value
+
+    def attach_ledger(self, ledger: "CostLedger") -> None:
+        """Snapshot a ledger's per-category seconds and meters onto the span.
+
+        The snapshot copies, so later charges to the ledger do not
+        retroactively alter the recorded span.
+        """
+        self.breakdown = ledger.breakdown()
+        self.meters = {
+            name: ledger.meter(name)
+            for name in ("io_bytes", "io_seeks", "cache_bytes",
+                         "compute_units", "result_points",
+                         "halo_seconds", "halo_bytes")
+            if ledger.meter(name)
+        }
+
+    def __enter__(self) -> "Span":
+        self.start = clock.now()
+        self.thread = threading.current_thread().name
+        self._token = _CURRENT_SPAN.set(self)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.end = clock.now()
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+            self._token = None
+        if self._tracer is not None and self._tracer._collector is not None:
+            self._tracer._collector.record(self)
+
+    # -- serialization -------------------------------------------------------
+
+    def to_json(self) -> dict[str, object]:
+        """A JSON-able record of the finished span."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "category": self.category,
+            "start": self.start,
+            "end": self.end,
+            "thread": self.thread,
+            "attributes": self.attributes,
+            "breakdown": self.breakdown,
+            "meters": self.meters,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict[str, object]) -> "Span":
+        """Rebuild a span from :meth:`to_json` output."""
+        span = cls(
+            trace_id=str(record["trace_id"]),
+            span_id=int(record["span_id"]),  # type: ignore[arg-type]
+            parent_id=(
+                None if record.get("parent_id") is None
+                else int(record["parent_id"])  # type: ignore[arg-type]
+            ),
+            name=str(record["name"]),
+            category=(
+                None if record.get("category") is None
+                else str(record["category"])
+            ),
+            attributes=dict(record.get("attributes") or {}),  # type: ignore[arg-type]
+        )
+        span.start = float(record.get("start") or 0.0)  # type: ignore[arg-type]
+        span.end = (
+            None if record.get("end") is None
+            else float(record["end"])  # type: ignore[arg-type]
+        )
+        span.thread = str(record.get("thread") or "")
+        breakdown = record.get("breakdown")
+        span.breakdown = None if breakdown is None else dict(breakdown)  # type: ignore[arg-type]
+        meters = record.get("meters")
+        span.meters = None if meters is None else dict(meters)  # type: ignore[arg-type]
+        return span
+
+
+class _NoopSpan:
+    """The shared do-nothing span handed out when no collector is installed."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, key: str, value: object) -> None:
+        """No-op."""
+
+    def attach_ledger(self, ledger: "CostLedger") -> None:
+        """No-op."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class TraceCollector:
+    """A bounded ring of finished spans grouped by trace id.
+
+    Args:
+        max_traces: oldest traces are evicted past this count.
+    """
+
+    def __init__(self, max_traces: int = 256) -> None:
+        if max_traces < 1:
+            raise ValueError("max_traces must be >= 1")
+        self._max_traces = max_traces
+        self._lock = threading.Lock()
+        self._traces: OrderedDict[str, list[Span]] = OrderedDict()
+
+    def record(self, span: Span) -> None:
+        """Store one finished span (called by the span's ``__exit__``)."""
+        with self._lock:
+            spans = self._traces.get(span.trace_id)
+            if spans is None:
+                spans = self._traces[span.trace_id] = []
+                while len(self._traces) > self._max_traces:
+                    self._traces.popitem(last=False)
+            spans.append(span)
+
+    def trace(self, trace_id: str) -> list[Span]:
+        """All spans of one trace, ordered by start time (root first)."""
+        with self._lock:
+            spans = list(self._traces.get(trace_id, ()))
+        return sorted(spans, key=lambda s: (s.start, s.span_id))
+
+    def trace_ids(self) -> list[str]:
+        """Known trace ids, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        """Drop every stored trace."""
+        with self._lock:
+            self._traces.clear()
+
+    # -- serialization -------------------------------------------------------
+
+    def to_jsonl(self, trace_id: str | None = None) -> str:
+        """The stored spans as JSON lines (one span per line).
+
+        Args:
+            trace_id: restrict to one trace; default exports everything.
+        """
+        if trace_id is not None:
+            spans = self.trace(trace_id)
+        else:
+            spans = [
+                span for tid in self.trace_ids() for span in self.trace(tid)
+            ]
+        return "".join(json.dumps(span.to_json()) + "\n" for span in spans)
+
+    @staticmethod
+    def from_jsonl(text: str | Iterable[str]) -> list[Span]:
+        """Parse JSON lines back into spans (inverse of :meth:`to_jsonl`)."""
+        lines = text.splitlines() if isinstance(text, str) else text
+        return [
+            Span.from_json(json.loads(line))
+            for line in lines
+            if line.strip()
+        ]
+
+
+class Tracer:
+    """Hands out spans; a no-op until a collector is installed."""
+
+    def __init__(self) -> None:
+        self._collector: TraceCollector | None = None
+        self._span_ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether a collector is installed (spans are being recorded)."""
+        return self._collector is not None
+
+    def install(self, collector: TraceCollector) -> TraceCollector:
+        """Start recording spans into ``collector``; returns it."""
+        self._collector = collector
+        return collector
+
+    def uninstall(self) -> None:
+        """Stop recording; subsequent spans are no-ops again."""
+        self._collector = None
+
+    @property
+    def collector(self) -> TraceCollector | None:
+        """The installed collector, if any."""
+        return self._collector
+
+    def new_trace_id(self) -> str:
+        """A fresh query/trace id (issued even while tracing is off, so
+        query ids stay stable whether or not a collector is watching)."""
+        return f"q{next(self._trace_ids):06d}"
+
+    def span(
+        self,
+        name: str,
+        category: str | None = None,
+        trace_id: str | None = None,
+        **attributes: object,
+    ) -> Span | _NoopSpan:
+        """Open a span nested under the context's current span.
+
+        Args:
+            name: phase name (``"query.threshold"``, ``"node.io"``...).
+            category: the Figure-9 cost category this phase's wall time
+                belongs to, when it maps to exactly one.
+            trace_id: root spans of a query pass the query id; child
+                spans inherit the parent's trace.
+            **attributes: initial span attributes.
+
+        Returns a shared no-op span when no collector is installed.
+        """
+        if self._collector is None:
+            return _NOOP_SPAN
+        parent = _CURRENT_SPAN.get()
+        if trace_id is None:
+            trace_id = parent.trace_id if parent is not None else self.new_trace_id()
+        return Span(
+            trace_id=trace_id,
+            span_id=next(self._span_ids),
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            category=category,
+            attributes=dict(attributes),
+            tracer=self,
+        )
+
+
+#: The process-wide tracer every engine tier reports through.
+TRACER = Tracer()
+
+
+def span(
+    name: str,
+    category: str | None = None,
+    trace_id: str | None = None,
+    **attributes: object,
+) -> Span | _NoopSpan:
+    """Open a span on the default tracer (see :meth:`Tracer.span`)."""
+    return TRACER.span(name, category=category, trace_id=trace_id, **attributes)
+
+
+def install(collector: TraceCollector | None = None) -> TraceCollector:
+    """Install (and return) a collector on the default tracer."""
+    return TRACER.install(collector or TraceCollector())
+
+
+def uninstall() -> None:
+    """Stop recording on the default tracer."""
+    TRACER.uninstall()
+
+
+def collector() -> TraceCollector | None:
+    """The default tracer's installed collector, if any."""
+    return TRACER.collector
+
+
+def new_trace_id() -> str:
+    """A fresh trace id from the default tracer."""
+    return TRACER.new_trace_id()
+
+
+def current_span() -> Span | None:
+    """The innermost open span of this execution context, if any."""
+    return _CURRENT_SPAN.get()
+
+
+# -- trace analysis -----------------------------------------------------------
+
+
+def category_totals(spans: Iterable[Span]) -> dict[str, float]:
+    """Per-category simulated seconds of a trace.
+
+    The root span of a mediator query carries the query's final
+    :class:`~repro.costmodel.ledger.CostLedger` (parallel-composed
+    across nodes, plus the network phases), so its breakdown *is* the
+    trace's total.  Without a ledger-bearing root the totals fall back
+    to the maximum per category over ledger-bearing spans — the parallel
+    composition rule of the cost model.
+    """
+    spans = list(spans)
+    for span_ in spans:
+        if span_.parent_id is None and span_.breakdown is not None:
+            return dict(span_.breakdown)
+    totals: dict[str, float] = {}
+    for span_ in spans:
+        if span_.breakdown is None:
+            continue
+        for category, seconds in span_.breakdown.items():
+            totals[category] = max(totals.get(category, 0.0), seconds)
+    return totals
+
+
+def render_tree(spans: Iterable[Span]) -> str:
+    """Render a trace's spans as an indented tree with both clocks.
+
+    Each line shows the span name, key attributes, wall milliseconds and
+    — when a ledger is attached — the simulated seconds per Figure-9
+    category.
+    """
+    spans = sorted(spans, key=lambda s: (s.start, s.span_id))
+    if not spans:
+        return "(empty trace)"
+    children: dict[int | None, list[Span]] = {}
+    ids = {span_.span_id for span_ in spans}
+    for span_ in spans:
+        parent = span_.parent_id if span_.parent_id in ids else None
+        children.setdefault(parent, []).append(span_)
+
+    lines: list[str] = []
+
+    def _walk(span_: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        connector = "" if is_root else ("└─ " if is_last else "├─ ")
+        lines.append(prefix + connector + _describe(span_))
+        child_prefix = prefix if is_root else prefix + ("   " if is_last else "│  ")
+        kids = children.get(span_.span_id, [])
+        for i, kid in enumerate(kids):
+            _walk(kid, child_prefix, i == len(kids) - 1, False)
+
+    roots = children.get(None, [])
+    for i, root in enumerate(roots):
+        _walk(root, "", i == len(roots) - 1, True)
+    return "\n".join(lines)
+
+
+def _describe(span_: Span) -> str:
+    parts = [span_.name]
+    attrs = " ".join(
+        f"{key}={value}" for key, value in sorted(span_.attributes.items())
+    )
+    if attrs:
+        parts.append(attrs)
+    parts.append(f"wall={span_.wall_seconds * 1e3:.2f}ms")
+    if span_.category:
+        parts.append(f"category={span_.category}")
+    if span_.breakdown is not None:
+        sim = " ".join(
+            f"{category}={seconds:.4g}"
+            for category, seconds in span_.breakdown.items()
+            if seconds
+        )
+        total = sum(span_.breakdown.values())
+        parts.append(f"sim={total:.4g}s [{sim}]")
+    return "  ".join(parts)

@@ -39,6 +39,7 @@ class BPlusTree:
         self._order = order
         self._root = _Node(leaf=True)
         self._size = 0
+        self.splits = 0
 
     def __len__(self) -> int:
         return self._size
@@ -147,6 +148,7 @@ class BPlusTree:
         return None
 
     def _split_leaf(self, node: _Node):
+        self.splits += 1
         mid = len(node.keys) // 2
         right = _Node(leaf=True)
         right.keys = node.keys[mid:]
@@ -158,6 +160,7 @@ class BPlusTree:
         return right.keys[0], right
 
     def _split_internal(self, node: _Node):
+        self.splits += 1
         mid = len(node.keys) // 2
         sep = node.keys[mid]
         right = _Node(leaf=False)

@@ -217,3 +217,34 @@ class Database:
         """Empty every table's buffer pool (cold-cache experiment reset)."""
         for table in self._tables.values():
             table._pool.clear()
+
+    # -- observability ------------------------------------------------------------
+
+    def storage_stats(self) -> dict[str, float]:
+        """Aggregate engine counters for the observability layer.
+
+        Sampled at metrics-export time (the hot paths keep plain integer
+        counters; see :meth:`repro.obs.metrics.MetricsRegistry.gauge_callback`).
+        """
+        pool_hits = pool_misses = splits = 0
+        for table in self._tables.values():
+            pool_hits += table._pool.hits
+            pool_misses += table._pool.misses
+            splits += table._clustered.splits
+            splits += sum(tree.splits for tree in table._indexes.values())
+        accesses = pool_hits + pool_misses
+        stats: dict[str, float] = {
+            "bufferpool_hits": float(pool_hits),
+            "bufferpool_misses": float(pool_misses),
+            "bufferpool_hit_rate": pool_hits / accesses if accesses else 0.0,
+            "btree_splits": float(splits),
+            "txn_begun": float(self._manager.begun),
+            "txn_committed": float(self._manager.committed),
+            "txn_aborted": float(self._manager.aborted),
+            "txn_conflicts": float(self._manager.conflicts),
+        }
+        if self.wal is not None:
+            stats["wal_appends"] = float(self.wal.appends)
+            stats["wal_flushes"] = float(self.wal.flushes)
+            stats["wal_flushed_bytes"] = float(self.wal.flushed_bytes)
+        return stats

@@ -116,10 +116,12 @@ class VersionChain:
             (newest.deleter, newest.end_ts),
         ):
             if writer is not None and writer is not txn:
+                txn._manager.record_conflict()
                 raise SerializationConflictError(
                     "row is being modified by a concurrent transaction"
                 )
             if writer is None and stamp is not None and stamp > txn.snapshot_ts:
+                txn._manager.record_conflict()
                 raise SerializationConflictError(
                     "row was modified after this transaction's snapshot"
                 )
@@ -205,6 +207,7 @@ class Transaction:
             self._wal.flush()
         # Publishing happens under the shared database latch so readers
         # never observe a half-committed write set.
+        self._manager.record_commit()
         with self._latch:
             commit_ts = self._manager.advance()
             for _, version in self._created:
@@ -224,6 +227,7 @@ class Transaction:
             from repro.storage.wal import WalKind
 
             self._wal.append(self.txn_id, WalKind.ABORT)
+        self._manager.record_abort()
         with self._latch:
             for chain, version in self._created:
                 chain.remove(version)
@@ -260,10 +264,31 @@ class TransactionManager:
         self._clock = 0
         self._lock = threading.Lock()
         self.latch = latch if latch is not None else threading.RLock()
+        # Lifetime workload counters, sampled by the observability layer
+        # at export time (see Database.storage_stats).
+        self.begun = 0
+        self.committed = 0
+        self.aborted = 0
+        self.conflicts = 0
 
     @property
     def now(self) -> int:
         return self._clock
+
+    def record_commit(self) -> None:
+        """Count one committed transaction."""
+        with self._lock:
+            self.committed += 1
+
+    def record_abort(self) -> None:
+        """Count one aborted transaction."""
+        with self._lock:
+            self.aborted += 1
+
+    def record_conflict(self) -> None:
+        """Count one first-updater-wins serialization conflict."""
+        with self._lock:
+            self.conflicts += 1
 
     def advance(self) -> int:
         """Issue the next commit timestamp."""
@@ -278,4 +303,5 @@ class TransactionManager:
         with self._lock:
             txn_id = next(self._ids)
             snapshot = self._clock
+            self.begun += 1
         return Transaction(txn_id, snapshot, self, ledger, wal=wal)

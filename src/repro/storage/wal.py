@@ -65,9 +65,17 @@ class WriteAheadLog:
         self._device = device
         self._next_lsn = 0
         self._unflushed = 0
+        self.flushes = 0
+        self.flushed_bytes = 0
 
     def __len__(self) -> int:
         return len(self._records)
+
+    @property
+    def appends(self) -> int:
+        """Total records ever appended (survives truncation)."""
+        with self._lock:
+            return self._next_lsn
 
     def append(
         self,
@@ -92,6 +100,9 @@ class WriteAheadLog:
         nbytes = sum(_record_size(record) for record in pending)
         if self._device is not None and nbytes:
             self._device.charge_write(nbytes, seeks=0)
+        with self._lock:
+            self.flushes += 1
+            self.flushed_bytes += nbytes
         return nbytes
 
     def records(self) -> list[WalRecord]:

@@ -1,0 +1,16 @@
+# Five OBS01 violations: time import, from-time import, wall-clock call,
+# bare print, and a span opened outside a with-statement.
+import time
+from time import perf_counter
+
+from repro.obs import tracing
+
+
+def stamp():
+    return time.perf_counter()
+
+
+def leaky(items):
+    span = tracing.span("work.batch")
+    print("processing", len(items), "items")
+    return span, perf_counter

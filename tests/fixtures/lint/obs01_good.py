@@ -1,0 +1,11 @@
+# Clean: clocks via repro.obs.clock, output via report, spans with-managed.
+from repro.obs import Stopwatch, report, tracing
+
+
+def timed_work(items):
+    with Stopwatch() as watch:
+        with tracing.span("work.batch", category="compute") as span:
+            span.set("items", len(items))
+            total = sum(items)
+    report("processed", len(items), "items in", watch.elapsed, "s")
+    return total

@@ -114,7 +114,7 @@ def test_run_paths_select_restricts_checkers(tmp_path):
         "import time\n\n\ndef f(db):\n    db.begin()\n    return time.time()\n",
     )
     all_codes = {d.code for d in run_paths([path])[0]}
-    assert all_codes == {"COST01", "TXN01"}
+    assert all_codes == {"COST01", "TXN01", "OBS01"}
     only_txn = {d.code for d in run_paths([path], select=["txn01"])[0]}
     assert only_txn == {"TXN01"}
 
@@ -163,7 +163,7 @@ def test_main_list_checkers(capsys):
 
 def test_checker_codes_are_unique():
     codes = [cls.code for cls in ALL_CHECKERS]
-    assert len(codes) == len(set(codes)) == 5
+    assert len(codes) == len(set(codes)) == 6
 
 
 # -- the repo itself must be clean ----------------------------------------------

@@ -1,0 +1,39 @@
+"""OBS01 (observability discipline) checker tests."""
+
+from repro.lint.checkers.obs01 import ObsDiscipline
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("obs01_good.py", "repro.core.fixture_good")
+    assert run_checker(ObsDiscipline(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("obs01_bad.py", "repro.core.fixture_bad")
+    diags = run_checker(ObsDiscipline(), source)
+    assert len(diags) == 5
+    messages = "\n".join(d.message for d in diags)
+    assert "'import time'" in messages
+    assert "'from time import perf_counter'" in messages
+    assert "time.perf_counter()" in messages
+    assert "bare print()" in messages
+    assert "outside a with-statement" in messages
+
+
+def test_harness_is_in_scope_but_obs_is_not():
+    checker = ObsDiscipline()
+    assert checker.applies("repro.harness.bench")
+    assert checker.applies("repro.lint.cli")
+    assert checker.applies("repro.core.threshold")
+    assert not checker.applies("repro.obs.clock")
+    assert not checker.applies("repro.obs.tracing")
+    assert not checker.applies("numpy.random")
+
+
+def test_with_managed_span_is_clean():
+    source = load("obs01_good.py", "repro.cluster.fixture")
+    spans = [d for d in run_checker(ObsDiscipline(), source)
+             if "span" in d.message]
+    assert spans == []

@@ -1,0 +1,205 @@
+"""Tests for repro.obs metrics: instruments, labels, exporters."""
+
+import io
+import threading
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    timed,
+)
+from repro.obs.report import report, set_stream
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge()
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        hist = Histogram(buckets=[1.0, 5.0, 10.0])
+        for value in (0.5, 0.7, 3.0, 7.0, 100.0):
+            hist.observe(value)
+        counts = hist.bucket_counts()
+        assert counts["1.0"] == 2
+        assert counts["5.0"] == 3
+        assert counts["10.0"] == 4
+        assert counts["+Inf"] == 5
+        assert hist.count == 5
+        assert hist.sum == pytest.approx(111.2)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=[5.0, 1.0])
+
+    def test_counter_is_thread_safe(self):
+        counter = Counter()
+
+        def spin():
+            for _ in range(10_000):
+                counter.inc()
+
+        threads = [threading.Thread(target=spin) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 40_000
+
+
+class TestLabels:
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        family = registry.counter("queries_total", labelnames=["kind"])
+        family.labels(kind="threshold").inc(3)
+        family.labels(kind="pdf").inc()
+        assert family.labels(kind="threshold").value == 3.0
+        assert family.labels(kind="pdf").value == 1.0
+
+    def test_wrong_label_names_raise(self):
+        registry = MetricsRegistry()
+        family = registry.counter("queries_total", labelnames=["kind"])
+        with pytest.raises(ValueError):
+            family.labels(flavour="threshold")
+
+    def test_cardinality_cap(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "queries_total", labelnames=["kind"], max_series=3
+        )
+        for i in range(3):
+            family.labels(kind=f"k{i}").inc()
+        with pytest.raises(ValueError, match="cardinality cap"):
+            family.labels(kind="one-too-many")
+
+    def test_labelled_family_rejects_bare_inc(self):
+        registry = MetricsRegistry()
+        family = registry.counter("queries_total", labelnames=["kind"])
+        with pytest.raises(ValueError):
+            family.inc()
+
+
+class TestRegistry:
+    def test_idempotent_registration(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total")
+        assert registry.counter("hits_total") is first
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        with pytest.raises(ValueError):
+            registry.gauge("hits_total")
+
+    def test_invalid_metric_name_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("bad name")
+
+    def test_gauge_callback_sampled_only_at_export(self):
+        registry = MetricsRegistry()
+        calls = []
+
+        def sample():
+            calls.append(1)
+            return 42.0
+
+        registry.gauge_callback("pool_hits", sample)
+        assert calls == []  # registration alone never samples
+        snapshot = registry.to_dict()
+        assert snapshot["pool_hits"]["samples"][0]["value"] == 42.0
+        assert len(calls) == 1
+
+    def test_callback_name_collision_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total")
+        with pytest.raises(ValueError):
+            registry.gauge_callback("hits_total", lambda: 0.0)
+
+
+class TestExports:
+    def build_registry(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "queries_total", "Queries served", labelnames=["kind"]
+        ).labels(kind="threshold").inc(3)
+        latency = registry.histogram(
+            "latency_seconds", "Latency", buckets=[0.1, 1.0]
+        )
+        latency.observe(0.05)
+        latency.observe(5.0)
+        registry.gauge("in_flight").set(2)
+        return registry
+
+    def test_prometheus_text_format(self):
+        text = self.build_registry().render_prometheus()
+        assert "# TYPE queries_total counter" in text
+        assert 'queries_total{kind="threshold"} 3.0' in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_sum 5.05" in text
+        assert "latency_seconds_count 2" in text
+        assert "in_flight 2.0" in text
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", labelnames=["path"]).labels(
+            path='a"b\\c\nd'
+        ).inc()
+        text = registry.render_prometheus()
+        assert r'odd_total{path="a\"b\\c\nd"} 1.0' in text
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        snapshot = self.build_registry().to_dict()
+        assert snapshot["queries_total"]["kind"] == "counter"
+        assert snapshot["queries_total"]["samples"][0]["value"] == 3.0
+        assert snapshot["latency_seconds"]["samples"][0]["count"] == 2
+        json.dumps(snapshot)  # must not raise
+
+    def test_default_buckets_ascend(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestTimedAndReport:
+    def test_timed_observes_wall_time(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("op_seconds", buckets=[10.0])
+        with timed(hist):
+            pass
+        assert hist.count == 1
+        assert 0.0 <= hist.sum < 10.0
+
+    def test_report_honours_set_stream(self):
+        sink = io.StringIO()
+        set_stream(sink)
+        try:
+            report("hello", 42, sep="-")
+        finally:
+            set_stream(None)
+        assert sink.getvalue() == "hello-42\n"
+
+    def test_report_error_goes_to_stderr(self, capsys):
+        report("oops", error=True)
+        captured = capsys.readouterr()
+        assert captured.err == "oops\n"
+        assert captured.out == ""

@@ -1,0 +1,142 @@
+"""Tests for repro.obs tracing: spans, context propagation, exports."""
+
+import numpy as np
+import pytest
+
+from repro.core import ThresholdQuery
+from repro.obs import tracing
+from repro.obs.tracing import Span, TraceCollector, Tracer
+
+from tests.test_core_threshold import ground_truth_norm
+
+
+@pytest.fixture()
+def collector():
+    """Install a fresh collector on the global tracer for one test."""
+    installed = tracing.install(TraceCollector())
+    yield installed
+    tracing.uninstall()
+
+
+def run_threshold(mhd_cluster, small_mhd, quantile=0.999):
+    norm = ground_truth_norm(small_mhd, "vorticity", 0)
+    query = ThresholdQuery(
+        dataset="mhd",
+        field="vorticity",
+        timestep=0,
+        threshold=float(np.quantile(norm, quantile)),
+    )
+    return mhd_cluster.threshold(query)
+
+
+class TestNoopPath:
+    def test_disabled_tracer_hands_out_shared_noop_span(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner is outer  # one shared no-op object
+        outer.set("key", "value")  # all no-ops, must not raise
+
+    def test_query_ids_issued_even_while_disabled(self, mhd_cluster, small_mhd):
+        assert tracing.collector() is None
+        result = run_threshold(mhd_cluster, small_mhd)
+        assert result.query_id is not None
+        second = run_threshold(mhd_cluster, small_mhd)
+        assert second.query_id != result.query_id
+
+
+class TestSpanNesting:
+    def test_parenting_within_one_context(self, collector):
+        with tracing.span("root", trace_id="t1") as root:
+            assert tracing.current_span() is root
+            with tracing.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == "t1"
+        assert tracing.current_span() is None
+        spans = collector.trace("t1")
+        assert [s.name for s in spans] == ["root", "child"]
+        assert all(s.end is not None for s in spans)
+
+    def test_span_closes_on_exceptions(self, collector):
+        with pytest.raises(RuntimeError):
+            with tracing.span("boom", trace_id="t2"):
+                raise RuntimeError("kaboom")
+        assert tracing.current_span() is None
+        (span,) = collector.trace("t2")
+        assert span.end is not None
+
+
+class TestTracedQuery:
+    def test_scatter_parts_nest_under_root_across_threads(
+        self, collector, mhd_cluster, small_mhd
+    ):
+        result = run_threshold(mhd_cluster, small_mhd)
+        spans = collector.trace(result.query_id)
+        root = spans[0]
+        assert root.name == "query.threshold"
+        assert root.parent_id is None
+        parts = [s for s in spans if s.name == "node.part"]
+        assert len(parts) == len(mhd_cluster.nodes)
+        assert all(p.parent_id == root.span_id for p in parts)
+        # The scatter pool really ran parts on worker threads, and the
+        # contextvars copy carried the root span across to them.
+        assert len({s.thread for s in spans}) > 1
+
+    def test_trace_totals_equal_the_query_ledger(
+        self, collector, mhd_cluster, small_mhd
+    ):
+        # Acceptance criterion: per-category simulated seconds summed
+        # from the span tree exactly equal the returned CostLedger.
+        result = run_threshold(mhd_cluster, small_mhd)
+        spans = collector.trace(result.query_id)
+        assert tracing.category_totals(spans) == result.ledger.breakdown()
+
+    def test_phase_spans_cover_every_tier(
+        self, collector, mhd_cluster, small_mhd
+    ):
+        result = run_threshold(mhd_cluster, small_mhd)
+        names = {s.name for s in collector.trace(result.query_id)}
+        assert {"query.threshold", "node.part", "cache.lookup",
+                "node.io", "node.kernel"} <= names
+
+
+class TestExports:
+    def test_jsonl_round_trip(self, collector, mhd_cluster, small_mhd):
+        result = run_threshold(mhd_cluster, small_mhd)
+        text = collector.to_jsonl(result.query_id)
+        restored = TraceCollector.from_jsonl(text)
+        original = collector.trace(result.query_id)
+        assert len(restored) == len(original)
+        for a, b in zip(original, restored):
+            assert a.to_json() == b.to_json()
+
+    def test_render_tree_shows_both_clocks(
+        self, collector, mhd_cluster, small_mhd
+    ):
+        result = run_threshold(mhd_cluster, small_mhd)
+        tree = tracing.render_tree(collector.trace(result.query_id))
+        assert "query.threshold" in tree
+        assert "wall=" in tree
+        assert "sim=" in tree
+        assert "└─" in tree
+
+    def test_render_tree_empty(self):
+        assert tracing.render_tree([]) == "(empty trace)"
+
+
+class TestTraceCollector:
+    def _span(self, trace_id, span_id):
+        span = Span(trace_id, span_id, None, "s", None, {})
+        span.end = span.start
+        return span
+
+    def test_ring_evicts_oldest_trace(self):
+        ring = TraceCollector(max_traces=2)
+        for i in range(3):
+            ring.record(self._span(f"t{i}", i))
+        assert ring.trace_ids() == ["t1", "t2"]
+        assert ring.trace("t0") == []
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceCollector(max_traces=0)

@@ -205,6 +205,102 @@ class TestBatchAndRegistration:
         assert response["code"] == "duplicate_field"
 
 
+class TestIntrospection:
+    @pytest.fixture()
+    def traced(self):
+        from repro.obs import tracing
+
+        collector = tracing.install()
+        yield collector
+        tracing.uninstall()
+
+    def test_get_stats_counts_semantic_cache_hits(self, small_mhd, service):
+        # Acceptance criterion: a repeated query shows up as a nonzero
+        # semantic-cache hit counter in /stats.
+        request = threshold_request(small_mhd)
+        service.handle(request)
+        service.handle(request)
+        response = service.handle({"method": "GetStats"})
+        assert response["status"] == "ok"
+        metrics = response["metrics"]
+        hits = metrics["semantic_cache_hits_total"]["samples"][0]["value"]
+        assert hits > 0
+        assert response["statistics"]["threshold_queries"] == 2
+
+    def test_get_stats_prometheus_format(self, small_mhd, service):
+        service.handle(threshold_request(small_mhd))
+        response = service.handle(
+            {"method": "GetStats", "format": "prometheus"}
+        )
+        assert response["status"] == "ok"
+        assert 'queries_total{kind="threshold"} 1.0' in response["body"]
+        assert "webservice_request_seconds_bucket" in response["body"]
+
+    def test_get_stats_bad_format(self, service):
+        response = service.handle({"method": "GetStats", "format": "xml"})
+        assert response["code"] == "bad_request"
+
+    def test_get_trace_returns_span_tree(self, small_mhd, service, traced):
+        ok = service.handle(threshold_request(small_mhd))
+        response = service.handle(
+            {"method": "GetTrace", "query_id": ok["query_id"]}
+        )
+        assert response["status"] == "ok"
+        names = {span["name"] for span in response["spans"]}
+        assert "query.threshold" in names and "node.part" in names
+        assert "query.threshold" in response["tree"]
+        assert response["category_totals"]
+
+    def test_get_trace_unknown_id(self, service, traced):
+        response = service.handle(
+            {"method": "GetTrace", "query_id": "q999999"}
+        )
+        assert response["code"] == "unknown_trace"
+
+    def test_get_trace_without_collector(self, service):
+        response = service.handle(
+            {"method": "GetTrace", "query_id": "q000001"}
+        )
+        assert response["code"] == "tracing_disabled"
+
+    def test_http_stats_route(self, small_mhd, service):
+        service.handle(threshold_request(small_mhd))
+        status, content_type, body = service.handle_http("GET", "/stats")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert "queries_total" in body
+
+    def test_http_trace_route(self, small_mhd, service, traced):
+        ok = service.handle(threshold_request(small_mhd))
+        status, content_type, body = service.handle_http(
+            "GET", f"/trace/{ok['query_id']}"
+        )
+        assert status == 200
+        assert content_type == "application/json"
+        assert json.loads(body)["query_id"] == ok["query_id"]
+
+    def test_http_trace_unknown_is_404(self, service, traced):
+        status, _, _ = service.handle_http("GET", "/trace/q999999")
+        assert status == 404
+
+    def test_http_trace_disabled_is_503(self, service):
+        status, _, _ = service.handle_http("GET", "/trace/q000001")
+        assert status == 503
+
+    def test_http_unknown_route_and_method(self, service):
+        assert service.handle_http("GET", "/nope")[0] == 404
+        assert service.handle_http("POST", "/stats")[0] == 405
+
+    def test_request_latency_histogram_by_method(self, service):
+        service.handle({"method": "ListFields"})
+        service.handle({"method": "DropTables"})
+        latency = service._mediator.metrics.get("webservice_request_seconds")
+        assert latency.labels(method="ListFields").count == 1
+        assert latency.labels(method="<unknown>").count == 1
+        in_flight = service._mediator.metrics.get("webservice_in_flight")
+        assert in_flight.value == 0.0
+
+
 class TestDispatch:
     def test_unknown_method(self, service):
         response = service.handle({"method": "DropTables"})
