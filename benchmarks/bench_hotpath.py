@@ -1,0 +1,215 @@
+"""Hot-path microbenchmark: chunked cache vs. seed row-per-point.
+
+Measures wall-clock ops/sec (points or atoms per second) for the three
+operations the columnar fast path rewrote:
+
+* ``cache_store`` — persisting a 100k-point threshold result into the
+  semantic cache (chunked ``insert_many`` vs. one MVCC row per point);
+* ``cache_lookup_hit`` — serving that result back from the cache;
+* ``atom_scan`` — a clustered read of one timestep's 8^3 atom blobs
+  through ``Table.scan_column_batches``.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py
+
+Writes ``BENCH_hotpath.json`` at the repo root with both the chunked
+and the legacy numbers (so the >=10x claim is auditable) and exits
+non-zero when chunked cache-store ops/sec falls below the floor in
+``benchmarks/hotpath_floor.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cache import SemanticCache
+from repro.costmodel import Category
+from repro.costmodel.devices import HddArraySpec, SsdSpec
+from repro.grid import Box
+from repro.morton import encode_array
+from repro.obs.clock import Stopwatch, unix_now
+from repro.storage import (
+    Column,
+    ColumnType,
+    Database,
+    StorageDevice,
+    TableSchema,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+FLOOR_PATH = Path(__file__).resolve().parent / "hotpath_floor.json"
+OUT_PATH = REPO_ROOT / "BENCH_hotpath.json"
+
+POINTS = 100_000
+SIDE = 64  # domain side holding >= POINTS distinct grid cells
+ATOMS = 512  # atoms per raw-scan round
+ATOM_BYTES = 8**3 * 4
+
+
+def make_point_set(count: int, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    cells = rng.choice(SIDE**3, size=count, replace=False)
+    x, y, z = cells // (SIDE * SIDE), (cells // SIDE) % SIDE, cells % SIDE
+    zindexes = np.sort(encode_array(x, y, z))
+    values = rng.uniform(1.0, 10.0, count)
+    return zindexes, values
+
+
+def make_db(name: str) -> Database:
+    db = Database(name)
+    db.add_device(StorageDevice("hdd", HddArraySpec(), Category.IO))
+    db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+    return db
+
+
+BOX = Box((0, 0, 0), (SIDE,) * 3)
+
+
+# -- chunked (current) implementation ---------------------------------------
+
+
+def bench_chunked(zindexes: np.ndarray, values: np.ndarray) -> dict[str, float]:
+    db = make_db("hotpath")
+    cache = SemanticCache(db, capacity_bytes=1 << 30, point_record_bytes=20)
+    with Stopwatch() as store:
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "f", 0, BOX, 0.0, zindexes, values)
+    with Stopwatch() as lookup:
+        with db.transaction() as txn:
+            hit = cache.lookup(txn, "mhd", "f", 0, BOX, 0.0)
+    assert hit.hit and len(hit.zindexes) == len(zindexes)
+    return {"store_s": store.elapsed, "lookup_s": lookup.elapsed}
+
+
+# -- seed row-per-point reference --------------------------------------------
+#
+# A faithful inline copy of the seed's cacheData layout: one MVCC table
+# row per matching point, read back as per-row dicts and argsorted (the
+# code this PR replaced; kept here so the speedup stays measurable).
+
+
+def bench_legacy(zindexes: np.ndarray, values: np.ndarray) -> dict[str, float]:
+    db = make_db("hotpath-legacy")
+    db.create_table(
+        TableSchema(
+            "legacyData",
+            (
+                Column("ordinal", ColumnType.INTEGER),
+                Column("zindex", ColumnType.BIGINT),
+                Column("value", ColumnType.FLOAT),
+            ),
+            primary_key=("ordinal", "zindex"),
+        ),
+        device="ssd",
+    )
+    table = db.table("legacyData")
+    with Stopwatch() as store:
+        with db.transaction() as txn:
+            for zindex, value in zip(zindexes.tolist(), values.tolist()):
+                table.insert(
+                    txn, {"ordinal": 1, "zindex": zindex, "value": value}
+                )
+    with Stopwatch() as lookup:
+        with db.transaction() as txn:
+            rows = list(table.scan(txn))
+            got_z = np.array([row["zindex"] for row in rows], dtype=np.uint64)
+            got_v = np.array([row["value"] for row in rows])
+            order = np.argsort(got_z, kind="stable")
+            got_z, got_v = got_z[order], got_v[order]
+    assert np.array_equal(got_z, zindexes)
+    assert np.allclose(got_v, values)
+    return {"store_s": store.elapsed, "lookup_s": lookup.elapsed}
+
+
+# -- raw atom scan -----------------------------------------------------------
+
+
+def bench_atom_scan() -> dict[str, float]:
+    db = make_db("hotpath-atoms")
+    db.create_table(
+        TableSchema(
+            "atoms",
+            (
+                Column("timestep", ColumnType.INTEGER),
+                Column("zindex", ColumnType.BIGINT),
+                Column("blob", ColumnType.BLOB),
+            ),
+            primary_key=("timestep", "zindex"),
+            logged=False,
+        ),
+        device="hdd",
+    )
+    table = db.table("atoms")
+    blob = bytes(ATOM_BYTES)
+    with db.transaction() as txn:
+        table.insert_many(
+            txn,
+            [
+                {"timestep": 0, "zindex": i * 512, "blob": blob}
+                for i in range(ATOMS)
+            ],
+        )
+    with Stopwatch() as scan:
+        with db.transaction() as txn:
+            seen = 0
+            for zcol, bcol in table.scan_column_batches(
+                txn, ["zindex", "blob"]
+            ):
+                seen += len(zcol)
+    assert seen == ATOMS
+    return {"scan_s": scan.elapsed}
+
+
+def run() -> dict[str, object]:
+    zindexes, values = make_point_set(POINTS)
+    chunked = bench_chunked(zindexes, values)
+    legacy = bench_legacy(zindexes, values)
+    atoms = bench_atom_scan()
+
+    store_speedup = legacy["store_s"] / chunked["store_s"]
+    lookup_speedup = legacy["lookup_s"] / chunked["lookup_s"]
+    combined_speedup = (legacy["store_s"] + legacy["lookup_s"]) / (
+        chunked["store_s"] + chunked["lookup_s"]
+    )
+    return {
+        "benchmark": "hotpath",
+        "generated_unix": unix_now(),
+        "points": POINTS,
+        "cache_store_ops_per_s": POINTS / chunked["store_s"],
+        "cache_lookup_hit_ops_per_s": POINTS / chunked["lookup_s"],
+        "atom_scan_ops_per_s": ATOMS / atoms["scan_s"],
+        "legacy_cache_store_ops_per_s": POINTS / legacy["store_s"],
+        "legacy_cache_lookup_hit_ops_per_s": POINTS / legacy["lookup_s"],
+        "store_speedup_vs_legacy": store_speedup,
+        "lookup_speedup_vs_legacy": lookup_speedup,
+        "store_plus_lookup_speedup_vs_legacy": combined_speedup,
+    }
+
+
+def main() -> int:
+    report = run()
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    floor = json.loads(FLOOR_PATH.read_text())
+    failures = []
+    for key, minimum in floor.items():
+        got = float(report[key])  # type: ignore[arg-type]
+        if got < minimum:
+            failures.append(f"{key}: {got:.1f} < floor {minimum:.1f}")
+    summary = {
+        key: round(float(report[key]), 1)  # type: ignore[arg-type]
+        for key in sorted(floor)
+    }
+    sys.stderr.write(f"bench_hotpath: {summary} -> {OUT_PATH}\n")
+    if failures:
+        sys.stderr.write("FLOOR VIOLATIONS: " + "; ".join(failures) + "\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

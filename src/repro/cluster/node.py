@@ -117,6 +117,30 @@ class DatabaseNode:
             txn, {"timestep": timestep, "zindex": zindex, "blob": blob}
         )
 
+    def store_atoms(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        atoms: list[tuple[int, bytes]],
+    ) -> int:
+        """Bulk-insert ``(zindex, blob)`` atom records in one batch.
+
+        Dataset loads push millions of atoms; routing them through
+        :meth:`~repro.storage.table.Table.insert_many` takes the latch
+        once per batch instead of once per atom.  Returns the number of
+        atoms stored.
+        """
+        table = self.db.table(_atom_table_name(dataset, field))
+        return table.insert_many(
+            txn,
+            [
+                {"timestep": timestep, "zindex": zindex, "blob": blob}
+                for zindex, blob in atoms
+            ],
+        )
+
     def read_atoms(
         self,
         txn: Transaction,
@@ -139,13 +163,16 @@ class DatabaseNode:
         # elevator order: only the first range pays a full seek, later
         # ranges are forward skips served by read-ahead (SQL Server's
         # sequential scan behaviour the paper's I/O numbers reflect).
+        # The columnar scan hands back (zindex, blob) column batches, so
+        # no per-row dict is ever materialised on this path.
         first_range = True
         for rng in ranges:
-            for row in table.scan(
-                txn, (timestep, rng.start), (timestep, rng.stop),
+            for zcol, bcol in table.scan_column_batches(
+                txn, ["zindex", "blob"],
+                (timestep, rng.start), (timestep, rng.stop),
                 sequential=not first_range, charge=charge,
             ):
-                out[row["zindex"]] = row["blob"]
+                out.update(zip(zcol, bcol))  # type: ignore[arg-type]
             first_range = False
         return out
 

@@ -10,6 +10,8 @@ on.
 
 from __future__ import annotations
 
+import bisect
+
 from repro.grid import Box
 from repro.grid.atoms import ATOM_VOLUME, atom_code
 from repro.morton import MortonRange, decode, split_curve
@@ -40,6 +42,8 @@ class MortonPartitioner:
         self.domain_side = domain_side
         self.nodes = nodes
         self._ranges = split_curve(domain_side, nodes)
+        # Range starts, for binary-searching a code to its owning node.
+        self._starts = [rng.start for rng in self._ranges]
 
     def node_ranges(self, node_id: int) -> MortonRange:
         """The contiguous Morton-code range (grid-point codes) of a node."""
@@ -47,10 +51,35 @@ class MortonPartitioner:
 
     def node_of_code(self, zindex: int) -> int:
         """The node owning the grid point with Morton code ``zindex``."""
-        for node_id, rng in enumerate(self._ranges):
-            if zindex in rng:
-                return node_id
-        raise ValueError(f"Morton code {zindex} outside the domain")
+        node_id = bisect.bisect_right(self._starts, zindex) - 1
+        if node_id < 0 or zindex not in self._ranges[node_id]:
+            raise ValueError(f"Morton code {zindex} outside the domain")
+        return node_id
+
+    def node_spans(self, rng: MortonRange) -> list[tuple[int, MortonRange]]:
+        """Split a curve range at node boundaries: ``(node_id, piece)`` pairs.
+
+        One binary search locates the node owning ``rng.start``; the
+        pieces then walk forward through consecutive nodes, so splitting
+        is O(log nodes + pieces) rather than an intersection probe of
+        every node.
+
+        Raises:
+            ValueError: when the range reaches outside the domain.
+        """
+        if len(rng) == 0:
+            return []
+        if rng.stop > self._ranges[-1].stop:
+            raise ValueError(f"Morton range {rng} outside the domain")
+        node_id = self.node_of_code(rng.start)
+        spans: list[tuple[int, MortonRange]] = []
+        start = rng.start
+        while start < rng.stop:
+            stop = min(rng.stop, self._ranges[node_id].stop)
+            spans.append((node_id, MortonRange(start, stop)))
+            start = stop
+            node_id += 1
+        return spans
 
     def node_of_atom(self, atom_zindex: int) -> int:
         """The node owning the atom whose corner code is ``atom_zindex``."""

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.core.cache import SemanticCache
 from repro.core.executor import NodeExecutor
+from repro.core.pointset import merge_sorted_runs
 from repro.core.query import ThresholdQuery, ThresholdResult
 from repro.core.threshold import NodeThresholdResult
 from repro.costmodel import CostLedger
@@ -160,15 +161,8 @@ def get_batch_on_node(
 
     out = []
     for i in range(len(queries)):
-        zindexes = (
-            np.concatenate(per_query_z[i])
-            if per_query_z[i]
-            else np.empty(0, np.uint64)
-        )
-        values = (
-            np.concatenate(per_query_v[i])
-            if per_query_v[i]
-            else np.empty(0, np.float64)
+        zindexes, values = merge_sorted_runs(
+            list(zip(per_query_z[i], per_query_v[i]))
         )
         out.append(
             NodeThresholdResult(

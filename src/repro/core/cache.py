@@ -17,6 +17,15 @@ result replaces the entry.
 
 Replacement is least-recently-used across all cached quantities, bounded
 by a byte budget (the paper's per-node SSD space).
+
+Unlike the paper's literal per-point ``cacheData`` table, points are
+persisted as packed Morton-sorted chunks (:mod:`repro.core.pointset`):
+one row per ~4096 points with per-chunk Morton bounds and value maximum,
+so ``store`` issues O(points/4096) inserts through
+:meth:`~repro.storage.table.Table.insert_many` and ``lookup`` prunes
+whole chunks against the query box and threshold before decoding any
+point.  Hit/miss/eviction semantics and byte accounting
+(``point_count * point_record_bytes``) are unchanged — see DESIGN.md.
 """
 
 from __future__ import annotations
@@ -27,12 +36,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core import pointset
 from repro.grid import Box
 from repro.morton import decode_array
+from repro.morton.ranges import box_to_ranges
 from repro.storage import (
     Column,
     ColumnType,
     Database,
+    DuplicateKeyError,
     ForeignKey,
     SerializationConflictError,
     TableSchema,
@@ -42,6 +54,18 @@ from repro.storage import (
 #: Default cache capacity per node; the paper's nodes had ~200 GB of SSD,
 #: scaled here for laptop-size datasets.
 DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+def _covering_side(box: Box) -> int:
+    """Smallest power-of-two domain side enclosing ``box``.
+
+    Morton codes are domain-independent, so any power-of-two side at or
+    beyond the box's upper corner yields the same exact range cover.
+    """
+    side = 1
+    while side < max(box.hi):
+        side *= 2
+    return side
 
 
 @dataclass
@@ -71,7 +95,7 @@ class CacheStats:
 
     __slots__ = (
         "_lock", "hits", "misses", "dominance_rejections",
-        "evictions", "stored_points", "stored_bytes",
+        "evictions", "stored_points", "stored_bytes", "chunks_pruned",
     )
 
     def __init__(self) -> None:
@@ -82,6 +106,7 @@ class CacheStats:
         self.evictions = 0
         self.stored_points = 0
         self.stored_bytes = 0
+        self.chunks_pruned = 0
 
     def record_hit(self) -> None:
         """Count one probe answered from the cache."""
@@ -111,6 +136,11 @@ class CacheStats:
         with self._lock:
             self.evictions += 1
 
+    def record_pruned(self, chunks: int) -> None:
+        """Count stored chunks a hit skipped without decoding."""
+        with self._lock:
+            self.chunks_pruned += chunks
+
     def snapshot(self) -> dict[str, int]:
         """A consistent copy of all counters."""
         with self._lock:
@@ -121,6 +151,7 @@ class CacheStats:
                 "evictions": self.evictions,
                 "stored_points": self.stored_points,
                 "stored_bytes": self.stored_bytes,
+                "chunks_pruned": self.chunks_pruned,
             }
 
 
@@ -183,15 +214,23 @@ class SemanticCache:
             ),
             device="ssd",
         )
+        # One row per packed point chunk, not per point: the column
+        # blobs hold up to pointset.CHUNK_POINTS Morton-sorted points
+        # and the metadata columns support pruning without decoding.
         self._db.create_table(
             TableSchema(
                 "cacheData",
                 (
                     Column("cacheInfoOrdinal", ColumnType.INTEGER),
-                    Column("zindex", ColumnType.BIGINT),
-                    Column("dataValue", ColumnType.FLOAT),
+                    Column("chunkSeq", ColumnType.INTEGER),
+                    Column("zLo", ColumnType.BIGINT),
+                    Column("zHi", ColumnType.BIGINT),
+                    Column("valueMax", ColumnType.FLOAT),
+                    Column("pointCount", ColumnType.INTEGER),
+                    Column("zBlob", ColumnType.BLOB),
+                    Column("vBlob", ColumnType.BLOB),
                 ),
-                primary_key=("cacheInfoOrdinal", "zindex"),
+                primary_key=("cacheInfoOrdinal", "chunkSeq"),
                 indexes={"by_info": ("cacheInfoOrdinal",)},
                 foreign_keys=(
                     ForeignKey(("cacheInfoOrdinal",), "cacheInfo", cascade=True),
@@ -255,22 +294,52 @@ class SemanticCache:
         cached_box: Box,
         threshold: float,
     ) -> tuple[np.ndarray, np.ndarray]:
-        rows = self._db.sql(
-            txn,
-            "SELECT zindex, dataValue FROM cacheData WHERE cacheInfoOrdinal = ?",
-            [ordinal],
+        """Decode an entry's points filtered to ``box`` and ``threshold``.
+
+        Chunk metadata is consulted first: chunks whose ``valueMax``
+        falls below the threshold, or whose Morton interval misses the
+        query box's range cover, are skipped without touching their
+        blobs (counted in ``stats.chunks_pruned``).  Surviving chunks
+        are decoded and mask-filtered exactly as the seed filtered
+        individual rows; chunks are stored in global Morton order, so
+        the concatenated result is already sorted.
+        """
+        rows = sorted(
+            self._db.sql(
+                txn,
+                "SELECT * FROM cacheData WHERE cacheInfoOrdinal = ?",
+                [ordinal],
+            ),
+            key=lambda r: r["chunkSeq"],
         )
         if not rows:
             return np.empty(0, np.uint64), np.empty(0, np.float64)
-        zindexes = np.array([r["zindex"] for r in rows], dtype=np.uint64)
-        values = np.array([r["dataValue"] for r in rows], dtype=np.float64)
-        mask = values >= threshold
+        keep = np.array([r["valueMax"] >= threshold for r in rows], dtype=bool)
         if box != cached_box:
-            x, y, z = decode_array(zindexes)
-            for axis, coords in enumerate((x, y, z)):
-                mask &= (coords >= box.lo[axis]) & (coords < box.hi[axis])
-        order = np.argsort(zindexes[mask], kind="stable")
-        return zindexes[mask][order], values[mask][order]
+            keep &= pointset.chunks_overlapping_ranges(
+                np.array([r["zLo"] for r in rows], dtype=np.uint64),
+                np.array([r["zHi"] for r in rows], dtype=np.uint64),
+                box_to_ranges(box.lo, box.hi, _covering_side(box)),
+            )
+        self.stats.record_pruned(len(rows) - int(keep.sum()))
+        z_parts: list[np.ndarray] = []
+        v_parts: list[np.ndarray] = []
+        for row, live in zip(rows, keep.tolist()):
+            if not live:
+                continue
+            zindexes, values = pointset.chunk_arrays(row["zBlob"], row["vBlob"])
+            mask = values >= threshold
+            if box != cached_box:
+                x, y, z = decode_array(zindexes)
+                for axis, coords in enumerate((x, y, z)):
+                    mask &= (coords >= box.lo[axis]) & (coords < box.hi[axis])
+            if mask.all():
+                z_parts.append(zindexes)
+                v_parts.append(values)
+            else:
+                z_parts.append(zindexes[mask])
+                v_parts.append(values[mask])
+        return pointset.merge_sorted_runs(list(zip(z_parts, v_parts)))
 
     def _touch(self, txn: Transaction, ordinal: int) -> None:
         """Bump an entry's recency; lost races are harmless.
@@ -312,6 +381,12 @@ class SemanticCache:
         """
         if len(zindexes) != len(values):
             raise ValueError("zindexes and values must align")
+        try:
+            chunks = pointset.pack_chunks(zindexes, values)
+        except ValueError as exc:
+            # The row-per-point schema rejected repeated zindexes via its
+            # (ordinal, zindex) primary key; keep raising the same error.
+            raise DuplicateKeyError(f"cacheData: {exc}") from exc
         new_bytes = len(zindexes) * self.point_record_bytes
         if new_bytes > self.capacity_bytes:
             raise ValueError(
@@ -339,16 +414,22 @@ class SemanticCache:
                 "byte_size": new_bytes,
             },
         )
-        data = self._db.table("cacheData")
-        for zindex, value in zip(zindexes.tolist(), values.tolist()):
-            data.insert(
-                txn,
+        self._db.table("cacheData").insert_many(
+            txn,
+            [
                 {
                     "cacheInfoOrdinal": ordinal,
-                    "zindex": int(zindex),
-                    "dataValue": float(value),
-                },
-            )
+                    "chunkSeq": chunk.seq,
+                    "zLo": chunk.z_lo,
+                    "zHi": chunk.z_hi,
+                    "valueMax": chunk.value_max,
+                    "pointCount": chunk.count,
+                    "zBlob": chunk.zblob,
+                    "vBlob": chunk.vblob,
+                }
+                for chunk in chunks
+            ],
+        )
         self.stats.record_store(len(zindexes), new_bytes)
         return ordinal
 
@@ -373,6 +454,26 @@ class SemanticCache:
         """Bytes currently accounted to cached entries."""
         total = self._db.sql(txn, "SELECT SUM(byte_size) FROM cacheInfo")
         return int(total or 0)
+
+    def data_point_count(self, txn: Transaction) -> int:
+        """Total points across all stored chunks (visible to ``txn``)."""
+        total = self._db.sql(txn, "SELECT SUM(pointCount) FROM cacheData")
+        return int(total or 0)
+
+    def entry_points(
+        self, txn: Transaction, ordinal: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Decode every point of one entry, unfiltered, in Morton order."""
+        rows = sorted(
+            self._db.sql(
+                txn,
+                "SELECT * FROM cacheData WHERE cacheInfoOrdinal = ?",
+                [ordinal],
+            ),
+            key=lambda r: r["chunkSeq"],
+        )
+        parts = [pointset.chunk_arrays(r["zBlob"], r["vBlob"]) for r in rows]
+        return pointset.merge_sorted_runs(parts)
 
     def entry_count(self, txn: Transaction) -> int:
         """Number of cached entries visible to ``txn``."""

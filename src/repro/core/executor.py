@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.core.pointset import merge_sorted_runs
 from repro.costmodel import Category, CostLedger
 from repro.costmodel.ledger import (
     METER_COMPUTE_UNITS,
@@ -170,17 +171,14 @@ class NodeExecutor:
                 + ledger.meter(METER_HALO_SECONDS),
             )
 
-        if all_z:
-            zindexes = np.concatenate(all_z)
-            values = np.concatenate(all_v)
-            if topk is not None and len(values) > topk:
-                keep = np.argpartition(values, -topk)[-topk:]
-                zindexes, values = zindexes[keep], values[keep]
-            order = np.argsort(zindexes, kind="stable")
-            return RawEvaluation(zindexes[order], values[order], histogram)
-        return RawEvaluation(
-            np.empty(0, np.uint64), np.empty(0, np.float64), histogram
-        )
+        # Slab results are Morton-sorted runs; disjoint slabs in curve
+        # order merge by concatenation, interleaved ones by one argsort.
+        zindexes, values = merge_sorted_runs(list(zip(all_z, all_v)))
+        if topk is not None and len(values) > topk:
+            keep = np.argpartition(values, -topk)[-topk:]
+            keep.sort()  # restore Morton order after the selection
+            zindexes, values = zindexes[keep], values[keep]
+        return RawEvaluation(zindexes, values, histogram)
 
     def evaluate_batch(
         self,
@@ -261,10 +259,8 @@ class NodeExecutor:
         out = []
         for z_parts, v_parts in zip(collected_z, collected_v):
             if z_parts:
-                zindexes = np.concatenate(z_parts)
-                values = np.concatenate(v_parts)
-                order = np.argsort(zindexes, kind="stable")
-                out.append(RawEvaluation(zindexes[order], values[order]))
+                zindexes, values = merge_sorted_runs(list(zip(z_parts, v_parts)))
+                out.append(RawEvaluation(zindexes, values))
             else:
                 out.append(RawEvaluation.empty())
         return out
@@ -354,12 +350,17 @@ class NodeExecutor:
     def _split_ranges_by_node(
         self, ranges: list[MortonRange]
     ) -> dict[int, list[MortonRange]]:
+        """Group curve ranges by owning node.
+
+        Each range's start is binary-searched against the partitioner's
+        split points (via :meth:`MortonPartitioner.node_spans`), so the
+        cost is O(ranges x log nodes + spans) instead of the former
+        O(ranges x nodes) intersection probe.
+        """
         by_node: dict[int, list[MortonRange]] = {}
         for rng in ranges:
-            for node_id in range(self._partitioner.nodes):
-                overlap = rng.intersection(self._partitioner.node_ranges(node_id))
-                if overlap is not None:
-                    by_node.setdefault(node_id, []).append(overlap)
+            for node_id, span in self._partitioner.node_spans(rng):
+                by_node.setdefault(node_id, []).append(span)
         return by_node
 
 

@@ -19,6 +19,7 @@ import itertools
 import numpy as np
 
 from repro.core.cache import CacheStats
+from repro.core.pointset import pack_f64, pack_i64, unpack_i64
 from repro.storage import (
     Column,
     ColumnType,
@@ -64,7 +65,7 @@ class PdfCache:
 
     @staticmethod
     def _edges_blob(edges: tuple[float, ...]) -> bytes:
-        return np.asarray(edges, dtype=np.float64).tobytes()
+        return pack_f64(np.asarray(edges, dtype=np.float64))
 
     def lookup(
         self,
@@ -91,7 +92,7 @@ class PdfCache:
                 except SerializationConflictError:
                     pass
                 self.stats.record_hit()
-                return np.frombuffer(row["counts"], dtype=np.int64).copy()
+                return unpack_i64(row["counts"]).copy()
         self.stats.record_miss()
         return None
 
@@ -126,7 +127,7 @@ class PdfCache:
                 "timestep": timestep,
                 "fd_order": fd_order,
                 "edges": self._edges_blob(edges),
-                "counts": np.asarray(counts, dtype=np.int64).tobytes(),
+                "counts": pack_i64(np.asarray(counts, dtype=np.int64)),
                 "last_used": next(self._recency),
             },
         )

@@ -23,6 +23,7 @@ import numpy as np
 from repro.costmodel import CostLedger
 from repro.core.cache import SemanticCache
 from repro.core.executor import NodeExecutor, RawEvaluation
+from repro.core.pointset import merge_sorted_runs
 from repro.core.query import ThresholdQuery
 from repro.fields.derived import FieldRegistry
 from repro.grid import Box
@@ -136,8 +137,10 @@ def get_threshold_on_node(
         txn.abort()
         raise
 
-    zindexes = np.concatenate(all_z) if all_z else np.empty(0, np.uint64)
-    values = np.concatenate(all_v) if all_v else np.empty(0, np.float64)
+    # Per-box runs interleave on the curve; merge them so every node
+    # hands the mediator one Morton-sorted run (gather is then a
+    # concatenation across the nodes' disjoint spans).
+    zindexes, values = merge_sorted_runs(list(zip(all_z, all_v)))
     return NodeThresholdResult(
         zindexes, values, ledger,
         cache_hit=bool(boxes) and hits == len(boxes),

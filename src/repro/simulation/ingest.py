@@ -13,7 +13,7 @@ from typing import Iterable, Iterator, Mapping
 import numpy as np
 
 from repro.grid import ATOM_SIDE, Box, atom_box
-from repro.morton import encode
+from repro.morton import encode_array
 
 
 def atomize(field: np.ndarray) -> Iterator[tuple[int, bytes]]:
@@ -23,6 +23,12 @@ def atomize(field: np.ndarray) -> Iterator[tuple[int, bytes]]:
     scalar, treated as one component).  Blobs are C-order float32 bytes
     of shape ``(ATOM_SIDE,)*3 + (ncomp,)``, yielded in Morton order of
     their lower corner.
+
+    The whole cut is vectorised: one reshape/transpose views the domain
+    as an ``(atoms, ATOM_SIDE^3 * ncomp)`` array, the corner codes come
+    from one :func:`~repro.morton.encode_array` call, and a single
+    argsort yields the atoms in curve order — no per-atom Python Morton
+    arithmetic.
 
     Raises:
         ValueError: if the domain is not an atom multiple or not cubic.
@@ -37,30 +43,24 @@ def atomize(field: np.ndarray) -> Iterator[tuple[int, bytes]]:
     if side % ATOM_SIDE:
         raise ValueError(f"side {side} is not a multiple of {ATOM_SIDE}")
     data = np.ascontiguousarray(field, dtype=np.float32)
-    atoms_per_edge = side // ATOM_SIDE
-    for code_index in range(atoms_per_edge**3):
-        # Enumerate atoms in Morton order of their atom coordinates.
-        ax, ay, az = _morton_decode_small(code_index)
-        if max(ax, ay, az) >= atoms_per_edge:
-            continue
-        x, y, z = ax * ATOM_SIDE, ay * ATOM_SIDE, az * ATOM_SIDE
-        blob = data[
-            x : x + ATOM_SIDE, y : y + ATOM_SIDE, z : z + ATOM_SIDE
-        ].tobytes()
-        yield encode(x, y, z), blob
-
-
-def _morton_decode_small(code: int) -> tuple[int, int, int]:
-    """Decode a small Morton code without the full codec (hot loop)."""
-    x = y = z = 0
-    bit = 0
-    while code:
-        x |= (code & 1) << bit
-        y |= ((code >> 1) & 1) << bit
-        z |= ((code >> 2) & 1) << bit
-        code >>= 3
-        bit += 1
-    return x, y, z
+    na = side // ATOM_SIDE
+    ncomp = data.shape[3]
+    # (na, A, na, A, na, A, c) -> (na, na, na, A, A, A, c): every atom's
+    # cells become one contiguous run, in the atom's own C order.
+    blocks = data.reshape(
+        na, ATOM_SIDE, na, ATOM_SIDE, na, ATOM_SIDE, ncomp
+    ).transpose(0, 2, 4, 1, 3, 5, 6)
+    flat = np.ascontiguousarray(blocks).reshape(
+        na**3, ATOM_SIDE**3 * ncomp
+    )
+    ax, ay, az = np.meshgrid(
+        np.arange(na), np.arange(na), np.arange(na), indexing="ij"
+    )
+    codes = encode_array(
+        ax.ravel() * ATOM_SIDE, ay.ravel() * ATOM_SIDE, az.ravel() * ATOM_SIDE
+    )
+    for i in np.argsort(codes, kind="stable").tolist():
+        yield int(codes[i]), flat[i].tobytes()
 
 
 def blob_to_array(blob: bytes, ncomp: int) -> np.ndarray:

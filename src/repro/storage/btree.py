@@ -170,6 +170,51 @@ class BPlusTree:
         node.children = node.children[: mid + 1]
         return sep, right
 
+    def insert_sorted_run(self, pairs: list[tuple[tuple, Any]]) -> int:
+        """Bulk-load ``(key, value)`` pairs sorted ascending by key.
+
+        The fast path caches the current leaf and its upper bound so a
+        run of consecutive keys costs one tree descent per leaf instead
+        of one per key; it falls back to :meth:`insert` (which may
+        split) whenever the leaf fills up or the next key falls outside
+        the cached leaf's range.  Keys already present keep their
+        existing value (matching ``insert(replace=False)``).  Returns
+        the number of keys added.
+        """
+        added = 0
+        leaf: _Node | None = None
+        upper: tuple | None = None
+        prev: tuple | None = None
+        for key, value in pairs:
+            if prev is not None and key < prev:
+                raise ValueError("insert_sorted_run requires ascending keys")
+            prev = key
+            if (
+                leaf is not None
+                and len(leaf.keys) < self._order - 1
+                and (upper is None or key < upper)
+            ):
+                idx = bisect.bisect_left(leaf.keys, key)
+                if idx < len(leaf.keys) and leaf.keys[idx] == key:
+                    continue
+                leaf.keys.insert(idx, key)
+                leaf.values.insert(idx, value)
+                self._size += 1
+                added += 1
+                continue
+            if self.insert(key, value, replace=False):
+                added += 1
+            leaf = self._find_leaf(key)
+            upper = self._next_leaf_key(leaf)
+        return added
+
+    def _next_leaf_key(self, leaf: _Node) -> tuple | None:
+        """First key right of ``leaf``, skipping leaves lazy deletion emptied."""
+        nxt = leaf.next_leaf
+        while nxt is not None and not nxt.keys:
+            nxt = nxt.next_leaf
+        return nxt.keys[0] if nxt is not None else None
+
     def delete(self, key: tuple) -> bool:
         """Remove ``key``.  Returns whether it was present.
 

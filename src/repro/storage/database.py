@@ -226,18 +226,20 @@ class Database:
         Sampled at metrics-export time (the hot paths keep plain integer
         counters; see :meth:`repro.obs.metrics.MetricsRegistry.gauge_callback`).
         """
-        pool_hits = pool_misses = splits = 0
+        pool_hits = pool_misses = splits = bulk_rows = 0
         for table in self._tables.values():
             pool_hits += table._pool.hits
             pool_misses += table._pool.misses
             splits += table._clustered.splits
             splits += sum(tree.splits for tree in table._indexes.values())
+            bulk_rows += table.bulk_insert_rows
         accesses = pool_hits + pool_misses
         stats: dict[str, float] = {
             "bufferpool_hits": float(pool_hits),
             "bufferpool_misses": float(pool_misses),
             "bufferpool_hit_rate": pool_hits / accesses if accesses else 0.0,
             "btree_splits": float(splits),
+            "bulk_insert_rows": float(bulk_rows),
             "txn_begun": float(self._manager.begun),
             "txn_committed": float(self._manager.committed),
             "txn_aborted": float(self._manager.aborted),

@@ -28,6 +28,7 @@ from repro.storage.schema import TableSchema
 
 class WalKind(enum.Enum):
     INSERT = "insert"
+    INSERT_MANY = "insert_many"
     DELETE = "delete"
     UPDATE = "update"
     COMMIT = "commit"
@@ -38,9 +39,10 @@ class WalKind(enum.Enum):
 class WalRecord:
     """One log record.
 
-    ``payload`` depends on the kind: the full row for INSERT, the
-    primary key for DELETE, ``(key, changes)`` for UPDATE, nothing for
-    COMMIT/ABORT.
+    ``payload`` depends on the kind: the full row for INSERT, the list
+    of rows for INSERT_MANY (one record per batch, which is the point),
+    the primary key for DELETE, ``(key, changes)`` for UPDATE, nothing
+    for COMMIT/ABORT.
     """
 
     lsn: int
@@ -129,7 +131,7 @@ def _record_size(record: WalRecord) -> int:
     payload = record.payload
     if isinstance(payload, dict):
         return base + sum(_value_size(v) for v in payload.values())
-    if isinstance(payload, tuple):
+    if isinstance(payload, (tuple, list)):
         return base + sum(_value_size(v) for v in payload)
     return base + _value_size(payload)
 
@@ -141,7 +143,7 @@ def _value_size(value: object) -> int:
         return len(value.encode())
     if isinstance(value, dict):
         return sum(_value_size(v) for v in value.values())
-    if isinstance(value, tuple):
+    if isinstance(value, (tuple, list)):
         return sum(_value_size(v) for v in value)
     return 8
 
@@ -244,6 +246,8 @@ def recover(
                 table = db.table(record.table)
                 if record.kind is WalKind.INSERT:
                     table.insert(txn, dict(record.payload))
+                elif record.kind is WalKind.INSERT_MANY:
+                    table.insert_many(txn, [dict(r) for r in record.payload])
                 elif record.kind is WalKind.DELETE:
                     # Cascaded child deletes were logged individually, so
                     # a parent's replayed cascade may have removed this

@@ -196,8 +196,9 @@ class TestLruEviction:
         with db.transaction() as txn:
             cache.store(txn, "mhd", "vorticity", 1, BOX, 5.0, z2, v2)
         with db.transaction() as txn:
-            data_rows = db.table("cacheData").count(txn)
-            assert data_rows == len(z2)  # first entry's rows cascaded away
+            # first entry's chunks cascaded away with its cacheInfo row
+            assert cache.data_point_count(txn) == len(z2)
+            assert db.table("cacheData").count(txn) == 1  # one packed chunk
 
 
 class TestMaintenance:

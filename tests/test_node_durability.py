@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.cluster import DatabaseNode
-from repro.core import ThresholdQuery
+from repro.core import ThresholdQuery, pointset
 from repro.core.cache import SemanticCache
 from repro.costmodel import Category, paper_cluster
 from repro.grid import Box
@@ -38,7 +38,10 @@ class TestDurableNode:
                 z, np.array([7.0]),
             )
         kinds = {record.kind for record in durable_node.db.wal.records()}
+        # cacheInfo rows log INSERT; the packed chunks land as one
+        # INSERT_MANY batch record.
         assert WalKind.INSERT in kinds and WalKind.COMMIT in kinds
+        assert WalKind.INSERT_MANY in kinds
 
     def test_cache_state_survives_crash(self, durable_node):
         """Replaying the WAL restores cacheInfo/cacheData exactly."""
@@ -64,8 +67,12 @@ class TestDurableNode:
             data_rows = list(replica.table("cacheData").scan(txn))
         assert len(info_rows) == 1
         assert info_rows[0]["threshold"] == 5.0
-        assert len(data_rows) == 5
-        assert sorted(r["dataValue"] for r in data_rows) == values.tolist()
+        assert info_rows[0]["point_count"] == 5
+        assert sum(r["pointCount"] for r in data_rows) == 5
+        replayed = np.concatenate(
+            [pointset.unpack_f64(r["vBlob"]) for r in data_rows]
+        )
+        assert sorted(replayed.tolist()) == values.tolist()
 
     def test_wal_flush_charges_query_ledger(self, durable_node, small_mhd, mhd_cluster):
         """A durable node's cache update pays log-force time."""

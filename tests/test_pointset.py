@@ -1,0 +1,228 @@
+"""Property tests for the packed point-chunk format and chunked cache.
+
+The chunked ``cacheData`` layout must be *observationally identical* to
+the seed's row-per-point storage: same points, same values, same
+Morton ordering, same box/threshold filtering, same byte accounting.
+These tests pin that equivalence with randomized point sets.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pointset
+from repro.core.cache import SemanticCache
+from repro.costmodel import Category
+from repro.costmodel.devices import HddArraySpec, SsdSpec
+from repro.grid import Box
+from repro.morton import MortonRange, decode_array, encode_array
+from repro.morton.ranges import box_to_ranges
+from repro.storage import Database, StorageDevice
+
+SIDE = 16
+BOX = Box((0, 0, 0), (SIDE,) * 3)
+
+
+def make_cache(capacity_bytes=1 << 20, point_record_bytes=20):
+    db = Database("pointset")
+    db.add_device(StorageDevice("hdd", HddArraySpec(), Category.IO))
+    db.add_device(StorageDevice("ssd", SsdSpec(), Category.CACHE_LOOKUP))
+    return db, SemanticCache(db, capacity_bytes, point_record_bytes)
+
+
+point_sets = st.builds(
+    lambda codes, seed: (
+        np.array(sorted(codes), dtype=np.uint64),
+        np.random.default_rng(seed).uniform(0.0, 20.0, len(codes)),
+    ),
+    st.sets(st.integers(0, SIDE**3 - 1), max_size=200),
+    st.integers(0, 2**32 - 1),
+)
+
+
+class TestPackChunks:
+    @settings(max_examples=60, deadline=None)
+    @given(points=point_sets, chunk_points=st.integers(1, 64))
+    def test_round_trip_restores_sorted_points(self, points, chunk_points):
+        zindexes, values = points
+        shuffle = np.random.default_rng(0).permutation(len(zindexes))
+        chunks = pointset.pack_chunks(
+            zindexes[shuffle], values[shuffle], chunk_points=chunk_points
+        )
+        assert all(c.count <= chunk_points for c in chunks)
+        assert [c.seq for c in chunks] == list(range(len(chunks)))
+        z_parts, v_parts = [], []
+        for chunk in chunks:
+            z, v = pointset.chunk_arrays(chunk.zblob, chunk.vblob)
+            assert chunk.count == len(z) == len(v)
+            if len(z):
+                assert chunk.z_lo == int(z[0]) and chunk.z_hi == int(z[-1])
+                assert chunk.value_max == pytest.approx(float(v.max()))
+            z_parts.append(z)
+            v_parts.append(v)
+        got_z = np.concatenate(z_parts) if z_parts else np.empty(0, np.uint64)
+        got_v = np.concatenate(v_parts) if v_parts else np.empty(0)
+        assert np.array_equal(got_z, zindexes)
+        assert np.allclose(got_v, values)
+
+    def test_duplicate_zindex_rejected(self):
+        with pytest.raises(ValueError):
+            pointset.pack_chunks(
+                np.array([3, 3], np.uint64), np.array([1.0, 2.0])
+            )
+
+    def test_misaligned_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            pointset.pack_chunks(np.array([1], np.uint64), np.array([1.0, 2.0]))
+
+
+class TestChunkPruning:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        bounds=st.lists(
+            st.tuples(st.integers(0, 4000), st.integers(0, 400)),
+            max_size=20,
+        ),
+        box_lo=st.tuples(*[st.integers(0, SIDE - 2)] * 3),
+    )
+    def test_matches_brute_force(self, bounds, box_lo):
+        z_lo = np.array([lo for lo, _ in bounds], dtype=np.uint64)
+        z_hi = np.array([lo + span for lo, span in bounds], dtype=np.uint64)
+        box = Box(box_lo, tuple(c + 2 for c in box_lo))
+        ranges = box_to_ranges(box.lo, box.hi, SIDE)
+        got = pointset.chunks_overlapping_ranges(z_lo, z_hi, ranges)
+        expect = [
+            any(lo < r.stop and hi >= r.start for r in ranges)
+            for lo, hi in zip(z_lo.tolist(), z_hi.tolist())
+        ]
+        assert got.tolist() == expect
+
+    def test_no_ranges_prunes_everything(self):
+        mask = pointset.chunks_overlapping_ranges(
+            np.array([1], np.uint64), np.array([5], np.uint64), []
+        )
+        assert not mask.any()
+
+
+class TestMergeSortedRuns:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        runs=st.lists(point_sets, max_size=5),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    def test_matches_stable_argsort_of_concatenation(self, runs, seed):
+        # Shuffle each run so some are internally unsorted — raw scans
+        # emit coordinate order, not curve order.
+        rng = np.random.default_rng(seed)
+        shuffled = []
+        for z, v in runs:
+            perm = rng.permutation(len(z))
+            shuffled.append((z[perm], v[perm]))
+        got_z, got_v = pointset.merge_sorted_runs(shuffled)
+        all_z = np.concatenate([z for z, _ in shuffled]) if runs else np.empty(0, np.uint64)
+        all_v = np.concatenate([v for _, v in shuffled]) if runs else np.empty(0)
+        order = np.argsort(all_z, kind="stable")
+        assert np.array_equal(got_z, all_z[order].astype(np.uint64))
+        assert np.allclose(got_v, all_v[order])
+
+    def test_single_unsorted_run_is_sorted(self):
+        # Regression: the single-run path must not skip the sort check.
+        z = np.array([9, 2, 5], np.uint64)
+        v = np.array([1.0, 2.0, 3.0])
+        got_z, got_v = pointset.merge_sorted_runs([(z, v)])
+        assert got_z.tolist() == [2, 5, 9]
+        assert got_v.tolist() == [2.0, 3.0, 1.0]
+
+    def test_sorted_runs_concatenate_without_copy_ordering(self):
+        a = (np.array([1, 2], np.uint64), np.array([1.0, 2.0]))
+        b = (np.array([3, 4], np.uint64), np.array([3.0, 4.0]))
+        got_z, _ = pointset.merge_sorted_runs([a, b])
+        assert got_z.tolist() == [1, 2, 3, 4]
+
+
+class TestCacheEquivalence:
+    """Chunked store/lookup behaves point-for-point like row-per-point."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        points=point_sets,
+        threshold=st.floats(0.0, 20.0),
+        sub_lo=st.tuples(*[st.integers(0, SIDE - 4)] * 3),
+        span=st.integers(2, 4),
+    )
+    def test_lookup_matches_reference_filter(
+        self, points, threshold, sub_lo, span
+    ):
+        zindexes, values = points
+        db, cache = make_cache()
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "f", 0, BOX, 0.0, zindexes, values)
+        sub = Box(sub_lo, tuple(min(c + span, SIDE) for c in sub_lo))
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "f", 0, sub, threshold)
+        assert lookup.hit
+
+        # Reference semantics: the seed filtered per-point rows by box
+        # membership and value >= threshold, returning Morton order.
+        x, y, z = decode_array(zindexes)
+        inside = (
+            (x >= sub.lo[0]) & (x < sub.hi[0])
+            & (y >= sub.lo[1]) & (y < sub.hi[1])
+            & (z >= sub.lo[2]) & (z < sub.hi[2])
+        )
+        keep = inside & (values >= threshold)
+        assert np.array_equal(lookup.zindexes, zindexes[keep])
+        assert np.allclose(lookup.values, values[keep])
+        assert bool(np.all(np.diff(lookup.zindexes.astype(np.int64)) > 0))
+
+    @settings(max_examples=20, deadline=None)
+    @given(points=point_sets)
+    def test_byte_accounting_is_per_point(self, points):
+        zindexes, values = points
+        db, cache = make_cache(point_record_bytes=20)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "f", 0, BOX, 0.0, zindexes, values)
+        with db.transaction() as txn:
+            assert cache.used_bytes(txn) == 20 * len(zindexes)
+            assert cache.data_point_count(txn) == len(zindexes)
+
+    def test_pruning_skips_chunks_and_counts(self, monkeypatch):
+        # Force small chunks so the two curve-distant clusters land in
+        # different chunk rows.
+        packer = pointset.pack_chunks
+        monkeypatch.setattr(
+            pointset, "pack_chunks",
+            lambda z, v: packer(z, v, chunk_points=32),
+        )
+        db, cache = make_cache()
+        lo_z = np.arange(0, 32, dtype=np.uint64)
+        hi_z = np.arange(SIDE**3 - 32, SIDE**3, dtype=np.uint64)
+        zindexes = np.concatenate([lo_z, hi_z])
+        values = np.full(len(zindexes), 5.0)
+        with db.transaction() as txn:
+            cache.store(txn, "mhd", "f", 0, BOX, 0.0, zindexes, values)
+            assert db.table("cacheData").count(txn) == 2
+        before = cache.stats.snapshot()["chunks_pruned"]
+        sub = Box((0, 0, 0), (2, 2, 2))
+        with db.transaction() as txn:
+            lookup = cache.lookup(txn, "mhd", "f", 0, sub, 0.0)
+        assert lookup.hit
+        assert set(lookup.zindexes.tolist()) <= set(lo_z.tolist())
+        assert cache.stats.snapshot()["chunks_pruned"] == before + 1
+
+
+class TestAbortLeavesNoPartialChunks:
+    def test_store_abort_rolls_back_info_and_chunks(self):
+        db, cache = make_cache()
+        zindexes = np.arange(100, dtype=np.uint64)
+        values = np.linspace(1.0, 2.0, 100)
+        txn = db.begin()
+        cache.store(txn, "mhd", "f", 0, BOX, 0.0, zindexes, values)
+        txn.abort()
+        with db.transaction() as check:
+            assert db.table("cacheInfo").count(check) == 0
+            assert db.table("cacheData").count(check) == 0
+            assert cache.data_point_count(check) == 0
+            lookup = cache.lookup(check, "mhd", "f", 0, BOX, 0.0)
+        assert not lookup.hit
