@@ -1,0 +1,147 @@
+"""Network transport benchmark: RPC latency, throughput, and TCP overhead.
+
+Stands up a real two-node cluster in-thread (NodeServer instances over
+loopback TCP) plus an identical in-process reference, and measures:
+
+* ``ping_rtt_ms`` — median health-check round trip, the wire floor;
+* ``threshold_tcp_s`` / ``threshold_inprocess_s`` — one threshold query
+  over each transport, and the resulting overhead ratio;
+* ``pointset_mib_per_s`` — wire throughput shipping a large threshold
+  result's pointset columns (real bytes / wall seconds);
+* per-query ``wire_bytes`` — the real wire footprint the TcpTransport
+  reconciles against the cost model's MEDIATOR_DB transfer.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_net.py
+
+Writes ``BENCH_net.json`` at the repo root.  Numbers are informational
+(no floor): loopback latency varies wildly across CI hosts.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.mediator import Mediator, build_cluster
+from repro.cluster.partition import MortonPartitioner
+from repro.core import ThresholdQuery
+from repro.net.server import ClusterConfig, NodeServer
+from repro.net.transport import TcpTransport
+from repro.obs.clock import Stopwatch, unix_now
+from repro.simulation.datasets import mhd_dataset
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_net.json"
+
+SIDE = 16
+TIMESTEPS = 2
+NODES = 2
+PINGS = 50
+QUERY = ThresholdQuery(
+    dataset="mhd", field="vorticity", timestep=0, threshold=0.5
+)
+
+
+def start_cluster() -> tuple[list[NodeServer], Mediator]:
+    """Two in-thread node servers plus a TCP mediator over them."""
+    config = ClusterConfig(
+        dataset="mhd", side=SIDE, timesteps=TIMESTEPS, seed=11, nodes=NODES
+    )
+    servers = [NodeServer(i, config) for i in range(NODES)]
+    addresses = [f"127.0.0.1:{s.port}" for s in servers]
+    for server in servers:
+        server.connect_peers(addresses)
+        server.load()
+        server.start()
+    mediator = Mediator(
+        nodes=[],
+        partitioner=MortonPartitioner(SIDE, NODES),
+        transport=TcpTransport(addresses, timeout=120.0),
+        scatter_timeout=300.0,
+    )
+    return servers, mediator
+
+
+def bench_ping(mediator: Mediator) -> dict[str, float]:
+    rtts = []
+    for _ in range(PINGS):
+        for node_id in range(NODES):
+            rtts.append(mediator.transport.ping(node_id))
+    return {
+        "ping_rtt_ms_median": statistics.median(rtts) * 1e3,
+        "ping_rtt_ms_p90": sorted(rtts)[int(len(rtts) * 0.9)] * 1e3,
+    }
+
+
+def bench_threshold(tcp: Mediator, in_process: Mediator) -> dict[str, float]:
+    # Warm both paths once so buffer-pool state matches.
+    tcp.threshold(QUERY, use_cache=False)
+    in_process.threshold(QUERY, use_cache=False)
+
+    with Stopwatch() as tcp_watch:
+        over_tcp = tcp.threshold(QUERY, use_cache=False)
+    with Stopwatch() as local_watch:
+        local = in_process.threshold(QUERY, use_cache=False)
+    assert np.array_equal(
+        np.sort(over_tcp.zindexes), np.sort(local.zindexes)
+    )
+    wire_bytes = float(over_tcp.ledger.meters().get("wire_bytes", 0.0))
+    return {
+        "threshold_points": float(len(over_tcp)),
+        "threshold_tcp_s": tcp_watch.elapsed,
+        "threshold_inprocess_s": local_watch.elapsed,
+        "tcp_overhead_ratio": tcp_watch.elapsed / local_watch.elapsed,
+        "threshold_wire_bytes": wire_bytes,
+        "pointset_mib_per_s": (
+            wire_bytes / tcp_watch.elapsed / (1024 * 1024)
+        ),
+    }
+
+
+def run() -> dict[str, object]:
+    servers, tcp = start_cluster()
+    in_process = build_cluster(
+        mhd_dataset(side=SIDE, timesteps=TIMESTEPS, seed=11), nodes=NODES
+    )
+    try:
+        report: dict[str, object] = {
+            "benchmark": "net",
+            "generated_unix": unix_now(),
+            "side": SIDE,
+            "nodes": NODES,
+        }
+        report.update(bench_ping(tcp))
+        report.update(bench_threshold(tcp, in_process))
+        return report
+    finally:
+        tcp.close()
+        in_process.close()
+        for server in servers:
+            server.shutdown()
+
+
+def main() -> int:
+    report = run()
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    summary = {
+        key: round(float(report[key]), 3)  # type: ignore[arg-type]
+        for key in (
+            "ping_rtt_ms_median",
+            "threshold_tcp_s",
+            "threshold_inprocess_s",
+            "tcp_overhead_ratio",
+            "pointset_mib_per_s",
+        )
+    }
+    sys.stderr.write(f"bench_net: {summary} -> {OUT_PATH}\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import contextvars
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor, wait
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Sequence, TypeVar
 
@@ -25,7 +26,6 @@ import numpy as np
 from repro.core.cache import SemanticCache
 from repro.core.executor import NodeExecutor
 from repro.core.limits import MAX_RESULT_POINTS, ThresholdTooLowError
-from repro.core.pdf import get_pdf_on_node
 from repro.core.pointset import merge_sorted_runs
 from repro.core.query import (
     PdfQuery,
@@ -35,13 +35,19 @@ from repro.core.query import (
     TopKQuery,
     TopKResult,
 )
-from repro.core.threshold import get_threshold_on_node
-from repro.core.topk import get_topk_on_node
 from repro.cluster.node import DatabaseNode
 from repro.cluster.partition import MortonPartitioner
 from repro.costmodel import Category, ClusterSpec, CostLedger, paper_cluster
 from repro.costmodel.ledger import METER_IO_BYTES, METER_RESULT_POINTS
 from repro.fields.derived import FieldRegistry, default_registry
+from repro.net.errors import (
+    DeadlineExceededError,
+    NetError,
+    PartialFailureError,
+    UnsupportedRemoteOperationError,
+)
+from repro.net.frame import Deadline
+from repro.net.transport import InProcessTransport, Transport
 from repro.obs import tracing
 from repro.obs.metrics import MetricsRegistry
 from repro.grid import Box
@@ -94,6 +100,15 @@ class Mediator:
         spec: cluster hardware spec for network charging.
         cache_capacity_bytes: per-node semantic-cache budget; ``None``
             disables the cache entirely.
+        transport: where per-node query parts execute.  ``None`` (the
+            default) runs them in this process against ``nodes``, the
+            seed behaviour; a :class:`~repro.net.transport.TcpTransport`
+            runs them against ``serve-node`` processes, in which case
+            ``nodes`` is empty and the transport's node count must match
+            the partitioner.
+        scatter_timeout: wall-second budget for gathering one query's
+            node parts; on expiry outstanding parts are cancelled or
+            drained and :class:`DeadlineExceededError` is raised.
     """
 
     def __init__(
@@ -104,14 +119,26 @@ class Mediator:
         spec: ClusterSpec | None = None,
         cache_capacity_bytes: int | None = 256 * 1024 * 1024,
         sequential_scatter: bool = False,
+        transport: Transport | None = None,
+        scatter_timeout: float = 600.0,
     ) -> None:
-        if len(nodes) != partitioner.nodes:
+        if transport is None:
+            if len(nodes) != partitioner.nodes:
+                raise ValueError(
+                    f"{len(nodes)} nodes but partitioner expects "
+                    f"{partitioner.nodes}"
+                )
+        elif transport.node_count != partitioner.nodes:
             raise ValueError(
-                f"{len(nodes)} nodes but partitioner expects {partitioner.nodes}"
+                f"transport reaches {transport.node_count} nodes but "
+                f"partitioner expects {partitioner.nodes}"
             )
+        if scatter_timeout <= 0:
+            raise ValueError("scatter_timeout must be positive")
         self.nodes = list(nodes)
         self.partitioner = partitioner
         self.sequential_scatter = sequential_scatter
+        self.scatter_timeout = scatter_timeout
         self.statistics = ServiceStatistics()
         # One long-lived scatter pool per mediator, created lazily on
         # first use: building a ThreadPoolExecutor per query costs thread
@@ -141,8 +168,15 @@ class Mediator:
                 for node in self.nodes
             ]
             self.pdf_caches = [PdfCache(node.db) for node in self.nodes]
+        self.transport: Transport = transport or InProcessTransport(self)
         self.metrics = MetricsRegistry()
+        self.transport.attach(self.metrics, self.spec)
         self._build_instruments()
+
+    @property
+    def node_count(self) -> int:
+        """Nodes participating in every query (local or behind RPCs)."""
+        return self.partitioner.nodes
 
     def _build_instruments(self) -> None:
         """Register this mediator's metric families and engine samplers.
@@ -305,6 +339,7 @@ class Mediator:
         Atoms are routed to nodes by the Morton code of their corner.
         Returns the number of atoms stored.
         """
+        self._require_local("load_dataset")
         spec = dataset.spec
         if spec.side != self.partitioner.domain_side:
             raise ValueError(
@@ -361,13 +396,11 @@ class Mediator:
         ) as root:
             box = self._query_box(query.dataset, query.box)
             node_results = self._scatter(
-                lambda node_id: get_threshold_on_node(
-                    self.nodes[node_id],
-                    self.executors[node_id],
-                    self.caches[node_id] if use_cache else None,
-                    self.registry,
+                lambda node_id: self.transport.threshold_part(
+                    node_id,
                     query,
                     self.partitioner.query_boxes(node_id, box),
+                    use_cache=use_cache,
                     processes=processes,
                     io_only=io_only,
                 )
@@ -407,7 +440,7 @@ class Mediator:
                 values,
                 ledger,
                 cache_hits=hits,
-                nodes=len(self.nodes),
+                nodes=self.node_count,
                 query_id=query_id,
             )
 
@@ -432,11 +465,7 @@ class Mediator:
             ValueError: if the queries cannot share a scan.
             ThresholdTooLowError: when any query exceeds ``max_points``.
         """
-        from repro.core.batch import (
-            BatchThresholdResult,
-            check_batchable,
-            get_batch_on_node,
-        )
+        from repro.core.batch import BatchThresholdResult, check_batchable
 
         check_batchable(queries, self.registry)
         query_id = tracing.new_trace_id()
@@ -446,13 +475,11 @@ class Mediator:
         ) as root:
             box = self._query_box(queries[0].dataset, queries[0].box)
             node_results = self._scatter(
-                lambda node_id: get_batch_on_node(
-                    self.nodes[node_id],
-                    self.executors[node_id],
-                    self.caches[node_id] if use_cache else None,
-                    self.registry,
+                lambda node_id: self.transport.batch_part(
+                    node_id,
                     queries,
                     self.partitioner.query_boxes(node_id, box),
+                    use_cache=use_cache,
                     processes=processes,
                 )
             )
@@ -477,7 +504,7 @@ class Mediator:
                         cache_hits=sum(
                             1 for per_node in node_results if per_node[i].cache_hit
                         ),
-                        nodes=len(self.nodes),
+                        nodes=self.node_count,
                         query_id=query_id,
                     )
                 )
@@ -516,14 +543,12 @@ class Mediator:
         ) as root:
             box = self._query_box(query.dataset, None)
             node_results = self._scatter(
-                lambda node_id: get_pdf_on_node(
-                    self.nodes[node_id],
-                    self.executors[node_id],
-                    self.registry,
+                lambda node_id: self.transport.pdf_part(
+                    node_id,
                     query,
                     self.partitioner.query_boxes(node_id, box),
+                    use_cache=use_cache,
                     processes=processes,
-                    pdf_cache=self.pdf_caches[node_id] if use_cache else None,
                 )
             )
             counts = sum(r.counts for r in node_results)
@@ -553,14 +578,12 @@ class Mediator:
         ) as root:
             box = self._query_box(query.dataset, None)
             node_results = self._scatter(
-                lambda node_id: get_topk_on_node(
-                    self.nodes[node_id],
-                    self.executors[node_id],
-                    self.registry,
+                lambda node_id: self.transport.topk_part(
+                    node_id,
                     query,
                     self.partitioner.query_boxes(node_id, box),
+                    use_cache=use_cache,
                     processes=processes,
-                    cache=self.caches[node_id] if use_cache else None,
                 )
             )
             zindexes = np.concatenate([r.zindexes for r in node_results])
@@ -593,6 +616,7 @@ class Mediator:
         path (paper §4) that the local-evaluation baseline uses; the
         result array crosses the WAN with XML inflation.
         """
+        self._require_local("get_field")
         derived = self.registry.get(field)
         ledger = CostLedger()
         out = np.empty(box.shape, dtype=np.float64)
@@ -649,6 +673,7 @@ class Mediator:
         from repro.fields.finite_difference import kernel_half_width
         from repro.fields.operators import gradient_tensor_interior
 
+        self._require_local("get_gradient")
         derived = self.registry.get(field)
         ledger = CostLedger()
         out = np.empty(box.shape + (3, 3), dtype=np.float64)
@@ -708,10 +733,40 @@ class Mediator:
         for node in self.nodes:
             node.db.drop_page_cache()
 
+    # -- catalogue and control -----------------------------------------------------------
+
+    def dataset_names(self) -> list[str]:
+        """Sorted names of every dataset hosted by the cluster."""
+        return self.transport.dataset_names()
+
+    def register_expression(self, name: str, text: str) -> dict:
+        """Register a derived-field expression wherever queries evaluate.
+
+        In-process this lands in :attr:`registry`; over TCP it is
+        broadcast to every node server (never retried — registration is
+        not idempotent).  Returns the field's description (``name``,
+        ``source``, ``halo_depth``, ``units_per_point``).
+        """
+        return self.transport.register_expression(name, text)
+
+    def _require_local(self, operation: str) -> None:
+        """Refuse an operation that touches node storage directly.
+
+        Raises:
+            UnsupportedRemoteOperationError: when this mediator fronts
+                remote node servers instead of in-process nodes.
+        """
+        if not self.nodes:
+            raise UnsupportedRemoteOperationError(
+                f"{operation} runs where the storage lives; this mediator "
+                f"fronts remote node servers (load data through each "
+                f"server's own ingest instead)"
+            )
+
     # -- internals ----------------------------------------------------------------------
 
     def _query_box(self, dataset: str, box: Box | None) -> Box:
-        side = self.nodes[0].dataset(dataset).side
+        side = self.transport.dataset_side(dataset)
         if box is None:
             return Box.cube(side)
         domain = Box.cube(side)
@@ -744,13 +799,74 @@ class Mediator:
                 return result
 
         if self.sequential_scatter:
-            return [run(node_id) for node_id in range(len(self.nodes))]
+            return [
+                self._run_part(run, node_id)
+                for node_id in range(self.node_count)
+            ]
         pool = self._ensure_pool()
         futures = [
             pool.submit(contextvars.copy_context().run, run, node_id)
-            for node_id in range(len(self.nodes))
+            for node_id in range(self.node_count)
         ]
-        return [future.result() for future in futures]
+        return self._gather(futures)
+
+    @staticmethod
+    def _run_part(run: Callable[[int], T], node_id: int) -> T:
+        """One node part with the gather's error typing (sequential path)."""
+        try:
+            return run(node_id)
+        except (DeadlineExceededError, PartialFailureError):
+            raise
+        except NetError as error:
+            raise PartialFailureError(
+                node_id, f"node {node_id} part failed: {error}"
+            ) from error
+
+    def _gather(self, futures: "list[Future[T]]") -> list[T]:
+        """Collect part futures under the scatter deadline.
+
+        On the first failure — or when :attr:`scatter_timeout` expires —
+        the remaining parts are cancelled where still queued and drained
+        where already running (every part is bounded: in-process parts
+        terminate on their own, RPC parts carry per-request deadlines),
+        and their exceptions consumed so none leaks to the pool.
+
+        Raises:
+            DeadlineExceededError: the gather outlived its budget, or a
+                part's own RPC deadline expired (a slow node).
+            PartialFailureError: a part failed with any other transport
+                error after its retries were exhausted (a dead node).
+        """
+        deadline = Deadline.after(self.scatter_timeout)
+        results: list[T] = []
+        try:
+            for node_id, future in enumerate(futures):
+                try:
+                    results.append(future.result(timeout=deadline.remaining()))
+                except FuturesTimeoutError:
+                    raise DeadlineExceededError(
+                        f"scatter gather exceeded its {self.scatter_timeout}s "
+                        f"budget waiting on node {node_id}"
+                    ) from None
+                except (DeadlineExceededError, PartialFailureError):
+                    raise
+                except NetError as error:
+                    raise PartialFailureError(
+                        node_id, f"node {node_id} part failed: {error}"
+                    ) from error
+        except BaseException:
+            self._drain(futures)
+            raise
+        return results
+
+    def _drain(self, futures: "list[Future[T]]") -> None:
+        """Cancel queued parts, wait out running ones, eat their errors."""
+        for future in futures:
+            future.cancel()
+        wait(futures, timeout=self.scatter_timeout)
+        for future in futures:
+            if future.done() and not future.cancelled():
+                future.exception()
 
     def _ensure_pool(self) -> ThreadPoolExecutor:
         """The shared scatter pool, created on first asynchronous query.
@@ -769,18 +885,35 @@ class Mediator:
             return self._scatter_pool
 
     def close(self) -> None:
-        """Shut down the scatter pool (idempotent; pool restarts lazily)."""
+        """Tear the whole service down (idempotent).
+
+        Shuts down the scatter pool, closes the transport (for TCP, every
+        pooled connection), and closes each in-process node's database —
+        flushing write-ahead logs and releasing buffer-pool frames.  The
+        scatter pool alone restarts lazily, but a query after ``close``
+        on an in-process cluster fails in the storage layer because the
+        node databases refuse new transactions.
+        """
         with self._pool_lock:
             pool, self._scatter_pool = self._scatter_pool, None
         if pool is not None:
             pool.shutdown(wait=True)
+        self.transport.close()
+        for node in self.nodes:
+            node.close()
+
+    def __enter__(self) -> "Mediator":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
 
     def _charge_networks(self, ledger: CostLedger, result_points: int) -> None:
         result_bytes = result_points * self.spec.point_record_bytes
         ledger.charge(
             Category.MEDIATOR_DB,
             self.spec.lan.transfer_time(
-                result_bytes, round_trips=len(self.nodes)
+                result_bytes, round_trips=self.node_count
             ),
         )
         ledger.charge(

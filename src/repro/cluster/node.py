@@ -89,6 +89,10 @@ class DatabaseNode:
                 device="hdd",
             )
 
+    def close(self) -> None:
+        """Close the node's database (flush WAL, release buffer pools)."""
+        self.db.close()
+
     def dataset(self, name: str) -> DatasetSpec:
         """The spec of a hosted dataset.  Raises :class:`KeyError` if absent."""
         try:

@@ -26,6 +26,7 @@ from repro.core import (
 )
 from repro.fields.derived import UnknownFieldError
 from repro.grid import Box
+from repro.net.errors import DeadlineExceededError, NetError
 from repro.obs import tracing
 from repro.obs.metrics import timed
 
@@ -120,6 +121,10 @@ class WebService:
             return WebServiceError("threshold_too_low", str(error)).to_response()
         except UnknownFieldError as error:
             return WebServiceError("unknown_field", str(error)).to_response()
+        except DeadlineExceededError as error:
+            return WebServiceError("deadline_exceeded", str(error)).to_response()
+        except NetError as error:
+            return WebServiceError("node_unavailable", str(error)).to_response()
         except (KeyError, ValueError, TypeError) as error:
             return WebServiceError("bad_request", str(error)).to_response()
 
@@ -273,20 +278,12 @@ class WebService:
         name = self._require(request, "name", str)
         expression = self._require(request, "expression", str)
         try:
-            derived = self._mediator.registry.register_expression(
-                name, expression
-            )
+            description = self._mediator.register_expression(name, expression)
         except ExpressionError as error:
             raise WebServiceError("bad_expression", str(error)) from None
         except ValueError as error:
             raise WebServiceError("duplicate_field", str(error)) from None
-        return {
-            "status": "ok",
-            "name": derived.name,
-            "source": derived.source,
-            "halo_depth": derived.halo_depth if derived.differential else 0,
-            "units_per_point": derived.units_per_point,
-        }
+        return {"status": "ok", **description}
 
     def _get_statistics(self, request: dict) -> dict:
         stats = self._mediator.statistics
@@ -345,14 +342,7 @@ class WebService:
         }
 
     def _list_datasets(self, request: dict) -> dict:
-        names = sorted(
-            {
-                name
-                for node in self._mediator.nodes
-                for name in node.dataset_names
-            }
-        )
-        return {"status": "ok", "datasets": names}
+        return {"status": "ok", "datasets": self._mediator.dataset_names()}
 
     # -- validation ---------------------------------------------------------------
 

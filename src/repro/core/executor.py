@@ -23,7 +23,7 @@ Simulated time follows the paper's parallelism analysis (§5.3):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -51,6 +51,27 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.cluster.partition import MortonPartitioner
 
 
+class HaloPeer(Protocol):
+    """What the executor needs from a peer node: boundary-band reads.
+
+    In-process clusters pass the :class:`DatabaseNode` objects
+    themselves; a node server running in its own OS process passes RPC
+    proxies (see :class:`repro.net.server.RemoteHaloPeer`) with the
+    same signature and charging contract.
+    """
+
+    def serve_halo(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        ranges: "list[MortonRange]",
+        ledger: CostLedger | None,
+    ) -> dict[int, bytes]:
+        """Atoms of ``ranges``; transfer time charged to ``ledger``."""
+        ...
+
+
 @dataclass
 class RawEvaluation:
     """Result of evaluating one node's share from the raw data."""
@@ -69,14 +90,16 @@ class NodeExecutor:
 
     Args:
         node: the node whose atoms this executor reads.
-        peers: all cluster nodes indexed by node id (for halo fetches).
+        peers: all cluster nodes indexed by node id (for halo fetches);
+            any :class:`HaloPeer` works, so a node server substitutes
+            RPC proxies for its remote peers.
         partitioner: the cluster's spatial partitioner.
     """
 
     def __init__(
         self,
         node: "DatabaseNode",
-        peers: "Sequence[DatabaseNode]",
+        peers: "Sequence[HaloPeer]",
         partitioner: "MortonPartitioner",
     ) -> None:
         self._node = node

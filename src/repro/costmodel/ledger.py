@@ -39,6 +39,7 @@ METER_COMPUTE_UNITS = "compute_units"  #: kernel work units executed
 METER_RESULT_POINTS = "result_points"  #: points returned to the mediator
 METER_HALO_SECONDS = "halo_seconds"  #: node-to-node boundary transfer time
 METER_HALO_BYTES = "halo_bytes"  #: bytes of boundary data fetched from peers
+METER_WIRE_BYTES = "wire_bytes"  #: real bytes moved over mediator<->node sockets
 
 
 class CostLedger:
@@ -83,6 +84,10 @@ class CostLedger:
     def meter(self, name: str) -> float:
         """Current value of a meter (0 if never counted)."""
         return self._meters.get(name, 0.0)
+
+    def meters(self) -> dict[str, float]:
+        """A copy of every meter, for serialization and reports."""
+        return dict(self._meters)
 
     def set_category(self, category: Category, seconds: float) -> None:
         """Overwrite a category's time (used to re-derive contended I/O).

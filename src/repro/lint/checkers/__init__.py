@@ -6,6 +6,7 @@ from repro.lint.checkers.cost01 import CostAccounting
 from repro.lint.checkers.err01 import ErrorTaxonomy
 from repro.lint.checkers.halo01 import HaloConsistency
 from repro.lint.checkers.lock01 import LockHygiene
+from repro.lint.checkers.net01 import NetDeadlines
 from repro.lint.checkers.obs01 import ObsDiscipline
 from repro.lint.checkers.txn01 import TxnDiscipline
 
@@ -16,6 +17,7 @@ ALL_CHECKERS = (
     HaloConsistency,
     LockHygiene,
     ErrorTaxonomy,
+    NetDeadlines,
     ObsDiscipline,
 )
 
@@ -25,6 +27,7 @@ __all__ = [
     "ErrorTaxonomy",
     "HaloConsistency",
     "LockHygiene",
+    "NetDeadlines",
     "ObsDiscipline",
     "TxnDiscipline",
 ]

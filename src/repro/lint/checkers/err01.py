@@ -32,12 +32,14 @@ class ErrorTaxonomy(Checker):
 
     code = "ERR01"
     description = (
-        "cluster/storage code must raise typed errors and never swallow "
-        "broad exception classes"
+        "cluster/storage/net code must raise typed errors and never "
+        "swallow broad exception classes"
     )
 
     def applies(self, module: str) -> bool:
-        return module_in(module, "repro.cluster.", "repro.storage.")
+        return module_in(
+            module, "repro.cluster.", "repro.storage.", "repro.net."
+        )
 
     def check(self, source: SourceFile) -> list[Diagnostic]:
         diags: list[Diagnostic] = []

@@ -1,0 +1,160 @@
+"""NET01 — network discipline: every blocking socket call has a deadline.
+
+The transport tier (:mod:`repro.net`) promises that no RPC can hang a
+query forever: every connect, send and receive is armed with a timeout
+derived from an explicit :class:`~repro.net.frame.Deadline`.  Three
+habits silently break that promise:
+
+* ``sock.settimeout(None)`` — switches the socket back to fully
+  blocking mode, so the next ``recv`` can wait forever;
+* ``socket.create_connection(address)`` without a ``timeout=``
+  argument — inherits the global default (blocking), so a dead host
+  stalls the caller until the kernel gives up, minutes later;
+* calling ``.connect()`` / ``.connect_ex()`` directly, or ``.recv()`` /
+  ``.recvfrom()`` / ``.accept()`` in a function that never arms the
+  socket with ``.settimeout(...)`` — a blocking wait with no budget.
+
+The checker is deliberately scoped to ``repro.net.``: that package owns
+every socket in the engine, so a socket call anywhere else is already a
+layering bug other review catches.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker, dotted_name, module_in
+from repro.lint.diagnostics import Diagnostic, SourceFile
+
+#: Socket methods that block until data (or a peer) arrives.
+_BLOCKING_RECEIVERS = ("recv", "recvfrom", "recv_into", "accept")
+
+#: Socket methods that block while establishing a connection.
+_RAW_CONNECTORS = ("connect", "connect_ex")
+
+
+class NetDeadlines(Checker):
+    """Blocking socket operations in repro.net must carry deadlines."""
+
+    code = "NET01"
+    description = (
+        "socket calls in repro.net must carry explicit deadlines: no "
+        "settimeout(None), no create_connection without timeout=, no "
+        "bare connect, and no recv/accept in a function that never "
+        "arms settimeout"
+    )
+
+    def applies(self, module: str) -> bool:
+        return module_in(module, "repro.net.")
+
+    def check(self, source: SourceFile) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        for node in ast.walk(source.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                diags.extend(self._check_function(source, node))
+        for node in ast.walk(source.tree):
+            if isinstance(node, ast.Call):
+                diags.extend(self._check_call(source, node))
+        return diags
+
+    def _check_call(
+        self, source: SourceFile, node: ast.Call
+    ) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        method = self._method_name(node)
+        if method == "settimeout" and self._first_arg_is_none(node):
+            diags.append(
+                self.report(
+                    source,
+                    node,
+                    "settimeout(None) puts the socket in fully blocking "
+                    "mode — arm it with deadline.remaining() instead",
+                )
+            )
+        if method in _RAW_CONNECTORS and not self._is_self_call(node):
+            diags.append(
+                self.report(
+                    source,
+                    node,
+                    f"bare .{method}() blocks with no budget — use "
+                    "socket.create_connection(address, "
+                    "timeout=deadline.remaining())",
+                )
+            )
+        dotted = dotted_name(node.func)
+        if (
+            dotted is not None
+            and dotted.split(".")[-1] == "create_connection"
+            and not self._has_timeout(node)
+        ):
+            diags.append(
+                self.report(
+                    source,
+                    node,
+                    "create_connection without timeout= inherits the "
+                    "blocking default — pass timeout=deadline.remaining()",
+                )
+            )
+        return diags
+
+    def _check_function(
+        self,
+        source: SourceFile,
+        function: "ast.FunctionDef | ast.AsyncFunctionDef",
+    ) -> list[Diagnostic]:
+        """Receives inside ``function`` need a ``settimeout`` in scope.
+
+        The arming call and the blocking call usually sit a few lines
+        apart (re-armed per OS call from the shared deadline), so the
+        function body is the right scope to pair them in.
+        """
+        calls = [
+            node
+            for node in ast.walk(function)
+            if isinstance(node, ast.Call)
+        ]
+        if any(self._method_name(call) == "settimeout" for call in calls):
+            return []
+        return [
+            self.report(
+                source,
+                call,
+                f".{self._method_name(call)}() in {function.name}() with "
+                "no settimeout(...) in scope — arm the socket from the "
+                "call's deadline before blocking on it",
+            )
+            for call in calls
+            if self._method_name(call) in _BLOCKING_RECEIVERS
+        ]
+
+    @staticmethod
+    def _method_name(node: ast.Call) -> str | None:
+        """The attribute name of a method-style call, if any."""
+        if isinstance(node.func, ast.Attribute):
+            return node.func.attr
+        return None
+
+    @staticmethod
+    def _first_arg_is_none(node: ast.Call) -> bool:
+        """Whether the call's sole positional argument is ``None``."""
+        return (
+            len(node.args) == 1
+            and isinstance(node.args[0], ast.Constant)
+            and node.args[0].value is None
+        )
+
+    @staticmethod
+    def _is_self_call(node: ast.Call) -> bool:
+        """Whether the receiver is ``self`` (our own wrapper methods)."""
+        return (
+            isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        )
+
+    @staticmethod
+    def _has_timeout(node: ast.Call) -> bool:
+        """Whether the call passes a timeout (keyword or 2nd positional)."""
+        if len(node.args) >= 2:
+            return True
+        return any(kw.arg == "timeout" for kw in node.keywords)

@@ -1,0 +1,50 @@
+"""repro.net: the cluster's real transport tier.
+
+A length-prefixed binary wire protocol (:mod:`repro.net.frame`,
+:mod:`repro.net.codec`) whose payloads carry the engine's columnar
+point-set blobs verbatim; a threaded TCP node server
+(:mod:`repro.net.server`, ``python -m repro.net serve-node``); a client
+stack with per-host connection pooling, mandatory deadlines and
+jittered retries (:mod:`repro.net.client`, :mod:`repro.net.pool`); and
+the :class:`~repro.net.transport.Transport` seam that lets the mediator
+run its per-node query parts either in-process (the seed behaviour,
+bit-for-bit) or against a real multi-process cluster.
+"""
+
+from repro.net.client import CallResult, NodeClient, RetryPolicy
+from repro.net.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    FrameError,
+    NetError,
+    NodeUnavailableError,
+    PartialFailureError,
+    ProtocolError,
+    RemoteCallError,
+    UnsupportedRemoteOperationError,
+)
+from repro.net.frame import Deadline, FrameType, PROTOCOL_VERSION
+from repro.net.pool import ConnectionPool
+from repro.net.transport import InProcessTransport, TcpTransport, Transport
+
+__all__ = [
+    "CallResult",
+    "ConnectionLostError",
+    "ConnectionPool",
+    "Deadline",
+    "DeadlineExceededError",
+    "FrameError",
+    "FrameType",
+    "InProcessTransport",
+    "NetError",
+    "NodeClient",
+    "NodeUnavailableError",
+    "PROTOCOL_VERSION",
+    "PartialFailureError",
+    "ProtocolError",
+    "RemoteCallError",
+    "RetryPolicy",
+    "TcpTransport",
+    "Transport",
+    "UnsupportedRemoteOperationError",
+]

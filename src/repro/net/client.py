@@ -1,0 +1,242 @@
+"""One TCP connection to a node server, plus the retry policy.
+
+A :class:`NodeClient` owns a single socket: it handshakes on connect
+(HELLO/HELLO_ACK with protocol version and node id), then exchanges
+REQUEST/RESPONSE frames one call at a time.  Every public operation
+takes an explicit deadline — there is no "no timeout" mode anywhere in
+this tier (lint rule NET01 enforces the discipline statically).
+
+:class:`RetryPolicy` describes exponential backoff with jitter for
+*idempotent reads*; the decision of what is idempotent and the retry
+loop itself live in :class:`~repro.net.pool.ConnectionPool`, which can
+swap the broken connection a retry needs.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.fields.derived import UnknownFieldError
+from repro.fields.expressions import ExpressionError
+from repro.net import codec
+from repro.net.errors import (
+    ConnectionLostError,
+    NodeUnavailableError,
+    ProtocolError,
+    RemoteCallError,
+)
+from repro.net.frame import (
+    Deadline,
+    FrameType,
+    HEADER,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.obs import clock
+
+#: Remote exception types rebuilt as their local classes, so the web
+#: service's error mapping behaves identically on both transports.
+_REMOTE_TYPES: Mapping[str, type[Exception]] = {
+    "UnknownFieldError": UnknownFieldError,
+    "ExpressionError": ExpressionError,
+    "ValueError": ValueError,
+    "KeyError": KeyError,
+    "TypeError": TypeError,
+}
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for idempotent reads.
+
+    ``delay(attempt)`` for attempt 0, 1, 2... is
+    ``base * multiplier^attempt`` capped at ``max_delay``, widened by a
+    uniform jitter of ``+-jitter`` (fractional) so a restarted node is
+    not hit by every client in lockstep.
+    """
+
+    attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise ValueError("a retry policy needs at least one attempt")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if not 0 <= self.jitter <= 1:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = min(self.base_delay * self.multiplier**attempt, self.max_delay)
+        return raw * (1.0 + self.jitter * (2.0 * rng.random() - 1.0))
+
+
+@dataclass(frozen=True)
+class CallResult:
+    """A successful RPC: decoded message plus its wire-byte footprint."""
+
+    header: dict
+    blobs: list[bytes]
+    bytes_sent: int
+    bytes_received: int
+
+
+class NodeClient:
+    """One framed connection to a node server.
+
+    Args:
+        host: server host.
+        port: server port.
+        connect_deadline: budget for TCP connect plus the handshake.
+
+    Raises:
+        NodeUnavailableError: the TCP connection could not be opened.
+        ProtocolError: the handshake failed.
+    """
+
+    def __init__(
+        self, host: str, port: int, connect_deadline: Deadline
+    ) -> None:
+        self.address = f"{host}:{port}"
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_deadline.remaining()
+            )
+        except OSError as error:
+            raise NodeUnavailableError(
+                self.address, attempts=1,
+                message=f"connect to {self.address} failed: {error}",
+            ) from error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._next_request_id = 1
+        self._closed = False
+        self.node_id: int | None = None
+        try:
+            self._handshake(connect_deadline)
+        except Exception:
+            self.close()
+            raise
+
+    def _handshake(self, deadline: Deadline) -> None:
+        payload = codec.encode_message({"protocol": PROTOCOL_VERSION})
+        send_frame(self._sock, FrameType.HELLO, 0, payload, deadline)
+        frame = recv_frame(self._sock, deadline)
+        assert frame is not None
+        frame_type, _, body = frame
+        if frame_type != FrameType.HELLO_ACK:
+            raise ProtocolError(
+                f"expected HELLO_ACK, got {frame_type.name} from {self.address}"
+            )
+        header, _ = codec.decode_message(body)
+        if header.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"{self.address} speaks protocol {header.get('protocol')}, "
+                f"this build speaks {PROTOCOL_VERSION}"
+            )
+        self.node_id = int(header["node_id"]) if "node_id" in header else None
+
+    # -- calls -----------------------------------------------------------------
+
+    def call(
+        self,
+        method: str,
+        header: dict,
+        blobs: Sequence[bytes],
+        deadline: Deadline,
+    ) -> CallResult:
+        """One RPC round trip.
+
+        Raises:
+            DeadlineExceededError: budget spent before the response landed.
+            ConnectionLostError: the socket broke mid-call.
+            ProtocolError: the response violated the protocol; the
+                connection must be discarded.
+            RemoteCallError: the server answered with a typed error (or
+                a rebuilt local exception class for the allowlisted
+                types, e.g. ``UnknownFieldError``).
+        """
+        self._ensure_open()
+        request_id = self._next_request_id
+        self._next_request_id += 1
+        payload = codec.encode_message({"method": method, **header}, blobs)
+        sent = send_frame(
+            self._sock, FrameType.REQUEST, request_id, payload, deadline
+        )
+        frame = recv_frame(self._sock, deadline)
+        assert frame is not None
+        frame_type, echoed_id, body = frame
+        if echoed_id != request_id:
+            raise ProtocolError(
+                f"response id {echoed_id} does not match request {request_id}"
+            )
+        received = HEADER.size + len(body)
+        response_header, response_blobs = codec.decode_message(body)
+        if frame_type == FrameType.ERROR:
+            raise self._remote_error(response_header)
+        if frame_type != FrameType.RESPONSE:
+            raise ProtocolError(
+                f"expected RESPONSE, got {frame_type.name} from {self.address}"
+            )
+        return CallResult(response_header, response_blobs, sent, received)
+
+    def ping(self, deadline: Deadline) -> float:
+        """Health check; returns the round-trip wall seconds.
+
+        Raises the same family of errors as :meth:`call`.
+        """
+        self._ensure_open()
+        start = clock.now()
+        send_frame(self._sock, FrameType.PING, 0, b"", deadline)
+        frame = recv_frame(self._sock, deadline)
+        assert frame is not None
+        frame_type, _, _ = frame
+        if frame_type != FrameType.PONG:
+            raise ProtocolError(f"expected PONG, got {frame_type.name}")
+        return clock.now() - start
+
+    @staticmethod
+    def _remote_error(header: dict) -> Exception:
+        record = header.get("error")
+        if not isinstance(record, dict):
+            return ProtocolError("ERROR frame without an error record")
+        remote_type = str(record.get("type", "Exception"))
+        message = str(record.get("message", ""))
+        local = _REMOTE_TYPES.get(remote_type)
+        if local is not None:
+            return local(message)
+        return RemoteCallError(
+            remote_type, str(record.get("code", "remote_error")), message
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ConnectionLostError(f"client to {self.address} is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - close never owes us anything
+                pass
+
+    def __enter__(self) -> "NodeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

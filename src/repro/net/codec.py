@@ -1,0 +1,386 @@
+"""Message codec: a JSON control header plus raw column blobs.
+
+A REQUEST/RESPONSE frame payload is one *message*::
+
+    u32   header length
+    ...   UTF-8 JSON header (method, query parameters, ledger, flags)
+    u16   blob count
+    u32   blob i length      } repeated
+    ...   blob i bytes       }
+
+The blobs are the columnar point-set encodings of
+:mod:`repro.core.pointset` (``pack_u64`` zindexes, ``pack_f64`` values)
+carried *verbatim*: a node packs its result columns once and the
+mediator unpacks them straight into the gather's ``merge_sorted_runs``
+— no per-point re-encoding anywhere on the wire path.
+
+The domain helpers below translate the query/result dataclasses the
+in-process engine already uses to and from wire messages, so
+``TcpTransport`` and the node server share one vocabulary and the
+in-process and TCP clusters return point-for-point identical results.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.pdf import NodePdfResult
+from repro.core.query import PdfQuery, ThresholdQuery, TopKQuery
+from repro.core.threshold import NodeThresholdResult
+from repro.core.topk import NodeTopKResult
+from repro.core.pointset import pack_f64, pack_i64, pack_u64, unpack_f64, unpack_i64, unpack_u64
+from repro.costmodel import Category, CostLedger
+from repro.grid import Box
+from repro.morton import MortonRange
+from repro.net.errors import ProtocolError
+
+_U32 = struct.Struct("<I")
+_U16 = struct.Struct("<H")
+
+#: Ceiling on blobs per message (a batch of 64 queries ships 128).
+MAX_BLOBS = 4096
+
+
+# -- message layer ----------------------------------------------------------
+
+
+def encode_message(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
+    """Pack a JSON header and column blobs into one frame payload."""
+    if len(blobs) > MAX_BLOBS:
+        raise ProtocolError(f"{len(blobs)} blobs exceed the {MAX_BLOBS} cap")
+    head = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    parts = [_U32.pack(len(head)), head, _U16.pack(len(blobs))]
+    for blob in blobs:
+        parts.append(_U32.pack(len(blob)))
+        parts.append(blob)
+    return b"".join(parts)
+
+
+def decode_message(payload: bytes) -> tuple[dict, list[bytes]]:
+    """Unpack a frame payload into ``(header, blobs)``.
+
+    Raises:
+        ProtocolError: on truncated or trailing bytes, or a header that
+            is not a JSON object.
+    """
+    view = memoryview(payload)
+
+    def take(count: int) -> memoryview:
+        nonlocal view
+        if len(view) < count:
+            raise ProtocolError(
+                f"message truncated: wanted {count} bytes, {len(view)} left"
+            )
+        piece, view = view[:count], view[count:]
+        return piece
+
+    (head_len,) = _U32.unpack(take(4))
+    try:
+        header = json.loads(bytes(take(head_len)).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"undecodable message header: {error}") from None
+    if not isinstance(header, dict):
+        raise ProtocolError("message header must be a JSON object")
+    (nblobs,) = _U16.unpack(take(2))
+    if nblobs > MAX_BLOBS:
+        raise ProtocolError(f"{nblobs} blobs exceed the {MAX_BLOBS} cap")
+    blobs = []
+    for _ in range(nblobs):
+        (blob_len,) = _U32.unpack(take(4))
+        blobs.append(bytes(take(blob_len)))
+    if len(view):
+        raise ProtocolError(f"{len(view)} trailing bytes after message")
+    return header, blobs
+
+
+# -- ledgers ----------------------------------------------------------------
+
+
+def ledger_to_wire(ledger: CostLedger) -> dict:
+    """The ledger's category seconds and meters as a JSON-able dict."""
+    return {"seconds": ledger.breakdown(), "meters": ledger.meters()}
+
+
+def ledger_from_wire(record: dict) -> CostLedger:
+    """Rebuild a :class:`CostLedger` from :func:`ledger_to_wire` output."""
+    ledger = CostLedger(
+        {Category(name): float(value)
+         for name, value in record.get("seconds", {}).items()}
+    )
+    for name, amount in record.get("meters", {}).items():
+        ledger.count(str(name), float(amount))
+    return ledger
+
+
+# -- geometry and queries ---------------------------------------------------
+
+
+def box_to_wire(box: Box) -> list[int]:
+    """A box as its six corner coordinates."""
+    return list(box.as_corners())
+
+
+def box_from_wire(corners: Sequence[int]) -> Box:
+    """Rebuild a :class:`Box` from :func:`box_to_wire` output."""
+    return Box.from_corners([int(c) for c in corners])
+
+
+def threshold_query_to_wire(query: ThresholdQuery) -> dict:
+    """A threshold query as a JSON-able record."""
+    return {
+        "dataset": query.dataset,
+        "field": query.field,
+        "timestep": query.timestep,
+        "threshold": query.threshold,
+        "box": None if query.box is None else box_to_wire(query.box),
+        "fd_order": query.fd_order,
+    }
+
+
+def threshold_query_from_wire(record: dict) -> ThresholdQuery:
+    """Rebuild a :class:`ThresholdQuery` from its wire record."""
+    return ThresholdQuery(
+        dataset=str(record["dataset"]),
+        field=str(record["field"]),
+        timestep=int(record["timestep"]),
+        threshold=float(record["threshold"]),
+        box=None if record.get("box") is None else box_from_wire(record["box"]),
+        fd_order=int(record.get("fd_order", 4)),
+    )
+
+
+def pdf_query_to_wire(query: PdfQuery) -> dict:
+    """A PDF query as a JSON-able record."""
+    return {
+        "dataset": query.dataset,
+        "field": query.field,
+        "timestep": query.timestep,
+        "bin_edges": list(query.bin_edges),
+        "fd_order": query.fd_order,
+    }
+
+
+def pdf_query_from_wire(record: dict) -> PdfQuery:
+    """Rebuild a :class:`PdfQuery` from its wire record."""
+    return PdfQuery(
+        dataset=str(record["dataset"]),
+        field=str(record["field"]),
+        timestep=int(record["timestep"]),
+        bin_edges=tuple(float(e) for e in record["bin_edges"]),
+        fd_order=int(record.get("fd_order", 4)),
+    )
+
+
+def topk_query_to_wire(query: TopKQuery) -> dict:
+    """A top-k query as a JSON-able record."""
+    return {
+        "dataset": query.dataset,
+        "field": query.field,
+        "timestep": query.timestep,
+        "k": query.k,
+        "fd_order": query.fd_order,
+    }
+
+
+def topk_query_from_wire(record: dict) -> TopKQuery:
+    """Rebuild a :class:`TopKQuery` from its wire record."""
+    return TopKQuery(
+        dataset=str(record["dataset"]),
+        field=str(record["field"]),
+        timestep=int(record["timestep"]),
+        k=int(record["k"]),
+        fd_order=int(record.get("fd_order", 4)),
+    )
+
+
+def boxes_to_wire(boxes: Sequence[Box]) -> list[list[int]]:
+    """A node's query pieces as corner-coordinate lists."""
+    return [box_to_wire(box) for box in boxes]
+
+
+def boxes_from_wire(records: Sequence[Sequence[int]]) -> list[Box]:
+    """Rebuild the query pieces from :func:`boxes_to_wire` output."""
+    return [box_from_wire(corners) for corners in records]
+
+
+def ranges_to_wire(ranges: Sequence[MortonRange]) -> list[list[int]]:
+    """Half-open Morton ranges as ``[start, stop]`` pairs."""
+    return [[rng.start, rng.stop] for rng in ranges]
+
+
+def ranges_from_wire(records: Sequence[Sequence[int]]) -> list[MortonRange]:
+    """Rebuild :class:`MortonRange` objects from their wire pairs."""
+    return [MortonRange(int(start), int(stop)) for start, stop in records]
+
+
+# -- node-part results ------------------------------------------------------
+
+
+def threshold_result_to_wire(
+    result: NodeThresholdResult,
+) -> tuple[dict, list[bytes]]:
+    """One node's threshold contribution as ``(header, blobs)``."""
+    header = {
+        "ledger": ledger_to_wire(result.ledger),
+        "cache_hit": result.cache_hit,
+        "boxes_evaluated": result.boxes_evaluated,
+        "cache_stored": result.cache_stored,
+    }
+    return header, [pack_u64(result.zindexes), pack_f64(result.values)]
+
+
+def threshold_result_from_wire(
+    header: dict, blobs: Sequence[bytes]
+) -> NodeThresholdResult:
+    """Rebuild one node's threshold contribution from the wire."""
+    zindexes, values = _point_columns(blobs, 0)
+    return NodeThresholdResult(
+        zindexes,
+        values,
+        ledger_from_wire(header["ledger"]),
+        cache_hit=bool(header["cache_hit"]),
+        boxes_evaluated=int(header["boxes_evaluated"]),
+        cache_stored=bool(header["cache_stored"]),
+    )
+
+
+def batch_results_to_wire(
+    results: Sequence[NodeThresholdResult],
+) -> tuple[dict, list[bytes]]:
+    """A node's per-query batch contributions (shared ledger, 2 blobs each)."""
+    if not results:
+        raise ProtocolError("a batch response needs at least one item")
+    header = {
+        "ledger": ledger_to_wire(results[0].ledger),
+        "items": [
+            {
+                "cache_hit": item.cache_hit,
+                "boxes_evaluated": item.boxes_evaluated,
+                "cache_stored": item.cache_stored,
+            }
+            for item in results
+        ],
+    }
+    blobs: list[bytes] = []
+    for item in results:
+        blobs.append(pack_u64(item.zindexes))
+        blobs.append(pack_f64(item.values))
+    return header, blobs
+
+
+def batch_results_from_wire(
+    header: dict, blobs: Sequence[bytes]
+) -> list[NodeThresholdResult]:
+    """Rebuild a node's batch contributions (one shared ledger)."""
+    items = header["items"]
+    if len(blobs) != 2 * len(items):
+        raise ProtocolError(
+            f"batch response carries {len(blobs)} blobs for {len(items)} items"
+        )
+    # One shared ledger instance, mirroring get_batch_on_node's contract
+    # (the queries were answered by one pass; costs are not separable).
+    ledger = ledger_from_wire(header["ledger"])
+    results = []
+    for i, item in enumerate(items):
+        zindexes, values = _point_columns(blobs, 2 * i)
+        results.append(
+            NodeThresholdResult(
+                zindexes,
+                values,
+                ledger,
+                cache_hit=bool(item["cache_hit"]),
+                boxes_evaluated=int(item["boxes_evaluated"]),
+                cache_stored=bool(item["cache_stored"]),
+            )
+        )
+    return results
+
+
+def pdf_result_to_wire(result: NodePdfResult) -> tuple[dict, list[bytes]]:
+    """One node's histogram contribution as ``(header, blobs)``."""
+    header = {
+        "ledger": ledger_to_wire(result.ledger),
+        "cache_hit": result.cache_hit,
+    }
+    return header, [pack_i64(np.asarray(result.counts, dtype=np.int64))]
+
+
+def pdf_result_from_wire(
+    header: dict, blobs: Sequence[bytes]
+) -> NodePdfResult:
+    """Rebuild one node's histogram contribution from the wire."""
+    if len(blobs) != 1:
+        raise ProtocolError(f"pdf response carries {len(blobs)} blobs, not 1")
+    return NodePdfResult(
+        unpack_i64(blobs[0]),
+        ledger_from_wire(header["ledger"]),
+        cache_hit=bool(header["cache_hit"]),
+    )
+
+
+def topk_result_to_wire(result: NodeTopKResult) -> tuple[dict, list[bytes]]:
+    """One node's top-k contribution as ``(header, blobs)``."""
+    header = {"ledger": ledger_to_wire(result.ledger)}
+    return header, [pack_u64(result.zindexes), pack_f64(result.values)]
+
+
+def topk_result_from_wire(
+    header: dict, blobs: Sequence[bytes]
+) -> NodeTopKResult:
+    """Rebuild one node's top-k contribution from the wire."""
+    zindexes, values = _point_columns(blobs, 0)
+    return NodeTopKResult(zindexes, values, ledger_from_wire(header["ledger"]))
+
+
+def halo_atoms_to_wire(atoms: dict[int, bytes]) -> tuple[dict, list[bytes]]:
+    """A halo read's ``zindex -> blob`` map as two column blobs.
+
+    Atom blobs of one (dataset, field) share a size, so the payload is
+    the sorted zindex column plus one concatenation in the same order.
+    """
+    zindexes = np.array(sorted(atoms), dtype=np.uint64)
+    sizes = {len(blob) for blob in atoms.values()}
+    if len(sizes) > 1:
+        raise ProtocolError("halo atoms have unequal blob sizes")
+    atom_bytes = sizes.pop() if sizes else 0
+    body = b"".join(atoms[int(z)] for z in zindexes)
+    header = {"count": int(len(zindexes)), "atom_bytes": atom_bytes}
+    return header, [pack_u64(zindexes), body]
+
+
+def halo_atoms_from_wire(
+    header: dict, blobs: Sequence[bytes]
+) -> dict[int, bytes]:
+    """Rebuild the ``zindex -> blob`` halo map from the wire."""
+    if len(blobs) != 2:
+        raise ProtocolError(f"halo response carries {len(blobs)} blobs, not 2")
+    zindexes = unpack_u64(blobs[0])
+    count = int(header["count"])
+    atom_bytes = int(header["atom_bytes"])
+    body = blobs[1]
+    if len(zindexes) != count or len(body) != count * atom_bytes:
+        raise ProtocolError("halo response columns disagree with its header")
+    return {
+        int(z): body[i * atom_bytes : (i + 1) * atom_bytes]
+        for i, z in enumerate(zindexes)
+    }
+
+
+def _point_columns(
+    blobs: Sequence[bytes], start: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Decode the ``(zindexes, values)`` column pair at ``blobs[start]``."""
+    if len(blobs) < start + 2:
+        raise ProtocolError("point-set response is missing its column blobs")
+    zindexes = unpack_u64(blobs[start])
+    values = unpack_f64(blobs[start + 1])
+    if len(zindexes) != len(values):
+        raise ProtocolError(
+            f"column blobs misaligned: {len(zindexes)} zindexes vs "
+            f"{len(values)} values"
+        )
+    return zindexes, values

@@ -1,0 +1,93 @@
+"""Typed error taxonomy of the network tier.
+
+Every failure mode of the cluster transport has its own class so that
+callers (the mediator's gather loop, the web service's error mapper,
+tests) can dispatch on it — the same ERR01 contract the storage engine
+keeps with :mod:`repro.storage.errors`.  The taxonomy distinguishes the
+three questions a caller asks about an RPC failure:
+
+* *is the request known not to have executed?* —
+  :class:`NodeUnavailableError` (the connection never opened) and
+  :class:`ConnectionLostError` before the request was written are safe
+  to retry; the client stack retries them automatically for idempotent
+  reads;
+* *did we run out of time?* — :class:`DeadlineExceededError` is never
+  retried (the budget is spent by definition);
+* *did the peer speak garbage?* — :class:`FrameError` /
+  :class:`ProtocolError` poison the connection, which is discarded
+  rather than returned to the pool.
+"""
+
+from __future__ import annotations
+
+
+class NetError(Exception):
+    """Base class for every error of the ``repro.net`` tier."""
+
+
+class ProtocolError(NetError):
+    """The peer violated the wire protocol (bad magic, version, ids)."""
+
+
+class FrameError(ProtocolError):
+    """A malformed frame: truncated, oversized or garbage bytes."""
+
+
+class DeadlineExceededError(NetError):
+    """The per-request deadline expired before the response arrived."""
+
+
+class ConnectionLostError(NetError):
+    """An established connection broke while a call was in flight."""
+
+
+class NodeUnavailableError(NetError):
+    """A node could not be reached (after any configured retries).
+
+    Attributes:
+        address: ``host:port`` of the unreachable node.
+        attempts: connection attempts made before giving up.
+    """
+
+    def __init__(self, address: str, attempts: int, message: str) -> None:
+        super().__init__(message)
+        self.address = address
+        self.attempts = attempts
+
+
+class RemoteCallError(NetError):
+    """The server answered with a typed error response.
+
+    Attributes:
+        remote_type: exception class name raised on the server.
+        code: stable wire-level error code.
+    """
+
+    def __init__(self, remote_type: str, code: str, message: str) -> None:
+        super().__init__(message)
+        self.remote_type = remote_type
+        self.code = code
+
+
+class PartialFailureError(NetError):
+    """A distributed query lost one of its node parts.
+
+    Raised by the mediator's gather after the transport's retries are
+    exhausted; the remaining node parts have been cancelled or drained,
+    so the cluster is quiescent when this surfaces.
+
+    Attributes:
+        node_id: the node whose part failed first.
+    """
+
+    def __init__(self, node_id: int, message: str) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+
+
+class UnsupportedRemoteOperationError(NetError):
+    """A local-only operation (ingest, raw block reads) on a TCP cluster.
+
+    Data loading and whole-array reads run where the storage lives; a
+    mediator fronting remote node servers must not silently no-op them.
+    """

@@ -1,0 +1,201 @@
+"""Length-prefixed binary framing with mandatory deadlines.
+
+One frame is a fixed 20-byte header followed by an opaque payload::
+
+    magic    4s   b"RNET"
+    version  B    protocol version (1)
+    type     B    frame type (FrameType)
+    flags    H    reserved, must be zero
+    request  Q    request id, echoed by the matching response
+    length   I    payload byte count
+
+The payload of :data:`FrameType.REQUEST` / ``RESPONSE`` frames is a
+:mod:`repro.net.codec` message whose column blobs are the PR-3 pointset
+blobs *verbatim* — query results cross the wire without re-encoding.
+
+Every read and write on a socket goes through :func:`send_frame` /
+:func:`recv_frame`, which take a :class:`Deadline` and re-arm the socket
+timeout around each OS call — the NET01 lint rule pins all raw
+``recv``/``sendall`` usage to this module and checks the timeout
+discipline statically.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.net.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    FrameError,
+)
+from repro.obs import clock
+
+#: First bytes of every frame.
+MAGIC = b"RNET"
+#: Wire protocol version; bumped on incompatible frame/codec changes.
+PROTOCOL_VERSION = 1
+#: Frame header layout (little-endian, 20 bytes).
+HEADER = struct.Struct("<4sBBHQI")
+#: Ceiling on a single frame's payload (a full 1024^3 timestep's result
+#: ships as many frames well below this; anything bigger is garbage).
+MAX_PAYLOAD = 256 * 1024 * 1024
+#: Chunk size for socket reads.
+RECV_CHUNK = 1 << 20
+
+
+class FrameType(enum.IntEnum):
+    """Kinds of frames the protocol exchanges."""
+
+    HELLO = 1  #: client -> server: version handshake
+    HELLO_ACK = 2  #: server -> client: handshake accepted
+    PING = 3  #: client -> server: health check
+    PONG = 4  #: server -> client: health response
+    REQUEST = 5  #: client -> server: one RPC call
+    RESPONSE = 6  #: server -> client: successful RPC result
+    ERROR = 7  #: server -> client: typed RPC failure
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """An absolute point on the monotonic clock a request must beat.
+
+    Deadlines are mandatory on every socket operation: a
+    :class:`Deadline` is created once per request from a relative
+    timeout and passed down the stack, so retries and multi-frame
+    exchanges share one budget instead of resetting it per read.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after(cls, seconds: float) -> "Deadline":
+        """A deadline ``seconds`` of wall time from now.
+
+        Raises:
+            ValueError: on a non-positive budget.
+        """
+        if seconds <= 0:
+            raise ValueError(f"deadline budget must be positive, got {seconds}")
+        return cls(clock.now() + seconds)
+
+    def remaining(self) -> float:
+        """Seconds left on the budget.
+
+        Raises:
+            DeadlineExceededError: when the budget is already spent.
+        """
+        left = self.expires_at - clock.now()
+        if left <= 0:
+            raise DeadlineExceededError("request deadline exceeded")
+        return left
+
+
+def send_frame(
+    sock: socket.socket,
+    frame_type: FrameType,
+    request_id: int,
+    payload: bytes,
+    deadline: Deadline,
+) -> int:
+    """Write one frame; returns the number of bytes put on the wire.
+
+    Raises:
+        FrameError: payload over :data:`MAX_PAYLOAD`.
+        DeadlineExceededError: the send did not finish in time.
+        ConnectionLostError: the peer closed or reset the connection.
+    """
+    if len(payload) > MAX_PAYLOAD:
+        raise FrameError(
+            f"payload of {len(payload)} bytes exceeds the "
+            f"{MAX_PAYLOAD}-byte frame ceiling"
+        )
+    header = HEADER.pack(
+        MAGIC, PROTOCOL_VERSION, int(frame_type), 0, request_id, len(payload)
+    )
+    data = header + payload
+    sock.settimeout(deadline.remaining())
+    try:
+        sock.sendall(data)
+    except socket.timeout:
+        raise DeadlineExceededError("deadline exceeded while sending") from None
+    except OSError as error:
+        raise ConnectionLostError(f"send failed: {error}") from error
+    return len(data)
+
+
+def recv_frame(
+    sock: socket.socket,
+    deadline: Deadline,
+    *,
+    eof_ok: bool = False,
+) -> tuple[FrameType, int, bytes] | None:
+    """Read one frame; returns ``(type, request_id, payload)``.
+
+    A clean end-of-stream *before any header byte* returns ``None`` when
+    ``eof_ok`` is set (a client hanging up between requests) and raises
+    :class:`ConnectionLostError` otherwise; EOF anywhere inside a frame
+    is always a truncation (:class:`FrameError`).
+
+    Raises:
+        FrameError: bad magic/version/flags, oversized or truncated frame.
+        DeadlineExceededError: the frame did not arrive in time.
+        ConnectionLostError: reset, or EOF with ``eof_ok`` unset.
+    """
+    header = _recv_exact(sock, HEADER.size, deadline, eof_ok=eof_ok)
+    if header is None:
+        return None
+    magic, version, type_code, flags, request_id, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad frame magic {magic!r}")
+    if version != PROTOCOL_VERSION:
+        raise FrameError(
+            f"peer speaks protocol {version}, this build speaks "
+            f"{PROTOCOL_VERSION}"
+        )
+    if flags != 0:
+        raise FrameError(f"unsupported frame flags {flags:#x}")
+    try:
+        frame_type = FrameType(type_code)
+    except ValueError:
+        raise FrameError(f"unknown frame type {type_code}") from None
+    if length > MAX_PAYLOAD:
+        raise FrameError(
+            f"frame announces {length} payload bytes, over the "
+            f"{MAX_PAYLOAD}-byte ceiling"
+        )
+    payload = _recv_exact(sock, length, deadline, eof_ok=False)
+    assert payload is not None  # eof_ok=False never yields None
+    return frame_type, request_id, payload
+
+
+def _recv_exact(
+    sock: socket.socket, count: int, deadline: Deadline, *, eof_ok: bool
+) -> bytes | None:
+    """Read exactly ``count`` bytes, re-arming the timeout per chunk."""
+    parts: list[bytes] = []
+    got = 0
+    while got < count:
+        sock.settimeout(deadline.remaining())
+        try:
+            chunk = sock.recv(min(count - got, RECV_CHUNK))
+        except socket.timeout:
+            raise DeadlineExceededError(
+                "deadline exceeded while awaiting frame bytes"
+            ) from None
+        except OSError as error:
+            raise ConnectionLostError(f"recv failed: {error}") from error
+        if not chunk:
+            if not parts and eof_ok:
+                return None
+            if not parts:
+                raise ConnectionLostError("connection closed by peer")
+            raise FrameError(
+                f"truncated frame: peer closed after {got} of {count} bytes"
+            )
+        parts.append(chunk)
+        got += len(chunk)
+    return b"".join(parts)

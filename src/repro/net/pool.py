@@ -1,0 +1,255 @@
+"""Per-host connection pooling with retries for idempotent reads.
+
+A :class:`ConnectionPool` keeps a small set of warm
+:class:`~repro.net.client.NodeClient` connections to one node server.
+``call`` checks a connection out, runs the RPC, and returns it —
+discarding it instead whenever the call poisoned the socket (protocol
+violation, deadline mid-frame, reset).  Connections idle past the
+health-check interval are pinged before reuse, so a node restart is
+noticed at the pool instead of mid-query.
+
+Retries: connection-level failures (:class:`NodeUnavailableError`,
+:class:`ConnectionLostError`) are retried with the pool's
+:class:`~repro.net.client.RetryPolicy` **only when the caller marks the
+call idempotent** — all query reads are; field registration is not.
+Every attempt draws from the one per-request deadline, so retrying can
+never extend a request past its budget.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from typing import Callable, Sequence
+
+from repro.net.client import CallResult, NodeClient, RetryPolicy
+from repro.net.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    NodeUnavailableError,
+)
+from repro.net.frame import Deadline
+from repro.obs import clock
+
+#: Idle seconds after which a pooled connection is pinged before reuse.
+HEALTH_CHECK_IDLE_SECONDS = 30.0
+
+
+class _PooledConnection:
+    """A client plus the bookkeeping the pool needs."""
+
+    __slots__ = ("client", "last_used")
+
+    def __init__(self, client: NodeClient) -> None:
+        self.client = client
+        self.last_used = clock.now()
+
+
+class ConnectionPool:
+    """A bounded pool of connections to one ``host:port``.
+
+    Args:
+        host: node server host.
+        port: node server port.
+        max_connections: checkout ceiling; further callers wait (within
+            their deadline) for a connection to come back.
+        connect_timeout: per-attempt budget for TCP connect + handshake
+            (always additionally capped by the request deadline).
+        retry: backoff policy for idempotent calls.
+        rng: jitter source (seedable for deterministic tests).
+        on_retry: called once per retry, for the transport's metrics.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        max_connections: int = 4,
+        connect_timeout: float = 2.0,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+        on_retry: Callable[[], None] | None = None,
+    ) -> None:
+        if max_connections < 1:
+            raise ValueError("a pool needs at least one connection")
+        self.host = host
+        self.port = port
+        self.address = f"{host}:{port}"
+        self.max_connections = max_connections
+        self.connect_timeout = connect_timeout
+        self.retry = retry or RetryPolicy()
+        self._rng = rng or random.Random()
+        self._on_retry = on_retry
+        self._lock = threading.Lock()
+        self._available = threading.Condition(self._lock)
+        self._idle: list[_PooledConnection] = []
+        self._checked_out = 0
+        self._closed = False
+        self.connections_created = 0
+        self.retries = 0
+
+    # -- public API ------------------------------------------------------------
+
+    def call(
+        self,
+        method: str,
+        header: dict,
+        blobs: Sequence[bytes],
+        *,
+        timeout: float,
+        idempotent: bool,
+    ) -> CallResult:
+        """One RPC with pooling, deadline and (if idempotent) retries.
+
+        Raises:
+            DeadlineExceededError: the budget ran out (never retried).
+            NodeUnavailableError: connection-level failure; for
+                idempotent calls, only after the retry policy's attempts
+                are exhausted.
+            RemoteCallError: typed failure reported by the server.
+        """
+        deadline = Deadline.after(timeout)
+        attempts_allowed = self.retry.attempts if idempotent else 1
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(method, header, blobs, deadline)
+            except (NodeUnavailableError, ConnectionLostError) as error:
+                attempt += 1
+                if attempt >= attempts_allowed:
+                    raise NodeUnavailableError(
+                        self.address,
+                        attempts=attempt,
+                        message=(
+                            f"node {self.address} unavailable after "
+                            f"{attempt} attempt(s): {error}"
+                        ),
+                    ) from error
+                self.retries += 1
+                if self._on_retry is not None:
+                    self._on_retry()
+                # Back off inside the request budget; if the sleep eats
+                # the rest of it the next attempt raises DeadlineExceeded.
+                pause = min(
+                    self.retry.delay(attempt - 1, self._rng),
+                    deadline.remaining(),
+                )
+                if pause > 0:
+                    clock.sleep(pause)
+
+    def ping(self, timeout: float) -> float:
+        """Round-trip a health-check frame; returns wall seconds."""
+        deadline = Deadline.after(timeout)
+        conn = self._acquire(deadline)
+        try:
+            rtt = conn.client.ping(deadline)
+        except BaseException:
+            self._discard(conn)
+            raise
+        self._release(conn)
+        return rtt
+
+    def close(self) -> None:
+        """Close every idle connection and refuse new checkouts."""
+        with self._available:
+            self._closed = True
+            idle, self._idle = self._idle, []
+            self._available.notify_all()
+        for conn in idle:
+            conn.client.close()
+
+    def __enter__(self) -> "ConnectionPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals -------------------------------------------------------------
+
+    def _call_once(
+        self,
+        method: str,
+        header: dict,
+        blobs: Sequence[bytes],
+        deadline: Deadline,
+    ) -> CallResult:
+        conn = self._acquire(deadline)
+        try:
+            result = conn.client.call(method, header, blobs, deadline)
+        except BaseException:
+            # Any in-flight failure leaves request/response framing in an
+            # unknown state; the connection is poisoned either way.
+            self._discard(conn)
+            raise
+        self._release(conn)
+        return result
+
+    def _acquire(self, deadline: Deadline) -> _PooledConnection:
+        while True:
+            with self._available:
+                if self._closed:
+                    raise ConnectionLostError(
+                        f"pool for {self.address} is closed"
+                    )
+                if self._idle:
+                    conn = self._idle.pop()
+                    self._checked_out += 1
+                elif self._checked_out < self.max_connections:
+                    self._checked_out += 1
+                    conn = None
+                else:
+                    self._available.wait(timeout=deadline.remaining())
+                    continue
+            if conn is None:
+                try:
+                    conn = _PooledConnection(self._connect(deadline))
+                except BaseException:
+                    self._return_slot()
+                    raise
+                with self._lock:
+                    self.connections_created += 1
+                return conn
+            if not self._healthy(conn, deadline):
+                self._return_slot()
+                continue
+            return conn
+
+    def _connect(self, deadline: Deadline) -> NodeClient:
+        budget = min(self.connect_timeout, deadline.remaining())
+        connect_deadline = Deadline(clock.now() + budget)
+        return NodeClient(self.host, self.port, connect_deadline)
+
+    def _healthy(self, conn: _PooledConnection, deadline: Deadline) -> bool:
+        """Ping a connection that sat idle too long; close it if stale."""
+        if clock.now() - conn.last_used < HEALTH_CHECK_IDLE_SECONDS:
+            return True
+        try:
+            conn.client.ping(deadline)
+        except DeadlineExceededError:
+            conn.client.close()
+            raise
+        except (ConnectionLostError, NodeUnavailableError, OSError):
+            conn.client.close()
+            return False
+        conn.last_used = clock.now()
+        return True
+
+    def _release(self, conn: _PooledConnection) -> None:
+        conn.last_used = clock.now()
+        with self._available:
+            self._checked_out -= 1
+            if self._closed or conn.client.closed:
+                conn.client.close()
+            else:
+                self._idle.append(conn)
+            self._available.notify()
+
+    def _discard(self, conn: _PooledConnection) -> None:
+        conn.client.close()
+        self._return_slot()
+
+    def _return_slot(self) -> None:
+        with self._available:
+            self._checked_out -= 1
+            self._available.notify()

@@ -1,0 +1,617 @@
+"""The node server: one DatabaseNode behind the wire protocol.
+
+``python -m repro.net serve-node`` turns one :class:`DatabaseNode` into
+an OS process answering the mediator's per-node query parts — threshold,
+batched threshold, PDF and top-k evaluation over its Morton shard — plus
+the internal ``halo`` reads its peer node servers issue for boundary
+bands.  Every node of a multi-process cluster regenerates the cluster's
+deterministic synthetic dataset from the shared :class:`ClusterConfig`
+and ingests only its own shard, so no bulk data ever crosses the wire
+at start-up.
+
+Peer halo reads go through :class:`RemoteHaloPeer`, an RPC proxy with
+the same signature and cost-charging contract as
+:meth:`~repro.cluster.node.DatabaseNode.serve_halo`: the *server* side
+reads with no ledger bound, and the *requesting* side charges the
+interconnect transfer to the query's ledger — identical accounting to
+the in-process cluster.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.cluster.node import DatabaseNode
+from repro.cluster.partition import MortonPartitioner
+from repro.core.cache import SemanticCache
+from repro.core.executor import HaloPeer, NodeExecutor
+from repro.core.pdf import get_pdf_on_node
+from repro.core.pdfcache import PdfCache
+from repro.core.threshold import get_threshold_on_node
+from repro.core.topk import get_topk_on_node
+from repro.costmodel import Category, ClusterSpec, CostLedger, paper_cluster
+from repro.costmodel.ledger import METER_HALO_BYTES, METER_HALO_SECONDS
+from repro.fields.derived import FieldRegistry, UnknownFieldError, default_registry
+from repro.morton import MortonRange
+from repro.net import codec
+from repro.net.errors import NetError, ProtocolError
+from repro.net.frame import (
+    Deadline,
+    FrameType,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.net.pool import ConnectionPool
+from repro.net.transport import field_description, parse_address
+from repro.obs import tracing
+from repro.simulation.datasets import (
+    SyntheticDataset,
+    channel_dataset,
+    isotropic_dataset,
+    mhd_dataset,
+)
+from repro.simulation.ingest import atomize
+from repro.storage.errors import StorageError
+
+#: Name of the cluster description file inside ``--db`` directories.
+CONFIG_FILENAME = "cluster.json"
+
+#: Seconds a connection may sit idle between frames before the server
+#: drops it (pooled clients ping well inside this).
+IDLE_TIMEOUT = 300.0
+
+#: Budget for writing one response back to a (possibly slow) client.
+RESPONSE_TIMEOUT = 60.0
+
+_DATASET_FACTORIES = {
+    "mhd": mhd_dataset,
+    "isotropic": isotropic_dataset,
+    "channel": channel_dataset,
+}
+
+#: Failures a request may raise that are answered with an ERROR frame
+#: instead of killing the connection (the ERR01 taxonomy boundary).
+_REQUEST_ERRORS = (
+    ProtocolError,
+    UnknownFieldError,
+    StorageError,
+    ValueError,
+    KeyError,
+    TypeError,
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """The shared description every node of one cluster starts from.
+
+    Stored as ``cluster.json`` in each node's ``--db`` directory; the
+    dataset is deterministic in ``(kind, side, timesteps, seed)``, so
+    each node process regenerates it locally and ingests only its own
+    Morton shard.
+    """
+
+    dataset: str
+    side: int
+    timesteps: int
+    seed: int
+    nodes: int
+    buffer_pages: int = 256
+    cache_capacity_bytes: int | None = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.dataset not in _DATASET_FACTORIES:
+            raise ValueError(
+                f"unknown dataset kind {self.dataset!r}; "
+                f"known: {sorted(_DATASET_FACTORIES)}"
+            )
+
+    def build_dataset(self) -> SyntheticDataset:
+        """Regenerate the cluster's synthetic dataset."""
+        factory = _DATASET_FACTORIES[self.dataset]
+        return factory(
+            side=self.side, timesteps=self.timesteps, seed=self.seed
+        )
+
+    def save(self, directory: "Path | str") -> Path:
+        """Write ``cluster.json`` into ``directory``; returns its path."""
+        path = Path(directory)
+        path.mkdir(parents=True, exist_ok=True)
+        target = path / CONFIG_FILENAME
+        record = {
+            "dataset": self.dataset,
+            "side": self.side,
+            "timesteps": self.timesteps,
+            "seed": self.seed,
+            "nodes": self.nodes,
+            "buffer_pages": self.buffer_pages,
+            "cache_capacity_bytes": self.cache_capacity_bytes,
+        }
+        target.write_text(json.dumps(record, indent=2) + "\n")
+        return target
+
+    @classmethod
+    def load(cls, directory: "Path | str") -> "ClusterConfig":
+        """Read ``cluster.json`` from a ``--db`` directory."""
+        target = Path(directory) / CONFIG_FILENAME
+        record = json.loads(target.read_text())
+        return cls(
+            dataset=str(record["dataset"]),
+            side=int(record["side"]),
+            timesteps=int(record["timesteps"]),
+            seed=int(record["seed"]),
+            nodes=int(record["nodes"]),
+            buffer_pages=int(record.get("buffer_pages", 256)),
+            cache_capacity_bytes=(
+                None
+                if record.get("cache_capacity_bytes") is None
+                else int(record["cache_capacity_bytes"])
+            ),
+        )
+
+
+class RemoteHaloPeer:
+    """RPC proxy for a peer node's boundary reads.
+
+    Satisfies :class:`repro.core.executor.HaloPeer`: the remote server
+    reads its atoms with no ledger bound (charging nothing there), and
+    this proxy charges the interconnect transfer to the requesting
+    query's ledger — exactly what
+    :meth:`~repro.cluster.node.DatabaseNode.serve_halo` does in-process.
+    """
+
+    def __init__(
+        self,
+        pool: ConnectionPool,
+        dataset_spec_source: ClusterSpec,
+        timeout: float,
+    ) -> None:
+        self._pool = pool
+        self._spec = dataset_spec_source
+        self._timeout = timeout
+
+    def serve_halo(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        ranges: list[MortonRange],
+        ledger: CostLedger | None,
+    ) -> dict[int, bytes]:
+        """Fetch boundary atoms from the peer over one RPC."""
+        call = self._pool.call(
+            "halo",
+            {
+                "dataset": dataset,
+                "field": field,
+                "timestep": timestep,
+                "ranges": codec.ranges_to_wire(ranges),
+            },
+            (),
+            timeout=self._timeout,
+            idempotent=True,
+        )
+        atoms = codec.halo_atoms_from_wire(call.header, call.blobs)
+        if ledger is not None:
+            nbytes = sum(len(blob) for blob in atoms.values())
+            seconds = self._spec.interconnect.transfer_time(nbytes)
+            ledger.charge(Category.IO, seconds)
+            ledger.count(METER_HALO_SECONDS, seconds)
+            ledger.count(METER_HALO_BYTES, nbytes)
+        return atoms
+
+
+class NodeServer:
+    """One database node listening on a TCP port.
+
+    Args:
+        node_id: this node's position in the cluster.
+        config: the cluster description shared by every node.
+        host: bind address.
+        port: bind port (0 picks a free one; see :attr:`port`).
+        peer_addresses: every node's ``host:port`` in node-id order (the
+            entry at ``node_id`` is ignored).  Multi-node clusters that
+            bind ephemeral ports (tests) can pass ``None`` here and call
+            :meth:`connect_peers` once every node's port is known.
+        spec: hardware spec (defaults to the paper-calibrated cluster).
+        rpc_timeout: deadline for outgoing peer halo RPCs.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        config: ClusterConfig,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        peer_addresses: "Sequence[str | tuple[str, int]] | None" = None,
+        spec: ClusterSpec | None = None,
+        rpc_timeout: float = 60.0,
+        registry: FieldRegistry | None = None,
+    ) -> None:
+        if not 0 <= node_id < config.nodes:
+            raise ValueError(
+                f"node id {node_id} outside cluster of {config.nodes}"
+            )
+        self.node_id = node_id
+        self.config = config
+        self.spec = spec or paper_cluster()
+        self.registry = registry or default_registry()
+        self.rpc_timeout = rpc_timeout
+        self.partitioner = MortonPartitioner(config.side, config.nodes)
+        self.node = DatabaseNode(
+            node_id, self.spec, buffer_pages=config.buffer_pages
+        )
+        self._peer_pools: list[ConnectionPool | None] = [None] * config.nodes
+        self.executor: NodeExecutor | None = None
+        if config.nodes == 1:
+            self.connect_peers([])
+        elif peer_addresses is not None:
+            self.connect_peers(peer_addresses)
+        self.cache: SemanticCache | None = None
+        self.pdf_cache: PdfCache | None = None
+        if config.cache_capacity_bytes is not None:
+            self.cache = SemanticCache(
+                self.node.db,
+                capacity_bytes=config.cache_capacity_bytes,
+                point_record_bytes=self.spec.point_record_bytes,
+            )
+            self.pdf_cache = PdfCache(self.node.db)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.host = host
+        self.port = int(self._listener.getsockname()[1])
+        self._running = False
+        self._accept_thread: threading.Thread | None = None
+        self._conn_threads: list[threading.Thread] = []
+        self._lock = threading.Lock()
+
+    def connect_peers(
+        self, peer_addresses: "Sequence[str | tuple[str, int]]"
+    ) -> None:
+        """Wire up the peer halo proxies and build the node's executor.
+
+        ``peer_addresses`` lists every node's ``host:port`` in node-id
+        order (a single-node cluster passes an empty list; this node's
+        own entry is ignored).  Must run before the server answers
+        queries; pools connect lazily, so peers need not be up yet.
+        """
+        if self.executor is not None:
+            raise ValueError(f"node {self.node_id} already has peers")
+        if self.config.nodes > 1 and len(peer_addresses) != self.config.nodes:
+            raise ValueError(
+                f"{len(peer_addresses)} peer addresses for "
+                f"{self.config.nodes} nodes"
+            )
+        peers: list[HaloPeer] = []
+        for peer_id in range(self.config.nodes):
+            if peer_id == self.node_id:
+                peers.append(self.node)
+                continue
+            peer_host, peer_port = parse_address(peer_addresses[peer_id])
+            pool = ConnectionPool(peer_host, peer_port, max_connections=2)
+            self._peer_pools[peer_id] = pool
+            peers.append(RemoteHaloPeer(pool, self.spec, self.rpc_timeout))
+        self.executor = NodeExecutor(self.node, peers, self.partitioner)
+
+    def _require_executor(self) -> NodeExecutor:
+        """The executor, or a typed error if peers were never connected."""
+        if self.executor is None:
+            raise ValueError(
+                f"node {self.node_id} has no peers; call connect_peers()"
+            )
+        return self.executor
+
+    # -- data --------------------------------------------------------------------
+
+    def load(self) -> int:
+        """Regenerate the dataset and ingest this node's Morton shard.
+
+        Returns the number of atoms stored.
+        """
+        dataset = self.config.build_dataset()
+        if dataset.spec.name not in self.node.dataset_names:
+            self.node.register_dataset(dataset.spec)
+        stored = 0
+        for field in dataset.spec.fields:
+            for timestep in range(dataset.spec.timesteps):
+                array = dataset.field_array(field, timestep)
+                shard = [
+                    (zindex, blob)
+                    for zindex, blob in atomize(array)
+                    if self.partitioner.node_of_atom(zindex) == self.node_id
+                ]
+                with self.node.db.transaction() as txn:
+                    stored += self.node.store_atoms(
+                        txn, dataset.spec.name, field, timestep, shard
+                    )
+        self.node.db.drop_page_cache()
+        return stored
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Serve in a background thread (tests, benchmarks)."""
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"node{self.node_id}-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._running = True
+        self._accept_loop()
+
+    def shutdown(self) -> None:
+        """Stop accepting, close peer pools and the node (idempotent)."""
+        self._running = False
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - close owes us nothing
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+            self._accept_thread = None
+        with self._lock:
+            threads = list(self._conn_threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        for pool in self._peer_pools:
+            if pool is not None:
+                pool.close()
+        self.node.close()
+
+    def __enter__(self) -> "NodeServer":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+
+    # -- the serve loop ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        # A short poll keeps shutdown() responsive without a wake pipe.
+        self._listener.settimeout(0.2)
+        while self._running:
+            try:
+                conn, _address = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break  # listener closed by shutdown()
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name=f"node{self.node_id}-conn",
+                daemon=True,
+            )
+            with self._lock:
+                self._conn_threads = [
+                    t for t in self._conn_threads if t.is_alive()
+                ]
+                self._conn_threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        """One client connection: frames in, frames out, until EOF."""
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            while self._running:
+                frame = recv_frame(
+                    conn, Deadline.after(IDLE_TIMEOUT), eof_ok=True
+                )
+                if frame is None:
+                    break
+                frame_type, request_id, payload = frame
+                if frame_type == FrameType.HELLO:
+                    self._answer_hello(conn, request_id, payload)
+                elif frame_type == FrameType.PING:
+                    send_frame(
+                        conn,
+                        FrameType.PONG,
+                        request_id,
+                        b"",
+                        Deadline.after(RESPONSE_TIMEOUT),
+                    )
+                elif frame_type == FrameType.REQUEST:
+                    self._answer_request(conn, request_id, payload)
+                else:
+                    raise ProtocolError(
+                        f"client may not send {frame_type.name} frames"
+                    )
+        except (NetError, OSError):
+            # The connection is broken or misbehaving; there is no one
+            # to answer — drop it and let the client's deadline fire.
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - close owes us nothing
+                pass
+
+    def _answer_hello(
+        self, conn: socket.socket, request_id: int, payload: bytes
+    ) -> None:
+        header, _ = codec.decode_message(payload)
+        if header.get("protocol") != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"client speaks protocol {header.get('protocol')}, "
+                f"this server speaks {PROTOCOL_VERSION}"
+            )
+        body = codec.encode_message(
+            {"protocol": PROTOCOL_VERSION, "node_id": self.node_id}
+        )
+        send_frame(
+            conn,
+            FrameType.HELLO_ACK,
+            request_id,
+            body,
+            Deadline.after(RESPONSE_TIMEOUT),
+        )
+
+    def _answer_request(
+        self, conn: socket.socket, request_id: int, payload: bytes
+    ) -> None:
+        try:
+            header, blobs = codec.decode_message(payload)
+            method = str(header.get("method", ""))
+            response_header, response_blobs = self._dispatch(
+                method, header, blobs
+            )
+        except _REQUEST_ERRORS as error:
+            body = codec.encode_message(
+                {
+                    "error": {
+                        "type": type(error).__name__,
+                        "code": "remote_error",
+                        "message": str(error),
+                    }
+                }
+            )
+            send_frame(
+                conn,
+                FrameType.ERROR,
+                request_id,
+                body,
+                Deadline.after(RESPONSE_TIMEOUT),
+            )
+            return
+        send_frame(
+            conn,
+            FrameType.RESPONSE,
+            request_id,
+            codec.encode_message(response_header, response_blobs),
+            Deadline.after(RESPONSE_TIMEOUT),
+        )
+
+    # -- request dispatch --------------------------------------------------------
+
+    def _dispatch(
+        self, method: str, header: dict, blobs: list[bytes]
+    ) -> tuple[dict, list[bytes]]:
+        """Run one RPC; returns the response ``(header, blobs)``."""
+        with tracing.span("server.request", method=method, node=self.node_id):
+            if method == "threshold":
+                return self._serve_threshold(header)
+            if method == "batch_threshold":
+                return self._serve_batch(header)
+            if method == "pdf":
+                return self._serve_pdf(header)
+            if method == "topk":
+                return self._serve_topk(header)
+            if method == "halo":
+                return self._serve_halo(header)
+            if method == "describe":
+                return self._serve_describe()
+            if method == "register_field":
+                return self._serve_register_field(header)
+            raise ValueError(f"unknown RPC method {method!r}")
+
+    def _serve_threshold(self, header: dict) -> tuple[dict, list[bytes]]:
+        query = codec.threshold_query_from_wire(header["query"])
+        result = get_threshold_on_node(
+            self.node,
+            self._require_executor(),
+            self.cache if header.get("use_cache", True) else None,
+            self.registry,
+            query,
+            codec.boxes_from_wire(header["boxes"]),
+            processes=int(header.get("processes", 1)),
+            io_only=bool(header.get("io_only", False)),
+        )
+        return codec.threshold_result_to_wire(result)
+
+    def _serve_batch(self, header: dict) -> tuple[dict, list[bytes]]:
+        from repro.core.batch import get_batch_on_node
+
+        queries = [
+            codec.threshold_query_from_wire(record)
+            for record in header["queries"]
+        ]
+        results = get_batch_on_node(
+            self.node,
+            self._require_executor(),
+            self.cache if header.get("use_cache", True) else None,
+            self.registry,
+            queries,
+            codec.boxes_from_wire(header["boxes"]),
+            processes=int(header.get("processes", 1)),
+        )
+        return codec.batch_results_to_wire(results)
+
+    def _serve_pdf(self, header: dict) -> tuple[dict, list[bytes]]:
+        query = codec.pdf_query_from_wire(header["query"])
+        result = get_pdf_on_node(
+            self.node,
+            self._require_executor(),
+            self.registry,
+            query,
+            codec.boxes_from_wire(header["boxes"]),
+            processes=int(header.get("processes", 1)),
+            pdf_cache=(
+                self.pdf_cache if header.get("use_cache", True) else None
+            ),
+        )
+        return codec.pdf_result_to_wire(result)
+
+    def _serve_topk(self, header: dict) -> tuple[dict, list[bytes]]:
+        query = codec.topk_query_from_wire(header["query"])
+        result = get_topk_on_node(
+            self.node,
+            self._require_executor(),
+            self.registry,
+            query,
+            codec.boxes_from_wire(header["boxes"]),
+            processes=int(header.get("processes", 1)),
+            cache=self.cache if header.get("use_cache", True) else None,
+        )
+        return codec.topk_result_to_wire(result)
+
+    def _serve_halo(self, header: dict) -> tuple[dict, list[bytes]]:
+        # ledger=None: the requesting side charges the transfer (see
+        # RemoteHaloPeer), mirroring the in-process charging split.
+        atoms = self.node.serve_halo(
+            str(header["dataset"]),
+            str(header["field"]),
+            int(header["timestep"]),
+            codec.ranges_from_wire(header["ranges"]),
+            None,
+        )
+        return codec.halo_atoms_to_wire(atoms)
+
+    def _serve_describe(self) -> tuple[dict, list[bytes]]:
+        datasets = []
+        for name in self.node.dataset_names:
+            spec = self.node.dataset(name)
+            datasets.append(
+                {
+                    "name": spec.name,
+                    "side": spec.side,
+                    "timesteps": spec.timesteps,
+                    "fields": sorted(spec.fields),
+                }
+            )
+        return (
+            {
+                "node_id": self.node_id,
+                "nodes": self.config.nodes,
+                "datasets": datasets,
+            },
+            [],
+        )
+
+    def _serve_register_field(self, header: dict) -> tuple[dict, list[bytes]]:
+        derived = self.registry.register_expression(
+            str(header["name"]), str(header["text"])
+        )
+        return {"field": field_description(derived)}, []

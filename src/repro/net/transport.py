@@ -1,0 +1,545 @@
+"""Where the mediator's per-node query parts execute.
+
+The mediator splits every query into per-node parts (paper §2); a
+:class:`Transport` is the seam deciding whether those parts run as
+function calls in this process (:class:`InProcessTransport`, the seed
+behaviour, bit-for-bit) or as RPCs to node-server processes over the
+:mod:`repro.net` wire protocol (:class:`TcpTransport`).
+
+``TcpTransport`` instruments every RPC: a ``net.rpc`` trace span nests
+under the query's ``node.part`` span, the ``rpc_*`` metric families
+count requests/retries/latency/bytes, and each part result's ledger
+carries the *actual* wire bytes under :data:`METER_WIRE_BYTES` so the
+cost model's MEDIATOR_DB transfer can be reconciled against reality.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+import threading
+from typing import TYPE_CHECKING, Sequence
+
+from repro.core.pdf import NodePdfResult, get_pdf_on_node
+from repro.core.query import PdfQuery, ThresholdQuery, TopKQuery
+from repro.core.threshold import NodeThresholdResult, get_threshold_on_node
+from repro.core.topk import NodeTopKResult, get_topk_on_node
+from repro.costmodel import ClusterSpec
+from repro.costmodel.ledger import METER_WIRE_BYTES
+from repro.grid import Box
+from repro.net import codec
+from repro.net.client import CallResult, RetryPolicy
+from repro.net.errors import ProtocolError
+from repro.net.pool import ConnectionPool
+from repro.obs import clock, tracing
+from repro.obs.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.mediator import Mediator
+
+#: Default per-RPC budget: generous enough for a cold full-domain scan
+#: on CI hardware, small enough that a hung node fails the query rather
+#: than the session.
+DEFAULT_RPC_TIMEOUT = 60.0
+
+
+class Transport(abc.ABC):
+    """The mediator's access path to its per-node query parts."""
+
+    @property
+    @abc.abstractmethod
+    def node_count(self) -> int:
+        """How many nodes answer queries through this transport."""
+
+    @abc.abstractmethod
+    def threshold_part(
+        self,
+        node_id: int,
+        query: ThresholdQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+        io_only: bool,
+    ) -> NodeThresholdResult:
+        """One node's share of a threshold query."""
+
+    @abc.abstractmethod
+    def batch_part(
+        self,
+        node_id: int,
+        queries: list[ThresholdQuery],
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> list[NodeThresholdResult]:
+        """One node's share of a batched threshold query."""
+
+    @abc.abstractmethod
+    def pdf_part(
+        self,
+        node_id: int,
+        query: PdfQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodePdfResult:
+        """One node's share of a PDF query."""
+
+    @abc.abstractmethod
+    def topk_part(
+        self,
+        node_id: int,
+        query: TopKQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodeTopKResult:
+        """One node's share of a top-k query."""
+
+    @abc.abstractmethod
+    def dataset_side(self, dataset: str) -> int:
+        """Grid side of a hosted dataset (raises :class:`KeyError`)."""
+
+    @abc.abstractmethod
+    def dataset_names(self) -> list[str]:
+        """Sorted names of every dataset hosted behind this transport."""
+
+    @abc.abstractmethod
+    def register_expression(self, name: str, text: str) -> dict:
+        """Register a derived-field expression wherever parts evaluate.
+
+        Returns the field's wire description (``name``, ``source``,
+        ``halo_depth``, ``units_per_point``).
+        """
+
+    def attach(self, metrics: MetricsRegistry, spec: ClusterSpec) -> None:
+        """Hook the mediator's metrics registry and hardware spec in."""
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+
+class InProcessTransport(Transport):
+    """Parts run as direct function calls against the mediator's nodes.
+
+    This preserves the seed engine's behaviour exactly: the transport
+    reads the mediator's live ``nodes``/``executors``/``caches`` lists
+    (not copies), so cache clears and experiment resets keep working.
+    """
+
+    def __init__(self, mediator: "Mediator") -> None:
+        self._mediator = mediator
+
+    @property
+    def node_count(self) -> int:
+        return len(self._mediator.nodes)
+
+    def threshold_part(
+        self,
+        node_id: int,
+        query: ThresholdQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+        io_only: bool,
+    ) -> NodeThresholdResult:
+        m = self._mediator
+        return get_threshold_on_node(
+            m.nodes[node_id],
+            m.executors[node_id],
+            m.caches[node_id] if use_cache else None,
+            m.registry,
+            query,
+            boxes,
+            processes=processes,
+            io_only=io_only,
+        )
+
+    def batch_part(
+        self,
+        node_id: int,
+        queries: list[ThresholdQuery],
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> list[NodeThresholdResult]:
+        from repro.core.batch import get_batch_on_node
+
+        m = self._mediator
+        return get_batch_on_node(
+            m.nodes[node_id],
+            m.executors[node_id],
+            m.caches[node_id] if use_cache else None,
+            m.registry,
+            queries,
+            boxes,
+            processes=processes,
+        )
+
+    def pdf_part(
+        self,
+        node_id: int,
+        query: PdfQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodePdfResult:
+        m = self._mediator
+        return get_pdf_on_node(
+            m.nodes[node_id],
+            m.executors[node_id],
+            m.registry,
+            query,
+            boxes,
+            processes=processes,
+            pdf_cache=m.pdf_caches[node_id] if use_cache else None,
+        )
+
+    def topk_part(
+        self,
+        node_id: int,
+        query: TopKQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodeTopKResult:
+        m = self._mediator
+        return get_topk_on_node(
+            m.nodes[node_id],
+            m.executors[node_id],
+            m.registry,
+            query,
+            boxes,
+            processes=processes,
+            cache=m.caches[node_id] if use_cache else None,
+        )
+
+    def dataset_side(self, dataset: str) -> int:
+        return self._mediator.nodes[0].dataset(dataset).side
+
+    def dataset_names(self) -> list[str]:
+        return sorted(
+            {
+                name
+                for node in self._mediator.nodes
+                for name in node.dataset_names
+            }
+        )
+
+    def register_expression(self, name: str, text: str) -> dict:
+        derived = self._mediator.registry.register_expression(name, text)
+        return field_description(derived)
+
+
+def field_description(derived) -> dict:
+    """A derived field's wire-level description (shared with the server)."""
+    return {
+        "name": derived.name,
+        "source": derived.source,
+        "halo_depth": derived.halo_depth if derived.differential else 0,
+        "units_per_point": derived.units_per_point,
+    }
+
+
+def parse_address(address: "str | tuple[str, int]") -> tuple[str, int]:
+    """Normalise ``"host:port"`` (or a pre-split pair) to ``(host, port)``."""
+    if isinstance(address, tuple):
+        host, port = address
+        return str(host), int(port)
+    host, sep, port_text = address.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {address!r} is not host:port")
+    return host, int(port_text)
+
+
+class TcpTransport(Transport):
+    """Parts run as RPCs to ``serve-node`` processes.
+
+    Args:
+        addresses: one ``"host:port"`` (or pair) per node, in node-id
+            order matching the cluster's partitioner.
+        timeout: per-RPC deadline in wall seconds.  Retries of a failed
+            idempotent call share this one budget.
+        connect_timeout: per-attempt TCP connect + handshake budget.
+        max_connections: pooled sockets per node.
+        retry: backoff policy for idempotent reads.
+        rng: jitter source, seedable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence["str | tuple[str, int]"],
+        *,
+        timeout: float = DEFAULT_RPC_TIMEOUT,
+        connect_timeout: float = 2.0,
+        max_connections: int = 4,
+        retry: RetryPolicy | None = None,
+        rng: random.Random | None = None,
+    ) -> None:
+        if not addresses:
+            raise ValueError("a TCP transport needs at least one node address")
+        if timeout <= 0:
+            raise ValueError("the RPC timeout must be positive")
+        self.timeout = timeout
+        self._rng = rng or random.Random()
+        self.pools = [
+            ConnectionPool(
+                host,
+                port,
+                max_connections=max_connections,
+                connect_timeout=connect_timeout,
+                retry=retry,
+                rng=self._rng,
+                on_retry=self._observe_retry,
+            )
+            for host, port in map(parse_address, addresses)
+        ]
+        self._describe_lock = threading.Lock()
+        self._datasets: list[dict] | None = None
+        self._m_requests = None
+        self._m_latency = None
+        self._m_retries = None
+        self._m_sent = None
+        self._m_received = None
+
+    # -- instrumentation -------------------------------------------------------
+
+    def attach(self, metrics: MetricsRegistry, spec: ClusterSpec) -> None:
+        self._m_requests = metrics.counter(
+            "rpc_requests_total",
+            "Node RPCs issued, by method and outcome",
+            labelnames=["method", "status"],
+        )
+        self._m_latency = metrics.histogram(
+            "rpc_latency_seconds",
+            "Wall seconds per node RPC (including retries)",
+            buckets=[0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0],
+        )
+        self._m_retries = metrics.counter(
+            "rpc_retries_total", "Node RPC attempts beyond the first"
+        )
+        self._m_sent = metrics.counter(
+            "rpc_bytes_sent_total", "Request bytes put on the wire"
+        )
+        self._m_received = metrics.counter(
+            "rpc_bytes_received_total", "Response bytes read off the wire"
+        )
+
+    def _observe_retry(self) -> None:
+        if self._m_retries is not None:
+            self._m_retries.inc()
+
+    def _call(
+        self,
+        node_id: int,
+        method: str,
+        header: dict,
+        blobs: Sequence[bytes] = (),
+        *,
+        idempotent: bool = True,
+        timeout: float | None = None,
+    ) -> CallResult:
+        pool = self.pools[node_id]
+        start = clock.now()
+        status = "ok"
+        with tracing.span(
+            "net.rpc", node=node_id, method=method, address=pool.address
+        ) as span:
+            try:
+                result = pool.call(
+                    method,
+                    header,
+                    blobs,
+                    timeout=timeout if timeout is not None else self.timeout,
+                    idempotent=idempotent,
+                )
+            except Exception as error:
+                status = type(error).__name__
+                span.set("error", status)
+                raise
+            finally:
+                if self._m_requests is not None:
+                    self._m_requests.labels(method=method, status=status).inc()
+                if self._m_latency is not None:
+                    self._m_latency.observe(clock.now() - start)
+            span.set("bytes_sent", result.bytes_sent)
+            span.set("bytes_received", result.bytes_received)
+        if self._m_sent is not None:
+            self._m_sent.inc(result.bytes_sent)
+            self._m_received.inc(result.bytes_received)
+        return result
+
+    @staticmethod
+    def _reconcile(result, call: CallResult):
+        """Record the RPC's real wire bytes on the part's ledger.
+
+        The mediator separately *models* the mediator<->node transfer
+        (``Category.MEDIATOR_DB``, from the spec's LAN); this meter is
+        the measured footprint the model is reconciled against.
+        """
+        result.ledger.count(
+            METER_WIRE_BYTES, call.bytes_sent + call.bytes_received
+        )
+        return result
+
+    # -- query parts -----------------------------------------------------------
+
+    @property
+    def node_count(self) -> int:
+        return len(self.pools)
+
+    def threshold_part(
+        self,
+        node_id: int,
+        query: ThresholdQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+        io_only: bool,
+    ) -> NodeThresholdResult:
+        call = self._call(
+            node_id,
+            "threshold",
+            {
+                "query": codec.threshold_query_to_wire(query),
+                "boxes": codec.boxes_to_wire(boxes),
+                "use_cache": use_cache,
+                "processes": processes,
+                "io_only": io_only,
+            },
+        )
+        return self._reconcile(
+            codec.threshold_result_from_wire(call.header, call.blobs), call
+        )
+
+    def batch_part(
+        self,
+        node_id: int,
+        queries: list[ThresholdQuery],
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> list[NodeThresholdResult]:
+        call = self._call(
+            node_id,
+            "batch_threshold",
+            {
+                "queries": [codec.threshold_query_to_wire(q) for q in queries],
+                "boxes": codec.boxes_to_wire(boxes),
+                "use_cache": use_cache,
+                "processes": processes,
+            },
+        )
+        results = codec.batch_results_from_wire(call.header, call.blobs)
+        if results:
+            # One shared ledger across the batch: meter the wire once.
+            self._reconcile(results[0], call)
+        return results
+
+    def pdf_part(
+        self,
+        node_id: int,
+        query: PdfQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodePdfResult:
+        call = self._call(
+            node_id,
+            "pdf",
+            {
+                "query": codec.pdf_query_to_wire(query),
+                "boxes": codec.boxes_to_wire(boxes),
+                "use_cache": use_cache,
+                "processes": processes,
+            },
+        )
+        return self._reconcile(
+            codec.pdf_result_from_wire(call.header, call.blobs), call
+        )
+
+    def topk_part(
+        self,
+        node_id: int,
+        query: TopKQuery,
+        boxes: list[Box],
+        *,
+        use_cache: bool,
+        processes: int,
+    ) -> NodeTopKResult:
+        call = self._call(
+            node_id,
+            "topk",
+            {
+                "query": codec.topk_query_to_wire(query),
+                "boxes": codec.boxes_to_wire(boxes),
+                "use_cache": use_cache,
+                "processes": processes,
+            },
+        )
+        return self._reconcile(
+            codec.topk_result_from_wire(call.header, call.blobs), call
+        )
+
+    # -- catalogue and control -------------------------------------------------
+
+    def _describe(self) -> list[dict]:
+        """Node 0's dataset catalogue, fetched once and cached."""
+        with self._describe_lock:
+            if self._datasets is None:
+                call = self._call(0, "describe", {})
+                datasets = call.header.get("datasets")
+                if not isinstance(datasets, list):
+                    raise ProtocolError("describe response has no datasets")
+                self._datasets = datasets
+            return self._datasets
+
+    def dataset_side(self, dataset: str) -> int:
+        for record in self._describe():
+            if record.get("name") == dataset:
+                return int(record["side"])
+        raise KeyError(f"cluster hosts no dataset {dataset!r}")
+
+    def dataset_names(self) -> list[str]:
+        return sorted(str(record["name"]) for record in self._describe())
+
+    def register_expression(self, name: str, text: str) -> dict:
+        # Registration mutates node state: never retried (a replayed
+        # request would see "already registered" from its own first try).
+        description: dict = {}
+        for node_id in range(len(self.pools)):
+            call = self._call(
+                node_id,
+                "register_field",
+                {"name": name, "text": text},
+                idempotent=False,
+            )
+            description = dict(call.header.get("field", {}))
+        return description
+
+    def ping(self, node_id: int, timeout: float | None = None) -> float:
+        """Health-check one node; returns round-trip wall seconds."""
+        return self.pools[node_id].ping(
+            timeout if timeout is not None else self.timeout
+        )
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.close()
+
+    def __enter__(self) -> "TcpTransport":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

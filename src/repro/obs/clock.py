@@ -22,6 +22,16 @@ def unix_now() -> float:
     return time.time()
 
 
+def sleep(seconds: float) -> None:
+    """Block the calling thread for ``seconds`` of wall time.
+
+    Real waits (retry backoff, poll intervals) are host interactions
+    just like clock reads, so they live behind the same boundary; the
+    simulated-time model never sleeps.
+    """
+    time.sleep(seconds)
+
+
 class Stopwatch:
     """A context manager measuring the wall time of its body.
 

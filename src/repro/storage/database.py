@@ -116,6 +116,7 @@ class Database:
         self._latch = threading.RLock()
         self._manager = TransactionManager(latch=self._latch)
         self._next_file_id = 0
+        self._closed = False
         self.wal = wal  # optional WriteAheadLog (see repro.storage.wal)
 
     # -- devices ---------------------------------------------------------------
@@ -194,7 +195,12 @@ class Database:
         While the transaction runs, pages this *thread* touches on any of
         this database's devices charge into ``ledger`` (bindings are
         thread-local, so concurrent queries account independently).
+
+        Raises:
+            TransactionError: on a database already :meth:`close`-d.
         """
+        if self._closed:
+            raise TransactionError(f"database {self.name!r} is closed")
         for device in self._devices.values():
             device.bind_ledger(ledger)
         return self._manager.begin(ledger, wal=self.wal)
@@ -217,6 +223,28 @@ class Database:
         """Empty every table's buffer pool (cold-cache experiment reset)."""
         for table in self._tables.values():
             table._pool.clear()
+
+    def close(self) -> None:
+        """Flush durable state and refuse further transactions.
+
+        Flushes the write-ahead log (if any), releases every table's
+        buffer-pool frames and marks the database closed — a later
+        :meth:`begin` raises :class:`TransactionError`.  Idempotent;
+        catalog and row data stay readable for post-mortem inspection
+        through already-open transactions.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self.wal is not None:
+            self.wal.flush()
+        for table in self._tables.values():
+            table._pool.clear()
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
 
     # -- observability ------------------------------------------------------------
 

@@ -1,0 +1,22 @@
+# Dirty: blocking socket operations with no deadline anywhere.
+import socket
+
+
+def make_blocking(sock):
+    sock.settimeout(None)
+
+
+def connect_no_timeout(host, port):
+    return socket.create_connection((host, port))
+
+
+def raw_connect(sock, address):
+    sock.connect(address)
+
+
+def read_forever(sock):
+    return sock.recv(4096)
+
+
+def accept_forever(listener):
+    return listener.accept()

@@ -1,0 +1,41 @@
+# Clean: every blocking socket operation is armed from a deadline.
+import socket
+
+
+def open_connection(host, port, deadline):
+    return socket.create_connection(
+        (host, port), timeout=deadline.remaining()
+    )
+
+
+def read_exactly(sock, count, deadline):
+    chunks = []
+    got = 0
+    while got < count:
+        sock.settimeout(deadline.remaining())
+        chunk = sock.recv(count - got)
+        if not chunk:
+            break
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def accept_loop(listener, running):
+    listener.settimeout(0.2)
+    while running():
+        try:
+            conn, _address = listener.accept()
+        except socket.timeout:
+            continue
+        yield conn
+
+
+class Wrapper:
+    def connect(self, deadline):
+        # Defining (and calling) our own connect wrapper is fine: the
+        # raw-socket rule only bars the socket method itself.
+        self._sock = open_connection("localhost", 1, deadline)
+
+    def reconnect(self, deadline):
+        self.connect(deadline)

@@ -1,0 +1,53 @@
+"""NET01 (network deadline discipline) checker tests."""
+
+from repro.lint.checkers.net01 import NetDeadlines
+
+from tests.lint_helpers import load, run_checker
+
+
+def test_clean_fixture_passes():
+    source = load("net01_good.py", "repro.net.fixture_good")
+    assert run_checker(NetDeadlines(), source) == []
+
+
+def test_bad_fixture_reports_each_violation():
+    source = load("net01_bad.py", "repro.net.fixture_bad")
+    diags = run_checker(NetDeadlines(), source)
+    assert len(diags) == 5
+    messages = "\n".join(d.message for d in diags)
+    assert "settimeout(None)" in messages
+    assert "create_connection without timeout=" in messages
+    assert "bare .connect()" in messages
+    assert ".recv() in read_forever()" in messages
+    assert ".accept() in accept_forever()" in messages
+    assert all(d.code == "NET01" for d in diags)
+
+
+def test_scope_is_the_net_package_only():
+    checker = NetDeadlines()
+    assert checker.applies("repro.net.client")
+    assert checker.applies("repro.net.server")
+    assert not checker.applies("repro.cluster.mediator")
+    assert not checker.applies("repro.obs.clock")
+    assert not checker.applies("socketserver")
+
+
+def test_own_net_package_is_clean():
+    """The shipped transport tier must satisfy its own lint rule."""
+    from pathlib import Path
+
+    from repro.lint import SourceFile
+
+    net_dir = Path(__file__).parent.parent / "src" / "repro" / "net"
+    checker = NetDeadlines()
+    for path in sorted(net_dir.glob("*.py")):
+        module = f"repro.net.{path.stem}"
+        if not checker.applies(module):
+            continue
+        source = SourceFile(path, module)
+        diags = [
+            d
+            for d in checker.check(source)
+            if not source.suppressed(d.code, d.line)
+        ]
+        assert diags == [], f"{path.name}: {[d.message for d in diags]}"

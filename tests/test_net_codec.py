@@ -1,0 +1,313 @@
+"""Wire-layer tests: framing, the message codec, and domain round-trips."""
+
+import random
+import socket
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.query import PdfQuery, ThresholdQuery, TopKQuery
+from repro.core.threshold import NodeThresholdResult
+from repro.costmodel import Category, CostLedger
+from repro.grid import Box
+from repro.morton import MortonRange
+from repro.net import codec
+from repro.net.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    FrameError,
+    ProtocolError,
+)
+from repro.net.frame import (
+    Deadline,
+    FrameType,
+    HEADER,
+    MAGIC,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+
+
+def _pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    return left, right
+
+
+# -- framing --------------------------------------------------------------------
+
+
+def test_frame_round_trip_every_type():
+    left, right = _pair()
+    try:
+        for frame_type in FrameType:
+            payload = bytes([int(frame_type)]) * 37
+            sent = send_frame(
+                left, frame_type, 42 + frame_type, payload, Deadline.after(5)
+            )
+            assert sent == HEADER.size + len(payload)
+            frame = recv_frame(right, Deadline.after(5))
+            assert frame == (frame_type, 42 + frame_type, payload)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_frame_round_trip_large_payload():
+    """Payloads far past 64 KiB survive chunked sends and reads."""
+    rng = random.Random(7)
+    payload = rng.randbytes(3 * 1024 * 1024 + 17)
+    left, right = _pair()
+    received = {}
+
+    def reader():
+        received["frame"] = recv_frame(right, Deadline.after(30))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        send_frame(left, FrameType.RESPONSE, 9, payload, Deadline.after(30))
+        thread.join(timeout=30)
+        assert received["frame"] == (FrameType.RESPONSE, 9, payload)
+    finally:
+        left.close()
+        right.close()
+
+
+def test_truncated_payload_is_a_frame_error():
+    """EOF mid-payload is truncation, not a clean close."""
+    left, right = _pair()
+    try:
+        header = HEADER.pack(MAGIC, PROTOCOL_VERSION, 6, 0, 1, 100)
+        left.sendall(header + b"only-some-bytes")
+        left.close()
+        with pytest.raises(FrameError, match="truncated"):
+            recv_frame(right, Deadline.after(5))
+    finally:
+        right.close()
+
+
+def test_truncated_header_is_a_frame_error():
+    left, right = _pair()
+    try:
+        left.sendall(HEADER.pack(MAGIC, PROTOCOL_VERSION, 6, 0, 1, 0)[:7])
+        left.close()
+        with pytest.raises(FrameError, match="truncated"):
+            recv_frame(right, Deadline.after(5))
+    finally:
+        right.close()
+
+
+@pytest.mark.parametrize(
+    "header_bytes, match",
+    [
+        (HEADER.pack(b"HTTP", PROTOCOL_VERSION, 6, 0, 1, 0), "magic"),
+        (HEADER.pack(MAGIC, 99, 6, 0, 1, 0), "protocol 99"),
+        (HEADER.pack(MAGIC, PROTOCOL_VERSION, 6, 7, 1, 0), "flags"),
+        (HEADER.pack(MAGIC, PROTOCOL_VERSION, 250, 0, 1, 0), "frame type"),
+        (
+            HEADER.pack(MAGIC, PROTOCOL_VERSION, 6, 0, 1, 2**31),
+            "ceiling",
+        ),
+    ],
+)
+def test_garbage_headers_are_rejected(header_bytes, match):
+    left, right = _pair()
+    try:
+        left.sendall(header_bytes)
+        with pytest.raises(FrameError, match=match):
+            recv_frame(right, Deadline.after(5))
+    finally:
+        left.close()
+        right.close()
+
+
+def test_clean_eof_before_any_byte():
+    left, right = _pair()
+    left.close()
+    try:
+        assert recv_frame(right, Deadline.after(5), eof_ok=True) is None
+        with pytest.raises(ConnectionLostError):
+            recv_frame(right, Deadline.after(5), eof_ok=False)
+    finally:
+        right.close()
+
+
+def test_recv_respects_the_deadline():
+    left, right = _pair()
+    try:
+        with pytest.raises(DeadlineExceededError):
+            recv_frame(right, Deadline.after(0.05))
+    finally:
+        left.close()
+        right.close()
+
+
+def test_deadline_contract():
+    with pytest.raises(ValueError):
+        Deadline.after(0)
+    with pytest.raises(ValueError):
+        Deadline.after(-1)
+    spent = Deadline(expires_at=0.0)
+    with pytest.raises(DeadlineExceededError):
+        spent.remaining()
+    assert Deadline.after(60).remaining() > 59
+
+
+def test_oversized_send_is_refused():
+    left, right = _pair()
+    try:
+        with pytest.raises(FrameError, match="ceiling"):
+            send_frame(
+                left,
+                FrameType.REQUEST,
+                1,
+                _FakeHugePayload(),
+                Deadline.after(5),
+            )
+    finally:
+        left.close()
+        right.close()
+
+
+class _FakeHugePayload(bytes):
+    """A bytes stand-in reporting an over-ceiling length (no allocation)."""
+
+    def __len__(self):
+        return 256 * 1024 * 1024 + 1
+
+
+# -- message codec ---------------------------------------------------------------
+
+
+def test_message_round_trip_randomised():
+    """Property-style: random headers and blob shapes survive the codec."""
+    rng = random.Random(1234)
+    for _ in range(50):
+        header = {
+            "method": rng.choice(["threshold", "pdf", "halo"]),
+            "n": rng.randint(-(2**40), 2**40),
+            "f": rng.random(),
+            "flag": rng.random() < 0.5,
+            "nest": {"list": [rng.randint(0, 9) for _ in range(rng.randint(0, 5))]},
+            "none": None,
+        }
+        blobs = [
+            rng.randbytes(rng.randint(0, 4096))
+            for _ in range(rng.randint(0, 6))
+        ]
+        decoded_header, decoded_blobs = codec.decode_message(
+            codec.encode_message(header, blobs)
+        )
+        assert decoded_header == header
+        assert decoded_blobs == blobs
+
+
+def test_message_round_trip_huge_blob():
+    """A blob well past 64 KiB crosses the codec byte-for-byte."""
+    blob = random.Random(5).randbytes(512 * 1024 + 3)
+    header, blobs = codec.decode_message(
+        codec.encode_message({"m": "x"}, [b"", blob])
+    )
+    assert blobs == [b"", blob]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        b"",  # no header length
+        struct.pack("<I", 100),  # header length with no header
+        struct.pack("<I", 2) + b"{}",  # missing blob count
+        struct.pack("<I", 2) + b"{}" + struct.pack("<H", 1),  # missing blob
+        codec.encode_message({"a": 1}) + b"junk",  # trailing bytes
+        struct.pack("<I", 4) + b"[1icaccount]"[:4] + struct.pack("<H", 0),
+    ],
+)
+def test_garbage_messages_are_protocol_errors(payload):
+    with pytest.raises(ProtocolError):
+        codec.decode_message(payload)
+
+
+def test_non_object_header_is_rejected():
+    head = b"[1,2]"
+    payload = struct.pack("<I", len(head)) + head + struct.pack("<H", 0)
+    with pytest.raises(ProtocolError, match="JSON object"):
+        codec.decode_message(payload)
+
+
+def test_blob_cap_is_enforced():
+    with pytest.raises(ProtocolError, match="cap"):
+        codec.encode_message({}, [b""] * (codec.MAX_BLOBS + 1))
+
+
+# -- domain round-trips ----------------------------------------------------------
+
+
+def test_query_round_trips():
+    tq = ThresholdQuery(
+        dataset="mhd",
+        field="vorticity",
+        timestep=3,
+        threshold=1.5,
+        box=Box((0, 0, 0), (15, 15, 15)),
+        fd_order=6,
+    )
+    assert codec.threshold_query_from_wire(codec.threshold_query_to_wire(tq)) == tq
+    pq = PdfQuery(
+        dataset="iso",
+        field="pressure",
+        timestep=0,
+        bin_edges=(-1.0, 0.0, 1.0),
+        fd_order=4,
+    )
+    assert codec.pdf_query_from_wire(codec.pdf_query_to_wire(pq)) == pq
+    kq = TopKQuery(dataset="mhd", field="qcriterion", timestep=1, k=128)
+    assert codec.topk_query_from_wire(codec.topk_query_to_wire(kq)) == kq
+
+
+def test_boxes_and_ranges_round_trip():
+    boxes = [Box((0, 0, 0), (7, 7, 7)), Box((8, 0, 0), (15, 7, 7))]
+    assert codec.boxes_from_wire(codec.boxes_to_wire(boxes)) == boxes
+    ranges = [MortonRange(0, 100), MortonRange(4096, 8191)]
+    assert codec.ranges_from_wire(codec.ranges_to_wire(ranges)) == ranges
+
+
+def test_threshold_result_round_trip_preserves_ledger():
+    ledger = CostLedger()
+    ledger.charge(Category.IO, 1.25)
+    ledger.charge(Category.COMPUTE, 0.5)
+    ledger.count("wire_bytes", 100.0)
+    result = NodeThresholdResult(
+        np.array([5, 9, 1 << 50], dtype=np.uint64),
+        np.array([0.5, -1.5, 2.25], dtype=np.float64),
+        ledger,
+        cache_hit=True,
+        boxes_evaluated=4,
+        cache_stored=False,
+    )
+    rebuilt = codec.threshold_result_from_wire(
+        *codec.threshold_result_to_wire(result)
+    )
+    assert np.array_equal(rebuilt.zindexes, result.zindexes)
+    assert np.array_equal(rebuilt.values, result.values)
+    assert rebuilt.cache_hit and not rebuilt.cache_stored
+    assert rebuilt.boxes_evaluated == 4
+    assert rebuilt.ledger.breakdown() == ledger.breakdown()
+    assert rebuilt.ledger.meters() == ledger.meters()
+
+
+def test_halo_atoms_round_trip():
+    rng = random.Random(99)
+    atoms = {z: rng.randbytes(64) for z in (0, 7, 4096, 2**40)}
+    rebuilt = codec.halo_atoms_from_wire(*codec.halo_atoms_to_wire(atoms))
+    assert rebuilt == atoms
+    assert codec.halo_atoms_from_wire(*codec.halo_atoms_to_wire({})) == {}
+
+
+def test_halo_atoms_unequal_sizes_are_rejected():
+    with pytest.raises(ProtocolError, match="unequal"):
+        codec.halo_atoms_to_wire({1: b"abc", 2: b"toolong"})
