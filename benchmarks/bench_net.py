@@ -1,22 +1,28 @@
-"""Network transport benchmark: RPC latency, throughput, and TCP overhead.
+"""Network data-plane benchmark: throughput, latency, and TCP overhead.
 
 Stands up a real two-node cluster in-thread (NodeServer instances over
 loopback TCP) plus an identical in-process reference, and measures:
 
 * ``ping_rtt_ms`` — median health-check round trip, the wire floor;
-* ``threshold_tcp_s`` / ``threshold_inprocess_s`` — one threshold query
-  over each transport, and the resulting overhead ratio;
-* ``pointset_mib_per_s`` — wire throughput shipping a large threshold
-  result's pointset columns (real bytes / wall seconds);
-* per-query ``wire_bytes`` — the real wire footprint the TcpTransport
-  reconciles against the cost model's MEDIATOR_DB transfer.
+* a **payload sweep** — 64 KiB / 1 MiB / 16 MiB point-set transfers via
+  the server's ``echo`` RPC, compressed (negotiated zlib, the default)
+  and uncompressed, recording MiB/s plus p50/p90 latency.  Throughput
+  is *raw* point-set bytes over wall time, so the compressed rows show
+  what negotiation buys on top of the zero-copy framing;
+* ``threshold_tcp_s`` / ``threshold_inprocess_s`` — a threshold query
+  over each transport, and the resulting ``tcp_overhead_ratio``;
+* per-query ``wire_bytes`` — the real (post-compression) footprint the
+  TcpTransport reconciles against the cost model's MEDIATOR_DB
+  transfer.
 
 Run as a script::
 
     PYTHONPATH=src python benchmarks/bench_net.py
 
-Writes ``BENCH_net.json`` at the repo root.  Numbers are informational
-(no floor): loopback latency varies wildly across CI hosts.
+Writes ``BENCH_net.json`` at the repo root and gates the results
+against ``benchmarks/net_floor.json`` (plain keys are minimums; keys
+with a ``_max`` suffix are ceilings), exiting non-zero on a violation —
+the CI net-cluster job relies on that exit code.
 """
 
 from __future__ import annotations
@@ -31,25 +37,36 @@ import numpy as np
 from repro.cluster.mediator import Mediator, build_cluster
 from repro.cluster.partition import MortonPartitioner
 from repro.core import ThresholdQuery
+from repro.net.compress import NO_COMPRESSION
 from repro.net.server import ClusterConfig, NodeServer
+from repro.net.stream import ByteStreamSink
 from repro.net.transport import TcpTransport
 from repro.obs.clock import Stopwatch, unix_now
 from repro.simulation.datasets import mhd_dataset
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 OUT_PATH = REPO_ROOT / "BENCH_net.json"
+FLOOR_PATH = Path(__file__).resolve().parent / "net_floor.json"
 
 SIDE = 16
 TIMESTEPS = 2
 NODES = 2
 PINGS = 50
+#: Alternating TCP/in-process threshold reps; the ratio uses medians.
+THRESHOLD_REPS = 5
+#: Payload sweep sizes (raw packed point-set bytes; 16 bytes/point).
+SWEEP_SIZES = (
+    (64 * 1024, "64KiB"),
+    (1024 * 1024, "1MiB"),
+    (16 * 1024 * 1024, "16MiB"),
+)
 QUERY = ThresholdQuery(
     dataset="mhd", field="vorticity", timestep=0, threshold=0.5
 )
 
 
-def start_cluster() -> tuple[list[NodeServer], Mediator]:
-    """Two in-thread node servers plus a TCP mediator over them."""
+def start_cluster() -> tuple[list[NodeServer], list[str]]:
+    """Two in-thread node servers over loopback, data loaded."""
     config = ClusterConfig(
         dataset="mhd", side=SIDE, timesteps=TIMESTEPS, seed=11, nodes=NODES
     )
@@ -59,13 +76,17 @@ def start_cluster() -> tuple[list[NodeServer], Mediator]:
         server.connect_peers(addresses)
         server.load()
         server.start()
-    mediator = Mediator(
+    return servers, addresses
+
+
+def make_mediator(addresses: list[str], **transport_kwargs) -> Mediator:
+    """A TCP mediator over the running servers."""
+    return Mediator(
         nodes=[],
         partitioner=MortonPartitioner(SIDE, NODES),
-        transport=TcpTransport(addresses, timeout=120.0),
-        scatter_timeout=300.0,
+        transport=TcpTransport(addresses, timeout=300.0, **transport_kwargs),
+        scatter_timeout=600.0,
     )
-    return servers, mediator
 
 
 def bench_ping(mediator: Mediator) -> dict[str, float]:
@@ -79,33 +100,80 @@ def bench_ping(mediator: Mediator) -> dict[str, float]:
     }
 
 
+def _echo_once(transport: TcpTransport, points: int, raw_bytes: int) -> float:
+    """One timed echo transfer; verifies every raw byte arrived."""
+    sink = ByteStreamSink()
+    with Stopwatch() as watch:
+        call = transport._call(
+            0, "echo", {"points": points}, sink=sink, timeout=300.0
+        )
+    received = sink.raw_bytes + sum(len(blob) for blob in call.blobs)
+    if received != raw_bytes:
+        raise AssertionError(
+            f"echo returned {received} raw bytes, expected {raw_bytes}"
+        )
+    return watch.elapsed
+
+
+def bench_payload_sweep(
+    compressed: TcpTransport, raw: TcpTransport
+) -> dict[str, float]:
+    """MiB/s and p50/p90 latency per payload size, per codec."""
+    out: dict[str, float] = {}
+    for raw_bytes, label in SWEEP_SIZES:
+        points = raw_bytes // 16
+        reps = 5 if raw_bytes >= 16 * 1024 * 1024 else 9
+        for codec_name, transport in (("zlib", compressed), ("raw", raw)):
+            _echo_once(transport, points, raw_bytes)  # warm the path
+            times = sorted(
+                _echo_once(transport, points, raw_bytes)
+                for _ in range(reps)
+            )
+            p50 = statistics.median(times)
+            p90 = times[min(int(len(times) * 0.9), len(times) - 1)]
+            prefix = f"echo_{label}_{codec_name}"
+            out[f"{prefix}_mib_per_s"] = raw_bytes / p50 / (1024 * 1024)
+            out[f"{prefix}_p50_ms"] = p50 * 1e3
+            out[f"{prefix}_p90_ms"] = p90 * 1e3
+    # Headline: the 16 MiB transfer on the default (negotiated) path.
+    out["pointset_mib_per_s"] = out["echo_16MiB_zlib_mib_per_s"]
+    out["pointset_raw_mib_per_s"] = out["echo_16MiB_raw_mib_per_s"]
+    return out
+
+
 def bench_threshold(tcp: Mediator, in_process: Mediator) -> dict[str, float]:
     # Warm both paths once so buffer-pool state matches.
     tcp.threshold(QUERY, use_cache=False)
     in_process.threshold(QUERY, use_cache=False)
 
-    with Stopwatch() as tcp_watch:
-        over_tcp = tcp.threshold(QUERY, use_cache=False)
-    with Stopwatch() as local_watch:
-        local = in_process.threshold(QUERY, use_cache=False)
-    assert np.array_equal(
-        np.sort(over_tcp.zindexes), np.sort(local.zindexes)
-    )
-    wire_bytes = float(over_tcp.ledger.meters().get("wire_bytes", 0.0))
+    tcp_times, local_times = [], []
+    wire_bytes = 0.0
+    for _ in range(THRESHOLD_REPS):
+        with Stopwatch() as tcp_watch:
+            over_tcp = tcp.threshold(QUERY, use_cache=False)
+        with Stopwatch() as local_watch:
+            local = in_process.threshold(QUERY, use_cache=False)
+        tcp_times.append(tcp_watch.elapsed)
+        local_times.append(local_watch.elapsed)
+        wire_bytes = float(over_tcp.ledger.meters().get("wire_bytes", 0.0))
+        assert np.array_equal(
+            np.sort(over_tcp.zindexes), np.sort(local.zindexes)
+        )
+    tcp_s = statistics.median(tcp_times)
+    local_s = statistics.median(local_times)
     return {
         "threshold_points": float(len(over_tcp)),
-        "threshold_tcp_s": tcp_watch.elapsed,
-        "threshold_inprocess_s": local_watch.elapsed,
-        "tcp_overhead_ratio": tcp_watch.elapsed / local_watch.elapsed,
+        "threshold_tcp_s": tcp_s,
+        "threshold_inprocess_s": local_s,
+        "tcp_overhead_ratio": tcp_s / local_s,
         "threshold_wire_bytes": wire_bytes,
-        "pointset_mib_per_s": (
-            wire_bytes / tcp_watch.elapsed / (1024 * 1024)
-        ),
     }
 
 
 def run() -> dict[str, object]:
-    servers, tcp = start_cluster()
+    servers, addresses = start_cluster()
+    tcp = make_mediator(addresses)
+    raw_tcp = make_mediator(addresses, compression=NO_COMPRESSION)
     in_process = build_cluster(
         mhd_dataset(side=SIDE, timesteps=TIMESTEPS, seed=11), nodes=NODES
     )
@@ -117,13 +185,37 @@ def run() -> dict[str, object]:
             "nodes": NODES,
         }
         report.update(bench_ping(tcp))
+        report.update(
+            bench_payload_sweep(tcp.transport, raw_tcp.transport)
+        )
         report.update(bench_threshold(tcp, in_process))
         return report
     finally:
         tcp.close()
+        raw_tcp.close()
         in_process.close()
         for server in servers:
             server.shutdown()
+
+
+def check_floor(report: dict[str, object]) -> list[str]:
+    """Compare the report against the floor file.
+
+    Plain keys are minimums; a ``_max`` suffix marks a ceiling (used
+    for ratios where smaller is better).
+    """
+    floor = json.loads(FLOOR_PATH.read_text())
+    failures = []
+    for key, bound in floor.items():
+        if key.endswith("_max"):
+            got = float(report[key[: -len("_max")]])  # type: ignore[arg-type]
+            if got > bound:
+                failures.append(f"{key[:-4]}: {got:.3f} > ceiling {bound}")
+        else:
+            got = float(report[key])  # type: ignore[arg-type]
+            if got < bound:
+                failures.append(f"{key}: {got:.3f} < floor {bound}")
+    return failures
 
 
 def main() -> int:
@@ -133,13 +225,18 @@ def main() -> int:
         key: round(float(report[key]), 3)  # type: ignore[arg-type]
         for key in (
             "ping_rtt_ms_median",
+            "pointset_mib_per_s",
+            "pointset_raw_mib_per_s",
             "threshold_tcp_s",
             "threshold_inprocess_s",
             "tcp_overhead_ratio",
-            "pointset_mib_per_s",
         )
     }
     sys.stderr.write(f"bench_net: {summary} -> {OUT_PATH}\n")
+    failures = check_floor(report)
+    if failures:
+        sys.stderr.write("FLOOR VIOLATIONS: " + "; ".join(failures) + "\n")
+        return 1
     return 0
 
 

@@ -22,6 +22,7 @@ Simulated time follows the paper's parallelism analysis (§5.3):
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Protocol
 
@@ -120,6 +121,7 @@ class NodeExecutor:
         io_only: bool = False,
         bin_edges: tuple[float, ...] | None = None,
         topk: int | None = None,
+        prefetched: dict[int, bytes] | None = None,
     ) -> RawEvaluation:
         """Evaluate ``derived`` over ``boxes`` against ``threshold``.
 
@@ -135,6 +137,9 @@ class NodeExecutor:
             topk: when given, return the ``topk`` highest-norm points of
                 this node's share instead of thresholding (``threshold``
                 is ignored).
+            prefetched: remote boundary atoms already fetched by the
+                caller (see :meth:`prefetch_halo`); when given, no halo
+                RPC is issued here at all.
 
         Returns:
             a :class:`RawEvaluation` with matching points (empty when
@@ -152,11 +157,20 @@ class NodeExecutor:
             else None
         )
 
+        halo = derived.halo(fd_order)
         for chain_id, slabs in enumerate(chains):
+            chain_atoms = (
+                prefetched
+                if prefetched is not None
+                else self._prefetch_halo(
+                    ledger, dataset_spec, derived.source, timestep, slabs, halo
+                )
+            )
             for slab in slabs:
                 with tracing.span("node.io", category="io"):
                     block = self._fetch_block(
-                        txn, ledger, dataset_spec, derived, timestep, slab, fd_order
+                        txn, ledger, dataset_spec, derived, timestep, slab,
+                        fd_order, halo=halo, prefetched=chain_atoms,
                     )
                 if io_only:
                     continue
@@ -241,10 +255,13 @@ class NodeExecutor:
         collected_v: list[list[np.ndarray]] = [[] for _ in deriveds]
 
         for chain_id, slabs in enumerate(chains):
+            prefetched = self._prefetch_halo(
+                ledger, dataset_spec, source, timestep, slabs, halo
+            )
             for slab in slabs:
                 block = self._fetch_block(
                     txn, ledger, dataset_spec, deriveds[0], timestep, slab,
-                    fd_order, halo=halo,
+                    fd_order, halo=halo, prefetched=prefetched,
                 )
                 for i, (derived, threshold) in enumerate(
                     zip(deriveds, thresholds)
@@ -308,6 +325,7 @@ class NodeExecutor:
         slab: Box,
         fd_order: int,
         halo: int | None = None,
+        prefetched: dict[int, bytes] | None = None,
     ) -> np.ndarray:
         """Read and assemble ``slab`` plus its halo into one array."""
         if halo is None:
@@ -321,7 +339,8 @@ class NodeExecutor:
             # domain once and index it periodically.
             domain = Box.cube(side)
             atoms = self._fetch_atoms(
-                txn, ledger, dataset_spec, derived.source, timestep, domain
+                txn, ledger, dataset_spec, derived.source, timestep, domain,
+                prefetched=prefetched,
             )
             full = array_from_atoms(domain, atoms, ncomp)
             idx = [
@@ -330,10 +349,24 @@ class NodeExecutor:
             ]
             return full[np.ix_(*idx)]
         block = np.empty(expanded.shape + (ncomp,), dtype=np.float32)
-        for piece, offset in expanded.wrap_periodic(side):
-            atoms = self._fetch_atoms(
-                txn, ledger, dataset_spec, derived.source, timestep, piece
-            )
+        pieces = list(expanded.wrap_periodic(side))
+        # One combined fetch for every wrapped piece: all ranges owned
+        # by one peer travel in a single halo RPC instead of one RPC
+        # per piece, which is what makes remote boundary reads cheap
+        # (atoms straddling a piece boundary are also deduplicated).
+        seen: set[tuple[int, int]] = set()
+        ranges: list[MortonRange] = []
+        for piece, _offset in pieces:
+            for rng in atom_ranges_covering(piece, side):
+                key = (rng.start, rng.stop)
+                if key not in seen:
+                    seen.add(key)
+                    ranges.append(rng)
+        atoms = self._fetch_ranges(
+            txn, ledger, dataset_spec, derived.source, timestep, ranges,
+            prefetched=prefetched,
+        )
+        for piece, offset in pieces:
             sub = array_from_atoms(piece, atoms, ncomp)
             dst = tuple(
                 slice(o, o + n) for o, n in zip(offset, piece.shape)
@@ -349,26 +382,174 @@ class NodeExecutor:
         source_field: str,
         timestep: int,
         piece: Box,
+        prefetched: dict[int, bytes] | None = None,
     ) -> dict[int, bytes]:
         """Atoms covering an in-domain piece, locally or from peers."""
         ranges = atom_ranges_covering(piece, dataset_spec.side)
+        return self._fetch_ranges(
+            txn, ledger, dataset_spec, source_field, timestep, ranges,
+            prefetched=prefetched,
+        )
+
+    def _fetch_ranges(
+        self,
+        txn: Transaction,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        source_field: str,
+        timestep: int,
+        ranges: "list[MortonRange]",
+        prefetched: dict[int, bytes] | None = None,
+    ) -> dict[int, bytes]:
+        """Atoms covering ``ranges``, read locally and from peer nodes.
+
+        With ``prefetched`` atoms (a chain-level boundary prefetch, see
+        :meth:`_prefetch_halo`) no RPC is issued at all — the remote
+        share is served from the prefetch and only the local ranges
+        touch the transaction.  Otherwise each peer gets all of its
+        ranges in one ``serve_halo`` call via :meth:`_fetch_remote`.
+        """
         by_node = self._split_ranges_by_node(ranges)
         atoms: dict[int, bytes] = {}
-        for node_id, node_ranges in by_node.items():
-            if node_id == self._node.node_id:
-                atoms.update(
-                    self._node.read_atoms(
-                        txn, dataset_spec.name, source_field, timestep, node_ranges
-                    )
+        own = by_node.pop(self._node.node_id, None)
+        if own:
+            atoms.update(
+                self._node.read_atoms(
+                    txn, dataset_spec.name, source_field, timestep, own
                 )
-            else:
-                atoms.update(
-                    self._peers[node_id].serve_halo(
-                        dataset_spec.name, source_field, timestep,
-                        node_ranges, ledger,
-                    )
-                )
+            )
+        if prefetched is not None:
+            atoms.update(prefetched)
+            return atoms
+        atoms.update(
+            self._fetch_remote(
+                ledger, dataset_spec.name, source_field, timestep,
+                list(by_node.items()),
+            )
+        )
         return atoms
+
+    def _fetch_remote(
+        self,
+        ledger: CostLedger,
+        dataset: str,
+        source_field: str,
+        timestep: int,
+        remote: "list[tuple[int, list[MortonRange]]]",
+    ) -> dict[int, bytes]:
+        """Boundary atoms from peer nodes, one RPC per peer.
+
+        When several peers are involved their calls run concurrently on
+        short-lived threads — the peers' pipelined connection pools
+        multiplex them, so the wall time is one round trip rather than
+        one per peer.  Every concurrent fetch charges a scratch
+        :class:`CostLedger` that is folded back in deterministic order,
+        so the *simulated* time is identical to a serial exchange
+        regardless of the real-world overlap.
+        """
+        atoms: dict[int, bytes] = {}
+        if len(remote) > 1:
+            scratch = [CostLedger() for _ in remote]
+            with ThreadPoolExecutor(
+                max_workers=len(remote), thread_name_prefix="halo-fetch"
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._peers[node_id].serve_halo,
+                        dataset, source_field, timestep, node_ranges, part,
+                    )
+                    for (node_id, node_ranges), part in zip(remote, scratch)
+                ]
+                for future in futures:
+                    atoms.update(future.result())
+            for part in scratch:
+                ledger.add(part)
+            return atoms
+        for node_id, node_ranges in remote:
+            atoms.update(
+                self._peers[node_id].serve_halo(
+                    dataset, source_field, timestep, node_ranges, ledger,
+                )
+            )
+        return atoms
+
+    def prefetch_halo(
+        self,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        derived: DerivedField,
+        timestep: int,
+        boxes: "list[Box]",
+        fd_order: int,
+    ) -> dict[int, bytes] | None:
+        """Combined remote boundary fetch for a whole node query.
+
+        Query drivers that evaluate box by box (the semantic cache
+        stores each box separately) call this once for every box they
+        are about to evaluate, then pass the result to
+        :meth:`evaluate` as ``prefetched`` — turning one halo RPC per
+        box into one per peer per query.  The remote ranges of a box's
+        slabs equal those of the box itself (interior slab seams stay
+        on the owning node), so prefetching at box granularity is
+        exact.  Only meaningful for single-chain evaluation; with
+        ``processes > 1`` callers should let each chain fetch its own
+        redundant boundary, as the paper's parallelism model assumes.
+
+        Returns ``{}``-able atoms keyed by zindex, or ``None`` when no
+        remote atoms are needed at all.
+        """
+        return self._prefetch_halo(
+            ledger, dataset_spec, derived.source, timestep, boxes,
+            derived.halo(fd_order),
+        )
+
+    def _prefetch_halo(
+        self,
+        ledger: CostLedger,
+        dataset_spec: DatasetSpec,
+        source_field: str,
+        timestep: int,
+        slabs: "list[Box]",
+        halo: int,
+    ) -> dict[int, bytes] | None:
+        """One combined boundary fetch for a whole chain of slabs.
+
+        Collects every remote atom range the chain's expanded blocks
+        will need and fetches each peer's share in a *single*
+        ``serve_halo`` RPC before the chain starts computing — the
+        dominant win of the pipelined data plane for halo exchange
+        (one round trip per peer per chain instead of one per block).
+        Atoms shared by adjacent blocks are fetched once.  Prefetching
+        stays per *chain* so the paper's observation that halo reads
+        are redundant across process chains keeps holding.
+
+        Returns ``None`` when the chain needs no remote atoms (single
+        node clusters, interior slabs) so callers fall back to the
+        per-block path unchanged.
+        """
+        side = dataset_spec.side
+        seen: set[tuple[int, int]] = set()
+        ranges: list[MortonRange] = []
+        for slab in slabs:
+            expanded = slab.expand(halo)
+            if any(n > side for n in expanded.shape):
+                pieces = [Box.cube(side)]
+            else:
+                pieces = [piece for piece, _ in expanded.wrap_periodic(side)]
+            for piece in pieces:
+                for rng in atom_ranges_covering(piece, side):
+                    key = (rng.start, rng.stop)
+                    if key not in seen:
+                        seen.add(key)
+                        ranges.append(rng)
+        by_node = self._split_ranges_by_node(ranges)
+        by_node.pop(self._node.node_id, None)
+        if not by_node:
+            return None
+        return self._fetch_remote(
+            ledger, dataset_spec.name, source_field, timestep,
+            list(by_node.items()),
+        )
 
     def _split_ranges_by_node(
         self, ranges: list[MortonRange]

@@ -86,9 +86,16 @@ def get_threshold_on_node(
     evaluated = 0
     stored = True
 
+    # Remote boundary atoms for every box still to be evaluated are
+    # fetched in one RPC per peer at the first cache miss (a warm cache
+    # never pays for it); each per-box evaluate() then runs without any
+    # halo round trip of its own.  Only single-chain evaluation may
+    # share the prefetch — with processes > 1 each chain fetches its
+    # own redundant boundary, as the paper's parallelism model assumes.
+    prefetched: dict[int, bytes] | None = None
     txn = node.db.begin(ledger)
     try:
-        for box in boxes:
+        for index, box in enumerate(boxes):
             lookup = None
             if cache is not None and not io_only:
                 with tracing.span("cache.lookup", category="cache_lookup") as probe:
@@ -102,11 +109,17 @@ def get_threshold_on_node(
                     all_z.append(lookup.zindexes)
                     all_v.append(lookup.values)
                     continue
+            if processes == 1 and prefetched is None:
+                prefetched = executor.prefetch_halo(
+                    ledger, dataset_spec, derived, query.timestep,
+                    boxes[index:], query.fd_order,
+                ) or {}
             with tracing.span("node.evaluate") as evaluation_span:
                 evaluation = executor.evaluate(
                     txn, ledger, dataset_spec, derived, query.timestep,
                     [box], query.threshold, query.fd_order,
                     processes=processes, io_only=io_only,
+                    prefetched=prefetched,
                 )
                 evaluation_span.set("points", len(evaluation.zindexes))
             evaluated += 1

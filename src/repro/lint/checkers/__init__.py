@@ -7,6 +7,7 @@ from repro.lint.checkers.err01 import ErrorTaxonomy
 from repro.lint.checkers.halo01 import HaloConsistency
 from repro.lint.checkers.lock01 import LockHygiene
 from repro.lint.checkers.net01 import NetDeadlines
+from repro.lint.checkers.net02 import NetZeroCopy
 from repro.lint.checkers.obs01 import ObsDiscipline
 from repro.lint.checkers.txn01 import TxnDiscipline
 
@@ -18,6 +19,7 @@ ALL_CHECKERS = (
     LockHygiene,
     ErrorTaxonomy,
     NetDeadlines,
+    NetZeroCopy,
     ObsDiscipline,
 )
 
@@ -28,6 +30,7 @@ __all__ = [
     "HaloConsistency",
     "LockHygiene",
     "NetDeadlines",
+    "NetZeroCopy",
     "ObsDiscipline",
     "TxnDiscipline",
 ]

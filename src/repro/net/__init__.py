@@ -9,9 +9,28 @@ jittered retries (:mod:`repro.net.client`, :mod:`repro.net.pool`); and
 the :class:`~repro.net.transport.Transport` seam that lets the mediator
 run its per-node query parts either in-process (the seed behaviour,
 bit-for-bit) or against a real multi-process cluster.
+
+The data plane is built for throughput: frames are assembled as lists
+of buffers and sent with vectored I/O (no full-payload concatenation),
+the handshake negotiates per-frame compression
+(:mod:`repro.net.compress`), pooled connections pipeline many in-flight
+requests over shared sockets, and oversized responses stream back as
+PARTIAL chunk frames merged incrementally (:mod:`repro.net.stream`).
 """
 
-from repro.net.client import CallResult, NodeClient, RetryPolicy
+from repro.net.client import (
+    CallResult,
+    NodeClient,
+    PipelinedConnection,
+    RetryPolicy,
+)
+from repro.net.compress import (
+    CompressionConfig,
+    DEFAULT_COMPRESSION,
+    FrameCodec,
+    NO_COMPRESSION,
+    negotiate,
+)
 from repro.net.errors import (
     ConnectionLostError,
     DeadlineExceededError,
@@ -23,28 +42,45 @@ from repro.net.errors import (
     RemoteCallError,
     UnsupportedRemoteOperationError,
 )
-from repro.net.frame import Deadline, FrameType, PROTOCOL_VERSION
+from repro.net.frame import Deadline, Frame, FrameType, PROTOCOL_VERSION
 from repro.net.pool import ConnectionPool
+from repro.net.stream import (
+    BatchStreamSink,
+    ByteStreamSink,
+    PartialSink,
+    ThresholdStreamSink,
+)
 from repro.net.transport import InProcessTransport, TcpTransport, Transport
 
 __all__ = [
+    "BatchStreamSink",
+    "ByteStreamSink",
     "CallResult",
+    "CompressionConfig",
     "ConnectionLostError",
     "ConnectionPool",
+    "DEFAULT_COMPRESSION",
     "Deadline",
     "DeadlineExceededError",
+    "Frame",
+    "FrameCodec",
     "FrameError",
     "FrameType",
     "InProcessTransport",
+    "NO_COMPRESSION",
     "NetError",
     "NodeClient",
     "NodeUnavailableError",
     "PROTOCOL_VERSION",
     "PartialFailureError",
+    "PartialSink",
+    "PipelinedConnection",
     "ProtocolError",
     "RemoteCallError",
     "RetryPolicy",
     "TcpTransport",
+    "ThresholdStreamSink",
     "Transport",
     "UnsupportedRemoteOperationError",
+    "negotiate",
 ]

@@ -1,10 +1,22 @@
-"""One TCP connection to a node server, plus the retry policy.
+"""Client connections to a node server, plus the retry policy.
 
-A :class:`NodeClient` owns a single socket: it handshakes on connect
-(HELLO/HELLO_ACK with protocol version and node id), then exchanges
-REQUEST/RESPONSE frames one call at a time.  Every public operation
-takes an explicit deadline — there is no "no timeout" mode anywhere in
-this tier (lint rule NET01 enforces the discipline statically).
+Two connection flavours share one wire dialect:
+
+* :class:`NodeClient` — the serial connection: handshake on connect
+  (HELLO/HELLO_ACK with protocol version, node id and codec
+  negotiation), then one REQUEST at a time, reading PARTIAL frames and
+  the final RESPONSE inline.
+* :class:`PipelinedConnection` — the multiplexed connection the pool
+  uses by default: a background reader loop dispatches incoming frames
+  by ``request_id`` to per-request queues, so many calls are in flight
+  on one socket and the Mediator's scatter no longer serializes
+  send→recv per call.  If the socket dies, *every* outstanding request
+  fails with :class:`ConnectionLostError` and the connection reports
+  itself unusable.
+
+Every public operation takes an explicit deadline — there is no "no
+timeout" mode anywhere in this tier (lint rule NET01 enforces the
+discipline statically).
 
 :class:`RetryPolicy` describes exponential backoff with jitter for
 *idempotent reads*; the decision of what is idempotent and the retry
@@ -14,28 +26,36 @@ swap the broken connection a retry needs.
 
 from __future__ import annotations
 
+import queue
 import random
 import socket
-from dataclasses import dataclass
-from typing import Mapping, Sequence
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
 
 from repro.fields.derived import UnknownFieldError
 from repro.fields.expressions import ExpressionError
 from repro.net import codec
+from repro.net.compress import CompressionConfig, DEFAULT_COMPRESSION, FrameCodec
 from repro.net.errors import (
     ConnectionLostError,
+    DeadlineExceededError,
+    NetError,
     NodeUnavailableError,
     ProtocolError,
     RemoteCallError,
 )
 from repro.net.frame import (
+    Buffer,
     Deadline,
+    Frame,
     FrameType,
-    HEADER,
     PROTOCOL_VERSION,
+    poll_frame,
     recv_frame,
     send_frame,
 )
+from repro.net.stream import PartialSink
 from repro.obs import clock
 
 #: Remote exception types rebuilt as their local classes, so the web
@@ -47,6 +67,15 @@ _REMOTE_TYPES: Mapping[str, type[Exception]] = {
     "KeyError": KeyError,
     "TypeError": TypeError,
 }
+
+#: How long the pipelined reader blocks per poll before re-checking
+#: for shutdown; short enough that close() feels immediate.
+READ_POLL_SECONDS = 0.25
+#: Budget for completing a frame once its first byte has arrived.  This
+#: is a liveness backstop, not a request deadline (those are enforced
+#: per call on the waiter queue) — it only has to distinguish "a large
+#: frame is flowing" from "the peer wedged mid-frame".
+READER_FRAME_TIMEOUT = 600.0
 
 
 @dataclass(frozen=True)
@@ -81,21 +110,104 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class CallResult:
-    """A successful RPC: decoded message plus its wire-byte footprint."""
+    """A successful RPC: decoded message plus its wire-byte footprint.
+
+    ``bytes_sent``/``bytes_received`` count what actually crossed the
+    wire (headers included, compression applied), which is what the
+    ledger's ``wire_bytes`` meter charges.  ``partial_frames`` is how
+    many PARTIAL chunks preceded the final response.
+    """
 
     header: dict
-    blobs: list[bytes]
+    blobs: list[Buffer]
     bytes_sent: int
     bytes_received: int
+    partial_frames: int = 0
+
+
+def remote_error(header: dict) -> Exception:
+    """Rebuild the exception an ERROR frame describes."""
+    record = header.get("error")
+    if not isinstance(record, dict):
+        return ProtocolError("ERROR frame without an error record")
+    remote_type = str(record.get("type", "Exception"))
+    message = str(record.get("message", ""))
+    local = _REMOTE_TYPES.get(remote_type)
+    if local is not None:
+        return local(message)
+    return RemoteCallError(
+        remote_type, str(record.get("code", "remote_error")), message
+    )
+
+
+def _connect(host: str, port: int, address: str, deadline: Deadline) -> socket.socket:
+    """Open the TCP connection (or raise :class:`NodeUnavailableError`)."""
+    try:
+        sock = socket.create_connection(
+            (host, port), timeout=deadline.remaining()
+        )
+    except OSError as error:
+        raise NodeUnavailableError(
+            address, attempts=1,
+            message=f"connect to {address} failed: {error}",
+        ) from error
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock
+
+
+def perform_handshake(
+    sock: socket.socket,
+    address: str,
+    deadline: Deadline,
+    config: CompressionConfig,
+    on_ratio: Callable[[float], None] | None = None,
+) -> tuple[int | None, FrameCodec]:
+    """HELLO/HELLO_ACK: agree on protocol version and frame codec.
+
+    The client advertises the codec names it supports; the server picks
+    one (or ``"none"``) and echoes it in the ack.  Returns the server's
+    node id and the negotiated :class:`FrameCodec` for this connection.
+
+    Raises:
+        ProtocolError: version mismatch, or the server chose a codec
+            this client never advertised.
+    """
+    payload = codec.encode_message(
+        {"protocol": PROTOCOL_VERSION, "codecs": list(config.codecs)}
+    )
+    send_frame(sock, FrameType.HELLO, 0, payload, deadline)
+    frame = recv_frame(sock, deadline)
+    assert frame is not None
+    if frame.frame_type != FrameType.HELLO_ACK:
+        raise ProtocolError(
+            f"expected HELLO_ACK, got {frame.frame_type.name} from {address}"
+        )
+    header, _ = codec.decode_message(frame.payload)
+    if header.get("protocol") != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"{address} speaks protocol {header.get('protocol')}, "
+            f"this build speaks {PROTOCOL_VERSION}"
+        )
+    chosen = str(header.get("codec", "none"))
+    if chosen != "none" and chosen not in config.codecs:
+        raise ProtocolError(
+            f"{address} chose frame codec {chosen!r} this client "
+            f"never advertised"
+        )
+    node_id = int(header["node_id"]) if "node_id" in header else None
+    return node_id, FrameCodec(config, chosen, on_ratio=on_ratio)
 
 
 class NodeClient:
-    """One framed connection to a node server.
+    """One serial framed connection to a node server.
 
     Args:
         host: server host.
         port: server port.
         connect_deadline: budget for TCP connect plus the handshake.
+        compression: codecs to advertise (defaults to the stock zlib
+            configuration; pass ``NO_COMPRESSION`` to force raw frames).
+        on_ratio: callback fed each frame's achieved compression ratio.
 
     Raises:
         NodeUnavailableError: the TCP connection could not be opened.
@@ -103,45 +215,27 @@ class NodeClient:
     """
 
     def __init__(
-        self, host: str, port: int, connect_deadline: Deadline
+        self,
+        host: str,
+        port: int,
+        connect_deadline: Deadline,
+        *,
+        compression: CompressionConfig | None = None,
+        on_ratio: Callable[[float], None] | None = None,
     ) -> None:
         self.address = f"{host}:{port}"
-        try:
-            self._sock = socket.create_connection(
-                (host, port), timeout=connect_deadline.remaining()
-            )
-        except OSError as error:
-            raise NodeUnavailableError(
-                self.address, attempts=1,
-                message=f"connect to {self.address} failed: {error}",
-            ) from error
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        config = compression if compression is not None else DEFAULT_COMPRESSION
+        self._sock = _connect(host, port, self.address, connect_deadline)
         self._next_request_id = 1
         self._closed = False
         self.node_id: int | None = None
         try:
-            self._handshake(connect_deadline)
+            self.node_id, self._codec = perform_handshake(
+                self._sock, self.address, connect_deadline, config, on_ratio
+            )
         except Exception:
             self.close()
             raise
-
-    def _handshake(self, deadline: Deadline) -> None:
-        payload = codec.encode_message({"protocol": PROTOCOL_VERSION})
-        send_frame(self._sock, FrameType.HELLO, 0, payload, deadline)
-        frame = recv_frame(self._sock, deadline)
-        assert frame is not None
-        frame_type, _, body = frame
-        if frame_type != FrameType.HELLO_ACK:
-            raise ProtocolError(
-                f"expected HELLO_ACK, got {frame_type.name} from {self.address}"
-            )
-        header, _ = codec.decode_message(body)
-        if header.get("protocol") != PROTOCOL_VERSION:
-            raise ProtocolError(
-                f"{self.address} speaks protocol {header.get('protocol')}, "
-                f"this build speaks {PROTOCOL_VERSION}"
-            )
-        self.node_id = int(header["node_id"]) if "node_id" in header else None
 
     # -- calls -----------------------------------------------------------------
 
@@ -149,10 +243,16 @@ class NodeClient:
         self,
         method: str,
         header: dict,
-        blobs: Sequence[bytes],
+        blobs: Sequence[Buffer],
         deadline: Deadline,
+        *,
+        sink: PartialSink | None = None,
     ) -> CallResult:
         """One RPC round trip.
+
+        A streamed response (PARTIAL frames before the final RESPONSE)
+        is fed chunk-by-chunk into ``sink``; a server that streams at a
+        caller that supplied no sink is a protocol violation.
 
         Raises:
             DeadlineExceededError: budget spent before the response landed.
@@ -166,26 +266,42 @@ class NodeClient:
         self._ensure_open()
         request_id = self._next_request_id
         self._next_request_id += 1
-        payload = codec.encode_message({"method": method, **header}, blobs)
+        parts = codec.encode_message_parts({"method": method, **header}, blobs)
         sent = send_frame(
-            self._sock, FrameType.REQUEST, request_id, payload, deadline
+            self._sock, FrameType.REQUEST, request_id, parts, deadline,
+            codec=self._codec,
         )
-        frame = recv_frame(self._sock, deadline)
-        assert frame is not None
-        frame_type, echoed_id, body = frame
-        if echoed_id != request_id:
-            raise ProtocolError(
-                f"response id {echoed_id} does not match request {request_id}"
+        received = 0
+        partials = 0
+        while True:
+            frame = recv_frame(self._sock, deadline, codec=self._codec)
+            assert frame is not None
+            if frame.request_id != request_id:
+                raise ProtocolError(
+                    f"response id {frame.request_id} does not match "
+                    f"request {request_id}"
+                )
+            received += frame.wire_bytes
+            response_header, response_blobs = codec.decode_message(frame.payload)
+            if frame.frame_type == FrameType.PARTIAL:
+                if sink is None:
+                    raise ProtocolError(
+                        f"{self.address} streamed PARTIAL frames for a "
+                        f"call without a sink"
+                    )
+                sink.feed(response_header, response_blobs)
+                partials += 1
+                continue
+            if frame.frame_type == FrameType.ERROR:
+                raise remote_error(response_header)
+            if frame.frame_type != FrameType.RESPONSE:
+                raise ProtocolError(
+                    f"expected RESPONSE, got {frame.frame_type.name} "
+                    f"from {self.address}"
+                )
+            return CallResult(
+                response_header, response_blobs, sent, received, partials
             )
-        received = HEADER.size + len(body)
-        response_header, response_blobs = codec.decode_message(body)
-        if frame_type == FrameType.ERROR:
-            raise self._remote_error(response_header)
-        if frame_type != FrameType.RESPONSE:
-            raise ProtocolError(
-                f"expected RESPONSE, got {frame_type.name} from {self.address}"
-            )
-        return CallResult(response_header, response_blobs, sent, received)
 
     def ping(self, deadline: Deadline) -> float:
         """Health check; returns the round-trip wall seconds.
@@ -197,24 +313,9 @@ class NodeClient:
         send_frame(self._sock, FrameType.PING, 0, b"", deadline)
         frame = recv_frame(self._sock, deadline)
         assert frame is not None
-        frame_type, _, _ = frame
-        if frame_type != FrameType.PONG:
-            raise ProtocolError(f"expected PONG, got {frame_type.name}")
+        if frame.frame_type != FrameType.PONG:
+            raise ProtocolError(f"expected PONG, got {frame.frame_type.name}")
         return clock.now() - start
-
-    @staticmethod
-    def _remote_error(header: dict) -> Exception:
-        record = header.get("error")
-        if not isinstance(record, dict):
-            return ProtocolError("ERROR frame without an error record")
-        remote_type = str(record.get("type", "Exception"))
-        message = str(record.get("message", ""))
-        local = _REMOTE_TYPES.get(remote_type)
-        if local is not None:
-            return local(message)
-        return RemoteCallError(
-            remote_type, str(record.get("code", "remote_error")), message
-        )
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -236,6 +337,307 @@ class NodeClient:
                 pass
 
     def __enter__(self) -> "NodeClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+@dataclass
+class _Waiter:
+    """Per-request mailbox the reader loop posts frames into."""
+
+    frames: "queue.SimpleQueue[tuple]" = field(default_factory=queue.SimpleQueue)
+
+
+class PipelinedConnection:
+    """One multiplexed framed connection with many in-flight requests.
+
+    A daemon reader thread owns a duplicate of the socket's file
+    descriptor (``sock.dup()``), so receive timeouts never race the
+    sender's ``settimeout`` calls.  Sends are serialized by a lock;
+    responses are matched to callers by the ``request_id`` the frame
+    header already carries.  Any transport failure — EOF, reset, a
+    malformed frame — fails *all* outstanding requests with
+    :class:`ConnectionLostError` and permanently marks the connection
+    unusable; the pool then discards it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_deadline: Deadline,
+        *,
+        compression: CompressionConfig | None = None,
+        on_ratio: Callable[[float], None] | None = None,
+    ) -> None:
+        self.address = f"{host}:{port}"
+        config = compression if compression is not None else DEFAULT_COMPRESSION
+        self._sock = _connect(host, port, self.address, connect_deadline)
+        self._send_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._waiters: dict[int, _Waiter] = {}
+        self._next_request_id = 1
+        self._dead: Exception | None = None
+        self._closed = False
+        self.node_id: int | None = None
+        try:
+            self.node_id, self._codec = perform_handshake(
+                self._sock, self.address, connect_deadline, config, on_ratio
+            )
+            self._rsock = self._sock.dup()
+        except Exception:
+            self._sock.close()
+            raise
+        self._reader = threading.Thread(
+            target=self._read_loop,
+            name=f"net-mux-{self.address}",
+            daemon=True,
+        )
+        self._reader.start()
+
+    # -- state -----------------------------------------------------------------
+
+    @property
+    def usable(self) -> bool:
+        """Whether new calls may be issued on this connection."""
+        with self._state_lock:
+            return not self._closed and self._dead is None
+
+    @property
+    def in_flight(self) -> int:
+        """Outstanding requests (the pool's load-balancing signal)."""
+        with self._state_lock:
+            return len(self._waiters)
+
+    # -- calls -----------------------------------------------------------------
+
+    def call(
+        self,
+        method: str,
+        header: dict,
+        blobs: Sequence[Buffer],
+        deadline: Deadline,
+        *,
+        sink: PartialSink | None = None,
+    ) -> CallResult:
+        """One multiplexed RPC; safe to invoke from many threads at once.
+
+        Raises the same family of errors as :meth:`NodeClient.call`; in
+        addition, a request that times out merely abandons its mailbox
+        (the connection stays healthy and a late response is dropped).
+        """
+        request_id, waiter = self._register()
+        parts = codec.encode_message_parts({"method": method, **header}, blobs)
+        sent = self._send(FrameType.REQUEST, request_id, parts, deadline)
+        return self._await_response(
+            request_id, waiter, deadline, sent, sink=sink
+        )
+
+    def ping(self, deadline: Deadline) -> float:
+        """Health check; returns the round-trip wall seconds."""
+        request_id, waiter = self._register()
+        start = clock.now()
+        self._send(FrameType.PING, request_id, b"", deadline)
+        result = self._await_response(request_id, waiter, deadline, 0,
+                                      sink=None, expect=FrameType.PONG)
+        del result
+        return clock.now() - start
+
+    def _register(self) -> tuple[int, _Waiter]:
+        with self._state_lock:
+            if self._closed:
+                raise ConnectionLostError(
+                    f"client to {self.address} is closed"
+                )
+            if self._dead is not None:
+                raise ConnectionLostError(
+                    f"connection to {self.address} is dead: {self._dead}"
+                )
+            request_id = self._next_request_id
+            self._next_request_id += 1
+            waiter = _Waiter()
+            self._waiters[request_id] = waiter
+            return request_id, waiter
+
+    def _unregister(self, request_id: int) -> None:
+        with self._state_lock:
+            self._waiters.pop(request_id, None)
+
+    def _send(
+        self,
+        frame_type: FrameType,
+        request_id: int,
+        payload: Buffer | Sequence[Buffer],
+        deadline: Deadline,
+    ) -> int:
+        try:
+            with self._send_lock:
+                return send_frame(
+                    self._sock, frame_type, request_id, payload, deadline,
+                    codec=self._codec,
+                )
+        except (DeadlineExceededError, ConnectionLostError, OSError) as error:
+            # A partially-written frame desyncs the stream for everyone:
+            # poison the connection, not just this call.
+            self._unregister(request_id)
+            self._fail_all(
+                ConnectionLostError(
+                    f"send to {self.address} failed mid-frame: {error}"
+                )
+            )
+            raise
+        except BaseException:
+            self._unregister(request_id)
+            raise
+
+    def _await_response(
+        self,
+        request_id: int,
+        waiter: _Waiter,
+        deadline: Deadline,
+        sent: int,
+        *,
+        sink: PartialSink | None,
+        expect: FrameType = FrameType.RESPONSE,
+    ) -> CallResult:
+        received = 0
+        partials = 0
+        try:
+            while True:
+                try:
+                    entry = waiter.frames.get(timeout=deadline.remaining())
+                except queue.Empty:
+                    raise DeadlineExceededError(
+                        f"no response from {self.address} within the deadline"
+                    ) from None
+                kind = entry[0]
+                if kind == "partial":
+                    _, part_header, part_blobs, wire = entry
+                    received += wire
+                    partials += 1
+                    if sink is None:
+                        raise ProtocolError(
+                            f"{self.address} streamed PARTIAL frames for "
+                            f"a call without a sink"
+                        )
+                    sink.feed(part_header, part_blobs)
+                    continue
+                if kind == "failed":
+                    raise entry[1]
+                _, frame_type, resp_header, resp_blobs, wire = entry
+                received += wire
+                if frame_type == FrameType.ERROR:
+                    raise remote_error(resp_header)
+                if frame_type != expect:
+                    raise ProtocolError(
+                        f"expected {expect.name}, got {frame_type.name} "
+                        f"from {self.address}"
+                    )
+                return CallResult(
+                    resp_header, resp_blobs, sent, received, partials
+                )
+        finally:
+            self._unregister(request_id)
+
+    # -- reader loop -----------------------------------------------------------
+
+    def _read_loop(self) -> None:
+        while True:
+            with self._state_lock:
+                if self._closed or self._dead is not None:
+                    return
+            try:
+                frame = poll_frame(
+                    self._rsock,
+                    poll=READ_POLL_SECONDS,
+                    frame_timeout=READER_FRAME_TIMEOUT,
+                    codec=self._codec,
+                )
+            except (NetError, OSError) as error:
+                self._fail_all(
+                    ConnectionLostError(
+                        f"connection to {self.address} lost: {error}"
+                    )
+                )
+                return
+            if frame is None:
+                continue
+            try:
+                self._dispatch(frame)
+            except NetError as error:
+                self._fail_all(
+                    ConnectionLostError(
+                        f"undecodable frame from {self.address}: {error}"
+                    )
+                )
+                return
+
+    def _dispatch(self, frame: Frame) -> None:
+        frame_type = frame.frame_type
+        if frame_type == FrameType.PARTIAL:
+            header, blobs = codec.decode_message(frame.payload)
+            with self._state_lock:
+                waiter = self._waiters.get(frame.request_id)
+            if waiter is not None:
+                waiter.frames.put(("partial", header, blobs, frame.wire_bytes))
+            return
+        if frame_type in (FrameType.RESPONSE, FrameType.ERROR, FrameType.PONG):
+            if frame_type == FrameType.PONG:
+                header, blobs = {}, []
+            else:
+                header, blobs = codec.decode_message(frame.payload)
+            with self._state_lock:
+                waiter = self._waiters.pop(frame.request_id, None)
+            # A missing waiter is a caller that already timed out; the
+            # late response is dropped and the connection stays healthy.
+            if waiter is not None:
+                waiter.frames.put(
+                    ("final", frame_type, header, blobs, frame.wire_bytes)
+                )
+            return
+        raise ProtocolError(
+            f"unexpected {frame_type.name} frame on a pipelined connection"
+        )
+
+    def _fail_all(self, error: ConnectionLostError) -> None:
+        with self._state_lock:
+            if self._dead is None and not self._closed:
+                self._dead = error
+            waiters = list(self._waiters.values())
+            self._waiters.clear()
+        for waiter in waiters:
+            waiter.frames.put(("failed", error))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        with self._state_lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Close both socket handles and fail any outstanding requests."""
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._fail_all(
+            ConnectionLostError(f"client to {self.address} was closed")
+        )
+        for sock in (self._sock, self._rsock):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover - close never owes us anything
+                pass
+        self._reader.join(timeout=2.0)
+
+    def __enter__(self) -> "PipelinedConnection":
         return self
 
     def __exit__(self, *exc: object) -> None:

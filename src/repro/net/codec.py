@@ -18,13 +18,20 @@ The domain helpers below translate the query/result dataclasses the
 in-process engine already uses to and from wire messages, so
 ``TcpTransport`` and the node server share one vocabulary and the
 in-process and TCP clusters return point-for-point identical results.
+
+Encoding is zero-copy on the hot path: :func:`encode_message_parts`
+returns the message as a *list* of buffers (length prefixes, header
+bytes, blobs) for the frame layer's vectored send, and
+:func:`decode_message` hands blobs back as ``memoryview`` slices of the
+frame's receive buffer — ``numpy.frombuffer`` reads them directly, so a
+16 MiB column crosses the codec without being copied.
 """
 
 from __future__ import annotations
 
 import json
 import struct
-from typing import Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
@@ -37,6 +44,7 @@ from repro.costmodel import Category, CostLedger
 from repro.grid import Box
 from repro.morton import MortonRange
 from repro.net.errors import ProtocolError
+from repro.net.frame import Buffer
 
 _U32 = struct.Struct("<I")
 _U16 = struct.Struct("<H")
@@ -48,20 +56,43 @@ MAX_BLOBS = 4096
 # -- message layer ----------------------------------------------------------
 
 
-def encode_message(header: dict, blobs: Sequence[bytes] = ()) -> bytes:
-    """Pack a JSON header and column blobs into one frame payload."""
+def encode_message_parts(
+    header: dict, blobs: Sequence[Buffer] = ()
+) -> list[Buffer]:
+    """Pack a message as a buffer list for the vectored frame sender.
+
+    This is the hot-path encoder: blobs (and the packed prefixes) are
+    returned as-is for ``send_frame`` to hand to ``sendmsg`` — nothing
+    is joined or copied.
+    """
     if len(blobs) > MAX_BLOBS:
         raise ProtocolError(f"{len(blobs)} blobs exceed the {MAX_BLOBS} cap")
     head = json.dumps(header, separators=(",", ":")).encode("utf-8")
-    parts = [_U32.pack(len(head)), head, _U16.pack(len(blobs))]
+    parts: list[Buffer] = [_U32.pack(len(head)), head, _U16.pack(len(blobs))]
     for blob in blobs:
         parts.append(_U32.pack(len(blob)))
-        parts.append(blob)
-    return b"".join(parts)
+        if len(blob):
+            parts.append(blob)
+    return parts
 
 
-def decode_message(payload: bytes) -> tuple[dict, list[bytes]]:
+def encode_message(header: dict, blobs: Sequence[Buffer] = ()) -> bytes:
+    """Pack a JSON header and column blobs into one contiguous payload.
+
+    Control-plane convenience (handshakes, tests, the HTTP front door);
+    the data plane uses :func:`encode_message_parts` and never joins.
+    """
+    return b"".join(  # turblint: disable=NET02 - control plane only
+        bytes(part) for part in encode_message_parts(header, blobs)
+    )
+
+
+def decode_message(payload: Buffer) -> tuple[dict, list[Buffer]]:
     """Unpack a frame payload into ``(header, blobs)``.
+
+    Blobs are ``memoryview`` slices of ``payload`` — zero-copy; they
+    stay valid as long as the payload buffer is alive, which the frame
+    layer guarantees by allocating a fresh buffer per frame.
 
     Raises:
         ProtocolError: on truncated or trailing bytes, or a header that
@@ -88,10 +119,10 @@ def decode_message(payload: bytes) -> tuple[dict, list[bytes]]:
     (nblobs,) = _U16.unpack(take(2))
     if nblobs > MAX_BLOBS:
         raise ProtocolError(f"{nblobs} blobs exceed the {MAX_BLOBS} cap")
-    blobs = []
+    blobs: list[Buffer] = []
     for _ in range(nblobs):
         (blob_len,) = _U32.unpack(take(4))
-        blobs.append(bytes(take(blob_len)))
+        blobs.append(take(blob_len))
     if len(view):
         raise ProtocolError(f"{len(view)} trailing bytes after message")
     return header, blobs
@@ -220,21 +251,26 @@ def ranges_from_wire(records: Sequence[Sequence[int]]) -> list[MortonRange]:
 # -- node-part results ------------------------------------------------------
 
 
-def threshold_result_to_wire(
-    result: NodeThresholdResult,
-) -> tuple[dict, list[bytes]]:
-    """One node's threshold contribution as ``(header, blobs)``."""
-    header = {
+def threshold_result_header(result: NodeThresholdResult) -> dict:
+    """The control header of a threshold contribution (no columns)."""
+    return {
         "ledger": ledger_to_wire(result.ledger),
         "cache_hit": result.cache_hit,
         "boxes_evaluated": result.boxes_evaluated,
         "cache_stored": result.cache_stored,
     }
+
+
+def threshold_result_to_wire(
+    result: NodeThresholdResult,
+) -> tuple[dict, list[bytes]]:
+    """One node's threshold contribution as ``(header, blobs)``."""
+    header = threshold_result_header(result)
     return header, [pack_u64(result.zindexes), pack_f64(result.values)]
 
 
 def threshold_result_from_wire(
-    header: dict, blobs: Sequence[bytes]
+    header: dict, blobs: Sequence[Buffer]
 ) -> NodeThresholdResult:
     """Rebuild one node's threshold contribution from the wire."""
     zindexes, values = _point_columns(blobs, 0)
@@ -248,13 +284,11 @@ def threshold_result_from_wire(
     )
 
 
-def batch_results_to_wire(
-    results: Sequence[NodeThresholdResult],
-) -> tuple[dict, list[bytes]]:
-    """A node's per-query batch contributions (shared ledger, 2 blobs each)."""
+def batch_results_header(results: Sequence[NodeThresholdResult]) -> dict:
+    """The control header of a batch contribution (no columns)."""
     if not results:
         raise ProtocolError("a batch response needs at least one item")
-    header = {
+    return {
         "ledger": ledger_to_wire(results[0].ledger),
         "items": [
             {
@@ -265,6 +299,13 @@ def batch_results_to_wire(
             for item in results
         ],
     }
+
+
+def batch_results_to_wire(
+    results: Sequence[NodeThresholdResult],
+) -> tuple[dict, list[bytes]]:
+    """A node's per-query batch contributions (shared ledger, 2 blobs each)."""
+    header = batch_results_header(results)
     blobs: list[bytes] = []
     for item in results:
         blobs.append(pack_u64(item.zindexes))
@@ -273,7 +314,7 @@ def batch_results_to_wire(
 
 
 def batch_results_from_wire(
-    header: dict, blobs: Sequence[bytes]
+    header: dict, blobs: Sequence[Buffer]
 ) -> list[NodeThresholdResult]:
     """Rebuild a node's batch contributions (one shared ledger)."""
     items = header["items"]
@@ -300,6 +341,47 @@ def batch_results_from_wire(
     return results
 
 
+def threshold_result_from_stream(
+    header: dict, zindexes: np.ndarray, values: np.ndarray
+) -> NodeThresholdResult:
+    """Rebuild a threshold contribution whose points arrived as PARTIAL
+    frames: the final frame's header plus the accumulated columns."""
+    return NodeThresholdResult(
+        zindexes,
+        values,
+        ledger_from_wire(header["ledger"]),
+        cache_hit=bool(header["cache_hit"]),
+        boxes_evaluated=int(header["boxes_evaluated"]),
+        cache_stored=bool(header["cache_stored"]),
+    )
+
+
+def batch_results_from_stream(
+    header: dict, runs: Mapping[int, tuple[np.ndarray, np.ndarray]]
+) -> list[NodeThresholdResult]:
+    """Rebuild batch contributions whose points arrived as PARTIAL
+    frames keyed by query index (one shared ledger, like the wire form).
+    Queries that streamed no points get empty columns."""
+    items = header["items"]
+    ledger = ledger_from_wire(header["ledger"])
+    empty_z = np.empty(0, dtype=np.uint64)
+    empty_v = np.empty(0, dtype=np.float64)
+    results = []
+    for i, item in enumerate(items):
+        zindexes, values = runs.get(i, (empty_z, empty_v))
+        results.append(
+            NodeThresholdResult(
+                zindexes,
+                values,
+                ledger,
+                cache_hit=bool(item["cache_hit"]),
+                boxes_evaluated=int(item["boxes_evaluated"]),
+                cache_stored=bool(item["cache_stored"]),
+            )
+        )
+    return results
+
+
 def pdf_result_to_wire(result: NodePdfResult) -> tuple[dict, list[bytes]]:
     """One node's histogram contribution as ``(header, blobs)``."""
     header = {
@@ -310,7 +392,7 @@ def pdf_result_to_wire(result: NodePdfResult) -> tuple[dict, list[bytes]]:
 
 
 def pdf_result_from_wire(
-    header: dict, blobs: Sequence[bytes]
+    header: dict, blobs: Sequence[Buffer]
 ) -> NodePdfResult:
     """Rebuild one node's histogram contribution from the wire."""
     if len(blobs) != 1:
@@ -329,7 +411,7 @@ def topk_result_to_wire(result: NodeTopKResult) -> tuple[dict, list[bytes]]:
 
 
 def topk_result_from_wire(
-    header: dict, blobs: Sequence[bytes]
+    header: dict, blobs: Sequence[Buffer]
 ) -> NodeTopKResult:
     """Rebuild one node's top-k contribution from the wire."""
     zindexes, values = _point_columns(blobs, 0)
@@ -347,13 +429,17 @@ def halo_atoms_to_wire(atoms: dict[int, bytes]) -> tuple[dict, list[bytes]]:
     if len(sizes) > 1:
         raise ProtocolError("halo atoms have unequal blob sizes")
     atom_bytes = sizes.pop() if sizes else 0
-    body = b"".join(atoms[int(z)] for z in zindexes)
+    # Halo atoms are small per-read control traffic, not the pointset
+    # data plane; one join beats 2x the iovec bookkeeping here.
+    body = b"".join(  # turblint: disable=NET02 - halo atoms, not hot path
+        bytes(atoms[int(z)]) for z in zindexes
+    )
     header = {"count": int(len(zindexes)), "atom_bytes": atom_bytes}
     return header, [pack_u64(zindexes), body]
 
 
 def halo_atoms_from_wire(
-    header: dict, blobs: Sequence[bytes]
+    header: dict, blobs: Sequence[Buffer]
 ) -> dict[int, bytes]:
     """Rebuild the ``zindex -> blob`` halo map from the wire."""
     if len(blobs) != 2:
@@ -371,7 +457,7 @@ def halo_atoms_from_wire(
 
 
 def _point_columns(
-    blobs: Sequence[bytes], start: int
+    blobs: Sequence[Buffer], start: int
 ) -> tuple[np.ndarray, np.ndarray]:
     """Decode the ``(zindexes, values)`` column pair at ``blobs[start]``."""
     if len(blobs) < start + 2:

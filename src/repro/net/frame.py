@@ -3,21 +3,31 @@
 One frame is a fixed 20-byte header followed by an opaque payload::
 
     magic    4s   b"RNET"
-    version  B    protocol version (1)
+    version  B    protocol version (2)
     type     B    frame type (FrameType)
-    flags    H    reserved, must be zero
+    flags    H    low byte: payload codec id (0 raw, 1 zlib); high byte 0
     request  Q    request id, echoed by the matching response
-    length   I    payload byte count
+    length   I    payload byte count *as sent* (post-compression)
 
-The payload of :data:`FrameType.REQUEST` / ``RESPONSE`` frames is a
-:mod:`repro.net.codec` message whose column blobs are the PR-3 pointset
-blobs *verbatim* — query results cross the wire without re-encoding.
+The payload of :data:`FrameType.REQUEST` / ``RESPONSE`` / ``PARTIAL``
+frames is a :mod:`repro.net.codec` message whose column blobs are the
+PR-3 pointset blobs *verbatim* — query results cross the wire without
+re-encoding.
+
+The data plane is zero-copy in both directions.  Senders hand
+:func:`send_frame` a *list* of buffers (header dict bytes, per-blob
+length prefixes, the blobs themselves) and a vectored
+``socket.sendmsg`` loop pushes them out without ever concatenating;
+receivers preallocate one ``bytearray`` per frame and fill it with
+``recv_into``, handing slices of it upward as ``memoryview``s.  A
+16 MiB pointset response therefore touches userspace memory exactly
+once on each side.
 
 Every read and write on a socket goes through :func:`send_frame` /
-:func:`recv_frame`, which take a :class:`Deadline` and re-arm the socket
-timeout around each OS call — the NET01 lint rule pins all raw
-``recv``/``sendall`` usage to this module and checks the timeout
-discipline statically.
+:func:`recv_frame` / :func:`poll_frame`, which re-arm the socket
+timeout around each OS call — the NET01 lint rule pins all raw socket
+usage to this module and checks the timeout discipline statically,
+and NET02 keeps payload concatenation off this hot path.
 """
 
 from __future__ import annotations
@@ -26,6 +36,7 @@ import enum
 import socket
 import struct
 from dataclasses import dataclass
+from typing import TYPE_CHECKING, NamedTuple, Sequence, Union
 
 from repro.net.errors import (
     ConnectionLostError,
@@ -34,29 +45,60 @@ from repro.net.errors import (
 )
 from repro.obs import clock
 
+if TYPE_CHECKING:
+    from repro.net.compress import FrameCodec
+
+#: Anything the wire layer accepts as payload bytes without copying.
+Buffer = Union[bytes, bytearray, memoryview]
+
 #: First bytes of every frame.
 MAGIC = b"RNET"
 #: Wire protocol version; bumped on incompatible frame/codec changes.
-PROTOCOL_VERSION = 1
+#: Version 2: flags carry the per-frame codec id, PARTIAL frames stream
+#: large results, and the handshake negotiates compression codecs.
+PROTOCOL_VERSION = 2
 #: Frame header layout (little-endian, 20 bytes).
 HEADER = struct.Struct("<4sBBHQI")
 #: Ceiling on a single frame's payload (a full 1024^3 timestep's result
 #: ships as many frames well below this; anything bigger is garbage).
 MAX_PAYLOAD = 256 * 1024 * 1024
-#: Chunk size for socket reads.
-RECV_CHUNK = 1 << 20
+#: Mask of the flags bits that carry the codec id.
+CODEC_FLAG_MASK = 0x00FF
+#: Buffers per sendmsg call — comfortably under every platform's IOV_MAX.
+_IOV_BATCH = 64
+
+#: ``socket.sendmsg`` is POSIX-only; fall back to per-buffer sendall
+#: elsewhere (still zero-copy, just one syscall per buffer).
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
 
 
 class FrameType(enum.IntEnum):
     """Kinds of frames the protocol exchanges."""
 
-    HELLO = 1  #: client -> server: version handshake
-    HELLO_ACK = 2  #: server -> client: handshake accepted
+    HELLO = 1  #: client -> server: version + codec handshake
+    HELLO_ACK = 2  #: server -> client: handshake accepted, codec chosen
     PING = 3  #: client -> server: health check
     PONG = 4  #: server -> client: health response
     REQUEST = 5  #: client -> server: one RPC call
-    RESPONSE = 6  #: server -> client: successful RPC result
+    RESPONSE = 6  #: server -> client: successful (or final) RPC result
     ERROR = 7  #: server -> client: typed RPC failure
+    PARTIAL = 8  #: server -> client: one chunk of a streamed result
+
+
+class Frame(NamedTuple):
+    """One decoded frame as it came off the wire.
+
+    ``payload`` is the *decompressed* payload — usually a ``memoryview``
+    over the preallocated receive buffer (or over the inflated bytes for
+    a compressed frame).  ``wire_bytes`` is what actually crossed the
+    wire, header included, so the ledger's ``wire_bytes`` meter charges
+    the compressed footprint.
+    """
+
+    frame_type: FrameType
+    request_id: int
+    payload: Buffer
+    wire_bytes: int
 
 
 @dataclass(frozen=True)
@@ -98,33 +140,84 @@ def send_frame(
     sock: socket.socket,
     frame_type: FrameType,
     request_id: int,
-    payload: bytes,
+    payload: Buffer | Sequence[Buffer],
     deadline: Deadline,
+    *,
+    codec: "FrameCodec | None" = None,
 ) -> int:
     """Write one frame; returns the number of bytes put on the wire.
+
+    ``payload`` may be a single buffer or a sequence of buffers; the
+    sequence form is the hot path — header bytes, length prefixes and
+    column blobs are handed straight to the vectored send loop without
+    ever being joined.  With a negotiated ``codec`` the payload may ship
+    compressed, in which case the returned byte count (and the flags
+    field) reflect the compressed frame.
 
     Raises:
         FrameError: payload over :data:`MAX_PAYLOAD`.
         DeadlineExceededError: the send did not finish in time.
         ConnectionLostError: the peer closed or reset the connection.
     """
-    if len(payload) > MAX_PAYLOAD:
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        parts: Sequence[Buffer] = (payload,)
+    else:
+        parts = payload
+    total = 0
+    for part in parts:
+        total += len(part)
+    if total > MAX_PAYLOAD:
         raise FrameError(
-            f"payload of {len(payload)} bytes exceeds the "
+            f"payload of {total} bytes exceeds the "
             f"{MAX_PAYLOAD}-byte frame ceiling"
         )
+    flags = 0
+    if codec is not None:
+        flags, parts, total = codec.encode(parts, total)
     header = HEADER.pack(
-        MAGIC, PROTOCOL_VERSION, int(frame_type), 0, request_id, len(payload)
+        MAGIC, PROTOCOL_VERSION, int(frame_type), flags, request_id, total
     )
-    data = header + payload
-    sock.settimeout(deadline.remaining())
-    try:
-        sock.sendall(data)
-    except socket.timeout:
-        raise DeadlineExceededError("deadline exceeded while sending") from None
-    except OSError as error:
-        raise ConnectionLostError(f"send failed: {error}") from error
-    return len(data)
+    buffers: list[Buffer] = [header]
+    for part in parts:
+        if len(part):
+            buffers.append(part)
+    _send_all(sock, buffers, deadline)
+    return HEADER.size + total
+
+
+def _send_all(
+    sock: socket.socket, buffers: list[Buffer], deadline: Deadline
+) -> None:
+    """Vectored ``sendall``: push every buffer, re-arming the timeout.
+
+    Uses ``sendmsg`` with up to :data:`_IOV_BATCH` iovecs per syscall
+    and advances past partial sends by re-slicing memoryviews — no
+    buffer is ever copied or concatenated.
+    """
+    views = [memoryview(buffer) for buffer in buffers]
+    index = 0
+    while index < len(views):
+        sock.settimeout(deadline.remaining())
+        try:
+            if _HAS_SENDMSG:
+                sent = sock.sendmsg(views[index : index + _IOV_BATCH])
+            else:  # pragma: no cover - non-POSIX fallback
+                sock.sendall(views[index])
+                sent = len(views[index])
+        except socket.timeout:
+            raise DeadlineExceededError(
+                "deadline exceeded while sending"
+            ) from None
+        except OSError as error:
+            raise ConnectionLostError(f"send failed: {error}") from error
+        while sent > 0:
+            head = views[index]
+            if sent >= len(head):
+                sent -= len(head)
+                index += 1
+            else:
+                views[index] = head[sent:]
+                sent = 0
 
 
 def recv_frame(
@@ -132,8 +225,9 @@ def recv_frame(
     deadline: Deadline,
     *,
     eof_ok: bool = False,
-) -> tuple[FrameType, int, bytes] | None:
-    """Read one frame; returns ``(type, request_id, payload)``.
+    codec: "FrameCodec | None" = None,
+) -> Frame | None:
+    """Read one frame; returns a :class:`Frame` (or ``None`` at EOF).
 
     A clean end-of-stream *before any header byte* returns ``None`` when
     ``eof_ok`` is set (a client hanging up between requests) and raises
@@ -141,13 +235,62 @@ def recv_frame(
     is always a truncation (:class:`FrameError`).
 
     Raises:
-        FrameError: bad magic/version/flags, oversized or truncated frame.
+        FrameError: bad magic/version/flags, oversized, truncated or
+            corrupt-compressed frame.
         DeadlineExceededError: the frame did not arrive in time.
         ConnectionLostError: reset, or EOF with ``eof_ok`` unset.
     """
-    header = _recv_exact(sock, HEADER.size, deadline, eof_ok=eof_ok)
-    if header is None:
+    header = bytearray(HEADER.size)
+    if not _recv_exact(sock, memoryview(header), deadline, eof_ok=eof_ok):
         return None
+    return _finish_frame(sock, header, deadline, codec)
+
+
+def poll_frame(
+    sock: socket.socket,
+    *,
+    poll: float,
+    frame_timeout: float,
+    codec: "FrameCodec | None" = None,
+) -> Frame | None:
+    """Wait up to ``poll`` seconds for the start of a frame.
+
+    The reader loop of a pipelined connection calls this in a tight
+    cycle: ``None`` means nothing arrived (go check for shutdown), and a
+    returned frame was collected under a fresh ``frame_timeout`` budget
+    that only starts once the first header byte lands — so a short poll
+    interval never truncates a large frame that is merely slow.
+
+    Raises:
+        ConnectionLostError: EOF or reset at any point.
+        FrameError: malformed or truncated frame.
+        DeadlineExceededError: a started frame stalled past
+            ``frame_timeout``.
+    """
+    header = bytearray(HEADER.size)
+    view = memoryview(header)
+    sock.settimeout(poll)
+    try:
+        first = sock.recv_into(view)
+    except socket.timeout:
+        return None
+    except OSError as error:
+        raise ConnectionLostError(f"recv failed: {error}") from error
+    if first == 0:
+        raise ConnectionLostError("connection closed by peer")
+    deadline = Deadline.after(frame_timeout)
+    if first < HEADER.size:
+        _recv_exact(sock, view[first:], deadline, eof_ok=False)
+    return _finish_frame(sock, header, deadline, codec)
+
+
+def _finish_frame(
+    sock: socket.socket,
+    header: bytearray,
+    deadline: Deadline,
+    codec: "FrameCodec | None",
+) -> Frame:
+    """Validate a complete header and collect the payload."""
     magic, version, type_code, flags, request_id, length = HEADER.unpack(header)
     if magic != MAGIC:
         raise FrameError(f"bad frame magic {magic!r}")
@@ -156,7 +299,7 @@ def recv_frame(
             f"peer speaks protocol {version}, this build speaks "
             f"{PROTOCOL_VERSION}"
         )
-    if flags != 0:
+    if flags & ~CODEC_FLAG_MASK:
         raise FrameError(f"unsupported frame flags {flags:#x}")
     try:
         frame_type = FrameType(type_code)
@@ -167,35 +310,52 @@ def recv_frame(
             f"frame announces {length} payload bytes, over the "
             f"{MAX_PAYLOAD}-byte ceiling"
         )
-    payload = _recv_exact(sock, length, deadline, eof_ok=False)
-    assert payload is not None  # eof_ok=False never yields None
-    return frame_type, request_id, payload
+    buffer = bytearray(length)
+    if length:
+        _recv_exact(sock, memoryview(buffer), deadline, eof_ok=False)
+    payload: Buffer = memoryview(buffer)
+    codec_id = flags & CODEC_FLAG_MASK
+    if codec_id:
+        if codec is None:
+            raise FrameError(
+                f"unsupported frame flags {flags:#x}: compressed frame "
+                "on a connection that negotiated no codec"
+            )
+        payload = codec.decode(codec_id, payload)
+    return Frame(frame_type, request_id, payload, HEADER.size + length)
 
 
 def _recv_exact(
-    sock: socket.socket, count: int, deadline: Deadline, *, eof_ok: bool
-) -> bytes | None:
-    """Read exactly ``count`` bytes, re-arming the timeout per chunk."""
-    parts: list[bytes] = []
+    sock: socket.socket,
+    view: memoryview,
+    deadline: Deadline,
+    *,
+    eof_ok: bool,
+) -> bool:
+    """Fill ``view`` from the socket, re-arming the timeout per read.
+
+    Returns ``False`` only on a clean EOF before the first byte with
+    ``eof_ok`` set; otherwise ``True`` once the view is full.
+    """
+    total = len(view)
     got = 0
-    while got < count:
+    while got < total:
         sock.settimeout(deadline.remaining())
         try:
-            chunk = sock.recv(min(count - got, RECV_CHUNK))
+            count = sock.recv_into(view[got:])
         except socket.timeout:
             raise DeadlineExceededError(
                 "deadline exceeded while awaiting frame bytes"
             ) from None
         except OSError as error:
             raise ConnectionLostError(f"recv failed: {error}") from error
-        if not chunk:
-            if not parts and eof_ok:
-                return None
-            if not parts:
+        if count == 0:
+            if got == 0 and eof_ok:
+                return False
+            if got == 0:
                 raise ConnectionLostError("connection closed by peer")
             raise FrameError(
-                f"truncated frame: peer closed after {got} of {count} bytes"
+                f"truncated frame: peer closed after {got} of {total} bytes"
             )
-        parts.append(chunk)
-        got += len(chunk)
-    return b"".join(parts)
+        got += count
+    return True

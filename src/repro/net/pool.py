@@ -1,19 +1,28 @@
 """Per-host connection pooling with retries for idempotent reads.
 
-A :class:`ConnectionPool` keeps a small set of warm
-:class:`~repro.net.client.NodeClient` connections to one node server.
-``call`` checks a connection out, runs the RPC, and returns it —
-discarding it instead whenever the call poisoned the socket (protocol
-violation, deadline mid-frame, reset).  Connections idle past the
-health-check interval are pinged before reuse, so a node restart is
-noticed at the pool instead of mid-query.
+A :class:`ConnectionPool` fronts one node server in one of two modes:
+
+* **Pipelined (the default).**  The pool keeps one or two
+  :class:`~repro.net.client.PipelinedConnection` objects and lets many
+  requests share each socket concurrently — the scatter's per-node
+  fan-out rides a couple of connections with deep in-flight queues
+  instead of a connection per outstanding call.  New connections are
+  only dialled when every live one is busy and the ceiling allows; a
+  connection whose socket dies fails all of its outstanding requests
+  and is discarded here.
+* **Serial (``pipeline=False``).**  The original checkout model: a
+  :class:`~repro.net.client.NodeClient` is exclusively owned for the
+  duration of a call, with idle connections health-checked by ping
+  before reuse.
 
 Retries: connection-level failures (:class:`NodeUnavailableError`,
 :class:`ConnectionLostError`) are retried with the pool's
 :class:`~repro.net.client.RetryPolicy` **only when the caller marks the
 call idempotent** — all query reads are; field registration is not.
 Every attempt draws from the one per-request deadline, so retrying can
-never extend a request past its budget.
+never extend a request past its budget.  A streamed call's sink is
+reset at the start of every attempt, so chunks delivered before a
+mid-flight failure are never double-counted.
 """
 
 from __future__ import annotations
@@ -22,21 +31,30 @@ import random
 import threading
 from typing import Callable, Sequence
 
-from repro.net.client import CallResult, NodeClient, RetryPolicy
+from repro.net.client import (
+    CallResult,
+    NodeClient,
+    PipelinedConnection,
+    RetryPolicy,
+)
+from repro.net.compress import CompressionConfig, DEFAULT_COMPRESSION
 from repro.net.errors import (
     ConnectionLostError,
     DeadlineExceededError,
     NodeUnavailableError,
+    ProtocolError,
 )
-from repro.net.frame import Deadline
+from repro.net.frame import Buffer, Deadline
+from repro.net.stream import PartialSink
 from repro.obs import clock
 
-#: Idle seconds after which a pooled connection is pinged before reuse.
+#: Idle seconds after which a serial pooled connection is pinged before
+#: reuse (pipelined connections detect death via their reader loop).
 HEALTH_CHECK_IDLE_SECONDS = 30.0
 
 
 class _PooledConnection:
-    """A client plus the bookkeeping the pool needs."""
+    """A serial client plus the bookkeeping the pool needs."""
 
     __slots__ = ("client", "last_used")
 
@@ -51,13 +69,20 @@ class ConnectionPool:
     Args:
         host: node server host.
         port: node server port.
-        max_connections: checkout ceiling; further callers wait (within
-            their deadline) for a connection to come back.
+        max_connections: connection ceiling.  Pipelined mode dials a new
+            connection only when all live ones have requests in flight;
+            serial mode makes further callers wait (within their
+            deadline) for a checkout.
         connect_timeout: per-attempt budget for TCP connect + handshake
             (always additionally capped by the request deadline).
         retry: backoff policy for idempotent calls.
         rng: jitter source (seedable for deterministic tests).
         on_retry: called once per retry, for the transport's metrics.
+        pipeline: multiplex requests over shared connections (default)
+            or check connections out serially.
+        compression: codecs to advertise on new connections; defaults
+            to the stock zlib configuration.
+        on_ratio: callback fed each frame's achieved compression ratio.
     """
 
     def __init__(
@@ -70,6 +95,9 @@ class ConnectionPool:
         retry: RetryPolicy | None = None,
         rng: random.Random | None = None,
         on_retry: Callable[[], None] | None = None,
+        pipeline: bool = True,
+        compression: CompressionConfig | None = None,
+        on_ratio: Callable[[float], None] | None = None,
     ) -> None:
         if max_connections < 1:
             raise ValueError("a pool needs at least one connection")
@@ -79,11 +107,17 @@ class ConnectionPool:
         self.max_connections = max_connections
         self.connect_timeout = connect_timeout
         self.retry = retry or RetryPolicy()
+        self.pipeline = pipeline
+        self.compression = (
+            compression if compression is not None else DEFAULT_COMPRESSION
+        )
+        self._on_ratio = on_ratio
         self._rng = rng or random.Random()
         self._on_retry = on_retry
         self._lock = threading.Lock()
         self._available = threading.Condition(self._lock)
         self._idle: list[_PooledConnection] = []
+        self._pipes: list[PipelinedConnection] = []
         self._checked_out = 0
         self._closed = False
         self.connections_created = 0
@@ -95,10 +129,11 @@ class ConnectionPool:
         self,
         method: str,
         header: dict,
-        blobs: Sequence[bytes],
+        blobs: Sequence[Buffer],
         *,
         timeout: float,
         idempotent: bool,
+        sink: PartialSink | None = None,
     ) -> CallResult:
         """One RPC with pooling, deadline and (if idempotent) retries.
 
@@ -114,7 +149,7 @@ class ConnectionPool:
         attempt = 0
         while True:
             try:
-                return self._call_once(method, header, blobs, deadline)
+                return self._call_once(method, header, blobs, deadline, sink)
             except (NodeUnavailableError, ConnectionLostError) as error:
                 attempt += 1
                 if attempt >= attempts_allowed:
@@ -141,6 +176,13 @@ class ConnectionPool:
     def ping(self, timeout: float) -> float:
         """Round-trip a health-check frame; returns wall seconds."""
         deadline = Deadline.after(timeout)
+        if self.pipeline:
+            pipe = self._pipe(deadline)
+            try:
+                return pipe.ping(deadline)
+            except (ConnectionLostError, ProtocolError):
+                self._discard_pipe(pipe)
+                raise
         conn = self._acquire(deadline)
         try:
             rtt = conn.client.ping(deadline)
@@ -150,14 +192,25 @@ class ConnectionPool:
         self._release(conn)
         return rtt
 
+    @property
+    def open_connections(self) -> int:
+        """Live connections the pool would hand out right now."""
+        with self._lock:
+            if self.pipeline:
+                return sum(1 for pipe in self._pipes if pipe.usable)
+            return len(self._idle) + self._checked_out
+
     def close(self) -> None:
-        """Close every idle connection and refuse new checkouts."""
+        """Close every connection and refuse new calls."""
         with self._available:
             self._closed = True
             idle, self._idle = self._idle, []
+            pipes, self._pipes = self._pipes, []
             self._available.notify_all()
         for conn in idle:
             conn.client.close()
+        for pipe in pipes:
+            pipe.close()
 
     def __enter__(self) -> "ConnectionPool":
         return self
@@ -171,12 +224,28 @@ class ConnectionPool:
         self,
         method: str,
         header: dict,
-        blobs: Sequence[bytes],
+        blobs: Sequence[Buffer],
         deadline: Deadline,
+        sink: PartialSink | None,
     ) -> CallResult:
+        if sink is not None:
+            # Fresh attempt, fresh sink: chunks streamed before a
+            # mid-flight failure must not survive into the retry.
+            sink.reset()
+        if self.pipeline:
+            pipe = self._pipe(deadline)
+            try:
+                return pipe.call(method, header, blobs, deadline, sink=sink)
+            except (ConnectionLostError, ProtocolError):
+                # Dead socket or desynced framing: nothing else may use
+                # this connection again.
+                self._discard_pipe(pipe)
+                raise
         conn = self._acquire(deadline)
         try:
-            result = conn.client.call(method, header, blobs, deadline)
+            result = conn.client.call(
+                method, header, blobs, deadline, sink=sink
+            )
         except BaseException:
             # Any in-flight failure leaves request/response framing in an
             # unknown state; the connection is poisoned either way.
@@ -184,6 +253,46 @@ class ConnectionPool:
             raise
         self._release(conn)
         return result
+
+    # -- pipelined mode --------------------------------------------------------
+
+    def _pipe(self, deadline: Deadline) -> PipelinedConnection:
+        """The least-loaded live connection, growing up to the ceiling.
+
+        A new connection is dialled only when every live one already has
+        requests in flight — the scatter's whole fan-out to one node
+        typically rides one or two sockets.
+        """
+        with self._lock:
+            if self._closed:
+                raise ConnectionLostError(f"pool for {self.address} is closed")
+            self._pipes = [pipe for pipe in self._pipes if pipe.usable]
+            if self._pipes:
+                best = min(self._pipes, key=lambda pipe: pipe.in_flight)
+                if (
+                    best.in_flight == 0
+                    or len(self._pipes) >= self.max_connections
+                ):
+                    return best
+            budget = min(self.connect_timeout, deadline.remaining())
+            pipe = PipelinedConnection(
+                self.host,
+                self.port,
+                Deadline(clock.now() + budget),
+                compression=self.compression,
+                on_ratio=self._on_ratio,
+            )
+            self._pipes.append(pipe)
+            self.connections_created += 1
+            return pipe
+
+    def _discard_pipe(self, pipe: PipelinedConnection) -> None:
+        with self._lock:
+            if pipe in self._pipes:
+                self._pipes.remove(pipe)
+        pipe.close()
+
+    # -- serial mode -----------------------------------------------------------
 
     def _acquire(self, deadline: Deadline) -> _PooledConnection:
         while True:
@@ -218,7 +327,13 @@ class ConnectionPool:
     def _connect(self, deadline: Deadline) -> NodeClient:
         budget = min(self.connect_timeout, deadline.remaining())
         connect_deadline = Deadline(clock.now() + budget)
-        return NodeClient(self.host, self.port, connect_deadline)
+        return NodeClient(
+            self.host,
+            self.port,
+            connect_deadline,
+            compression=self.compression,
+            on_ratio=self._on_ratio,
+        )
 
     def _healthy(self, conn: _PooledConnection, deadline: Deadline) -> bool:
         """Ping a connection that sat idle too long; close it if stale."""

@@ -15,6 +15,14 @@ the same signature and cost-charging contract as
 reads with no ledger bound, and the *requesting* side charges the
 interconnect transfer to the query's ledger — identical accounting to
 the in-process cluster.
+
+Each connection negotiates a frame codec in its HELLO exchange and then
+runs a small worker pool: the reader thread only parses frames, REQUEST
+frames are answered concurrently (pipelined clients keep several in
+flight), and responses — including the PARTIAL chunk streams of large
+threshold/batch results — are written through a per-connection send
+lock on a duplicated socket handle, so a slow response never blocks the
+reader and frames never interleave mid-frame.
 """
 
 from __future__ import annotations
@@ -22,9 +30,12 @@ from __future__ import annotations
 import json
 import socket
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import Iterable, Sequence
+
+import numpy as np
 
 from repro.cluster.node import DatabaseNode
 from repro.cluster.partition import MortonPartitioner
@@ -32,6 +43,7 @@ from repro.core.cache import SemanticCache
 from repro.core.executor import HaloPeer, NodeExecutor
 from repro.core.pdf import get_pdf_on_node
 from repro.core.pdfcache import PdfCache
+from repro.core.pointset import pack_f64, pack_u64
 from repro.core.threshold import get_threshold_on_node
 from repro.core.topk import get_topk_on_node
 from repro.costmodel import Category, ClusterSpec, CostLedger, paper_cluster
@@ -39,8 +51,15 @@ from repro.costmodel.ledger import METER_HALO_BYTES, METER_HALO_SECONDS
 from repro.fields.derived import FieldRegistry, UnknownFieldError, default_registry
 from repro.morton import MortonRange
 from repro.net import codec
+from repro.net.compress import (
+    CompressionConfig,
+    DEFAULT_COMPRESSION,
+    FrameCodec,
+    negotiate,
+)
 from repro.net.errors import NetError, ProtocolError
 from repro.net.frame import (
+    Buffer,
     Deadline,
     FrameType,
     PROTOCOL_VERSION,
@@ -48,6 +67,7 @@ from repro.net.frame import (
     send_frame,
 )
 from repro.net.pool import ConnectionPool
+from repro.net.stream import STREAM_CHUNK_POINTS, iter_point_chunks
 from repro.net.transport import field_description, parse_address
 from repro.obs import tracing
 from repro.simulation.datasets import (
@@ -69,6 +89,16 @@ IDLE_TIMEOUT = 300.0
 #: Budget for writing one response back to a (possibly slow) client.
 RESPONSE_TIMEOUT = 60.0
 
+#: Concurrent REQUEST handlers per connection; matches the useful
+#: depth of a pipelined client's in-flight queue per socket.
+REQUEST_WORKERS = 4
+
+#: Methods answered inline on the connection's reader thread.  These
+#: are sub-millisecond memory reads; under compute load every executor
+#: handoff costs a GIL wait (up to the 5 ms switch interval), which for
+#: halo exchange dominates the RPC itself.
+INLINE_METHODS = frozenset({"halo", "describe"})
+
 _DATASET_FACTORIES = {
     "mhd": mhd_dataset,
     "isotropic": isotropic_dataset,
@@ -85,6 +115,61 @@ _REQUEST_ERRORS = (
     KeyError,
     TypeError,
 )
+
+
+@dataclass
+class StreamedResponse:
+    """A response delivered as PARTIAL chunk frames plus a final frame.
+
+    ``partials`` yields ``(header, blobs)`` messages, each becoming one
+    PARTIAL frame; ``header``/``blobs`` form the terminating RESPONSE
+    (which carries the ledger and flags, is marked ``"streamed": true``
+    and ships no blobs).
+    """
+
+    partials: Iterable[tuple[dict, list[Buffer]]]
+    header: dict
+    blobs: list[Buffer]
+
+
+class _ConnectionState:
+    """One client connection's write side.
+
+    The reader thread owns the original socket; responses are written
+    through a duplicated handle under a lock, so worker threads never
+    race the reader's ``settimeout`` calls and concurrently-answered
+    requests never interleave mid-frame.  ``codec`` is ``None`` until
+    the HELLO exchange negotiates one.
+    """
+
+    __slots__ = ("wsock", "lock", "codec")
+
+    def __init__(self, conn: socket.socket) -> None:
+        self.wsock = conn.dup()
+        self.lock = threading.Lock()
+        self.codec: FrameCodec | None = None
+
+    def send(
+        self,
+        frame_type: FrameType,
+        request_id: int,
+        payload: "Buffer | Sequence[Buffer]",
+    ) -> None:
+        with self.lock:
+            send_frame(
+                self.wsock,
+                frame_type,
+                request_id,
+                payload,
+                Deadline.after(RESPONSE_TIMEOUT),
+                codec=self.codec,
+            )
+
+    def close(self) -> None:
+        try:
+            self.wsock.close()
+        except OSError:  # pragma: no cover - close owes us nothing
+            pass
 
 
 @dataclass(frozen=True)
@@ -221,6 +306,12 @@ class NodeServer:
             :meth:`connect_peers` once every node's port is known.
         spec: hardware spec (defaults to the paper-calibrated cluster).
         rpc_timeout: deadline for outgoing peer halo RPCs.
+        registry: derived-field registry (defaults to the stock one).
+        compression: frame codecs this server offers during HELLO
+            negotiation (defaults to the stock zlib configuration).
+        stream_chunk_points: threshold/batch responses with more points
+            than this are streamed as PARTIAL chunk frames of at most
+            this many points each.
     """
 
     def __init__(
@@ -233,16 +324,24 @@ class NodeServer:
         spec: ClusterSpec | None = None,
         rpc_timeout: float = 60.0,
         registry: FieldRegistry | None = None,
+        compression: CompressionConfig | None = None,
+        stream_chunk_points: int = STREAM_CHUNK_POINTS,
     ) -> None:
         if not 0 <= node_id < config.nodes:
             raise ValueError(
                 f"node id {node_id} outside cluster of {config.nodes}"
             )
+        if stream_chunk_points < 1:
+            raise ValueError("stream_chunk_points must be positive")
         self.node_id = node_id
         self.config = config
         self.spec = spec or paper_cluster()
         self.registry = registry or default_registry()
         self.rpc_timeout = rpc_timeout
+        self.compression = (
+            compression if compression is not None else DEFAULT_COMPRESSION
+        )
+        self.stream_chunk_points = stream_chunk_points
         self.partitioner = MortonPartitioner(config.side, config.nodes)
         self.node = DatabaseNode(
             node_id, self.spec, buffer_pages=config.buffer_pages
@@ -271,6 +370,7 @@ class NodeServer:
         self._running = False
         self._accept_thread: threading.Thread | None = None
         self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
         self._lock = threading.Lock()
 
     def connect_peers(
@@ -296,7 +396,13 @@ class NodeServer:
                 peers.append(self.node)
                 continue
             peer_host, peer_port = parse_address(peer_addresses[peer_id])
-            pool = ConnectionPool(peer_host, peer_port, max_connections=2)
+            # Halo exchange is a synchronous call-and-wait pattern from
+            # a compute thread: a serial connection answers it with one
+            # thread wake-up fewer than the multiplexed mode, which
+            # matters when the interpreter is busy running kernels.
+            pool = ConnectionPool(
+                peer_host, peer_port, max_connections=2, pipeline=False
+            )
             self._peer_pools[peer_id] = pool
             peers.append(RemoteHaloPeer(pool, self.spec, self.rpc_timeout))
         self.executor = NodeExecutor(self.node, peers, self.partitioner)
@@ -353,7 +459,14 @@ class NodeServer:
         self._accept_loop()
 
     def shutdown(self) -> None:
-        """Stop accepting, close peer pools and the node (idempotent)."""
+        """Stop accepting, close peer pools and the node (idempotent).
+
+        Live connections are shut down at the socket level so their
+        reader threads wake immediately instead of riding out the idle
+        timeout; every per-connection thread is then joined and the
+        thread list emptied (:meth:`_accept_loop` already reaps
+        finished threads as connections come and go).
+        """
         self._running = False
         try:
             self._listener.close()
@@ -363,7 +476,14 @@ class NodeServer:
             self._accept_thread.join(timeout=5.0)
             self._accept_thread = None
         with self._lock:
-            threads = list(self._conn_threads)
+            conns = list(self._open_conns)
+        for conn in conns:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+        with self._lock:
+            threads, self._conn_threads = self._conn_threads, []
         for thread in threads:
             thread.join(timeout=5.0)
         for pool in self._peer_pools:
@@ -403,44 +523,61 @@ class NodeServer:
             thread.start()
 
     def _serve_connection(self, conn: socket.socket) -> None:
-        """One client connection: frames in, frames out, until EOF."""
+        """One client connection: frames in, frames out, until EOF.
+
+        This thread only reads and parses frames; REQUEST frames are
+        answered by a small per-connection worker pool so a pipelined
+        client's in-flight requests are served concurrently.  Responses
+        go through the connection state's locked write handle.
+        """
         conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        state = _ConnectionState(conn)
+        workers = ThreadPoolExecutor(
+            max_workers=REQUEST_WORKERS,
+            thread_name_prefix=f"node{self.node_id}-rpc",
+        )
+        with self._lock:
+            self._open_conns.add(conn)
         try:
             while self._running:
                 frame = recv_frame(
-                    conn, Deadline.after(IDLE_TIMEOUT), eof_ok=True
+                    conn,
+                    Deadline.after(IDLE_TIMEOUT),
+                    eof_ok=True,
+                    codec=state.codec,
                 )
                 if frame is None:
                     break
-                frame_type, request_id, payload = frame
-                if frame_type == FrameType.HELLO:
-                    self._answer_hello(conn, request_id, payload)
-                elif frame_type == FrameType.PING:
-                    send_frame(
-                        conn,
-                        FrameType.PONG,
-                        request_id,
-                        b"",
-                        Deadline.after(RESPONSE_TIMEOUT),
+                if frame.frame_type == FrameType.HELLO:
+                    self._answer_hello(state, frame.request_id, frame.payload)
+                elif frame.frame_type == FrameType.PING:
+                    state.send(FrameType.PONG, frame.request_id, b"")
+                elif frame.frame_type == FrameType.REQUEST:
+                    self._route_request(
+                        state, workers, frame.request_id, frame.payload
                     )
-                elif frame_type == FrameType.REQUEST:
-                    self._answer_request(conn, request_id, payload)
                 else:
                     raise ProtocolError(
-                        f"client may not send {frame_type.name} frames"
+                        f"client may not send {frame.frame_type.name} frames"
                     )
         except (NetError, OSError):
             # The connection is broken or misbehaving; there is no one
             # to answer — drop it and let the client's deadline fire.
             pass
         finally:
+            with self._lock:
+                self._open_conns.discard(conn)
+            # Let in-flight answers finish (their sends fail fast if the
+            # client is gone) before the write handle goes away.
+            workers.shutdown(wait=True)
+            state.close()
             try:
                 conn.close()
             except OSError:  # pragma: no cover - close owes us nothing
                 pass
 
     def _answer_hello(
-        self, conn: socket.socket, request_id: int, payload: bytes
+        self, state: _ConnectionState, request_id: int, payload: Buffer
     ) -> None:
         header, _ = codec.decode_message(payload)
         if header.get("protocol") != PROTOCOL_VERSION:
@@ -448,28 +585,58 @@ class NodeServer:
                 f"client speaks protocol {header.get('protocol')}, "
                 f"this server speaks {PROTOCOL_VERSION}"
             )
+        advertised = [str(name) for name in header.get("codecs", [])]
+        chosen = negotiate(self.compression.codecs, advertised)
         body = codec.encode_message(
-            {"protocol": PROTOCOL_VERSION, "node_id": self.node_id}
+            {
+                "protocol": PROTOCOL_VERSION,
+                "node_id": self.node_id,
+                "codecs": list(self.compression.codecs),
+                "codec": chosen,
+            }
         )
-        send_frame(
-            conn,
-            FrameType.HELLO_ACK,
-            request_id,
-            body,
-            Deadline.after(RESPONSE_TIMEOUT),
-        )
+        # The ack itself is always raw; the negotiated codec applies
+        # from the next frame in both directions.
+        state.send(FrameType.HELLO_ACK, request_id, body)
+        state.codec = FrameCodec(self.compression, chosen)
 
-    def _answer_request(
-        self, conn: socket.socket, request_id: int, payload: bytes
+    def _route_request(
+        self,
+        state: _ConnectionState,
+        workers: ThreadPoolExecutor,
+        request_id: int,
+        payload: Buffer,
     ) -> None:
+        """Decode one REQUEST and pick its execution lane.
+
+        Messages are decoded here on the reader thread (a JSON header
+        parse plus zero-copy blob slices — cheap next to the socket
+        read).  :data:`INLINE_METHODS` are then answered in place;
+        everything else goes to the per-connection worker pool so a
+        pipelined client's queries still run concurrently.
+        """
         try:
             header, blobs = codec.decode_message(payload)
             method = str(header.get("method", ""))
-            response_header, response_blobs = self._dispatch(
-                method, header, blobs
-            )
         except _REQUEST_ERRORS as error:
-            body = codec.encode_message(
+            self._send_error(state, request_id, error)
+            return
+        if method in INLINE_METHODS:
+            self._answer_request(state, request_id, method, header, blobs)
+        else:
+            workers.submit(
+                self._answer_request, state, request_id, method, header, blobs
+            )
+
+    @staticmethod
+    def _send_error(
+        state: _ConnectionState, request_id: int, error: Exception
+    ) -> None:
+        """Answer a failed request with a typed ERROR frame."""
+        state.send(
+            FrameType.ERROR,
+            request_id,
+            codec.encode_message(
                 {
                     "error": {
                         "type": type(error).__name__,
@@ -477,29 +644,53 @@ class NodeServer:
                         "message": str(error),
                     }
                 }
-            )
-            send_frame(
-                conn,
-                FrameType.ERROR,
-                request_id,
-                body,
-                Deadline.after(RESPONSE_TIMEOUT),
-            )
-            return
-        send_frame(
-            conn,
-            FrameType.RESPONSE,
-            request_id,
-            codec.encode_message(response_header, response_blobs),
-            Deadline.after(RESPONSE_TIMEOUT),
+            ),
         )
+
+    def _answer_request(
+        self,
+        state: _ConnectionState,
+        request_id: int,
+        method: str,
+        header: dict,
+        blobs: "list[Buffer]",
+    ) -> None:
+        try:
+            try:
+                response = self._dispatch(method, header, blobs)
+            except _REQUEST_ERRORS as error:
+                self._send_error(state, request_id, error)
+                return
+            if isinstance(response, StreamedResponse):
+                for part_header, part_blobs in response.partials:
+                    state.send(
+                        FrameType.PARTIAL,
+                        request_id,
+                        codec.encode_message_parts(part_header, part_blobs),
+                    )
+                state.send(
+                    FrameType.RESPONSE,
+                    request_id,
+                    codec.encode_message_parts(response.header, response.blobs),
+                )
+            else:
+                response_header, response_blobs = response
+                state.send(
+                    FrameType.RESPONSE,
+                    request_id,
+                    codec.encode_message_parts(response_header, response_blobs),
+                )
+        except (NetError, OSError):
+            # The client went away mid-answer; the reader loop notices
+            # the broken socket and retires the connection.
+            pass
 
     # -- request dispatch --------------------------------------------------------
 
     def _dispatch(
-        self, method: str, header: dict, blobs: list[bytes]
-    ) -> tuple[dict, list[bytes]]:
-        """Run one RPC; returns the response ``(header, blobs)``."""
+        self, method: str, header: dict, blobs: list[Buffer]
+    ) -> "tuple[dict, list[Buffer]] | StreamedResponse":
+        """Run one RPC; returns ``(header, blobs)`` or a chunk stream."""
         with tracing.span("server.request", method=method, node=self.node_id):
             if method == "threshold":
                 return self._serve_threshold(header)
@@ -515,9 +706,26 @@ class NodeServer:
                 return self._serve_describe()
             if method == "register_field":
                 return self._serve_register_field(header)
+            if method == "echo":
+                return self._serve_echo(header, blobs)
             raise ValueError(f"unknown RPC method {method!r}")
 
-    def _serve_threshold(self, header: dict) -> tuple[dict, list[bytes]]:
+    def _point_stream(
+        self, items: "Sequence[tuple[dict, np.ndarray, np.ndarray]]"
+    ) -> Iterable[tuple[dict, list[Buffer]]]:
+        """PARTIAL messages for column pairs, chunked and tagged."""
+        for tag, zindexes, values in items:
+            for seq, z_chunk, v_chunk in iter_point_chunks(
+                zindexes, values, self.stream_chunk_points
+            ):
+                yield (
+                    {**tag, "seq": seq},
+                    [pack_u64(z_chunk), pack_f64(v_chunk)],
+                )
+
+    def _serve_threshold(
+        self, header: dict
+    ) -> "tuple[dict, list[Buffer]] | StreamedResponse":
         query = codec.threshold_query_from_wire(header["query"])
         result = get_threshold_on_node(
             self.node,
@@ -529,9 +737,17 @@ class NodeServer:
             processes=int(header.get("processes", 1)),
             io_only=bool(header.get("io_only", False)),
         )
+        if len(result.zindexes) > self.stream_chunk_points:
+            return StreamedResponse(
+                self._point_stream([({}, result.zindexes, result.values)]),
+                {**codec.threshold_result_header(result), "streamed": True},
+                [],
+            )
         return codec.threshold_result_to_wire(result)
 
-    def _serve_batch(self, header: dict) -> tuple[dict, list[bytes]]:
+    def _serve_batch(
+        self, header: dict
+    ) -> "tuple[dict, list[Buffer]] | StreamedResponse":
         from repro.core.batch import get_batch_on_node
 
         queries = [
@@ -547,6 +763,18 @@ class NodeServer:
             codec.boxes_from_wire(header["boxes"]),
             processes=int(header.get("processes", 1)),
         )
+        total_points = sum(len(item.zindexes) for item in results)
+        if total_points > self.stream_chunk_points:
+            return StreamedResponse(
+                self._point_stream(
+                    [
+                        ({"query": index}, item.zindexes, item.values)
+                        for index, item in enumerate(results)
+                    ]
+                ),
+                {**codec.batch_results_header(results), "streamed": True},
+                [],
+            )
         return codec.batch_results_to_wire(results)
 
     def _serve_pdf(self, header: dict) -> tuple[dict, list[bytes]]:
@@ -615,3 +843,34 @@ class NodeServer:
             str(header["name"]), str(header["text"])
         )
         return {"field": field_description(derived)}, []
+
+    def _serve_echo(
+        self, header: dict, blobs: list[Buffer]
+    ) -> "tuple[dict, list[Buffer]] | StreamedResponse":
+        """Diagnostic transfer RPC for benchmarks and wire tests.
+
+        With ``{"points": n}`` the server synthesizes a deterministic
+        n-point column pair and returns it exactly like a threshold
+        result would travel — streamed as PARTIAL chunks when large —
+        so transfer benchmarks measure the real data plane without a
+        query attached.  Otherwise the request blobs are echoed back.
+        """
+        if header.get("points") is not None:
+            points = int(header["points"])
+            if points < 0:
+                raise ValueError("points must be non-negative")
+            zindexes = np.arange(points, dtype=np.uint64)
+            values = (
+                np.arange(points, dtype=np.float64) % 1024.0
+            ) * 0.001
+            if points > self.stream_chunk_points:
+                return StreamedResponse(
+                    self._point_stream([({}, zindexes, values)]),
+                    {"points": points, "streamed": True},
+                    [],
+                )
+            return (
+                {"points": points},
+                [pack_u64(zindexes), pack_f64(values)],
+            )
+        return {"count": len(blobs)}, list(blobs)

@@ -11,6 +11,15 @@ under the query's ``node.part`` span, the ``rpc_*`` metric families
 count requests/retries/latency/bytes, and each part result's ledger
 carries the *actual* wire bytes under :data:`METER_WIRE_BYTES` so the
 cost model's MEDIATOR_DB transfer can be reconciled against reality.
+With compression negotiated (the default), those wire bytes are the
+*compressed* footprint — what truly crossed the LAN — and the
+``net_compression_ratio`` histogram records how far each frame shrank.
+
+The data plane defaults to the fast path end to end: pooled
+connections pipeline many in-flight requests over one or two sockets
+per node, and large threshold/batch responses arrive as PARTIAL chunk
+streams that are merged incrementally via ``merge_sorted_runs`` while
+the remaining chunks are still in flight.
 """
 
 from __future__ import annotations
@@ -29,8 +38,11 @@ from repro.costmodel.ledger import METER_WIRE_BYTES
 from repro.grid import Box
 from repro.net import codec
 from repro.net.client import CallResult, RetryPolicy
+from repro.net.compress import CompressionConfig
 from repro.net.errors import ProtocolError
+from repro.net.frame import Buffer
 from repro.net.pool import ConnectionPool
+from repro.net.stream import BatchStreamSink, PartialSink, ThresholdStreamSink
 from repro.obs import clock, tracing
 from repro.obs.metrics import MetricsRegistry
 
@@ -269,9 +281,18 @@ class TcpTransport(Transport):
         timeout: per-RPC deadline in wall seconds.  Retries of a failed
             idempotent call share this one budget.
         connect_timeout: per-attempt TCP connect + handshake budget.
-        max_connections: pooled sockets per node.
+        max_connections: pooled sockets per node.  With pipelining on
+            (the default) each socket multiplexes many in-flight
+            requests, so the whole scatter to one node rides one or two
+            connections.
         retry: backoff policy for idempotent reads.
         rng: jitter source, seedable for deterministic tests.
+        pipeline: multiplex requests over shared connections (default)
+            instead of checking one out per call.
+        compression: codecs advertised during the handshake; defaults
+            to the stock zlib configuration.  Pass
+            :data:`~repro.net.compress.NO_COMPRESSION` to force raw
+            frames.
     """
 
     def __init__(
@@ -280,9 +301,11 @@ class TcpTransport(Transport):
         *,
         timeout: float = DEFAULT_RPC_TIMEOUT,
         connect_timeout: float = 2.0,
-        max_connections: int = 4,
+        max_connections: int = 2,
         retry: RetryPolicy | None = None,
         rng: random.Random | None = None,
+        pipeline: bool = True,
+        compression: CompressionConfig | None = None,
     ) -> None:
         if not addresses:
             raise ValueError("a TCP transport needs at least one node address")
@@ -299,6 +322,9 @@ class TcpTransport(Transport):
                 retry=retry,
                 rng=self._rng,
                 on_retry=self._observe_retry,
+                pipeline=pipeline,
+                compression=compression,
+                on_ratio=self._observe_ratio,
             )
             for host, port in map(parse_address, addresses)
         ]
@@ -309,6 +335,8 @@ class TcpTransport(Transport):
         self._m_retries = None
         self._m_sent = None
         self._m_received = None
+        self._m_ratio = None
+        self._m_partials = None
 
     # -- instrumentation -------------------------------------------------------
 
@@ -332,20 +360,34 @@ class TcpTransport(Transport):
         self._m_received = metrics.counter(
             "rpc_bytes_received_total", "Response bytes read off the wire"
         )
+        self._m_ratio = metrics.histogram(
+            "net_compression_ratio",
+            "Raw/compressed size ratio per compressed frame",
+            buckets=[1.0, 1.25, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0],
+        )
+        self._m_partials = metrics.counter(
+            "rpc_partial_frames_total",
+            "PARTIAL frames received in streamed responses",
+        )
 
     def _observe_retry(self) -> None:
         if self._m_retries is not None:
             self._m_retries.inc()
+
+    def _observe_ratio(self, ratio: float) -> None:
+        if self._m_ratio is not None:
+            self._m_ratio.observe(ratio)
 
     def _call(
         self,
         node_id: int,
         method: str,
         header: dict,
-        blobs: Sequence[bytes] = (),
+        blobs: Sequence[Buffer] = (),
         *,
         idempotent: bool = True,
         timeout: float | None = None,
+        sink: PartialSink | None = None,
     ) -> CallResult:
         pool = self.pools[node_id]
         start = clock.now()
@@ -360,6 +402,7 @@ class TcpTransport(Transport):
                     blobs,
                     timeout=timeout if timeout is not None else self.timeout,
                     idempotent=idempotent,
+                    sink=sink,
                 )
             except Exception as error:
                 status = type(error).__name__
@@ -375,6 +418,8 @@ class TcpTransport(Transport):
         if self._m_sent is not None:
             self._m_sent.inc(result.bytes_sent)
             self._m_received.inc(result.bytes_received)
+        if self._m_partials is not None and result.partial_frames:
+            self._m_partials.inc(result.partial_frames)
         return result
 
     @staticmethod
@@ -406,6 +451,7 @@ class TcpTransport(Transport):
         processes: int,
         io_only: bool,
     ) -> NodeThresholdResult:
+        sink = ThresholdStreamSink()
         call = self._call(
             node_id,
             "threshold",
@@ -416,10 +462,18 @@ class TcpTransport(Transport):
                 "processes": processes,
                 "io_only": io_only,
             },
+            sink=sink,
         )
-        return self._reconcile(
-            codec.threshold_result_from_wire(call.header, call.blobs), call
-        )
+        if call.header.get("streamed"):
+            # Large result: the point columns arrived as PARTIAL chunks
+            # and were merged incrementally while still in flight.
+            zindexes, values = sink.columns()
+            result = codec.threshold_result_from_stream(
+                call.header, zindexes, values
+            )
+        else:
+            result = codec.threshold_result_from_wire(call.header, call.blobs)
+        return self._reconcile(result, call)
 
     def batch_part(
         self,
@@ -430,6 +484,7 @@ class TcpTransport(Transport):
         use_cache: bool,
         processes: int,
     ) -> list[NodeThresholdResult]:
+        sink = BatchStreamSink()
         call = self._call(
             node_id,
             "batch_threshold",
@@ -439,8 +494,12 @@ class TcpTransport(Transport):
                 "use_cache": use_cache,
                 "processes": processes,
             },
+            sink=sink,
         )
-        results = codec.batch_results_from_wire(call.header, call.blobs)
+        if call.header.get("streamed"):
+            results = codec.batch_results_from_stream(call.header, sink.runs())
+        else:
+            results = codec.batch_results_from_wire(call.header, call.blobs)
         if results:
             # One shared ledger across the batch: meter the wire once.
             self._reconcile(results[0], call)

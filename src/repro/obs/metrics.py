@@ -133,6 +133,16 @@ class Histogram:
         with self._lock:
             return self._count
 
+    @property
+    def mean(self) -> float:
+        """Mean observation, or ``0.0`` before the first one.
+
+        Handy for ratio-style histograms (``net_compression_ratio``)
+        where the average is the headline number.
+        """
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
     def bucket_counts(self) -> dict[str, int]:
         """Cumulative count per upper bound (Prometheus ``le`` semantics)."""
         with self._lock:

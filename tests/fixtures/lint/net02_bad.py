@@ -1,0 +1,18 @@
+# Dirty: full-payload concatenation on the wire hot path.
+
+
+def encode(header_bytes, blobs):
+    payload = b"".join(blobs)
+    return payload
+
+
+def frame_up(header, payload):
+    message = header + payload
+    return message
+
+
+def accumulate(parts):
+    payload = b""
+    for part in parts:
+        payload += part
+    return payload

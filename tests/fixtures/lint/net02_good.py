@@ -1,0 +1,28 @@
+# Clean: parts stay a buffer list all the way to the vectored send.
+
+
+def encode_parts(header_bytes, blobs):
+    parts = [header_bytes]
+    parts.extend(blobs)
+    return parts
+
+
+def total_length(parts):
+    total = 0
+    for part in parts:
+        total += len(part)
+    return total
+
+
+def squeeze(compressor, parts):
+    # Accumulating *compressed* output into a bytearray is fine: the
+    # chunks are small and the name is not a wire-facing buffer.
+    squeezed = bytearray()
+    for part in parts:
+        squeezed += compressor.compress(part)
+    squeezed += compressor.flush()
+    return squeezed
+
+
+def control_plane_join(blobs):
+    return b"".join(blobs)  # turblint: disable=NET02 - tiny handshake message

@@ -14,6 +14,7 @@ from repro.costmodel import Category, CostLedger
 from repro.grid import Box
 from repro.morton import MortonRange
 from repro.net import codec
+from repro.net.compress import CompressionConfig, FrameCodec
 from repro.net.errors import (
     ConnectionLostError,
     DeadlineExceededError,
@@ -51,7 +52,10 @@ def test_frame_round_trip_every_type():
             )
             assert sent == HEADER.size + len(payload)
             frame = recv_frame(right, Deadline.after(5))
-            assert frame == (frame_type, 42 + frame_type, payload)
+            assert frame.frame_type == frame_type
+            assert frame.request_id == 42 + frame_type
+            assert frame.payload == payload
+            assert frame.wire_bytes == sent
     finally:
         left.close()
         right.close()
@@ -72,7 +76,10 @@ def test_frame_round_trip_large_payload():
     try:
         send_frame(left, FrameType.RESPONSE, 9, payload, Deadline.after(30))
         thread.join(timeout=30)
-        assert received["frame"] == (FrameType.RESPONSE, 9, payload)
+        frame = received["frame"]
+        assert frame.frame_type == FrameType.RESPONSE
+        assert frame.request_id == 9
+        assert frame.payload == payload
     finally:
         left.close()
         right.close()
@@ -179,6 +186,63 @@ class _FakeHugePayload(bytes):
 
     def __len__(self):
         return 256 * 1024 * 1024 + 1
+
+
+def test_vectored_parts_send_matches_concatenation():
+    """A list of buffer parts arrives as one contiguous payload."""
+    parts = [b"head", bytearray(b"-mid-"), memoryview(b"tail" * 100), b""]
+    flat = b"".join(bytes(p) for p in parts)
+    left, right = _pair()
+    try:
+        sent = send_frame(left, FrameType.REQUEST, 3, parts, Deadline.after(5))
+        assert sent == HEADER.size + len(flat)
+        frame = recv_frame(right, Deadline.after(5))
+        assert frame.payload == flat
+        assert frame.request_id == 3
+    finally:
+        left.close()
+        right.close()
+
+
+def test_compressed_frame_round_trip():
+    """zlib-negotiated frames shrink on the wire and decode intact."""
+    config = CompressionConfig(codecs=("zlib",), min_payload_bytes=64)
+    ratios = []
+    tx = FrameCodec(config, codec="zlib", on_ratio=ratios.append)
+    rx = FrameCodec(config, codec="zlib")
+    payload = b"abcdefgh" * 8192  # highly compressible
+    left, right = _pair()
+    try:
+        sent = send_frame(
+            left, FrameType.RESPONSE, 11, payload, Deadline.after(5), codec=tx
+        )
+        assert sent < HEADER.size + len(payload)
+        frame = recv_frame(right, Deadline.after(5), codec=rx)
+        assert frame.payload == payload
+        assert frame.wire_bytes == sent
+        assert ratios and ratios[0] > 1.0
+    finally:
+        left.close()
+        right.close()
+
+
+def test_small_frames_skip_compression():
+    """Payloads under the threshold ride the wire raw."""
+    config = CompressionConfig(codecs=("zlib",), min_payload_bytes=4096)
+    tx = FrameCodec(config, codec="zlib")
+    payload = b"tiny" * 8
+    left, right = _pair()
+    try:
+        sent = send_frame(
+            left, FrameType.RESPONSE, 1, payload, Deadline.after(5), codec=tx
+        )
+        assert sent == HEADER.size + len(payload)
+        # Raw frames need no codec on the receive side.
+        frame = recv_frame(right, Deadline.after(5))
+        assert frame.payload == payload
+    finally:
+        left.close()
+        right.close()
 
 
 # -- message codec ---------------------------------------------------------------

@@ -26,7 +26,13 @@ from repro.net.errors import (
     PartialFailureError,
     UnsupportedRemoteOperationError,
 )
-from repro.net.frame import Deadline, FrameType, recv_frame, send_frame
+from repro.net.frame import (
+    Deadline,
+    FrameType,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
 from repro.net.pool import ConnectionPool
 from repro.net.server import ClusterConfig, NodeServer
 from repro.net.transport import TcpTransport, parse_address
@@ -315,12 +321,18 @@ class _SlowServer:
             frame = recv_frame(conn, Deadline.after(30), eof_ok=True)
             if frame is None:
                 return
-            _, request_id, _ = frame
             send_frame(
                 conn,
                 FrameType.HELLO_ACK,
-                request_id,
-                codec.encode_message({"protocol": 1, "node_id": 0}),
+                frame.request_id,
+                codec.encode_message(
+                    {
+                        "protocol": PROTOCOL_VERSION,
+                        "node_id": 0,
+                        "codecs": [],
+                        "codec": "none",
+                    }
+                ),
                 Deadline.after(30),
             )
             while self._running:  # swallow requests, answer nothing

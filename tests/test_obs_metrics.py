@@ -50,6 +50,13 @@ class TestInstruments:
         with pytest.raises(ValueError):
             Histogram(buckets=[5.0, 1.0])
 
+    def test_histogram_mean(self):
+        hist = Histogram(buckets=[1.0, 10.0])
+        assert hist.mean == 0.0  # no observations yet
+        for value in (2.0, 4.0, 6.0):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(4.0)
+
     def test_counter_is_thread_safe(self):
         counter = Counter()
 
