@@ -383,6 +383,7 @@ class Mediator:
         use_cache: bool = True,
         io_only: bool = False,
         max_points: int = MAX_RESULT_POINTS,
+        timeout: float | None = None,
     ) -> ThresholdResult:
         """Evaluate a threshold query across the cluster.
 
@@ -392,6 +393,8 @@ class Mediator:
                 baseline sets this false).
             io_only: only perform the raw reads (Fig. 8).
             max_points: global result limit.
+            timeout: per-node-part budget in wall seconds on networked
+                transports (``None`` uses the transport's default).
 
         Raises:
             ThresholdTooLowError: when more than ``max_points`` match.
@@ -411,6 +414,7 @@ class Mediator:
                     use_cache=use_cache,
                     processes=processes,
                     io_only=io_only,
+                    timeout=timeout,
                 )
             )
             total = sum(len(r) for r in node_results)
@@ -458,6 +462,7 @@ class Mediator:
         processes: int = 1,
         use_cache: bool = True,
         max_points: int = MAX_RESULT_POINTS,
+        timeout: float | None = None,
     ):
         """Evaluate several same-source threshold queries in one pass.
 
@@ -489,6 +494,7 @@ class Mediator:
                     self.partitioner.query_boxes(node_id, box),
                     use_cache=use_cache,
                     processes=processes,
+                    timeout=timeout,
                 )
             )
             ledger = CostLedger.parallel(
@@ -541,7 +547,11 @@ class Mediator:
             return BatchThresholdResult(results, ledger)
 
     def pdf(
-        self, query: PdfQuery, processes: int = 1, use_cache: bool = True
+        self,
+        query: PdfQuery,
+        processes: int = 1,
+        use_cache: bool = True,
+        timeout: float | None = None,
     ) -> PdfResult:
         """Histogram a field's norm over an entire timestep (Fig. 2)."""
         query_id = tracing.new_trace_id()
@@ -557,6 +567,7 @@ class Mediator:
                     self.partitioner.query_boxes(node_id, box),
                     use_cache=use_cache,
                     processes=processes,
+                    timeout=timeout,
                 )
             )
             counts = sum(r.counts for r in node_results)
@@ -570,7 +581,11 @@ class Mediator:
             return PdfResult(counts, query.bin_edges, ledger, query_id=query_id)
 
     def topk(
-        self, query: TopKQuery, processes: int = 1, use_cache: bool = True
+        self,
+        query: TopKQuery,
+        processes: int = 1,
+        use_cache: bool = True,
+        timeout: float | None = None,
     ) -> TopKResult:
         """The k highest-norm locations of a timestep.
 
@@ -592,6 +607,7 @@ class Mediator:
                     self.partitioner.query_boxes(node_id, box),
                     use_cache=use_cache,
                     processes=processes,
+                    timeout=timeout,
                 )
             )
             zindexes = np.concatenate([r.zindexes for r in node_results])
@@ -743,11 +759,13 @@ class Mediator:
 
     # -- catalogue and control -----------------------------------------------------------
 
-    def dataset_names(self) -> list[str]:
+    def dataset_names(self, timeout: float | None = None) -> list[str]:
         """Sorted names of every dataset hosted by the cluster."""
-        return self.transport.dataset_names()
+        return self.transport.dataset_names(timeout=timeout)
 
-    def register_expression(self, name: str, text: str) -> dict:
+    def register_expression(
+        self, name: str, text: str, timeout: float | None = None
+    ) -> dict:
         """Register a derived-field expression wherever queries evaluate.
 
         In-process this lands in :attr:`registry`; over TCP it is
@@ -755,7 +773,7 @@ class Mediator:
         not idempotent).  Returns the field's description (``name``,
         ``source``, ``halo_depth``, ``units_per_point``).
         """
-        return self.transport.register_expression(name, text)
+        return self.transport.register_expression(name, text, timeout=timeout)
 
     def _require_local(self, operation: str) -> None:
         """Refuse an operation that touches node storage directly.

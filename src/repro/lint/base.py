@@ -3,8 +3,12 @@
 from __future__ import annotations
 
 import ast
+from typing import TYPE_CHECKING
 
 from repro.lint.diagnostics import Diagnostic, SourceFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.program import Program
 
 
 class Checker:
@@ -12,7 +16,10 @@ class Checker:
 
     A checker instance lives for a whole lint run: :meth:`check` is
     called once per in-scope file, and :meth:`finish` once at the end
-    (for cross-file analyses such as the lock-order graph).  Reported
+    (for cross-file analyses such as the lock-order graph).  Checkers
+    that set ``whole_program`` additionally receive the turbscan
+    :class:`~repro.lint.program.Program` model — built once per run over
+    *every* scanned file — via :meth:`check_program`.  Reported
     diagnostics are filtered against the file's suppressions before they
     reach the caller.
     """
@@ -21,6 +28,8 @@ class Checker:
     code: str = ""
     #: One-line human description of the enforced invariant.
     description: str = ""
+    #: Whether the checker needs the whole-program model.
+    whole_program: bool = False
 
     def applies(self, module: str) -> bool:
         """Whether ``module`` (dotted name) is in this checker's scope."""
@@ -32,6 +41,15 @@ class Checker:
 
     def finish(self) -> list[Diagnostic]:
         """Diagnostics requiring whole-run state (default: none)."""
+        return []
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        """Diagnostics over the whole-program model (default: none).
+
+        Only called when ``whole_program`` is true.  Rules scope
+        themselves here (the per-file :meth:`applies` gate does not
+        constrain which modules contribute to the model).
+        """
         return []
 
     def report(

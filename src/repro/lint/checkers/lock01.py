@@ -17,7 +17,12 @@ keep that safe:
 Lock identity is syntactic (``Class.attr``): two classes sharing one
 lock object are modelled as separate nodes, which can only under-report
 cycles, never invent them.  Method-call propagation is one level deep
-and same-class only.
+and same-class only — a deliberate blind spot: cross-class and
+transitive acquisition chains (pool -> client, mediator -> storage) are
+covered by **LOCK02**, which supersedes this rule's ordering analysis
+with a whole-program acquisition graph over the turbscan call graph
+(see ``repro.lint.checkers.lock02``).  LOCK01 remains the fast per-file
+gate for self-deadlocks and unguarded mutations.
 """
 
 from __future__ import annotations
@@ -345,7 +350,7 @@ class LockHygiene(Checker):
         graph: dict[str, list[str]] = {}
         for a, b in self._edges:
             graph.setdefault(a, []).append(b)
-        cycles = self._find_cycles(graph)
+        cycles = find_cycles(graph)
         diags = []
         for cycle in cycles:
             first_edge = (cycle[0], cycle[1])
@@ -363,31 +368,38 @@ class LockHygiene(Checker):
             )
         return diags
 
-    def _find_cycles(self, graph: dict[str, list[str]]) -> list[list[str]]:
-        seen_cycles: set[tuple[str, ...]] = set()
-        cycles: list[list[str]] = []
-        state: dict[str, int] = {}  # 1 = on stack, 2 = done
 
-        def visit(node: str, path: list[str]) -> None:
-            state[node] = 1
-            path.append(node)
-            for succ in graph.get(node, ()):
-                if state.get(succ) == 1:
-                    start = path.index(succ)
-                    cycle = path[start:] + [succ]
-                    lowest = min(range(len(cycle) - 1), key=cycle.__getitem__)
-                    canonical = tuple(
-                        cycle[lowest:-1] + cycle[:lowest] + [cycle[lowest]]
-                    )
-                    if canonical not in seen_cycles:
-                        seen_cycles.add(canonical)
-                        cycles.append(list(canonical))
-                elif state.get(succ) is None:
-                    visit(succ, path)
-            path.pop()
-            state[node] = 2
+def find_cycles(graph: dict[str, list[str]]) -> list[list[str]]:
+    """Canonicalised elementary cycles of a directed graph.
 
-        for node in sorted(graph):
-            if state.get(node) is None:
-                visit(node, [])
-        return cycles
+    Each cycle is returned once as ``[a, b, ..., a]``, rotated so the
+    lexicographically smallest node leads.  Shared by LOCK01 (per-class
+    graph) and LOCK02 (whole-program acquisition graph).
+    """
+    seen_cycles: set[tuple[str, ...]] = set()
+    cycles: list[list[str]] = []
+    state: dict[str, int] = {}  # 1 = on stack, 2 = done
+
+    def visit(node: str, path: list[str]) -> None:
+        state[node] = 1
+        path.append(node)
+        for succ in graph.get(node, ()):
+            if state.get(succ) == 1:
+                start = path.index(succ)
+                cycle = path[start:] + [succ]
+                lowest = min(range(len(cycle) - 1), key=cycle.__getitem__)
+                canonical = tuple(
+                    cycle[lowest:-1] + cycle[:lowest] + [cycle[lowest]]
+                )
+                if canonical not in seen_cycles:
+                    seen_cycles.add(canonical)
+                    cycles.append(list(canonical))
+            elif state.get(succ) is None:
+                visit(succ, path)
+        path.pop()
+        state[node] = 2
+
+    for node in sorted(graph):
+        if state.get(node) is None:
+            visit(node, [])
+    return cycles

@@ -1,0 +1,362 @@
+"""LOCK02 — whole-program lock-order graph and locks held across I/O.
+
+LOCK01 sees one class at a time and propagates acquisitions one call
+level deep; real deadlock cycles in this codebase cross layers (pool ->
+client, server -> storage, mediator -> pool).  LOCK02 rebuilds the
+acquisition analysis on the turbscan :class:`~repro.lint.program.Program`:
+
+* every ``with self.lock`` / ``with obj.lock`` block is resolved to a
+  lock identity ``Class.attr`` (a ``Condition`` wrapping another lock is
+  an alias of the wrapped lock, not a new one);
+* per-function summaries record which locks a function acquires and
+  which calls it makes while holding them; acquisition sets are closed
+  transitively over *synchronous* call edges (spawned work starts with a
+  fresh lock stack);
+* the resulting global graph must be acyclic, and no lock may be held
+  across a call that transitively reaches a raw socket operation (the
+  held-across-blocking check; deliberate cases carry a justified
+  suppression).
+
+The runtime sanitizer (``repro.sanitize``) records the *witnessed* edge
+set while the concurrency suites run; pass it via ``--witness`` (or the
+``REPRO_LINT_WITNESS`` environment variable) and cycle reports annotate
+each edge as runtime-confirmed or never witnessed, separating live
+deadlock risk from static over-approximation.
+
+Like LOCK01, lock identity is syntactic: one lock object shared by two
+classes appears as two nodes, which under-reports but never invents
+edges.  Same-identity edges (two instances of the same class) are
+skipped rather than reported as self-cycles.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint.base import Checker, dotted_name
+from repro.lint.checkers.dl01 import socket_sink_functions
+from repro.lint.checkers.lock01 import LOCK_FACTORIES, find_cycles
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.program import FunctionInfo, Program
+
+#: Environment variable naming a witness file (CI convenience).
+WITNESS_ENV = "REPRO_LINT_WITNESS"
+
+
+@dataclass
+class _Summary:
+    """What one function does with locks."""
+
+    acquires: set[str] = field(default_factory=set)
+    #: (held lock ids, call line) for every call made under a lock.
+    held_calls: list[tuple[frozenset[str], int]] = field(
+        default_factory=list
+    )
+    #: direct nested-with edges (held -> taken, line).
+    edges: list[tuple[str, str, int]] = field(default_factory=list)
+
+
+class LockOrderWholeProgram(Checker):
+    """Global lock acquisition graph: acyclic, never held across I/O."""
+
+    code = "LOCK02"
+    description = (
+        "the whole-program lock acquisition graph must stay acyclic "
+        "and no lock may be held across a blocking network call"
+    )
+    whole_program = True
+
+    def __init__(self) -> None:
+        self._witness: set[tuple[str, str]] | None = None
+        env_path = os.environ.get(WITNESS_ENV)
+        if env_path:
+            self.load_witness(env_path)
+
+    def load_witness(self, path: str | Path) -> None:
+        """Load a sanitizer-exported witnessed lock-order edge set."""
+        data = json.loads(Path(path).read_text())
+        self._witness = {
+            (edge["from"], edge["to"]) for edge in data.get("edges", [])
+        }
+
+    # -- lock collection ---------------------------------------------------
+
+    def _collect_locks(
+        self, program: Program
+    ) -> dict[str, dict[str, str]]:
+        """Per class qualname: attr -> canonical lock attr.
+
+        ``threading.Condition(self._lock)`` makes the condition attr an
+        alias of ``_lock`` so condition use never fabricates a second
+        node for the same underlying mutex.
+        """
+        table: dict[str, dict[str, str]] = {}
+        for info in program.classes.values():
+            if not info.module.startswith("repro."):
+                continue
+            attrs: dict[str, str] = {}
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Assign):
+                    continue
+                for target in node.targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    canonical = self._lock_canonical(
+                        target.attr, node.value, attrs
+                    )
+                    if canonical is not None:
+                        attrs[target.attr] = canonical
+            if attrs:
+                table[info.qualname] = attrs
+        return table
+
+    @staticmethod
+    def _lock_canonical(
+        attr: str, value: ast.expr, known: dict[str, str]
+    ) -> str | None:
+        if not isinstance(value, ast.Call):
+            return None
+        dotted = dotted_name(value.func)
+        factory = dotted.split(".")[-1] if dotted else None
+        if factory not in LOCK_FACTORIES:
+            return None
+        if factory == "Condition" and value.args:
+            wrapped = dotted_name(value.args[0])
+            if wrapped and wrapped.startswith("self."):
+                inner = wrapped[len("self.") :]
+                return known.get(inner, inner)
+        return attr
+
+    # -- per-function summaries --------------------------------------------
+
+    def _summarize(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        locks: dict[str, dict[str, str]],
+    ) -> _Summary:
+        summary = _Summary()
+
+        def lock_id(expr: ast.expr) -> str | None:
+            if not isinstance(expr, ast.Attribute):
+                return None
+            receiver = program.expr_type(fn, expr.value)
+            if receiver is None or receiver not in locks:
+                return None
+            canonical = locks[receiver].get(expr.attr)
+            if canonical is None:
+                return None
+            cls_name = program.classes[receiver].name
+            return f"{cls_name}.{canonical}"
+
+        def record_calls(node: ast.AST, stack: list[str]) -> None:
+            if not stack:
+                return
+            held = frozenset(stack)
+            for call in _expr_calls(node):
+                summary.held_calls.append((held, call.lineno))
+
+        def walk(stmts: list[ast.stmt], stack: list[str], deferred: bool) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    inner = list(stack)
+                    for item in stmt.items:
+                        record_calls(item, inner)
+                        taken = lock_id(item.context_expr)
+                        if taken is None:
+                            continue
+                        for held in inner:
+                            if held != taken:
+                                summary.edges.append(
+                                    (held, taken, item.context_expr.lineno)
+                                )
+                        if not deferred:
+                            summary.acquires.add(taken)
+                        inner.append(taken)
+                    walk(stmt.body, inner, deferred)
+                    continue
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    walk(stmt.body, [], True)
+                    continue
+                record_calls(stmt, stack)
+                for attr in ("body", "orelse", "finalbody"):
+                    nested = getattr(stmt, attr, None)
+                    if nested and isinstance(nested, list) and nested and isinstance(nested[0], ast.stmt):
+                        walk(nested, stack, deferred)
+                for handler in getattr(stmt, "handlers", []):
+                    walk(handler.body, stack, deferred)
+
+        walk(list(fn.node.body), [], False)
+        return summary
+
+    # -- the whole-program pass --------------------------------------------
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        """Build the global acquisition graph and check both invariants."""
+        locks = self._collect_locks(program)
+        if not locks:
+            return []
+        summaries = {
+            fn.qualname: self._summarize(program, fn, locks)
+            for fn in program.functions.values()
+            if fn.module.startswith("repro.")
+        }
+        closure = self._transitive_acquisitions(program, summaries)
+        edges = self._global_edges(program, summaries, closure)
+        diags = self._cycle_diagnostics(edges)
+        diags.extend(
+            self._blocking_diagnostics(program, summaries, closure)
+        )
+        return diags
+
+    def _transitive_acquisitions(
+        self, program: Program, summaries: dict[str, _Summary]
+    ) -> dict[str, set[str]]:
+        """Locks each function may acquire, closed over call edges."""
+        closure = {
+            name: set(summary.acquires)
+            for name, summary in summaries.items()
+        }
+        call_edges = [
+            (edge.caller, edge.callee)
+            for edge in program.edges
+            if edge.kind == "call"
+            and edge.caller in closure
+            and edge.callee in closure
+        ]
+        changed = True
+        while changed:
+            changed = False
+            for caller, callee in call_edges:
+                missing = closure[callee] - closure[caller]
+                if missing:
+                    closure[caller] |= missing
+                    changed = True
+        return closure
+
+    def _global_edges(
+        self,
+        program: Program,
+        summaries: dict[str, _Summary],
+        closure: dict[str, set[str]],
+    ) -> dict[tuple[str, str], tuple[str, int]]:
+        edges: dict[tuple[str, str], tuple[str, int]] = {}
+        for name, summary in summaries.items():
+            fn = program.functions[name]
+            for held, taken, line in summary.edges:
+                edges.setdefault((held, taken), (fn.path, line))
+            for held_set, line in summary.held_calls:
+                for callee in program.callees_at(name, line):
+                    for taken in closure.get(callee, ()):
+                        for held in held_set:
+                            if held != taken:
+                                edges.setdefault(
+                                    (held, taken), (fn.path, line)
+                                )
+        return edges
+
+    def _cycle_diagnostics(
+        self, edges: dict[tuple[str, str], tuple[str, int]]
+    ) -> list[Diagnostic]:
+        graph: dict[str, list[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, []).append(b)
+        diags = []
+        for cycle in find_cycles(graph):
+            first = (cycle[0], cycle[1])
+            path, line = edges.get(first, ("<lock graph>", 1))
+            message = (
+                "whole-program lock-order cycle: "
+                + " -> ".join(cycle)
+                + " — threads taking these locks in opposite orders "
+                "can deadlock"
+            )
+            if self._witness is not None:
+                notes = []
+                for a, b in zip(cycle, cycle[1:]):
+                    seen = (a, b) in self._witness
+                    notes.append(
+                        f"{a}->{b} "
+                        + ("witnessed at runtime" if seen else "never witnessed")
+                    )
+                message += " [" + "; ".join(notes) + "]"
+            diags.append(Diagnostic(self.code, message, path, line))
+        return diags
+
+    def _blocking_diagnostics(
+        self,
+        program: Program,
+        summaries: dict[str, _Summary],
+        closure: dict[str, set[str]],
+    ) -> list[Diagnostic]:
+        sinks = socket_sink_functions(program)
+        blocking = program.reverse_reachable(sinks, spawn=False)
+        diags = []
+        for name, summary in summaries.items():
+            fn = program.functions[name]
+            reported: set[int] = set()
+            for held_set, line in summary.held_calls:
+                if line in reported:
+                    continue
+                offenders = sorted(
+                    callee
+                    for callee in program.callees_at(name, line)
+                    if callee in blocking
+                )
+                if not offenders:
+                    continue
+                reported.add(line)
+                held = ", ".join(sorted(held_set))
+                diags.append(
+                    Diagnostic(
+                        self.code,
+                        f"lock(s) {held} held across blocking network "
+                        f"call {_tail(offenders[0])}() — stalls every "
+                        "other thread contending for the lock for up to "
+                        "the full network timeout",
+                        fn.path,
+                        line,
+                    )
+                )
+        return diags
+
+
+def _tail(qualname: str) -> str:
+    return ".".join(qualname.split(".")[-2:])
+
+
+def _expr_calls(node: ast.AST) -> list[ast.Call]:
+    """Call nodes in a statement's expressions, excluding nested
+    statements, lambdas and function definitions (those run elsewhere or
+    are walked separately with the correct lock stack)."""
+    out: list[ast.Call] = []
+
+    def rec(current: ast.AST) -> None:
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (
+                    ast.stmt,
+                    ast.ExceptHandler,
+                    ast.Lambda,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                ),
+            ):
+                continue
+            if isinstance(child, ast.Call):
+                out.append(child)
+            rec(child)
+
+    rec(node)
+    return out

@@ -1,0 +1,240 @@
+"""RES01 — resource ownership for closeable objects.
+
+Connections, pools, servers and databases all expose ``close()`` (or
+``shutdown()``); leaking one silently pins sockets, file descriptors
+and flusher threads.  The rule: every instantiation of a project class
+that defines ``close``/``shutdown``, created inside
+``repro.net``/``repro.storage``/``repro.cluster``, must have a clear
+owner.  Accepted dispositions of the new object:
+
+* used as a context manager (``with Resource(...):``);
+* stored on ``self`` (attribute, container attribute or subscript) of a
+  class that itself has ``close``/``shutdown`` — ownership rolls up;
+* returned or yielded to the caller — ownership transfers out;
+* passed as an argument to another call — ownership transfers in;
+* explicitly ``close()``d / ``shutdown()``  in the same function.
+
+Anything else — a bare expression statement, a local that is never
+closed, returned or handed off, or storage on an owner that cannot
+release it — is a leak path.  The analysis is intentionally flow-
+insensitive (a close on *any* path counts), so it under-reports rather
+than nags about error-path cleanup; ERR01 and context-manager idioms
+cover those.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.base import Checker
+from repro.lint.diagnostics import Diagnostic
+from repro.lint.program import FunctionInfo, Program
+
+_SCOPES = ("repro.net.", "repro.storage.", "repro.cluster.")
+_CLOSERS = ("close", "shutdown")
+
+
+class ResourceOwnership(Checker):
+    """Every closeable created in net/storage/cluster has an owner."""
+
+    code = "RES01"
+    description = (
+        "objects with close()/shutdown() created in net/storage/cluster "
+        "must be closed, owned by a closeable object, or handed off"
+    )
+    whole_program = True
+
+    def check_program(self, program: Program) -> list[Diagnostic]:
+        """Audit every resolved constructor call site in scope."""
+        resources = self._resource_classes(program)
+        if not resources:
+            return []
+        diags: list[Diagnostic] = []
+        for site in program.instantiations:
+            fn = program.functions.get(site.function)
+            if fn is None or not fn.module.startswith(_SCOPES):
+                continue
+            if site.cls not in resources:
+                continue
+            problem = self._disposition(program, fn, site.node, site.cls)
+            if problem is not None:
+                diags.append(
+                    Diagnostic(
+                        self.code,
+                        problem,
+                        site.path,
+                        site.node.lineno,
+                        site.node.col_offset,
+                    )
+                )
+        return diags
+
+    def _resource_classes(self, program: Program) -> set[str]:
+        """Project classes that define (or inherit) close/shutdown."""
+        return {
+            qual
+            for qual in program.classes
+            if qual.startswith("repro.")
+            and any(
+                program.resolve_method(qual, closer, virtual=False)
+                for closer in _CLOSERS
+            )
+        }
+
+    def _closeable(self, program: Program, cls: str | None) -> bool:
+        if cls is None:
+            return False
+        return any(
+            program.resolve_method(cls, closer, virtual=False)
+            for closer in _CLOSERS
+        )
+
+    # -- disposition of one creation site ----------------------------------
+
+    def _disposition(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        call: ast.Call,
+        cls: str,
+    ) -> str | None:
+        """``None`` when the new object has an owner, else the problem."""
+        source = program.sources.get(fn.module)
+        if source is None:
+            return None
+        parents = source.parents()
+        short = program.classes[cls].name
+        node: ast.AST = call
+        parent = parents.get(node)
+        while parent is not None:
+            if isinstance(parent, ast.withitem):
+                return None
+            if isinstance(parent, (ast.Return, ast.Yield, ast.YieldFrom)):
+                return None
+            if isinstance(parent, ast.Call) and node is not parent.func:
+                return None  # passed as argument: ownership transfers
+            if isinstance(parent, ast.Attribute):
+                if parent.attr in _CLOSERS:
+                    return None
+                break
+            if isinstance(parent, (ast.Assign, ast.AnnAssign)):
+                targets = (
+                    parent.targets
+                    if isinstance(parent, ast.Assign)
+                    else [parent.target]
+                )
+                return self._assigned(
+                    program, fn, short, targets
+                )
+            if isinstance(parent, ast.Expr):
+                return (
+                    f"{short} instance is created and immediately "
+                    "dropped — nothing can ever close it"
+                )
+            if isinstance(
+                parent,
+                (
+                    ast.BoolOp,
+                    ast.IfExp,
+                    ast.Await,
+                    ast.Starred,
+                    ast.List,
+                    ast.Tuple,
+                    ast.Set,
+                    ast.ListComp,
+                    ast.SetComp,
+                    ast.GeneratorExp,
+                    ast.comprehension,
+                    ast.NamedExpr,
+                    ast.withitem,
+                ),
+            ):
+                node = parent
+                parent = parents.get(node)
+                continue
+            break
+        return None
+
+    def _assigned(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        short: str,
+        targets: list[ast.expr],
+    ) -> str | None:
+        for target in targets:
+            if isinstance(target, ast.Name):
+                return self._local_disposition(
+                    program, fn, short, target.id
+                )
+            attr_target = target
+            if isinstance(attr_target, ast.Subscript):
+                attr_target = attr_target.value
+            if (
+                isinstance(attr_target, ast.Attribute)
+                and isinstance(attr_target.value, ast.Name)
+                and attr_target.value.id == "self"
+            ):
+                if self._closeable(program, fn.cls):
+                    return None
+                owner = (fn.cls or "module scope").split(".")[-1]
+                return (
+                    f"{short} instance is stored on {owner}, which has "
+                    "no close()/shutdown() to release it"
+                )
+        return None
+
+    def _local_disposition(
+        self,
+        program: Program,
+        fn: FunctionInfo,
+        short: str,
+        name: str,
+    ) -> str | None:
+        """Check every use of local ``name`` for an ownership hand-off."""
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id == name
+                    and func.attr in _CLOSERS
+                ):
+                    return None
+                for arg in [*node.args, *[k.value for k in node.keywords]]:
+                    inner = arg.value if isinstance(arg, ast.Starred) else arg
+                    if isinstance(inner, ast.Name) and inner.id == name:
+                        return None  # handed to another function
+            elif isinstance(node, (ast.Return, ast.Yield)):
+                value = node.value
+                if value is not None and any(
+                    isinstance(sub, ast.Name) and sub.id == name
+                    for sub in ast.walk(value)
+                ):
+                    return None
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return None
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    stored = target
+                    if isinstance(stored, ast.Subscript):
+                        stored = stored.value
+                    if (
+                        isinstance(stored, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == name
+                    ):
+                        if isinstance(
+                            stored.value, ast.Name
+                        ) and stored.value.id == "self" and self._closeable(
+                            program, fn.cls
+                        ):
+                            return None
+        return (
+            f"{short} instance bound to local '{name}' is never closed, "
+            "returned, stored on a closeable owner or handed off — leak"
+        )

@@ -1,0 +1,34 @@
+"""SUP01 — stale suppression comments.
+
+A ``# turblint: disable=CODE`` comment is a debt marker: it says a real
+finding was reviewed and accepted.  When the underlying code changes and
+the finding disappears, the comment keeps silencing future regressions
+at that site for free.  SUP01 flags every directive that no longer
+suppresses any diagnostic so it can be deleted.
+
+The detection cannot live in :meth:`check` — it needs to know what every
+*other* checker reported (and had filtered) over the whole run — so the
+driver (:func:`repro.lint.cli.run_paths`) evaluates directive hit-counts
+after all checkers finish and emits SUP01 diagnostics itself.  Partial
+``--select`` runs only judge directives for checkers that actually ran,
+and blanket ``disable=all`` directives only on full runs, so a narrowed
+run never declares a live suppression stale.
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import Checker
+
+
+class StaleSuppression(Checker):
+    """Suppression comments must still suppress a live diagnostic."""
+
+    code = "SUP01"
+    description = (
+        "turblint suppression comments must still suppress a live "
+        "diagnostic (stale ones hide future regressions)"
+    )
+
+    # All logic lives in run_paths(): it compares each directive's
+    # recorded hits against the set of checkers that ran.  The class
+    # exists so the code is registered, selectable and documented.

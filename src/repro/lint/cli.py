@@ -1,13 +1,23 @@
-"""Command-line front end: ``python -m repro.lint src/``."""
+"""Command-line front end: ``python -m repro.lint src/``.
+
+Besides the human-readable report, the CLI speaks CI: ``--format json``
+emits a machine-readable payload, ``--baseline FILE`` filters findings
+already recorded with ``--write-baseline`` (so a gate only fails on
+*new* issues mid-migration), and ``--witness FILE`` feeds the sanitizer's
+runtime lock-order edge set into LOCK02.
+"""
 
 from __future__ import annotations
 
 import argparse
+import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.lint.checkers import ALL_CHECKERS
 from repro.lint.diagnostics import Diagnostic, LintSyntaxError, SourceFile
+from repro.lint.program import Program
 from repro.obs.report import report
 
 #: Exit codes (CI contract).
@@ -53,12 +63,16 @@ def discover(paths: Iterable[str | Path]) -> list[Path]:
 
 
 def run_paths(
-    paths: Iterable[str | Path], select: Sequence[str] | None = None
+    paths: Iterable[str | Path],
+    select: Sequence[str] | None = None,
+    witness: str | Path | None = None,
 ) -> tuple[list[Diagnostic], int]:
     """Lint the given paths.
 
     Returns ``(diagnostics, file_count)`` with suppressions already
-    applied.  ``select`` restricts the run to the named checker codes.
+    applied.  ``select`` restricts the run to the named checker codes;
+    ``witness`` names a sanitizer-exported lock-order edge set consumed
+    by checkers exposing ``load_witness`` (LOCK02).
     """
     wanted = {code.upper() for code in select} if select else None
     checkers = [
@@ -66,6 +80,11 @@ def run_paths(
         for cls in ALL_CHECKERS
         if wanted is None or cls.code in wanted
     ]
+    if witness is not None:
+        for checker in checkers:
+            loader = getattr(checker, "load_witness", None)
+            if loader is not None:
+                loader(witness)
     diagnostics: list[Diagnostic] = []
     sources: dict[str, SourceFile] = {}
     files = discover(paths)
@@ -84,6 +103,17 @@ def run_paths(
             for diag in checker.check(source):
                 if not source.suppressed(diag.code, diag.line):
                     diagnostics.append(diag)
+    program_checkers = [c for c in checkers if c.whole_program]
+    if program_checkers and sources:
+        program = Program(sources.values())
+        for checker in program_checkers:
+            for diag in checker.check_program(program):
+                source = sources.get(diag.path)
+                if source is not None and source.suppressed(
+                    diag.code, diag.line
+                ):
+                    continue
+                diagnostics.append(diag)
     for checker in checkers:
         for diag in checker.finish():
             source = sources.get(diag.path)
@@ -92,8 +122,46 @@ def run_paths(
             ):
                 continue
             diagnostics.append(diag)
+    active = {c.code for c in checkers} - {"SUP01"}
+    if any(c.code == "SUP01" for c in checkers):
+        diagnostics.extend(
+            _stale_suppressions(sources, active, full_run=wanted is None)
+        )
     diagnostics.sort(key=lambda d: (d.path, d.line, d.col, d.code))
     return diagnostics, len(files)
+
+
+def _stale_suppressions(
+    sources: dict[str, SourceFile], active: set[str], full_run: bool
+) -> list[Diagnostic]:
+    """SUP01 diagnostics for directives that suppressed nothing.
+
+    Evaluated after every checker has run, using the hit-counts the
+    directives accumulated while filtering.  ``disable=all`` directives
+    are only judged on full runs, where every checker had its chance.
+    """
+    diags: list[Diagnostic] = []
+    for source in sources.values():
+        for directive in source.directives:
+            if "ALL" in directive.codes and not full_run:
+                continue
+            stale = directive.stale_codes(active)
+            if not stale:
+                continue
+            if source.suppressed("SUP01", directive.lineno):
+                continue
+            listed = ",".join(sorted(stale)).lower()
+            diags.append(
+                Diagnostic(
+                    "SUP01",
+                    f"stale suppression: disable={listed} no longer "
+                    "suppresses any diagnostic — delete the comment so "
+                    "it cannot hide future regressions",
+                    str(source.path),
+                    directive.lineno,
+                )
+            )
+    return diags
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -119,6 +187,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--list-checkers",
         action="store_true",
         help="list checker codes and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is one machine-readable object)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="record current findings as the baseline and exit clean",
+    )
+    parser.add_argument(
+        "--witness",
+        metavar="FILE",
+        help=(
+            "sanitizer-exported lock-order witness JSON; LOCK02 "
+            "annotates cycle edges as runtime-confirmed or never "
+            "witnessed"
+        ),
     )
     try:
         options = parser.parse_args(argv)
@@ -150,11 +243,72 @@ def main(argv: Sequence[str] | None = None) -> int:
             )
             return EXIT_USAGE
 
-    diagnostics, file_count = run_paths(options.paths, options.select)
-    for diag in diagnostics:
-        report(diag.render())
-    issues = len(diagnostics)
-    report(
-        f"turblint: {file_count} file(s) checked, {issues} issue(s) found"
+    if options.baseline and not Path(options.baseline).exists():
+        report(f"no such baseline file: {options.baseline}", error=True)
+        return EXIT_USAGE
+
+    diagnostics, file_count = run_paths(
+        options.paths, options.select, witness=options.witness
     )
-    return EXIT_VIOLATIONS if issues else EXIT_CLEAN
+
+    if options.write_baseline:
+        payload = {
+            "version": 1,
+            "fingerprints": sorted(
+                {baseline_fingerprint(d) for d in diagnostics}
+            ),
+        }
+        Path(options.write_baseline).write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        report(
+            f"turblint: wrote baseline with {len(diagnostics)} "
+            f"finding(s) to {options.write_baseline}"
+        )
+        return EXIT_CLEAN
+
+    known_fps: set[str] = set()
+    if options.baseline:
+        data = json.loads(Path(options.baseline).read_text())
+        known_fps = set(data.get("fingerprints", []))
+    fresh = [
+        d for d in diagnostics if baseline_fingerprint(d) not in known_fps
+    ]
+    filtered = len(diagnostics) - len(fresh)
+
+    if options.format == "json":
+        report(
+            json.dumps(
+                {
+                    "files": file_count,
+                    "count": len(fresh),
+                    "baseline_filtered": filtered,
+                    "diagnostics": [asdict(d) for d in fresh],
+                }
+            )
+        )
+    else:
+        for diag in fresh:
+            report(diag.render())
+        summary = (
+            f"turblint: {file_count} file(s) checked, "
+            f"{len(fresh)} issue(s) found"
+        )
+        if filtered:
+            summary += f" ({filtered} suppressed by baseline)"
+        report(summary)
+    return EXIT_VIOLATIONS if fresh else EXIT_CLEAN
+
+
+def console_main() -> None:
+    """``repro-lint`` console-script entry point."""
+    raise SystemExit(main())
+
+
+def baseline_fingerprint(diag: Diagnostic) -> str:
+    """Stable identity of a finding for baseline matching.
+
+    Deliberately excludes line/column so unrelated edits shifting a
+    known finding do not resurrect it.
+    """
+    return f"{diag.code}|{diag.path}|{diag.message}"

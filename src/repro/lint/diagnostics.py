@@ -13,7 +13,9 @@ comments extracted from the raw text.  Suppressions use the syntax::
 from __future__ import annotations
 
 import ast
+import io
 import re
+import tokenize
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -41,6 +43,33 @@ class LintSyntaxError(Exception):
     """A scanned file failed to parse (reported, never swallowed)."""
 
 
+@dataclass
+class SuppressionDirective:
+    """One ``# turblint: disable[-file]=...`` comment in a file.
+
+    Tracks which of its codes actually silenced a diagnostic during the
+    run (``hits``) so SUP01 can flag stale directives.  ``codes`` holds
+    upper-cased codes, or ``{"ALL"}`` for a blanket disable.
+    """
+
+    lineno: int
+    kind: str  # "line" | "file"
+    codes: set[str]
+    hits: set[str]
+
+    def stale_codes(self, active: set[str]) -> set[str]:
+        """Codes this directive names that never fired.
+
+        Only codes in ``active`` (checkers that actually ran) are
+        considered — a partial ``--select`` run must not declare
+        directives for unrun checkers stale.  A blanket ``all``
+        directive is stale when nothing at all was suppressed by it.
+        """
+        if "ALL" in self.codes:
+            return {"ALL"} if not self.hits else set()
+        return {c for c in self.codes & active if c not in self.hits}
+
+
 class SourceFile:
     """A parsed Python source file plus its suppression directives.
 
@@ -64,12 +93,16 @@ class SourceFile:
             raise LintSyntaxError(f"{self.path}: {error}") from error
         self.line_disables: dict[int, set[str]] = {}
         self.file_disables: set[str] = set()
+        self.directives: list[SuppressionDirective] = []
         self._parse_suppressions()
         self._parents: dict[ast.AST, ast.AST] | None = None
 
     def _parse_suppressions(self) -> None:
-        for lineno, line in enumerate(self.text.splitlines(), start=1):
-            match = _SUPPRESS_RE.search(line)
+        # Only real COMMENT tokens count: a directive quoted inside a
+        # docstring (e.g. the examples at the top of this module) must
+        # neither suppress anything nor be reported stale by SUP01.
+        for lineno, comment in self._comments():
+            match = _SUPPRESS_RE.search(comment)
             if match is None:
                 continue
             codes = {
@@ -77,15 +110,47 @@ class SourceFile:
             }
             if match.group(1) == "disable-file":
                 self.file_disables |= codes
+                self.directives.append(
+                    SuppressionDirective(lineno, "file", codes, set())
+                )
             else:
                 self.line_disables.setdefault(lineno, set()).update(codes)
+                self.directives.append(
+                    SuppressionDirective(lineno, "line", codes, set())
+                )
+
+    def _comments(self) -> list[tuple[int, str]]:
+        """``(lineno, text)`` for every comment token in the file."""
+        reader = io.StringIO(self.text).readline
+        try:
+            return [
+                (token.start[0], token.string)
+                for token in tokenize.generate_tokens(reader)
+                if token.type == tokenize.COMMENT
+            ]
+        except (tokenize.TokenError, IndentationError):
+            # The AST parsed, so this is a tokenizer-only corner case;
+            # fall back to scanning raw lines (over-matching is the
+            # pre-existing behaviour).
+            return list(
+                enumerate(self.text.splitlines(), start=1)
+            )
 
     def suppressed(self, code: str, line: int) -> bool:
-        """Whether a diagnostic of ``code`` at ``line`` is silenced."""
-        for scope in (self.file_disables, self.line_disables.get(line, set())):
-            if "ALL" in scope or code.upper() in scope:
-                return True
-        return False
+        """Whether a diagnostic of ``code`` at ``line`` is silenced.
+
+        As a side effect, records the hit on every directive that
+        matches, which is what lets SUP01 find stale suppressions.
+        """
+        code = code.upper()
+        hit = False
+        for directive in self.directives:
+            if directive.kind == "line" and directive.lineno != line:
+                continue
+            if "ALL" in directive.codes or code in directive.codes:
+                directive.hits.add(code)
+                hit = True
+        return hit
 
     def parents(self) -> dict[ast.AST, ast.AST]:
         """Child-to-parent map over the AST (built once, cached)."""

@@ -473,8 +473,11 @@ class PipelinedConnection:
         deadline: Deadline,
     ) -> int:
         try:
+            # Holding _send_lock across the write is the point: frames
+            # from concurrent callers must not interleave on the wire,
+            # and the send is bounded by the request deadline.
             with self._send_lock:
-                return send_frame(
+                return send_frame(  # turblint: disable=LOCK02
                     self._sock, frame_type, request_id, payload, deadline,
                     codec=self._codec,
                 )

@@ -275,16 +275,35 @@ class ConnectionPool:
                 ):
                     return best
             budget = min(self.connect_timeout, deadline.remaining())
-            pipe = PipelinedConnection(
-                self.host,
-                self.port,
-                Deadline(clock.now() + budget),
-                compression=self.compression,
-                on_ratio=self._on_ratio,
-            )
-            self._pipes.append(pipe)
-            self.connections_created += 1
-            return pipe
+        # Dial with the pool unlocked: the TCP connect plus handshake can
+        # take the whole connect budget, and holding the lock meanwhile
+        # would stall every other caller fanning out to this node.
+        pipe = PipelinedConnection(
+            self.host,
+            self.port,
+            Deadline(clock.now() + budget),
+            compression=self.compression,
+            on_ratio=self._on_ratio,
+        )
+        stale: PipelinedConnection | None = None
+        with self._lock:
+            if self._closed:
+                stale = pipe
+            elif len(self._pipes) >= self.max_connections:
+                # Another caller grew the pool while we dialled; keep the
+                # ceiling and ride an existing connection instead.
+                stale = pipe
+                pipe = min(self._pipes, key=lambda p: p.in_flight)
+            else:
+                self._pipes.append(pipe)
+                self.connections_created += 1
+        if stale is not None:
+            stale.close()
+            if self._closed:
+                raise ConnectionLostError(
+                    f"pool for {self.address} is closed"
+                )
+        return pipe
 
     def _discard_pipe(self, pipe: PipelinedConnection) -> None:
         with self._lock:

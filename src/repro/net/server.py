@@ -155,8 +155,11 @@ class _ConnectionState:
         request_id: int,
         payload: "Buffer | Sequence[Buffer]",
     ) -> None:
+        # Holding the per-connection lock across the write is the point:
+        # responses from the worker pool must not interleave on the
+        # wire, and the send is bounded by the response deadline.
         with self.lock:
-            send_frame(
+            send_frame(  # turblint: disable=LOCK02
                 self.wsock,
                 frame_type,
                 request_id,

@@ -73,8 +73,14 @@ class Transport(abc.ABC):
         use_cache: bool,
         processes: int,
         io_only: bool,
+        timeout: float | None = None,
     ) -> NodeThresholdResult:
-        """One node's share of a threshold query."""
+        """One node's share of a threshold query.
+
+        ``timeout`` bounds the part in wall seconds on networked
+        transports (``None`` uses the transport's configured default);
+        in-process parts run inline and ignore it.
+        """
 
     @abc.abstractmethod
     def batch_part(
@@ -85,6 +91,7 @@ class Transport(abc.ABC):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> list[NodeThresholdResult]:
         """One node's share of a batched threshold query."""
 
@@ -97,6 +104,7 @@ class Transport(abc.ABC):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodePdfResult:
         """One node's share of a PDF query."""
 
@@ -109,6 +117,7 @@ class Transport(abc.ABC):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodeTopKResult:
         """One node's share of a top-k query."""
 
@@ -117,11 +126,13 @@ class Transport(abc.ABC):
         """Grid side of a hosted dataset (raises :class:`KeyError`)."""
 
     @abc.abstractmethod
-    def dataset_names(self) -> list[str]:
+    def dataset_names(self, *, timeout: float | None = None) -> list[str]:
         """Sorted names of every dataset hosted behind this transport."""
 
     @abc.abstractmethod
-    def register_expression(self, name: str, text: str) -> dict:
+    def register_expression(
+        self, name: str, text: str, *, timeout: float | None = None
+    ) -> dict:
         """Register a derived-field expression wherever parts evaluate.
 
         Returns the field's wire description (``name``, ``source``,
@@ -159,7 +170,10 @@ class InProcessTransport(Transport):
         use_cache: bool,
         processes: int,
         io_only: bool,
+        timeout: float | None = None,
     ) -> NodeThresholdResult:
+        # ``timeout`` is part of the transport contract but has nothing
+        # to arm here: in-process parts never touch a socket.
         m = self._mediator
         return get_threshold_on_node(
             m.nodes[node_id],
@@ -180,6 +194,7 @@ class InProcessTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> list[NodeThresholdResult]:
         from repro.core.batch import get_batch_on_node
 
@@ -202,6 +217,7 @@ class InProcessTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodePdfResult:
         m = self._mediator
         return get_pdf_on_node(
@@ -222,6 +238,7 @@ class InProcessTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodeTopKResult:
         m = self._mediator
         return get_topk_on_node(
@@ -237,7 +254,7 @@ class InProcessTransport(Transport):
     def dataset_side(self, dataset: str) -> int:
         return self._mediator.nodes[0].dataset(dataset).side
 
-    def dataset_names(self) -> list[str]:
+    def dataset_names(self, *, timeout: float | None = None) -> list[str]:
         return sorted(
             {
                 name
@@ -246,7 +263,9 @@ class InProcessTransport(Transport):
             }
         )
 
-    def register_expression(self, name: str, text: str) -> dict:
+    def register_expression(
+        self, name: str, text: str, *, timeout: float | None = None
+    ) -> dict:
         derived = self._mediator.registry.register_expression(name, text)
         return field_description(derived)
 
@@ -450,6 +469,7 @@ class TcpTransport(Transport):
         use_cache: bool,
         processes: int,
         io_only: bool,
+        timeout: float | None = None,
     ) -> NodeThresholdResult:
         sink = ThresholdStreamSink()
         call = self._call(
@@ -462,6 +482,7 @@ class TcpTransport(Transport):
                 "processes": processes,
                 "io_only": io_only,
             },
+            timeout=timeout,
             sink=sink,
         )
         if call.header.get("streamed"):
@@ -483,6 +504,7 @@ class TcpTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> list[NodeThresholdResult]:
         sink = BatchStreamSink()
         call = self._call(
@@ -494,6 +516,7 @@ class TcpTransport(Transport):
                 "use_cache": use_cache,
                 "processes": processes,
             },
+            timeout=timeout,
             sink=sink,
         )
         if call.header.get("streamed"):
@@ -513,6 +536,7 @@ class TcpTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodePdfResult:
         call = self._call(
             node_id,
@@ -523,6 +547,7 @@ class TcpTransport(Transport):
                 "use_cache": use_cache,
                 "processes": processes,
             },
+            timeout=timeout,
         )
         return self._reconcile(
             codec.pdf_result_from_wire(call.header, call.blobs), call
@@ -536,6 +561,7 @@ class TcpTransport(Transport):
         *,
         use_cache: bool,
         processes: int,
+        timeout: float | None = None,
     ) -> NodeTopKResult:
         call = self._call(
             node_id,
@@ -546,6 +572,7 @@ class TcpTransport(Transport):
                 "use_cache": use_cache,
                 "processes": processes,
             },
+            timeout=timeout,
         )
         return self._reconcile(
             codec.topk_result_from_wire(call.header, call.blobs), call
@@ -553,14 +580,21 @@ class TcpTransport(Transport):
 
     # -- catalogue and control -------------------------------------------------
 
-    def _describe(self) -> list[dict]:
+    def _describe(self, timeout: float | None = None) -> list[dict]:
         """Node 0's dataset catalogue, fetched once and cached."""
         with self._describe_lock:
+            if self._datasets is not None:
+                return self._datasets
+        # Fetch with the lock released: the RPC can take the full call
+        # timeout and must not serialize unrelated catalogue lookups.
+        # Describe is idempotent, so concurrent first callers may fetch
+        # twice; the first answer to land wins.
+        call = self._call(0, "describe", {}, timeout=timeout)
+        datasets = call.header.get("datasets")
+        if not isinstance(datasets, list):
+            raise ProtocolError("describe response has no datasets")
+        with self._describe_lock:
             if self._datasets is None:
-                call = self._call(0, "describe", {})
-                datasets = call.header.get("datasets")
-                if not isinstance(datasets, list):
-                    raise ProtocolError("describe response has no datasets")
                 self._datasets = datasets
             return self._datasets
 
@@ -570,10 +604,14 @@ class TcpTransport(Transport):
                 return int(record["side"])
         raise KeyError(f"cluster hosts no dataset {dataset!r}")
 
-    def dataset_names(self) -> list[str]:
-        return sorted(str(record["name"]) for record in self._describe())
+    def dataset_names(self, *, timeout: float | None = None) -> list[str]:
+        return sorted(
+            str(record["name"]) for record in self._describe(timeout)
+        )
 
-    def register_expression(self, name: str, text: str) -> dict:
+    def register_expression(
+        self, name: str, text: str, *, timeout: float | None = None
+    ) -> dict:
         # Registration mutates node state: never retried (a replayed
         # request would see "already registered" from its own first try).
         description: dict = {}
@@ -583,6 +621,7 @@ class TcpTransport(Transport):
                 "register_field",
                 {"name": name, "text": text},
                 idempotent=False,
+                timeout=timeout,
             )
             description = dict(call.header.get("field", {}))
         return description

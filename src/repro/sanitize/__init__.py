@@ -1,0 +1,49 @@
+"""Opt-in runtime sanitizers for the cluster's concurrency invariants.
+
+``repro.sanitize`` is the runtime half of the turbscan lock discipline:
+LOCK02 proves the possible acquisition graph acyclic from source, and
+the :mod:`~repro.sanitize.lockdep` instrumentation records which of
+those orderings (and which held-across-I/O events) the concurrency
+suites actually exercise.  The harness turns it on with
+``REPRO_SANITIZE=1`` and feeds the exported witness back into
+``python -m repro.lint --witness`` so static cycle reports distinguish
+runtime-confirmed edges from never-witnessed over-approximation.
+
+Typical use::
+
+    from repro import sanitize
+
+    reg = sanitize.install()        # patch threading factories
+    ...                             # run concurrency workloads
+    sanitize.export_witness("lock-witness.json")
+    sanitize.uninstall()
+    assert not reg.inversions
+"""
+
+from repro.sanitize.lockdep import (
+    SANITIZE_ENV,
+    WITNESS_ENV,
+    LockOrderError,
+    LockRegistry,
+    TrackedLock,
+    TrackedRLock,
+    export_witness,
+    install,
+    registry,
+    site_label,
+    uninstall,
+)
+
+__all__ = [
+    "SANITIZE_ENV",
+    "WITNESS_ENV",
+    "LockOrderError",
+    "LockRegistry",
+    "TrackedLock",
+    "TrackedRLock",
+    "export_witness",
+    "install",
+    "registry",
+    "site_label",
+    "uninstall",
+]

@@ -1,9 +1,62 @@
-"""Shared fixtures: a small MHD cluster reused across test modules."""
+"""Shared fixtures: a small MHD cluster reused across test modules.
+
+Also hosts the opt-in lock-order sanitizer hooks: ``REPRO_SANITIZE=1``
+installs :mod:`repro.sanitize` for the whole session, exports the
+witnessed lock-order edge set (``REPRO_SANITIZE_WITNESS``, default
+``lock-witness.json``) at session end, and fails the run if any lock
+inversion was witnessed.
+"""
+
+import os
 
 import pytest
 
 from repro.cluster import build_cluster
 from repro.simulation import mhd_dataset
+
+
+def _sanitize_enabled() -> bool:
+    from repro.sanitize import SANITIZE_ENV
+
+    return os.environ.get(SANITIZE_ENV) == "1"
+
+
+def pytest_sessionstart(session):
+    """Install the lock sanitizer before any test module runs."""
+    if _sanitize_enabled():
+        from repro import sanitize
+
+        sanitize.install()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Export the lock-order witness and fail on witnessed inversions."""
+    if not _sanitize_enabled():
+        return
+    from repro import sanitize
+    from repro.sanitize import WITNESS_ENV
+
+    path = os.environ.get(WITNESS_ENV, "lock-witness.json")
+    payload = sanitize.export_witness(path)
+    sanitize.uninstall()
+    if payload["inversions"] and session.exitstatus == 0:
+        session.exitstatus = pytest.ExitCode.TESTS_FAILED
+
+
+def pytest_terminal_summary(terminalreporter):
+    """One line of sanitizer accounting at the end of the run."""
+    if not _sanitize_enabled():
+        return
+    from repro import sanitize
+
+    reg = sanitize.registry()
+    terminalreporter.write_line(
+        f"repro.sanitize: {len(reg.edges)} lock-order edge(s) witnessed, "
+        f"{len(reg.blocking)} held-across-I/O pattern(s), "
+        f"{len(reg.inversions)} inversion(s)"
+    )
+    for message in reg.inversions:
+        terminalreporter.write_line(f"repro.sanitize: {message}")
 
 
 @pytest.fixture(scope="session")

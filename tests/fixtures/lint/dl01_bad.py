@@ -1,0 +1,21 @@
+"""Fixture: a request-plane entry reaching a socket with no budget.
+
+``Mediator.fanout`` (the fixture stands in for the real request plane)
+calls a helper that writes to a raw socket; nothing on the path
+constructs a ``Deadline``, reads a configured timeout, or lets the
+caller pass one — both DL01 checks fire.
+"""
+
+
+class Mediator:
+    """Fixture request plane with an unbudgeted fan-out."""
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+
+    def fanout(self, payload: bytes) -> None:
+        """Scatter the payload; can block forever."""
+        self._push(payload)
+
+    def _push(self, payload: bytes) -> None:
+        self.sock.sendall(payload)

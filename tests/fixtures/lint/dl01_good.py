@@ -1,0 +1,24 @@
+"""Fixture: the same fan-out with a caller-controllable budget.
+
+``fanout`` accepts a ``timeout`` and the helper falls back to a
+configured default — a deadline origin on every path to the socket, so
+neither DL01 check fires.
+"""
+
+DEFAULT_TIMEOUT = 30.0
+
+
+class Mediator:
+    """Fixture request plane whose fan-out threads a budget."""
+
+    def __init__(self, sock) -> None:
+        self.sock = sock
+
+    def fanout(self, payload: bytes, timeout: float | None = None) -> None:
+        """Scatter the payload within the caller's budget."""
+        self._push(payload, timeout)
+
+    def _push(self, payload: bytes, timeout: float | None) -> None:
+        budget = timeout if timeout is not None else DEFAULT_TIMEOUT
+        self.sock.settimeout(budget)
+        self.sock.sendall(payload)

@@ -1,0 +1,58 @@
+"""Fixture: cross-class lock-order cycle plus a lock held across I/O.
+
+``Registry.add`` takes ``Registry._lock`` then calls into the journal,
+which takes ``Journal._lock``; ``Journal.sweep`` takes the locks in the
+opposite order through ``Registry.size`` — a transitive cycle no
+single-file rule can see.  ``Sender.send`` additionally holds its lock
+across a helper that performs a raw socket write.
+"""
+
+import threading
+
+
+def push(sock, data):
+    """Raw wire write (a LOCK02 blocking sink)."""
+    sock.sendall(data)
+
+
+class Registry:
+    """Takes its own lock, then calls into the journal."""
+
+    def __init__(self, journal: "Journal") -> None:
+        self.journal = journal
+        self._lock = threading.Lock()
+
+    def add(self, name: str) -> None:
+        with self._lock:
+            self.journal.append(name)
+
+    def size(self) -> int:
+        with self._lock:
+            return 0
+
+
+class Journal:
+    """Takes its own lock, then calls back into the registry."""
+
+    def __init__(self, registry: Registry) -> None:
+        self.registry = registry
+        self._lock = threading.Lock()
+
+    def append(self, name: str) -> None:
+        with self._lock:
+            pass
+
+    def sweep(self) -> None:
+        with self._lock:
+            self.registry.size()
+
+
+class Sender:
+    """Serialises writes by holding its lock across the socket op."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def send(self, sock, data) -> None:
+        with self._lock:
+            push(sock, data)

@@ -1,0 +1,59 @@
+"""Fixture: cross-class locking with one consistent order.
+
+The registry still calls the journal under its lock, but the journal
+never calls back while holding its own — the global graph is a DAG.
+The sender snapshots under the lock and writes after releasing it.
+"""
+
+import threading
+
+
+def push(sock, data):
+    """Raw wire write (a LOCK02 blocking sink)."""
+    sock.sendall(data)
+
+
+class Registry:
+    """Takes its own lock, then calls into the journal."""
+
+    def __init__(self, journal: "Journal") -> None:
+        self.journal = journal
+        self._lock = threading.Lock()
+
+    def add(self, name: str) -> None:
+        with self._lock:
+            self.journal.append(name)
+
+    def size(self) -> int:
+        with self._lock:
+            return 0
+
+
+class Journal:
+    """Lock-leaf: never calls out while holding its lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: list[str] = []
+
+    def append(self, name: str) -> None:
+        with self._lock:
+            self._entries.append(name)
+
+    def sweep(self) -> int:
+        with self._lock:
+            count = len(self._entries)
+        return count
+
+
+class Sender:
+    """Snapshots under the lock; writes with it released."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending = b""
+
+    def send(self, sock) -> None:
+        with self._lock:
+            data = self._pending
+        push(sock, data)

@@ -1,0 +1,30 @@
+"""Fixture: closeable resources without owners (RES01).
+
+Three leak shapes: created-and-dropped, bound to a local that is never
+disposed of, and stored on an object that has no way to release it.
+"""
+
+
+class Channel:
+    """A socket-owning resource."""
+
+    def close(self) -> None:
+        """Release the socket."""
+
+
+def probe() -> None:
+    """Creates a channel and immediately drops it."""
+    Channel()
+
+
+def scan() -> int:
+    """Binds a channel to a local and never disposes of it."""
+    chan = Channel()
+    return 1
+
+
+class Holder:
+    """Stores a channel but has no close()/shutdown() to release it."""
+
+    def __init__(self) -> None:
+        self.chan = Channel()

@@ -1,0 +1,54 @@
+"""Fixture: every closeable creation has a clear owner (RES01).
+
+Covers all accepted dispositions: context manager, explicit close,
+return-to-caller, hand-off as an argument, and storage on an owner
+that can itself release the resource.
+"""
+
+
+class Channel:
+    """A socket-owning resource."""
+
+    def close(self) -> None:
+        """Release the socket."""
+
+
+def consume(chan: Channel) -> None:
+    """Takes ownership of a channel."""
+    chan.close()
+
+
+def probe() -> None:
+    """Scopes the channel with a context manager."""
+    with Channel():
+        pass
+
+
+def scan() -> int:
+    """Closes the channel it created."""
+    chan = Channel()
+    try:
+        return 1
+    finally:
+        chan.close()
+
+
+def make() -> Channel:
+    """Transfers ownership to the caller."""
+    return Channel()
+
+
+def relay() -> None:
+    """Hands the channel to a function that takes ownership."""
+    consume(Channel())
+
+
+class Owner:
+    """Stores the channel and can release it."""
+
+    def __init__(self) -> None:
+        self.chan = Channel()
+
+    def close(self) -> None:
+        """Release the owned channel."""
+        self.chan.close()

@@ -10,6 +10,7 @@ from __future__ import annotations
 from pathlib import Path
 
 from repro.lint import Checker, Diagnostic, SourceFile
+from repro.lint.program import Program
 
 FIXTURES = Path(__file__).parent / "fixtures" / "lint"
 
@@ -35,4 +36,22 @@ def run_checker(
             if not source.suppressed(diag.code, diag.line)
         )
     diagnostics.extend(checker.finish())
+    return diagnostics
+
+
+def run_program_checker(
+    checker: Checker, *sources: SourceFile
+) -> list[Diagnostic]:
+    """Run a whole-program checker over the sources as one Program.
+
+    Mirrors the CLI's whole-program pass, including suppression
+    filtering keyed on the diagnostic's path.
+    """
+    by_path = {str(source.path): source for source in sources}
+    diagnostics = []
+    for diag in checker.check_program(Program(sources)):
+        source = by_path.get(diag.path)
+        if source is not None and source.suppressed(diag.code, diag.line):
+            continue
+        diagnostics.append(diag)
     return diagnostics

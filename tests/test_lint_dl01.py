@@ -1,0 +1,34 @@
+"""DL01: deadline propagation from entry points to socket sinks."""
+
+from repro.lint.checkers import DeadlinePropagation
+
+from tests.lint_helpers import load, run_program_checker
+
+
+def test_bad_fixture_flags_both_checks():
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_bad.py", "repro.cluster.fixture_dl01"),
+    )
+    messages = [d.message for d in diags]
+    assert any("without passing any deadline origin" in m for m in messages), (
+        messages
+    )
+    assert any("accepts no timeout/deadline" in m for m in messages), messages
+
+
+def test_good_fixture_is_clean():
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_good.py", "repro.cluster.fixture_dl01"),
+    )
+    assert diags == []
+
+
+def test_entry_scope_is_class_and_module_gated():
+    # The same bad code outside repro.cluster/repro.net is not an entry.
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_bad.py", "repro.storage.fixture_dl01"),
+    )
+    assert diags == []

@@ -163,7 +163,7 @@ def test_main_list_checkers(capsys):
 
 def test_checker_codes_are_unique():
     codes = [cls.code for cls in ALL_CHECKERS]
-    assert len(codes) == len(set(codes)) == 8
+    assert len(codes) == len(set(codes)) == 12
 
 
 # -- the repo itself must be clean ----------------------------------------------

@@ -1,0 +1,67 @@
+"""LOCK02: cross-class lock-order cycles and locks held across I/O."""
+
+from repro.lint.checkers import LockOrderWholeProgram
+
+from tests.lint_helpers import load, run_program_checker
+
+
+def test_bad_fixture_reports_cycle_and_blocking():
+    checker = LockOrderWholeProgram()
+    diags = run_program_checker(
+        checker, load("lock02_bad.py", "repro.net.fixture_lock02")
+    )
+    messages = [d.message for d in diags]
+    assert any("lock-order cycle" in m for m in messages), messages
+    cycle = next(m for m in messages if "lock-order cycle" in m)
+    assert "Registry._lock" in cycle and "Journal._lock" in cycle
+    assert any("held across blocking" in m for m in messages), messages
+    blocking = next(m for m in messages if "held across blocking" in m)
+    assert "Sender._lock" in blocking
+
+
+def test_good_fixture_is_clean():
+    checker = LockOrderWholeProgram()
+    diags = run_program_checker(
+        checker, load("lock02_good.py", "repro.net.fixture_lock02")
+    )
+    assert diags == []
+
+
+def test_witness_annotates_cycle_edges(tmp_path):
+    witness = tmp_path / "witness.json"
+    witness.write_text(
+        '{"edges": [{"from": "Registry._lock", "to": "Journal._lock"}]}'
+    )
+    checker = LockOrderWholeProgram()
+    checker.load_witness(witness)
+    diags = run_program_checker(
+        checker, load("lock02_bad.py", "repro.net.fixture_lock02")
+    )
+    cycle = next(d.message for d in diags if "lock-order cycle" in d.message)
+    assert "witnessed at runtime" in cycle
+    assert "never witnessed" in cycle
+
+
+def test_line_suppression_silences_blocking_report():
+    from repro.lint import SourceFile
+
+    text = (
+        '"""F."""\n\n'
+        "import threading\n\n\n"
+        "def push(sock, data):\n"
+        '    """Sink."""\n'
+        "    sock.sendall(data)\n\n\n"
+        "class Sender:\n"
+        '    """S."""\n\n'
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n\n"
+        "    def send(self, sock, data):\n"
+        '        """Send."""\n'
+        "        with self._lock:\n"
+        "            push(sock, data)  # turblint: disable=LOCK02\n"
+    )
+    source = SourceFile(
+        "/synthetic/suppressed.py", "repro.net.fixture_lock02", text=text
+    )
+    diags = run_program_checker(LockOrderWholeProgram(), source)
+    assert diags == []

@@ -1,0 +1,34 @@
+"""RES01: closeable objects created in net/storage/cluster need owners."""
+
+from repro.lint.checkers import ResourceOwnership
+
+from tests.lint_helpers import load, run_program_checker
+
+
+def test_bad_fixture_flags_all_three_leak_shapes():
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_bad.py", "repro.net.fixture_res01"),
+    )
+    messages = sorted(d.message for d in diags)
+    assert len(messages) == 3, messages
+    assert any("immediately" in m and "dropped" in m for m in messages)
+    assert any("never closed" in m for m in messages)
+    assert any("no close()/shutdown() to release it" in m for m in messages)
+
+
+def test_good_fixture_is_clean():
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_good.py", "repro.net.fixture_res01"),
+    )
+    assert diags == []
+
+
+def test_out_of_scope_module_is_ignored():
+    # Same leaks under repro.core are out of RES01's blast radius.
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_bad.py", "repro.core.fixture_res01"),
+    )
+    assert diags == []

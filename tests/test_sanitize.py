@@ -1,0 +1,156 @@
+"""Runtime lock-order sanitizer tests (repro.sanitize).
+
+Every test installs with ``instrument_all=True`` (the creation-site
+filter would otherwise exclude locks created in test files) and
+uninstalls in ``finally`` so the patched factories never leak into the
+rest of the suite.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import sanitize
+from repro.sanitize.lockdep import _state
+
+
+def _fresh_install():
+    if _state.installed:
+        pytest.skip("sanitizer already active in this session")
+    return sanitize.install(instrument_all=True)
+
+
+def test_install_patches_and_uninstall_restores():
+    real_lock = threading.Lock
+    reg = _fresh_install()
+    try:
+        assert threading.Lock is not real_lock
+        lock = threading.Lock()
+        assert isinstance(lock, sanitize.TrackedLock)
+        with lock:
+            assert reg.held()
+        assert reg.held() == []
+    finally:
+        sanitize.uninstall()
+    assert threading.Lock is real_lock
+    assert type(threading.Lock()).__name__ == "lock"
+
+
+def test_nested_acquisition_records_an_edge():
+    reg = _fresh_install()
+    try:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        assert len(reg.edges) == 1
+        ((held, taken),) = reg.edges
+        assert held != taken
+    finally:
+        sanitize.uninstall()
+
+
+def test_inversion_raises_and_is_recorded():
+    reg = _fresh_install()
+    try:
+        a = threading.Lock()
+        b = threading.Lock()
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(sanitize.LockOrderError) as exc:
+                with a:
+                    pass
+        assert "lock-order inversion" in str(exc.value)
+        assert len(reg.inversions) == 1
+    finally:
+        sanitize.uninstall()
+
+
+def test_same_site_pairs_are_not_inversions():
+    reg = _fresh_install()
+    try:
+        def make():
+            return threading.Lock()  # one site, many instances
+
+        first, second = make(), make()
+        with first:
+            with second:
+                pass
+        with second:
+            with first:
+                pass
+        assert reg.inversions == []
+        assert reg.edges == {}
+    finally:
+        sanitize.uninstall()
+
+
+def test_rlock_reentrancy_and_condition_wait():
+    reg = _fresh_install()
+    try:
+        rlock = threading.RLock()
+        assert isinstance(rlock, sanitize.TrackedRLock)
+        with rlock:
+            with rlock:
+                assert len(reg.held()) == 2
+            assert len(reg.held()) == 1
+        assert reg.held() == []
+        assert reg.inversions == []
+
+        cond = threading.Condition(threading.Lock())
+        with cond:
+            cond.wait(timeout=0.01)
+        assert reg.held() == []
+    finally:
+        sanitize.uninstall()
+
+
+def test_blocking_primitives_are_wrapped_and_restored():
+    import repro.net.frame as frame
+    import repro.net.client as client
+
+    real = frame.send_frame
+    _fresh_install()
+    try:
+        assert getattr(frame.send_frame, "__wrapped__", None) is real
+        assert getattr(client.send_frame, "__wrapped__", None) is real
+    finally:
+        sanitize.uninstall()
+    assert frame.send_frame is real
+    assert client.send_frame is real
+
+
+def test_witness_export_resolves_class_attr_labels(tmp_path):
+    module = tmp_path / "fixture_sanitize.py"
+    module.write_text(
+        '"""Fixture."""\n\n'
+        "import threading\n\n\n"
+        "class Pair:\n"
+        '    """Two ordered locks."""\n\n'
+        "    def __init__(self):\n"
+        "        self.first = threading.Lock()\n"
+        "        self.second = threading.Lock()\n\n"
+        "    def both(self):\n"
+        '        """Take both locks in order."""\n'
+        "        with self.first:\n"
+        "            with self.second:\n"
+        "                pass\n"
+    )
+    _fresh_install()
+    try:
+        namespace = {"__file__": str(module), "__name__": "fixture_sanitize"}
+        exec(compile(module.read_text(), str(module), "exec"), namespace)
+        pair = namespace["Pair"]()
+        pair.both()
+        payload = sanitize.export_witness(tmp_path / "witness.json")
+    finally:
+        sanitize.uninstall()
+    assert payload["edges"] == [
+        {"from": "Pair.first", "to": "Pair.second", "count": 1}
+    ]
+    on_disk = json.loads((tmp_path / "witness.json").read_text())
+    assert on_disk == payload
