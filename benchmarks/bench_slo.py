@@ -1,0 +1,257 @@
+"""SLO benchmark: open-loop mixed traffic, latency percentiles, gates.
+
+Stands up the same two-node loopback TCP cluster as ``bench_net`` and
+drives it the way a service-level objective is actually checked:
+
+* an **open-loop load generator** — requests depart on a fixed arrival
+  schedule regardless of completions (so queueing shows up in the tail
+  instead of being hidden by back-pressure), mixing threshold, top-k
+  and PDF traffic;
+* **p50/p99 wall latency per query class** plus the overall error rate;
+* the **span-category breakdown** of the traced load, from the stitched
+  distributed traces (every query's node-side spans ship back over the
+  wire and are grafted under its root);
+* the **continuous-profiling overhead**: the same fixed workload with
+  and without the sampling profiler attached, gated below 5%.
+
+Run as a script::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py
+
+Writes ``BENCH_slo.json`` at the repo root, the stitched traces to
+``slo_trace.jsonl`` and the span-keyed collapsed-stack profile to
+``slo_profile.txt`` (both CI artifacts), and gates the report against
+``benchmarks/slo_floor.json`` (plain keys are minimums; ``_max`` keys
+are ceilings), exiting non-zero on a violation.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from repro.cluster.mediator import Mediator
+from repro.core import PdfQuery, ThresholdQuery, TopKQuery
+from repro.obs import clock, tracing
+from repro.obs.clock import Stopwatch, unix_now
+from repro.obs.profile import SamplingProfiler
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_net import SIDE, make_mediator, start_cluster  # noqa: E402
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUT_PATH = REPO_ROOT / "BENCH_slo.json"
+TRACE_PATH = REPO_ROOT / "slo_trace.jsonl"
+PROFILE_PATH = REPO_ROOT / "slo_profile.txt"
+FLOOR_PATH = Path(__file__).resolve().parent / "slo_floor.json"
+
+#: Open-loop arrival rate (requests per second) and request count.
+ARRIVAL_RATE = 6.0
+REQUESTS = 48
+
+#: Serial threshold queries per leg of the profiler-overhead check.
+OVERHEAD_QUERIES = 10
+OVERHEAD_REPS = 6
+
+THRESHOLD_QUERY = ThresholdQuery(
+    dataset="mhd", field="vorticity", timestep=0, threshold=0.5
+)
+TOPK_QUERY = TopKQuery(dataset="mhd", field="pressure", timestep=0, k=32)
+PDF_QUERY = PdfQuery(
+    dataset="mhd",
+    field="pressure",
+    timestep=1,
+    bin_edges=tuple(-3.0 + 0.5 * i for i in range(13)),
+)
+
+#: The traffic mix, cycled deterministically: half threshold scans,
+#: a quarter each top-k and PDF.
+MIX = ("threshold", "topk", "threshold", "pdf")
+
+
+def issue(mediator: Mediator, kind: str) -> object:
+    if kind == "threshold":
+        return mediator.threshold(THRESHOLD_QUERY, use_cache=False)
+    if kind == "topk":
+        return mediator.topk(TOPK_QUERY)
+    if kind == "pdf":
+        return mediator.pdf(PDF_QUERY)
+    raise ValueError(f"unknown query class {kind!r}")
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ranked = sorted(samples)
+    return ranked[min(int(len(ranked) * q), len(ranked) - 1)]
+
+
+def bench_open_loop(
+    mediator: Mediator, collector: tracing.TraceCollector
+) -> dict[str, object]:
+    """Fixed-schedule mixed traffic; latency is measured per departure
+    slot, so a slow server shows up as tail latency, not a slower test."""
+    latencies: dict[str, list[float]] = {kind: [] for kind in set(MIX)}
+    errors = 0
+
+    def one(kind: str) -> tuple[str, float, bool]:
+        with Stopwatch() as watch:
+            try:
+                issue(mediator, kind)
+            except Exception:
+                return kind, watch.elapsed, True
+        return kind, watch.elapsed, False
+
+    schedule = [MIX[i % len(MIX)] for i in range(REQUESTS)]
+    with ThreadPoolExecutor(max_workers=16) as pool:
+        started = clock.now()
+        futures = []
+        for slot, kind in enumerate(schedule):
+            pause = started + slot / ARRIVAL_RATE - clock.now()
+            if pause > 0:
+                clock.sleep(pause)
+            futures.append(pool.submit(one, kind))
+        for future in futures:
+            kind, elapsed, failed = future.result()
+            if failed:
+                errors += 1
+            else:
+                latencies[kind].append(elapsed)
+
+    out: dict[str, object] = {
+        "requests": REQUESTS,
+        "arrival_rate_per_s": ARRIVAL_RATE,
+        "error_rate": errors / REQUESTS,
+    }
+    for kind, samples in sorted(latencies.items()):
+        out[f"{kind}_requests"] = len(samples)
+        if samples:
+            out[f"{kind}_p50_ms"] = statistics.median(samples) * 1e3
+            out[f"{kind}_p99_ms"] = percentile(samples, 0.99) * 1e3
+
+    # Span-category breakdown of the traced load: wall seconds per span
+    # name across every stitched trace, plus how much of it ran on the
+    # nodes (grafted spans carry origin=nodeN).
+    span_seconds: dict[str, float] = {}
+    remote_seconds = 0.0
+    total_spans = 0
+    for trace_id in collector.trace_ids():
+        for span in collector.trace(trace_id):
+            total_spans += 1
+            span_seconds[span.name] = (
+                span_seconds.get(span.name, 0.0) + span.wall_seconds
+            )
+            if span.attributes.get("origin"):
+                remote_seconds += span.wall_seconds
+    out["traces"] = len(collector.trace_ids())
+    out["spans"] = total_spans
+    out["span_seconds_by_name"] = {
+        name: round(seconds, 6)
+        for name, seconds in sorted(span_seconds.items())
+    }
+    out["remote_span_seconds"] = round(remote_seconds, 6)
+    return out
+
+
+def bench_profiler_overhead(mediator: Mediator) -> dict[str, float]:
+    """The same serial workload with and without the sampling profiler.
+
+    Bare and profiled legs are interleaved so slow drift (CPU frequency,
+    cache state, co-tenants) hits both sides alike; the gated ratio is
+    the median of adjacent-pair ratios, which cancels that drift instead
+    of letting one lucky bare leg inflate the estimate.
+    """
+
+    def leg() -> float:
+        with Stopwatch() as watch:
+            for _ in range(OVERHEAD_QUERIES):
+                mediator.threshold(THRESHOLD_QUERY, use_cache=False)
+        return watch.elapsed
+
+    leg()  # warm both caches and the connection pool
+    profiler = SamplingProfiler(interval=0.005)
+    bare_legs: list[float] = []
+    profiled_legs: list[float] = []
+    for _ in range(OVERHEAD_REPS):
+        bare_legs.append(leg())
+        with profiler:  # samples accumulate across restarts
+            profiled_legs.append(leg())
+    profiler.write(PROFILE_PATH, by_span=True)
+    ratio = statistics.median(
+        profiled / bare for bare, profiled in zip(bare_legs, profiled_legs)
+    )
+    return {
+        "profiler_bare_s": min(bare_legs),
+        "profiler_profiled_s": min(profiled_legs),
+        "profiler_samples": float(profiler.samples),
+        "profiler_overhead_ratio": ratio,
+    }
+
+
+def run() -> dict[str, object]:
+    servers, addresses = start_cluster()
+    mediator = make_mediator(addresses)
+    collector = tracing.install(tracing.TraceCollector(max_traces=1024))
+    try:
+        report: dict[str, object] = {
+            "benchmark": "slo",
+            "generated_unix": unix_now(),
+            "side": SIDE,
+            "nodes": len(servers),
+        }
+        report.update(bench_open_loop(mediator, collector))
+        report.update(bench_profiler_overhead(mediator))
+        TRACE_PATH.write_text(collector.to_jsonl())
+        return report
+    finally:
+        tracing.uninstall()
+        mediator.close()
+        for server in servers:
+            server.shutdown()
+
+
+def check_floor(report: dict[str, object]) -> list[str]:
+    """Plain keys are minimums; ``_max``-suffixed keys are ceilings."""
+    floor = json.loads(FLOOR_PATH.read_text())
+    failures = []
+    for key, bound in floor.items():
+        if key.endswith("_max"):
+            got = float(report[key[: -len("_max")]])  # type: ignore[arg-type]
+            if got > bound:
+                failures.append(f"{key[:-4]}: {got:.3f} > ceiling {bound}")
+        else:
+            got = float(report[key])  # type: ignore[arg-type]
+            if got < bound:
+                failures.append(f"{key}: {got:.3f} < floor {bound}")
+    return failures
+
+
+def main() -> int:
+    report = run()
+    OUT_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    summary = {
+        key: round(float(report[key]), 3)  # type: ignore[arg-type]
+        for key in (
+            "error_rate",
+            "threshold_p50_ms",
+            "threshold_p99_ms",
+            "topk_p99_ms",
+            "pdf_p99_ms",
+            "profiler_overhead_ratio",
+        )
+        if key in report
+    }
+    sys.stderr.write(f"bench_slo: {summary} -> {OUT_PATH}\n")
+    sys.stderr.write(
+        f"bench_slo: traces -> {TRACE_PATH}, profile -> {PROFILE_PATH}\n"
+    )
+    failures = check_floor(report)
+    if failures:
+        sys.stderr.write("FLOOR VIOLATIONS: " + "; ".join(failures) + "\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -818,7 +818,13 @@ class Mediator:
         """
         def run(node_id: int) -> T:
             with tracing.span("node.part", node=node_id) as part:
-                result = task(node_id)
+                try:
+                    result = task(node_id)
+                except Exception as error:
+                    # This node's subtree ends here — the trace shows an
+                    # explicitly-marked orphan instead of silent loss.
+                    tracing.mark_orphaned(part, type(error).__name__)
+                    raise
                 ledger = getattr(result, "ledger", None)
                 if ledger is not None:
                     part.attach_ledger(ledger)

@@ -27,8 +27,7 @@ from repro.core import (
 from repro.fields.derived import UnknownFieldError
 from repro.grid import Box
 from repro.net.errors import DeadlineExceededError, NetError
-from repro.obs import tracing
-from repro.obs.metrics import timed
+from repro.obs import clock, tracing
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
@@ -96,10 +95,23 @@ class WebService:
             else "<unknown>"
         )
         self._in_flight.inc()
+        started = clock.now()
+        response: dict | None = None
         try:
-            with timed(self._latency.labels(method=label)):
-                return self._dispatch(request)
+            response = self._dispatch(request)
+            return response
         finally:
+            # Timed by hand rather than via ``timed``: a successful
+            # query response carries its query id, which becomes the
+            # observation's exemplar — the p99 latency bucket then
+            # points straight at the trace that caused it.
+            exemplar = (
+                response.get("query_id") if response is not None else None
+            )
+            self._latency.labels(method=label).observe(
+                clock.now() - started,
+                exemplar=exemplar if isinstance(exemplar, str) else None,
+            )
             self._in_flight.dec()
 
     def _dispatch(self, request: dict) -> dict:
@@ -333,11 +345,22 @@ class WebService:
                 "unknown_trace",
                 f"no trace recorded for query {query_id!r}",
             )
+        # Per-node wall seconds of the stitched remote subtrees: each
+        # grafted span is tagged origin=nodeN, and the node's own
+        # server.request span brackets everything it did for this query.
+        attribution: dict[str, float] = {}
+        for span in spans:
+            origin = span.attributes.get("origin")
+            if isinstance(origin, str) and span.name == "server.request":
+                attribution[origin] = (
+                    attribution.get(origin, 0.0) + span.wall_seconds
+                )
         return {
             "status": "ok",
             "query_id": query_id,
             "spans": [span.to_json() for span in spans],
             "category_totals": tracing.category_totals(spans),
+            "node_attribution": attribution,
             "tree": tracing.render_tree(spans),
         }
 

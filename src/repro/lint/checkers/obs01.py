@@ -9,11 +9,19 @@ recorded by ``repro.obs.tracing``.  Three habits defeat that design:
   observability layer and (inside the engine proper) break COST01's
   determinism contract as well; use ``repro.obs.clock`` /
   ``Stopwatch``;
-* calling ``print`` — output cannot be redirected or silenced by tests
-  and services that must keep stdout clean; use ``repro.obs.report``;
+* calling ``print`` or writing to ``sys.stdout``/``sys.stderr`` — output
+  cannot be redirected or silenced by tests and services that must keep
+  stdout clean; use ``repro.obs.report``;
+* reading the clock through ``datetime.now()``/``datetime.utcnow()`` —
+  the same leak as ``time.*`` through a different door;
 * opening a span without a ``with`` statement — a span assigned to a
   variable is not closed on exceptions, so the trace tree ends up with
   dangling, never-ended spans.
+
+The server paths of :mod:`repro.net` and :mod:`repro.cluster` are fully
+in scope: a node server's reader loop and the mediator's scatter are
+exactly where stray ``time.time()`` timings and debugging ``print``
+calls tend to accrete, and where they are least visible.
 
 Unlike COST01, this checker covers the harness and the lint CLI too:
 *everything* outside ``repro.obs`` itself reports and times through the
@@ -103,12 +111,34 @@ class ObsDiscipline(Checker):
                     "repro.obs.clock (now/Stopwatch) instead",
                 )
             )
+        if dotted is not None and dotted.split(".")[-2:] in (
+            ["datetime", "now"],
+            ["datetime", "utcnow"],
+        ):
+            diags.append(
+                self.report(
+                    source,
+                    node,
+                    f"wall-clock read {dotted}() — use repro.obs.clock "
+                    "(now/unix_now/Stopwatch) so all wall-clock reads go "
+                    "through the observability layer",
+                )
+            )
         if isinstance(node.func, ast.Name) and node.func.id == "print":
             diags.append(
                 self.report(
                     source,
                     node,
                     "bare print() — route human-facing output through "
+                    "repro.obs.report so it can be redirected or silenced",
+                )
+            )
+        if dotted in ("sys.stdout.write", "sys.stderr.write"):
+            diags.append(
+                self.report(
+                    source,
+                    node,
+                    f"direct {dotted}() — route console output through "
                     "repro.obs.report so it can be redirected or silenced",
                 )
             )

@@ -45,9 +45,14 @@ from repro.grid import Box
 from repro.morton import MortonRange
 from repro.net.errors import ProtocolError
 from repro.net.frame import Buffer
+from repro.obs.tracing import SpanContext
 
 _U32 = struct.Struct("<I")
 _U16 = struct.Struct("<H")
+
+#: JSON-header key carrying trace context on requests and the captured
+#: remote spans (plus server clock stamps) on responses.
+TRACE_HEADER_KEY = "trace"
 
 #: Ceiling on blobs per message (a batch of 64 queries ships 128).
 MAX_BLOBS = 4096
@@ -470,3 +475,30 @@ def _point_columns(
             f"{len(values)} values"
         )
     return zindexes, values
+
+
+# -- trace context -----------------------------------------------------------
+
+
+def trace_context_to_wire(context: SpanContext) -> dict:
+    """A span context as the request-header record under ``"trace"``."""
+    return context.to_wire()
+
+
+def trace_context_from_wire(header: Mapping) -> SpanContext | None:
+    """The request's span context, or ``None`` when the caller sent
+    none (untraced callers inject nothing, and malformed records are
+    ignored rather than failing the request)."""
+    return SpanContext.from_wire(header.get(TRACE_HEADER_KEY))
+
+
+def trace_payload_to_wire(
+    node_id: int, recv: float, send: float, spans: list[dict]
+) -> dict:
+    """The response-header record shipping captured spans back.
+
+    ``recv``/``send`` are the server's own ``clock.now()`` stamps
+    bracketing the request — the far side feeds them to the midpoint
+    skew model to place these spans on its own timeline.
+    """
+    return {"node": node_id, "recv": recv, "send": send, "spans": spans}

@@ -37,6 +37,7 @@ from repro.net.client import (
     PipelinedConnection,
     RetryPolicy,
 )
+from repro.net.codec import TRACE_HEADER_KEY, trace_context_to_wire
 from repro.net.compress import CompressionConfig, DEFAULT_COMPRESSION
 from repro.net.errors import (
     ConnectionLostError,
@@ -46,7 +47,7 @@ from repro.net.errors import (
 )
 from repro.net.frame import Buffer, Deadline
 from repro.net.stream import PartialSink
-from repro.obs import clock
+from repro.obs import clock, tracing
 
 #: Idle seconds after which a serial pooled connection is pinged before
 #: reuse (pipelined connections detect death via their reader loop).
@@ -145,11 +146,20 @@ class ConnectionPool:
             RemoteCallError: typed failure reported by the server.
         """
         deadline = Deadline.after(timeout)
+        # Propagate the caller's trace context on the wire.  This is the
+        # one choke point every outbound RPC passes through — the
+        # transport's scatter calls and a node's own halo fetches to its
+        # peers alike — so a mediator-rooted trace follows the request
+        # graph transitively.
+        context = tracing.current_context()
+        if context is not None:
+            header = {**header, TRACE_HEADER_KEY: trace_context_to_wire(context)}
         attempts_allowed = self.retry.attempts if idempotent else 1
         attempt = 0
         while True:
+            attempt_started = clock.now()
             try:
-                return self._call_once(method, header, blobs, deadline, sink)
+                result = self._call_once(method, header, blobs, deadline, sink)
             except (NodeUnavailableError, ConnectionLostError) as error:
                 attempt += 1
                 if attempt >= attempts_allowed:
@@ -172,6 +182,22 @@ class ConnectionPool:
                 )
                 if pause > 0:
                     clock.sleep(pause)
+            else:
+                # The server piggybacks its captured spans (plus its own
+                # clock stamps) on the final response header; graft them
+                # under the current span using this attempt's send/recv
+                # stamps for the midpoint skew estimate.  Per-attempt
+                # stamps matter: a retried call's first attempt never
+                # produced a response, so only the winning attempt's
+                # round trip brackets the server's processing window.
+                shipped = result.header.pop(TRACE_HEADER_KEY, None)
+                if context is not None and shipped is not None:
+                    tracing.absorb_remote(
+                        shipped,
+                        client_send=attempt_started,
+                        client_recv=clock.now(),
+                    )
+                return result
 
     def ping(self, timeout: float) -> float:
         """Round-trip a health-check frame; returns wall seconds."""

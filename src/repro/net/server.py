@@ -69,7 +69,7 @@ from repro.net.frame import (
 from repro.net.pool import ConnectionPool
 from repro.net.stream import STREAM_CHUNK_POINTS, iter_point_chunks
 from repro.net.transport import field_description, parse_address
-from repro.obs import tracing
+from repro.obs import clock, tracing
 from repro.simulation.datasets import (
     SyntheticDataset,
     channel_dataset,
@@ -658,31 +658,46 @@ class NodeServer:
         header: dict,
         blobs: "list[Buffer]",
     ) -> None:
+        # A traced request installs the caller's span context *on this
+        # thread* (the worker pool does not propagate contextvars from
+        # the reader thread, so the install must happen here): every
+        # span the dispatch opens — executor, cache, storage, halo —
+        # parents under the remote caller's span and lands in the
+        # capture buffer instead of any local collector.
+        context = codec.trace_context_from_wire(header)
+        received = clock.now()
         try:
-            try:
-                response = self._dispatch(method, header, blobs)
-            except _REQUEST_ERRORS as error:
-                self._send_error(state, request_id, error)
-                return
-            if isinstance(response, StreamedResponse):
-                for part_header, part_blobs in response.partials:
-                    state.send(
-                        FrameType.PARTIAL,
-                        request_id,
-                        codec.encode_message_parts(part_header, part_blobs),
-                    )
-                state.send(
-                    FrameType.RESPONSE,
-                    request_id,
-                    codec.encode_message_parts(response.header, response.blobs),
-                )
-            else:
-                response_header, response_blobs = response
-                state.send(
-                    FrameType.RESPONSE,
-                    request_id,
-                    codec.encode_message_parts(response_header, response_blobs),
-                )
+            with tracing.remote_request(context) as capture:
+                try:
+                    response = self._dispatch(method, header, blobs)
+                except _REQUEST_ERRORS as error:
+                    self._send_error(state, request_id, error)
+                    return
+                if isinstance(response, StreamedResponse):
+                    for part_header, part_blobs in response.partials:
+                        state.send(
+                            FrameType.PARTIAL,
+                            request_id,
+                            codec.encode_message_parts(part_header, part_blobs),
+                        )
+                    final_header, final_blobs = response.header, response.blobs
+                else:
+                    final_header, final_blobs = response
+            if capture is not None:
+                # Piggyback the captured spans (with this server's own
+                # recv/send clock stamps for the caller's skew estimate)
+                # on the final RESPONSE header — no extra round trip.
+                final_header = {
+                    **final_header,
+                    codec.TRACE_HEADER_KEY: codec.trace_payload_to_wire(
+                        self.node_id, received, clock.now(), capture.to_wire()
+                    ),
+                }
+            state.send(
+                FrameType.RESPONSE,
+                request_id,
+                codec.encode_message_parts(final_header, final_blobs),
+            )
         except (NetError, OSError):
             # The client went away mid-answer; the reader loop notices
             # the broken socket and retires the connection.

@@ -426,12 +426,20 @@ class TcpTransport(Transport):
             except Exception as error:
                 status = type(error).__name__
                 span.set("error", status)
+                # The remote side of this call is unaccounted for: its
+                # spans never shipped back, so whatever subtree hangs
+                # under this RPC is explicitly an orphan, not a gap.
+                tracing.mark_orphaned(span, status)
                 raise
             finally:
                 if self._m_requests is not None:
                     self._m_requests.labels(method=method, status=status).inc()
                 if self._m_latency is not None:
-                    self._m_latency.observe(clock.now() - start)
+                    # The exemplar ties this latency observation back to
+                    # the trace that produced it (p99 bucket -> trace id).
+                    self._m_latency.observe(
+                        clock.now() - start, exemplar=span.trace_id or None
+                    )
             span.set("bytes_sent", result.bytes_sent)
             span.set("bytes_received", result.bytes_received)
         if self._m_sent is not None:

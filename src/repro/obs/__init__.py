@@ -39,18 +39,28 @@ from repro.obs.metrics import (
     MetricsRegistry,
     timed,
 )
+from repro.obs.profile import SamplingProfiler
 from repro.obs.report import ConsoleSink, get_stream, report, set_stream
 from repro.obs.tracing import (
     TRACER,
     Span,
+    SpanBuffer,
+    SpanContext,
     TraceCollector,
     Tracer,
+    absorb_remote,
     category_totals,
+    clock_skew_offset,
     collector,
+    current_context,
     current_span,
+    graft_spans,
     install,
+    mark_orphaned,
     new_trace_id,
+    remote_request,
     render_tree,
+    set_remote_sampling,
     span,
     uninstall,
 )
@@ -64,20 +74,30 @@ __all__ = [
     "MetricFamily",
     "MetricsRegistry",
     "timed",
+    "SamplingProfiler",
     "ConsoleSink",
     "get_stream",
     "report",
     "set_stream",
     "TRACER",
     "Span",
+    "SpanBuffer",
+    "SpanContext",
     "TraceCollector",
     "Tracer",
+    "absorb_remote",
     "category_totals",
+    "clock_skew_offset",
     "collector",
+    "current_context",
     "current_span",
+    "graft_spans",
     "install",
+    "mark_orphaned",
     "new_trace_id",
+    "remote_request",
     "render_tree",
+    "set_remote_sampling",
     "span",
     "uninstall",
 ]

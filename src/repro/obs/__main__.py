@@ -77,6 +77,19 @@ def _selftest() -> int:
     check('latency_seconds_bucket{le="+Inf"} 2' in text, "prometheus +Inf bucket")
     check("latency_seconds" in registry.to_dict(), "JSON export")
 
+    # -- histogram exemplars -------------------------------------------------
+    latency.observe(0.5, exemplar="q000042")
+    sample = registry.render_prometheus()
+    check(
+        'trace_id="q000042"' in sample,
+        "exemplar renders on its bucket line",
+    )
+    recorded = latency.exemplars().get("1.0")
+    check(
+        recorded is not None and recorded[0] == "q000042",
+        "exemplar lookup by bucket",
+    )
+
     # -- tracing, no collector: spans must be inert no-ops ------------------
     tracing.uninstall()
     with tracing.span("noop.root") as outer:
@@ -84,6 +97,59 @@ def _selftest() -> int:
             pass
     check(outer is inner, "no-op spans are the shared singleton")
     check(tracing.collector() is None, "no collector installed by default")
+
+    # -- remote capture and stitching ---------------------------------------
+    context = tracing.SpanContext("q_remote", 7, True)
+    with tracing.remote_request(context) as capture:
+        with tracing.span("server.request", method="threshold"):
+            with tracing.span("executor.scan"):
+                pass
+    shipped = capture.to_wire() if capture is not None else []
+    check(len(shipped) == 2, "remote request captures spans without a collector")
+    collector = tracing.install(tracing.TraceCollector())
+    try:
+        with tracing.span("net.rpc", trace_id="q_local") as rpc:
+            grafted = tracing.graft_spans(
+                shipped, parent=rpc, origin="node0"
+            )
+        stitched = collector.trace("q_local")
+        check(
+            len(stitched) == 1 + len(grafted)
+            and all(s.trace_id == "q_local" for s in stitched),
+            "grafted spans join the local trace under the rpc span",
+        )
+        names = {s.name for s in stitched}
+        check(
+            {"server.request", "executor.scan"} <= names,
+            "remote span names survive the stitch",
+        )
+    finally:
+        tracing.uninstall()
+
+    # -- sampling profiler ---------------------------------------------------
+    from repro.obs.profile import SamplingProfiler
+
+    collector = tracing.install(tracing.TraceCollector())
+    try:
+        from repro.obs import clock
+
+        with SamplingProfiler(interval=0.001) as profiler:
+            with tracing.span("profiled.burn", trace_id="q_profile"):
+                started = clock.now()
+                while clock.now() - started < 0.05:
+                    pass
+        check(profiler.samples > 0, "profiler collects stack samples")
+        collapsed = profiler.render_collapsed()
+        check(
+            ";" in collapsed and collapsed.strip().split()[-1].isdigit(),
+            "collapsed-stack output is well-formed",
+        )
+        check(
+            bool(profiler.for_trace("q_profile")),
+            "samples keyed to the traced span",
+        )
+    finally:
+        tracing.uninstall()
 
     # -- traced threshold query on a live cluster ---------------------------
     from repro.cluster.mediator import build_cluster

@@ -45,6 +45,15 @@ def _escape_label_value(value: str) -> str:
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
 
 
+def _escape_help(text: str) -> str:
+    """Escape HELP text per the exposition format (backslash, newline).
+
+    A raw newline in help text would otherwise split the comment line
+    and corrupt everything after it for scrapers.
+    """
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
 class Counter:
     """A monotonically-increasing series."""
 
@@ -101,6 +110,12 @@ class Histogram:
     Buckets are upper bounds; observations above the last bound land in
     the implicit ``+Inf`` bucket.  Export renders cumulative counts in
     the Prometheus style.
+
+    An observation may carry an **exemplar** — a trace id sampled into
+    the bucket it landed in (last write wins per bucket).  Exemplars
+    are the join key from latency percentiles back to distributed
+    traces: the p99 bucket of ``rpc_latency_seconds`` names a concrete
+    trace whose stitched tree explains the tail.
     """
 
     def __init__(self, buckets: Sequence[float]) -> None:
@@ -112,14 +127,19 @@ class Histogram:
         self._counts = [0] * (len(bounds) + 1)  # +1 for +Inf
         self._sum = 0.0
         self._count = 0
+        self._exemplars: list[tuple[str, float, float] | None] = [None] * (
+            len(bounds) + 1
+        )
 
-    def observe(self, value: float) -> None:
-        """Record one observation."""
+    def observe(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation, optionally tagged with a trace id."""
         idx = bisect.bisect_left(self.buckets, value)
         with self._lock:
             self._counts[idx] += 1
             self._sum += value
             self._count += 1
+            if exemplar is not None:
+                self._exemplars[idx] = (exemplar, value, clock.unix_now())
 
     @property
     def sum(self) -> float:
@@ -153,6 +173,18 @@ class Histogram:
             running += count
             out[repr(bound)] = running
         out["+Inf"] = running + counts[-1]
+        return out
+
+    def exemplars(self) -> dict[str, tuple[str, float, float]]:
+        """Per-bucket exemplars: ``le`` bound → (trace id, value, unix ts)."""
+        with self._lock:
+            records = list(self._exemplars)
+        out: dict[str, tuple[str, float, float]] = {}
+        for bound, record in zip(self.buckets, records):
+            if record is not None:
+                out[repr(bound)] = record
+        if records[-1] is not None:
+            out["+Inf"] = records[-1]
         return out
 
 
@@ -235,9 +267,13 @@ class MetricFamily:
         """``set`` on the single series of a label-less gauge family."""
         self._unlabelled().set(value)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: str | None = None) -> None:
         """``observe`` on the single series of a label-less histogram."""
-        self._unlabelled().observe(value)
+        self._unlabelled().observe(value, exemplar)
+
+    def exemplars(self) -> dict[str, tuple[str, float, float]]:
+        """``exemplars`` of the single series of a label-less histogram."""
+        return self._unlabelled().exemplars()  # type: ignore[union-attr]
 
     @property
     def value(self) -> float:
@@ -377,14 +413,24 @@ class MetricsRegistry:
             for label_values, series in family.series():
                 labels = dict(zip(family.labelnames, label_values))
                 if isinstance(series, Histogram):
-                    samples.append(
-                        {
-                            "labels": labels,
-                            "buckets": series.bucket_counts(),
-                            "sum": series.sum,
-                            "count": series.count,
+                    sample: dict = {
+                        "labels": labels,
+                        "buckets": series.bucket_counts(),
+                        "sum": series.sum,
+                        "count": series.count,
+                    }
+                    exemplars = series.exemplars()
+                    if exemplars:
+                        sample["exemplars"] = {
+                            bound: {
+                                "trace_id": trace_id,
+                                "value": value,
+                                "timestamp": stamp,
+                            }
+                            for bound, (trace_id, value, stamp)
+                            in exemplars.items()
                         }
-                    )
+                    samples.append(sample)
                 else:
                     samples.append({"labels": labels, "value": series.value})
             out[family.name] = {
@@ -402,21 +448,38 @@ class MetricsRegistry:
         return out
 
     def render_prometheus(self) -> str:
-        """The Prometheus text exposition format for every metric."""
+        """The Prometheus text exposition format for every metric.
+
+        ``# HELP``/``# TYPE`` comment lines are emitted exactly once per
+        family (however many labelled series it holds), help text and
+        label values are escaped per the exposition format, and bucket
+        lines carry OpenMetrics-style exemplars when the histogram
+        recorded any.
+        """
         families, callbacks = self._snapshot()
         lines: list[str] = []
         for family in sorted(families, key=lambda f: f.name):
-            lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.kind}")
             for label_values, series in family.series():
                 labels = dict(zip(family.labelnames, label_values))
                 if isinstance(series, Histogram):
+                    exemplars = series.exemplars()
                     for bound, count in series.bucket_counts().items():
                         bucket_labels = {**labels, "le": bound}
-                        lines.append(
+                        line = (
                             f"{family.name}_bucket"
                             f"{_render_labels(bucket_labels)} {count}"
                         )
+                        exemplar = exemplars.get(bound)
+                        if exemplar is not None:
+                            trace_id, value, stamp = exemplar
+                            line += (
+                                f" # {{trace_id=\""
+                                f"{_escape_label_value(trace_id)}\"}} "
+                                f"{value} {stamp}"
+                            )
+                        lines.append(line)
                     lines.append(
                         f"{family.name}_sum{_render_labels(labels)} {series.sum}"
                     )
@@ -429,7 +492,7 @@ class MetricsRegistry:
                     )
         for name in sorted(callbacks):
             fn, help = callbacks[name]
-            lines.append(f"# HELP {name} {help}")
+            lines.append(f"# HELP {name} {_escape_help(help)}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name} {float(fn())}")
         return "\n".join(lines) + "\n"

@@ -20,6 +20,18 @@ Finished spans go to a :class:`TraceCollector`, which keeps a bounded
 ring of recent traces keyed by trace id (the mediator's query id) and
 exports them as JSON lines — the format ``python -m repro.obs`` renders
 back into a tree.
+
+Traces also cross process boundaries.  A :class:`SpanContext` is the
+wire-portable identity of an open span (trace id, span id, sampling
+flag): the RPC client injects it into the request header, the node
+server installs it with :func:`remote_request` so every server-side
+span parents under the originating mediator span, and the finished
+spans ship back piggybacked on the response, where
+:func:`absorb_remote` grafts them into the local trace — remapping
+span ids (every process numbers its own), re-anchoring orphans, and
+aligning the remote clock with a midpoint skew offset
+(:func:`clock_skew_offset`), since ``clock.now()`` has an arbitrary
+per-process basis.
 """
 
 from __future__ import annotations
@@ -29,7 +41,8 @@ import itertools
 import json
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
+from contextlib import contextmanager
 
 from repro.obs import clock
 
@@ -40,6 +53,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 _CURRENT_SPAN: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
     "repro_obs_span", default=None
 )
+
+#: Per-request buffer for spans finished while serving a *remote* trace
+#: context (node-server processes run no collector; see remote_request).
+_SPAN_SINK: contextvars.ContextVar["SpanBuffer | None"] = contextvars.ContextVar(
+    "repro_obs_span_sink", default=None
+)
+
+#: thread ident -> innermost open span; ``None`` unless a sampling
+#: profiler asked for span attribution (see enable_thread_spans).  Kept
+#: a plain module global so the off state costs one load + is-check.
+_THREAD_SPANS: "dict[int, Span] | None" = None
 
 
 class Span:
@@ -111,6 +135,8 @@ class Span:
         self.start = clock.now()
         self.thread = threading.current_thread().name
         self._token = _CURRENT_SPAN.set(self)
+        if _THREAD_SPANS is not None:
+            _THREAD_SPANS[threading.get_ident()] = self
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -118,7 +144,18 @@ class Span:
         if self._token is not None:
             _CURRENT_SPAN.reset(self._token)
             self._token = None
-        if self._tracer is not None and self._tracer._collector is not None:
+        table = _THREAD_SPANS
+        if table is not None:
+            outer = _CURRENT_SPAN.get()
+            ident = threading.get_ident()
+            if outer is None:
+                table.pop(ident, None)
+            else:
+                table[ident] = outer
+        sink = _SPAN_SINK.get()
+        if sink is not None:
+            sink.record(self)
+        elif self._tracer is not None and self._tracer._collector is not None:
             self._tracer._collector.record(self)
 
     # -- serialization -------------------------------------------------------
@@ -174,6 +211,13 @@ class _NoopSpan:
 
     __slots__ = ()
 
+    #: Identity fields, so instrumentation reading ``span.trace_id``
+    #: (e.g. for metric exemplars) works against the no-op span too.
+    trace_id = ""
+    span_id = 0
+    parent_id = None
+    name = ""
+
     def __enter__(self) -> "_NoopSpan":
         return self
 
@@ -188,6 +232,106 @@ class _NoopSpan:
 
 
 _NOOP_SPAN = _NoopSpan()
+
+
+class SpanContext:
+    """The wire-portable identity of an open span.
+
+    What crosses a process boundary: enough for the far side to parent
+    its spans under ours (``trace_id`` + ``span_id``) plus the sampling
+    flag that tells it whether to bother capturing at all.
+    """
+
+    __slots__ = ("trace_id", "span_id", "sampled")
+
+    def __init__(self, trace_id: str, span_id: int, sampled: bool = True) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.sampled = sampled
+
+    def to_wire(self) -> dict[str, object]:
+        """The JSON-header encoding carried by protocol-v2 messages."""
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_wire(cls, record: object) -> "SpanContext | None":
+        """Parse a wire encoding; ``None`` for absent/malformed records."""
+        if not isinstance(record, dict):
+            return None
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if not isinstance(trace_id, str) or not isinstance(span_id, int):
+            return None
+        return cls(trace_id, span_id, bool(record.get("sampled", True)))
+
+
+class SpanBuffer:
+    """Collects the spans finished while serving one remote request.
+
+    Node-server processes run no :class:`TraceCollector`; spans opened
+    under an installed remote context land here instead (thread-safe —
+    a request may finish spans on several threads) and ship back to the
+    caller piggybacked on the response.
+    """
+
+    __slots__ = ("_lock", "_spans")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+
+    def record(self, span: "Span") -> None:
+        """Store one finished span (the sink analogue of a collector)."""
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> "list[Span]":
+        """Snapshot of the buffered spans."""
+        with self._lock:
+            return list(self._spans)
+
+    def to_wire(self) -> list[dict[str, object]]:
+        """The buffered spans as JSON records, ready to piggyback."""
+        return [span.to_json() for span in self.spans()]
+
+
+@contextmanager
+def remote_request(
+    context: "SpanContext | None",
+) -> "Iterator[SpanBuffer | None]":
+    """Serve one request under a remote caller's trace context.
+
+    Installs a synthetic parent carrying the remote ``trace_id``/
+    ``span_id`` and a :class:`SpanBuffer` sink, so every span the
+    request opens (executor, cache, storage, halo) is captured *without
+    a collector* and parents under the originating span.  Yields the
+    buffer — or ``None`` (and changes nothing) when the caller sent no
+    context or flagged the request unsampled, which keeps the untraced
+    hot path free of contextvar churn.
+    """
+    if context is None or not context.sampled:
+        yield None
+        return
+    parent = Span(
+        trace_id=context.trace_id,
+        span_id=context.span_id,
+        parent_id=None,
+        name="<remote-parent>",
+        category=None,
+        attributes={},
+    )
+    buffer = SpanBuffer()
+    span_token = _CURRENT_SPAN.set(parent)
+    sink_token = _SPAN_SINK.set(buffer)
+    try:
+        yield buffer
+    finally:
+        _SPAN_SINK.reset(sink_token)
+        _CURRENT_SPAN.reset(span_token)
 
 
 class TraceCollector:
@@ -264,6 +408,8 @@ class Tracer:
         self._collector: TraceCollector | None = None
         self._span_ids = itertools.count(1)
         self._trace_ids = itertools.count(1)
+        #: Whether outgoing RPCs ask the far side to capture spans.
+        self.remote_sampling = True
 
     @property
     def enabled(self) -> bool:
@@ -289,6 +435,11 @@ class Tracer:
         query ids stay stable whether or not a collector is watching)."""
         return f"q{next(self._trace_ids):06d}"
 
+    def next_span_id(self) -> int:
+        """A fresh span id — used when grafting remote spans, whose own
+        ids come from another process's counter and may collide."""
+        return next(self._span_ids)
+
     def span(
         self,
         name: str,
@@ -306,9 +457,10 @@ class Tracer:
                 spans inherit the parent's trace.
             **attributes: initial span attributes.
 
-        Returns a shared no-op span when no collector is installed.
+        Returns a shared no-op span when no collector is installed and
+        no remote request is being served (see :func:`remote_request`).
         """
-        if self._collector is None:
+        if self._collector is None and _SPAN_SINK.get() is None:
             return _NOOP_SPAN
         parent = _CURRENT_SPAN.get()
         if trace_id is None:
@@ -361,6 +513,168 @@ def new_trace_id() -> str:
 def current_span() -> Span | None:
     """The innermost open span of this execution context, if any."""
     return _CURRENT_SPAN.get()
+
+
+def current_context() -> SpanContext | None:
+    """The open span's wire-portable context, for RPC header injection.
+
+    ``None`` when no real span is open — untraced processes inject
+    nothing, so the far side captures nothing.
+    """
+    span_ = _CURRENT_SPAN.get()
+    if span_ is None:
+        return None
+    return SpanContext(span_.trace_id, span_.span_id, TRACER.remote_sampling)
+
+
+def set_remote_sampling(enabled: bool) -> None:
+    """Toggle whether outgoing RPCs request span capture on the far side.
+
+    With sampling off, trace context still propagates (ids stay
+    correlated) but node servers skip capture and ship nothing back —
+    the knob load generators use to price the tracing overhead.
+    """
+    TRACER.remote_sampling = bool(enabled)
+
+
+# -- cross-process stitching --------------------------------------------------
+
+
+def clock_skew_offset(
+    client_send: float,
+    client_recv: float,
+    server_recv: float,
+    server_send: float,
+) -> float:
+    """Seconds to add to server clock readings to align with ours.
+
+    ``clock.now()`` is ``perf_counter`` with an arbitrary per-process
+    basis, so remote span times are meaningless locally until shifted.
+    The classic NTP midpoint estimate: assume the request and response
+    halves of the RPC took equally long, so the midpoint of the
+    server's busy window maps onto the midpoint of the client's wait.
+    The residual error is bounded by the one-way network asymmetry —
+    microseconds on a LAN, far below span durations.
+    """
+    return ((client_send + client_recv) - (server_recv + server_send)) / 2.0
+
+
+def graft_spans(
+    records: Iterable[dict],
+    *,
+    parent: Span,
+    clock_offset: float = 0.0,
+    origin: str | None = None,
+) -> list[Span]:
+    """Stitch serialized remote spans into the local trace under ``parent``.
+
+    Three fixups make the remote subtree a first-class citizen here:
+
+    * **id remapping** — every process numbers spans from its own
+      counter, so each grafted span gets a fresh local id (parent
+      pointers inside the shipped set are rewritten consistently);
+    * **re-anchoring** — a span whose parent is not in the shipped set
+      (the far side's synthetic remote parent, or a span lost to a
+      crash) attaches to ``parent`` instead of dangling;
+    * **clock alignment** — start/end shift by ``clock_offset`` (see
+      :func:`clock_skew_offset`).
+
+    Each span is tagged ``origin=<origin>`` for per-node attribution
+    and recorded into the active sink (when grafting inside another
+    remote request, e.g. a transitive halo RPC) or the installed
+    collector.  Returns the grafted spans.
+    """
+    spans = [Span.from_json(record) for record in records]
+    mapping = {span_.span_id: TRACER.next_span_id() for span_ in spans}
+    sink = _SPAN_SINK.get()
+    collector_ = TRACER._collector
+    for span_ in spans:
+        span_.parent_id = mapping.get(span_.parent_id, parent.span_id)
+        span_.span_id = mapping[span_.span_id]
+        span_.trace_id = parent.trace_id
+        span_.start += clock_offset
+        if span_.end is not None:
+            span_.end += clock_offset
+        if origin is not None:
+            span_.attributes.setdefault("origin", origin)
+        if sink is not None:
+            sink.record(span_)
+        elif collector_ is not None:
+            collector_.record(span_)
+    return spans
+
+
+def absorb_remote(
+    payload: object, *, client_send: float, client_recv: float
+) -> list[Span]:
+    """Graft a response's piggybacked span payload into the local trace.
+
+    ``payload`` is the ``"trace"`` record a node server attaches to its
+    response header: ``{"node", "recv", "send", "spans"}``.  The server
+    clock stamps plus the caller's send/receive stamps feed the skew
+    model; the window the server reported is recorded on the enclosing
+    span (``remote_node``/``remote_seconds``) so attribution checks can
+    compare named remote work against true node-side wall time.
+    """
+    parent = _CURRENT_SPAN.get()
+    if parent is None or not isinstance(payload, dict):
+        return []
+    records = payload.get("spans")
+    if not isinstance(records, list):
+        return []
+    server_recv = float(payload.get("recv", client_send))
+    server_send = float(payload.get("send", client_recv))
+    offset = clock_skew_offset(
+        client_send, client_recv, server_recv, server_send
+    )
+    node = payload.get("node")
+    origin = None if node is None else f"node{node}"
+    grafted = graft_spans(
+        records, parent=parent, clock_offset=offset, origin=origin
+    )
+    if node is not None:
+        parent.set("remote_node", node)
+    parent.set("remote_seconds", max(0.0, server_send - server_recv))
+    return grafted
+
+
+def mark_orphaned(span_: "Span | _NoopSpan", reason: str) -> None:
+    """Flag a span whose remote subtree was lost (killed node, timeout).
+
+    The stitched tree then shows an explicitly-marked orphan instead of
+    silently missing work — ``GET /trace/<id>`` consumers can tell "the
+    node did nothing" from "the node died mid-flight".
+    """
+    span_.set("orphaned", True)
+    span_.set("orphan_reason", reason)
+
+
+# -- profiler support ---------------------------------------------------------
+
+
+def enable_thread_spans() -> None:
+    """Start maintaining the thread-ident → open-span table.
+
+    Costs one dict write per span enter/exit while on; the sampling
+    profiler uses the table to key collapsed stacks to span ids.
+    """
+    global _THREAD_SPANS
+    if _THREAD_SPANS is None:
+        _THREAD_SPANS = {}
+
+
+def disable_thread_spans() -> None:
+    """Stop maintaining the thread→span table and drop it."""
+    global _THREAD_SPANS
+    _THREAD_SPANS = None
+
+
+def span_for_thread(ident: int) -> Span | None:
+    """The innermost open span of thread ``ident``, if tracked."""
+    table = _THREAD_SPANS
+    if table is None:
+        return None
+    return table.get(ident)
 
 
 # -- trace analysis -----------------------------------------------------------

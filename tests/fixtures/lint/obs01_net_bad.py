@@ -1,0 +1,17 @@
+# Five OBS01 violations in a server-path shape: a time import, a
+# time.time() request stamp, a datetime.now() log stamp, a debugging
+# print in the request loop, and a raw sys.stderr.write.
+import sys
+from datetime import datetime
+
+from repro.obs import tracing
+
+
+def answer_request(state, request_id, header):
+    import time
+
+    received = time.time()
+    started = datetime.now()
+    with tracing.span("server.request", method=header.get("method")):
+        print("handling", request_id, "at", started)
+    sys.stderr.write(f"done {request_id} in {received}\n")

@@ -1,0 +1,10 @@
+# Clean server path: clock via repro.obs.clock, output via report,
+# request spans with-managed.
+from repro.obs import clock, report, tracing
+
+
+def answer_request(state, request_id, header):
+    received = clock.now()
+    with tracing.span("server.request", method=header.get("method")) as span:
+        span.set("request_id", request_id)
+    report(f"answered {request_id} in {clock.now() - received:.3f}s")

@@ -37,3 +37,29 @@ def test_with_managed_span_is_clean():
     spans = [d for d in run_checker(ObsDiscipline(), source)
              if "span" in d.message]
     assert spans == []
+
+
+def test_net_server_path_fixture_reports_each_violation():
+    """Server-path shapes: datetime.now and sys.stderr.write count too."""
+    source = load("obs01_net_bad.py", "repro.net.fixture_server")
+    diags = run_checker(ObsDiscipline(), source)
+    assert len(diags) == 5
+    messages = "\n".join(d.message for d in diags)
+    assert "'import time'" in messages
+    assert "time.time()" in messages
+    assert "datetime.now()" in messages
+    assert "bare print()" in messages
+    assert "sys.stderr.write()" in messages
+
+
+def test_clean_net_server_path_passes():
+    source = load("obs01_net_good.py", "repro.net.fixture_server")
+    assert run_checker(ObsDiscipline(), source) == []
+
+
+def test_net_and_cluster_server_paths_are_in_scope():
+    checker = ObsDiscipline()
+    assert checker.applies("repro.net.server")
+    assert checker.applies("repro.net.pool")
+    assert checker.applies("repro.cluster.mediator")
+    assert checker.applies("repro.cluster.webservice")

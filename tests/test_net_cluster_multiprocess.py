@@ -28,6 +28,7 @@ from repro.net.client import RetryPolicy
 from repro.net.errors import NetError, PartialFailureError
 from repro.net.pool import ConnectionPool
 from repro.net.transport import TcpTransport
+from repro.obs import tracing
 from repro.simulation.datasets import mhd_dataset
 
 REPO_ROOT = Path(__file__).parent.parent
@@ -261,6 +262,62 @@ def test_http_front_door(cluster):
         _drain(frontend)
 
 
+def test_distributed_trace_attributes_node_side_work(tcp_mediator):
+    """One stitched trace per query, with >= 95% of each node's true
+    processing window covered by named remote spans parented under the
+    mediator's scatter — no anonymous net.rpc black holes."""
+    query = ThresholdQuery(
+        dataset="mhd", field="vorticity", timestep=1, threshold=1.0
+    )
+    tcp_mediator.threshold(query)  # warm the describe cache, untraced
+    collector = tracing.install(tracing.TraceCollector())
+    try:
+        result = tcp_mediator.threshold(query, use_cache=False)
+        spans = collector.trace(result.query_id)
+    finally:
+        tracing.uninstall()
+
+    assert spans, "the query must leave one stitched trace"
+    by_id = {span.span_id: span for span in spans}
+    root = next(span for span in spans if span.parent_id is None)
+    assert root.name == "query.threshold"
+
+    # The scatter structure: node.part under the root, one net.rpc per
+    # node under its part.
+    parts = [span for span in spans if span.name == "node.part"]
+    assert {part.attributes.get("node") for part in parts} == {0, 1}
+    assert all(part.parent_id == root.span_id for part in parts)
+    rpcs = [span for span in spans if span.name == "net.rpc"]
+    assert rpcs
+    assert all(by_id[rpc.parent_id].name == "node.part" for rpc in rpcs)
+
+    # Every rpc carries its node's true server-side processing window
+    # (the server's own recv->send stamps, skew-independent)...
+    windows: dict[int, float] = {}
+    for rpc in rpcs:
+        assert "remote_seconds" in rpc.attributes, (
+            f"rpc to node {rpc.attributes.get('node')} shipped no spans"
+        )
+        windows[rpc.span_id] = float(rpc.attributes["remote_seconds"])
+
+    # ...and the named remote spans grafted under it account for it.
+    remote_requests = [
+        span for span in spans
+        if span.name == "server.request" and span.parent_id in windows
+    ]
+    assert len(remote_requests) == len(rpcs)
+    assert {
+        span.attributes.get("origin") for span in remote_requests
+    } == {"node0", "node1"}
+    attributed = sum(span.wall_seconds for span in remote_requests)
+    window_total = sum(windows.values())
+    assert window_total > 0
+    assert attributed >= 0.95 * window_total, (
+        f"only {attributed / window_total:.1%} of node-side wall time "
+        f"is attributed to named remote spans"
+    )
+
+
 def test_killed_node_is_a_typed_error_not_a_hang(cluster, tcp_mediator):
     """Run last: kills node 1 for good."""
     ports, processes = cluster
@@ -272,7 +329,26 @@ def test_killed_node_is_a_typed_error_not_a_hang(cluster, tcp_mediator):
     processes[1].kill()
     processes[1].wait(timeout=10)
     start = time.monotonic()
-    with pytest.raises(PartialFailureError) as info:
-        tcp_mediator.threshold(query, use_cache=False)
+    collector = tracing.install(tracing.TraceCollector())
+    try:
+        with pytest.raises(PartialFailureError) as info:
+            tcp_mediator.threshold(query, use_cache=False)
+    finally:
+        tracing.uninstall()
     assert info.value.node_id == 1
     assert time.monotonic() - start < 60.0
+
+    # The dead node's subtree is an explicitly-marked orphan in the
+    # trace, not silent loss.
+    spans = [
+        span
+        for trace_id in collector.trace_ids()
+        for span in collector.trace(trace_id)
+    ]
+    orphans = [span for span in spans if span.attributes.get("orphaned")]
+    assert orphans, "the failed part must leave an orphaned span"
+    assert any(
+        span.attributes.get("node") == 1
+        and span.attributes.get("orphan_reason")
+        for span in orphans
+    )

@@ -186,6 +186,141 @@ class TestExports:
     def test_default_buckets_ascend(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_help_text_is_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", 'line one\nback\\slash "quoted"')
+        text = registry.render_prometheus()
+        assert '# HELP odd_total line one\\nback\\\\slash "quoted"' in text
+        assert "\nline one" not in text  # the newline never splits the line
+
+    def test_type_line_once_per_labelled_family(self):
+        registry = MetricsRegistry()
+        family = registry.counter(
+            "queries_total", "Queries served", labelnames=["kind"]
+        )
+        for kind in ("threshold", "pdf", "topk"):
+            family.labels(kind=kind).inc()
+        text = registry.render_prometheus()
+        assert text.count("# TYPE queries_total counter") == 1
+        assert text.count("# HELP queries_total") == 1
+        # ...and every series still renders.
+        for kind in ("threshold", "pdf", "topk"):
+            assert f'queries_total{{kind="{kind}"}} 1.0' in text
+
+    def test_histogram_exemplar_renders_on_its_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=[0.1, 1.0])
+        hist.observe(0.05, exemplar="q000001")
+        hist.observe(0.5, exemplar="q000002")
+        hist.observe(5.0, exemplar="q000003")
+        text = registry.render_prometheus()
+        bucket_lines = {
+            line.split(" # ")[0]: line
+            for line in text.splitlines()
+            if "latency_seconds_bucket" in line
+        }
+        assert '# {trace_id="q000001"} 0.05' in (
+            bucket_lines['latency_seconds_bucket{le="0.1"} 1']
+        )
+        assert '# {trace_id="q000002"} 0.5' in (
+            bucket_lines['latency_seconds_bucket{le="1.0"} 2']
+        )
+        assert '# {trace_id="q000003"} 5.0' in (
+            bucket_lines['latency_seconds_bucket{le="+Inf"} 3']
+        )
+
+    def test_exemplar_last_observation_wins_per_bucket(self):
+        hist = Histogram(buckets=[1.0])
+        hist.observe(0.2, exemplar="q_old")
+        hist.observe(0.3, exemplar="q_new")
+        hist.observe(0.4)  # untagged observations keep the last exemplar
+        exemplars = hist.exemplars()
+        assert exemplars["1.0"][0] == "q_new"
+        assert exemplars["1.0"][1] == 0.3
+        assert "+Inf" not in exemplars
+
+    def test_exemplars_survive_to_dict(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("latency_seconds", buckets=[1.0])
+        hist.observe(0.2, exemplar="q000009")
+        sample = registry.to_dict()["latency_seconds"]["samples"][0]
+        assert sample["exemplars"]["1.0"]["trace_id"] == "q000009"
+        assert sample["exemplars"]["1.0"]["value"] == 0.2
+
+
+class TestConcurrentLabelChurn:
+    def test_cap_holds_and_no_increment_is_lost_under_churn(self):
+        """Concurrent label churn: the cardinality cap is enforced
+        race-free (never one series over) and every increment that was
+        accepted lands on exactly one series."""
+        registry = MetricsRegistry()
+        cap = 16
+        family = registry.counter(
+            "churn_total", labelnames=["key"], max_series=cap
+        )
+        workers = 8
+        per_worker = 400
+        accepted = [0] * workers
+        start = threading.Barrier(workers)
+
+        def churn(worker: int) -> None:
+            start.wait()
+            for i in range(per_worker):
+                # Everyone races to create overlapping label values: the
+                # first `cap` distinct keys win, the rest must raise.
+                key = f"k{(worker * per_worker + i) % (cap * 2)}"
+                try:
+                    family.labels(key=key).inc()
+                except ValueError:
+                    continue
+                accepted[worker] += 1
+
+        threads = [
+            threading.Thread(target=churn, args=(w,)) for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        samples = registry.to_dict()["churn_total"]["samples"]
+        assert len(samples) <= cap
+        total = sum(sample["value"] for sample in samples)
+        assert total == sum(accepted)
+
+    def test_histogram_observations_race_free_per_series(self):
+        registry = MetricsRegistry()
+        family = registry.histogram(
+            "churn_seconds", labelnames=["kind"], buckets=[0.5]
+        )
+        workers = 6
+        per_worker = 500
+        start = threading.Barrier(workers)
+
+        def observe(worker: int) -> None:
+            start.wait()
+            for i in range(per_worker):
+                family.labels(kind=f"k{i % 3}").observe(
+                    0.25, exemplar=f"q{worker:02d}{i:04d}"
+                )
+
+        threads = [
+            threading.Thread(target=observe, args=(w,))
+            for w in range(workers)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        samples = registry.to_dict()["churn_seconds"]["samples"]
+        assert len(samples) == 3
+        assert sum(s["count"] for s in samples) == workers * per_worker
+        for sample in samples:
+            # The surviving exemplar is one that was actually observed.
+            exemplar = sample["exemplars"]["0.5"]["trace_id"]
+            assert exemplar.startswith("q")
+
 
 class TestTimedAndReport:
     def test_timed_observes_wall_time(self):
