@@ -45,6 +45,11 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 FLOOR_PATH = Path(__file__).resolve().parent / "hotpath_floor.json"
 OUT_PATH = REPO_ROOT / "BENCH_hotpath.json"
 
+#: Version of the report's key set; bump when keys are added,
+#: renamed or removed so downstream dashboards can detect layout
+#: changes.
+SCHEMA_VERSION = 2
+
 POINTS = 100_000
 SIDE = 64  # domain side holding >= POINTS distinct grid cells
 ATOMS = 512  # atoms per raw-scan round
@@ -178,6 +183,7 @@ def run() -> dict[str, object]:
     )
     return {
         "benchmark": "hotpath",
+        "schema_version": SCHEMA_VERSION,
         "generated_unix": unix_now(),
         "points": POINTS,
         "cache_store_ops_per_s": POINTS / chunked["store_s"],

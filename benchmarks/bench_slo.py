@@ -48,6 +48,11 @@ TRACE_PATH = REPO_ROOT / "slo_trace.jsonl"
 PROFILE_PATH = REPO_ROOT / "slo_profile.txt"
 FLOOR_PATH = Path(__file__).resolve().parent / "slo_floor.json"
 
+#: Version of the report's key set; bump when keys are added,
+#: renamed or removed so downstream dashboards can detect layout
+#: changes.
+SCHEMA_VERSION = 2
+
 #: Open-loop arrival rate (requests per second) and request count.
 ARRIVAL_RATE = 6.0
 REQUESTS = 48
@@ -196,6 +201,7 @@ def run() -> dict[str, object]:
     try:
         report: dict[str, object] = {
             "benchmark": "slo",
+            "schema_version": SCHEMA_VERSION,
             "generated_unix": unix_now(),
             "side": SIDE,
             "nodes": len(servers),

@@ -26,6 +26,11 @@ from repro.obs.clock import unix_now
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 REPO_ROOT = pathlib.Path(__file__).parent.parent
 
+#: Version of the per-module report layout; bump when keys are added,
+#: renamed or removed so dashboards can detect schema changes instead
+#: of silently mis-parsing.
+SCHEMA_VERSION = 2
+
 #: Mediators whose metrics are sampled into the BENCH_*.json files.
 _OBSERVED_MEDIATORS = []
 
@@ -100,10 +105,13 @@ def pytest_sessionfinish(session, exitstatus):
     for module, timings in sorted(by_module.items()):
         payload = {
             "module": module,
+            "schema_version": SCHEMA_VERSION,
             "written_at_unix": unix_now(),
             "timings": timings,
             "metrics": metrics,
         }
         path = REPO_ROOT / f"BENCH_{module}.json"
-        path.write_text(json.dumps(payload, indent=2) + "\n")
+        # sort_keys keeps re-runs byte-stable apart from real changes,
+        # so BENCH_*.json diffs in review show only moved numbers.
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
         report(f"wrote {path}")

@@ -322,24 +322,25 @@ class SemanticCache:
                 box_to_ranges(box.lo, box.hi, _covering_side(box)),
             )
         self.stats.record_pruned(len(rows) - int(keep.sum()))
-        z_parts: list[np.ndarray] = []
-        v_parts: list[np.ndarray] = []
-        for row, live in zip(rows, keep.tolist()):
-            if not live:
-                continue
-            zindexes, values = pointset.chunk_arrays(row["zBlob"], row["vBlob"])
-            mask = values >= threshold
-            if box != cached_box:
-                x, y, z = decode_array(zindexes)
-                for axis, coords in enumerate((x, y, z)):
-                    mask &= (coords >= box.lo[axis]) & (coords < box.hi[axis])
-            if mask.all():
-                z_parts.append(zindexes)
-                v_parts.append(values)
-            else:
-                z_parts.append(zindexes[mask])
-                v_parts.append(values[mask])
-        return pointset.merge_sorted_runs(list(zip(z_parts, v_parts)))
+        survivors = [row for row, live in zip(rows, keep.tolist()) if live]
+        if not survivors:
+            return np.empty(0, np.uint64), np.empty(0, np.float64)
+        # Chunks are stored in global Morton order, so joining the
+        # surviving blobs decodes straight into sorted columns — one
+        # frombuffer per column and one mask pass over all points,
+        # instead of decode/filter/collect per chunk.
+        zindexes, values = pointset.chunk_arrays(
+            b"".join(row["zBlob"] for row in survivors),
+            b"".join(row["vBlob"] for row in survivors),
+        )
+        mask = values >= threshold
+        if box != cached_box:
+            x, y, z = decode_array(zindexes)
+            for axis, coords in enumerate((x, y, z)):
+                mask &= (coords >= box.lo[axis]) & (coords < box.hi[axis])
+        if not mask.all():
+            zindexes, values = zindexes[mask], values[mask]
+        return pointset.merge_sorted_runs([(zindexes, values)])
 
     def _touch(self, txn: Transaction, ordinal: int) -> None:
         """Bump an entry's recency; lost races are harmless.

@@ -343,11 +343,21 @@ class NodeExecutor:
                 prefetched=prefetched,
             )
             full = array_from_atoms(domain, atoms, ncomp)
-            idx = [
-                np.arange(lo, hi) % side
+            # Periodic extension by pad-and-slice: np.pad's wrap mode
+            # copies whole contiguous faces, an order of magnitude
+            # faster than the equivalent np.ix_ fancy-index gather.
+            margins = [
+                (max(0, -lo), max(0, hi - side))
                 for lo, hi in zip(expanded.lo, expanded.hi)
             ]
-            return full[np.ix_(*idx)]
+            padded = np.pad(full, [*margins, (0, 0)], mode="wrap")
+            trim = tuple(
+                slice(lo + before, hi + before)
+                for (lo, hi), (before, _after) in zip(
+                    zip(expanded.lo, expanded.hi), margins
+                )
+            )
+            return np.ascontiguousarray(padded[trim])
         block = np.empty(expanded.shape + (ncomp,), dtype=np.float32)
         pieces = list(expanded.wrap_periodic(side))
         # One combined fetch for every wrapped piece: all ranges owned

@@ -9,12 +9,18 @@ between silently reintroduces the O(payload) copy the fast path exists
 to avoid — a 16 MiB point-set transfer would be memcpy'd once per such
 site, and the copies dominate wall time long before the NIC does.
 
-Two habits reintroduce the copy:
+Three habits reintroduce the copy:
 
 * ``b"".join(parts)`` (any ``bytes``-literal ``.join``) — materialises
   every part into one new buffer;
 * ``payload = header + body`` / ``payload += chunk`` on wire-facing
-  names — bytes ``+`` always copies both operands.
+  names — bytes ``+`` always copies both operands;
+* ``bytes(payload)`` / ``payload.tobytes()`` on a wire-facing name —
+  the transport hands out zero-copy views (of the receive buffer or of
+  a shared-memory ring slot), and materialising one copies the whole
+  payload right where the view was supposed to save it.  Consumers
+  that must outlive the view copy only what they keep, under a
+  non-wire name.
 
 The checker is scoped to ``repro.net.`` minus ``repro.net.http``: the
 HTTP sidecar speaks a text protocol for humans and dashboards, where a
@@ -80,6 +86,20 @@ class NetZeroCopy(Checker):
                         "of buffers)",
                     )
                 )
+            elif isinstance(node, ast.Call):
+                name = self._full_copy(node)
+                if name is not None:
+                    diags.append(
+                        self.report(
+                            source,
+                            node,
+                            f"materialising {name} with bytes()/"
+                            ".tobytes() copies the whole payload out of "
+                            "its zero-copy view (receive buffer or shm "
+                            "ring slot) — keep the view, or copy only "
+                            "what outlives it under a non-wire name",
+                        )
+                    )
             elif isinstance(node, ast.AugAssign) and isinstance(
                 node.op, ast.Add
             ):
@@ -110,6 +130,31 @@ class NetZeroCopy(Checker):
                         )
                     )
         return diags
+
+    @classmethod
+    def _full_copy(cls, node: ast.Call) -> str | None:
+        """The wire name a call copies wholesale, if any.
+
+        Matches ``bytes(<wire name>)`` and ``<wire name>.tobytes()``;
+        slices (``bytes(view[:n])``) stay legal — bounded probes and
+        header peeks are not full-payload copies.
+        """
+        func = node.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "bytes"
+            and len(node.args) == 1
+            and not node.keywords
+        ):
+            return cls._wire_name(node.args[0])
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "tobytes"
+            and not node.args
+            and not node.keywords
+        ):
+            return cls._wire_name(func.value)
+        return None
 
     @staticmethod
     def _is_bytes_join(node: ast.Call) -> bool:

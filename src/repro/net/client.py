@@ -35,7 +35,7 @@ from typing import Callable, Mapping, Sequence
 
 from repro.fields.derived import UnknownFieldError
 from repro.fields.expressions import ExpressionError
-from repro.net import codec
+from repro.net import codec, compress
 from repro.net.compress import CompressionConfig, DEFAULT_COMPRESSION, FrameCodec
 from repro.net.errors import (
     ConnectionLostError,
@@ -55,6 +55,7 @@ from repro.net.frame import (
     recv_frame,
     send_frame,
 )
+from repro.net.shm import ShmRing
 from repro.net.stream import PartialSink
 from repro.obs import clock
 
@@ -123,6 +124,9 @@ class CallResult:
     bytes_sent: int
     bytes_received: int
     partial_frames: int = 0
+    #: Payload bytes that travelled via the shared-memory ring instead
+    #: of the socket (their locators are already in ``bytes_received``).
+    shm_bytes: int = 0
 
 
 def remote_error(header: dict) -> Exception:
@@ -155,26 +159,42 @@ def _connect(host: str, port: int, address: str, deadline: Deadline) -> socket.s
     return sock
 
 
+def _make_ring(shm: bool) -> ShmRing | None:
+    """A fresh payload ring, or ``None`` when shm is off or unusable."""
+    if not shm:
+        return None
+    try:
+        return ShmRing()
+    except (OSError, ValueError):  # pragma: no cover - no usable /dev/shm
+        return None
+
+
 def perform_handshake(
     sock: socket.socket,
     address: str,
     deadline: Deadline,
     config: CompressionConfig,
     on_ratio: Callable[[float], None] | None = None,
-) -> tuple[int | None, FrameCodec]:
-    """HELLO/HELLO_ACK: agree on protocol version and frame codec.
+    ring: ShmRing | None = None,
+) -> tuple[int | None, FrameCodec, bool]:
+    """HELLO/HELLO_ACK: agree on protocol version, codecs and shm.
 
-    The client advertises the codec names it supports; the server picks
-    one (or ``"none"``) and echoes it in the ack.  Returns the server's
-    node id and the negotiated :class:`FrameCodec` for this connection.
+    The client advertises the codec names it supports (and, with a
+    ``ring``, its shared-memory grant: host token + segment geometry);
+    the server picks a primary codec (or ``"none"``), echoes its own
+    codec list so both sides know the shared set the per-frame probe
+    may use, and accepts or declines the ring.  Returns the server's
+    node id, the negotiated :class:`FrameCodec`, and whether the server
+    attached to the ring.
 
     Raises:
         ProtocolError: version mismatch, or the server chose a codec
             this client never advertised.
     """
-    payload = codec.encode_message(
-        {"protocol": PROTOCOL_VERSION, "codecs": list(config.codecs)}
-    )
+    hello: dict = {"protocol": PROTOCOL_VERSION, "codecs": list(config.codecs)}
+    if ring is not None:
+        hello["shm"] = ring.grant()
+    payload = codec.encode_message(hello)
     send_frame(sock, FrameType.HELLO, 0, payload, deadline)
     frame = recv_frame(sock, deadline)
     assert frame is not None
@@ -194,8 +214,22 @@ def perform_handshake(
             f"{address} chose frame codec {chosen!r} this client "
             f"never advertised"
         )
+    remote_names = header.get("codecs")
+    if isinstance(remote_names, list):
+        allowed = compress.shared_codecs(
+            config.codecs, [str(name) for name in remote_names]
+        )
+    else:  # a peer that omits its codec list: trust only its pick
+        allowed = (chosen,) if chosen != "none" else ()
+    if chosen != "none" and chosen not in allowed:
+        allowed = (chosen, *allowed)
     node_id = int(header["node_id"]) if "node_id" in header else None
-    return node_id, FrameCodec(config, chosen, on_ratio=on_ratio)
+    shm_granted = ring is not None and bool(header.get("shm"))
+    return (
+        node_id,
+        FrameCodec(config, chosen, on_ratio=on_ratio, allowed=allowed),
+        shm_granted,
+    )
 
 
 class NodeClient:
@@ -208,6 +242,9 @@ class NodeClient:
         compression: codecs to advertise (defaults to the stock zlib
             configuration; pass ``NO_COMPRESSION`` to force raw frames).
         on_ratio: callback fed each frame's achieved compression ratio.
+        shm: offer the server a shared-memory payload ring (used only
+            when both ends share a host; declined grants fall back to
+            plain TCP transparently).
 
     Raises:
         NodeUnavailableError: the TCP connection could not be opened.
@@ -222,6 +259,7 @@ class NodeClient:
         *,
         compression: CompressionConfig | None = None,
         on_ratio: Callable[[float], None] | None = None,
+        shm: bool = False,
     ) -> None:
         self.address = f"{host}:{port}"
         config = compression if compression is not None else DEFAULT_COMPRESSION
@@ -229,10 +267,15 @@ class NodeClient:
         self._next_request_id = 1
         self._closed = False
         self.node_id: int | None = None
+        self._ring = _make_ring(shm)
         try:
-            self.node_id, self._codec = perform_handshake(
-                self._sock, self.address, connect_deadline, config, on_ratio
+            self.node_id, self._codec, granted = perform_handshake(
+                self._sock, self.address, connect_deadline, config, on_ratio,
+                ring=self._ring,
             )
+            if not granted and self._ring is not None:
+                self._ring.close()
+                self._ring = None
         except Exception:
             self.close()
             raise
@@ -273,8 +316,11 @@ class NodeClient:
         )
         received = 0
         partials = 0
+        via_shm = 0
         while True:
-            frame = recv_frame(self._sock, deadline, codec=self._codec)
+            frame = recv_frame(
+                self._sock, deadline, codec=self._codec, shm=self._ring
+            )
             assert frame is not None
             if frame.request_id != request_id:
                 raise ProtocolError(
@@ -282,14 +328,19 @@ class NodeClient:
                     f"request {request_id}"
                 )
             received += frame.wire_bytes
+            via_shm += frame.shm_bytes
             response_header, response_blobs = codec.decode_message(frame.payload)
             if frame.frame_type == FrameType.PARTIAL:
-                if sink is None:
-                    raise ProtocolError(
-                        f"{self.address} streamed PARTIAL frames for a "
-                        f"call without a sink"
-                    )
-                sink.feed(response_header, response_blobs)
+                try:
+                    if sink is None:
+                        raise ProtocolError(
+                            f"{self.address} streamed PARTIAL frames for a "
+                            f"call without a sink"
+                        )
+                    sink.feed(response_header, response_blobs)
+                finally:
+                    if frame.release is not None:
+                        frame.release()
                 partials += 1
                 continue
             if frame.frame_type == FrameType.ERROR:
@@ -300,7 +351,8 @@ class NodeClient:
                     f"from {self.address}"
                 )
             return CallResult(
-                response_header, response_blobs, sent, received, partials
+                response_header, response_blobs, sent, received, partials,
+                via_shm,
             )
 
     def ping(self, deadline: Deadline) -> float:
@@ -327,14 +379,22 @@ class NodeClient:
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def shm_active(self) -> bool:
+        """Whether the server attached to this connection's ring."""
+        return self._ring is not None
+
     def close(self) -> None:
-        """Close the socket (idempotent)."""
+        """Close the socket and the payload ring (idempotent)."""
         if not self._closed:
             self._closed = True
             try:
                 self._sock.close()
             except OSError:  # pragma: no cover - close never owes us anything
                 pass
+            if self._ring is not None:
+                self._ring.close()
+                self._ring = None
 
     def __enter__(self) -> "NodeClient":
         return self
@@ -348,6 +408,17 @@ class _Waiter:
     """Per-request mailbox the reader loop posts frames into."""
 
     frames: "queue.SimpleQueue[tuple]" = field(default_factory=queue.SimpleQueue)
+
+
+def _drain_releases(waiter: _Waiter) -> None:
+    """Ack ring slots of frames a finished/abandoned caller never took."""
+    while True:
+        try:
+            entry = waiter.frames.get_nowait()
+        except queue.Empty:
+            return
+        if entry[0] in ("partial", "final") and callable(entry[-1]):
+            entry[-1]()
 
 
 class PipelinedConnection:
@@ -371,6 +442,7 @@ class PipelinedConnection:
         *,
         compression: CompressionConfig | None = None,
         on_ratio: Callable[[float], None] | None = None,
+        shm: bool = False,
     ) -> None:
         self.address = f"{host}:{port}"
         config = compression if compression is not None else DEFAULT_COMPRESSION
@@ -382,13 +454,21 @@ class PipelinedConnection:
         self._dead: Exception | None = None
         self._closed = False
         self.node_id: int | None = None
+        self._ring = _make_ring(shm)
         try:
-            self.node_id, self._codec = perform_handshake(
-                self._sock, self.address, connect_deadline, config, on_ratio
+            self.node_id, self._codec, granted = perform_handshake(
+                self._sock, self.address, connect_deadline, config, on_ratio,
+                ring=self._ring,
             )
+            if not granted and self._ring is not None:
+                self._ring.close()
+                self._ring = None
             self._rsock = self._sock.dup()
         except Exception:
             self._sock.close()
+            if self._ring is not None:
+                self._ring.close()
+                self._ring = None
             raise
         self._reader = threading.Thread(
             target=self._read_loop,
@@ -410,6 +490,11 @@ class PipelinedConnection:
         """Outstanding requests (the pool's load-balancing signal)."""
         with self._state_lock:
             return len(self._waiters)
+
+    @property
+    def shm_active(self) -> bool:
+        """Whether the server attached to this connection's ring."""
+        return self._ring is not None
 
     # -- calls -----------------------------------------------------------------
 
@@ -507,6 +592,7 @@ class PipelinedConnection:
     ) -> CallResult:
         received = 0
         partials = 0
+        via_shm = 0
         try:
             while True:
                 try:
@@ -517,20 +603,29 @@ class PipelinedConnection:
                     ) from None
                 kind = entry[0]
                 if kind == "partial":
-                    _, part_header, part_blobs, wire = entry
+                    _, part_header, part_blobs, wire, shm_span, release = entry
                     received += wire
+                    via_shm += shm_span
                     partials += 1
-                    if sink is None:
-                        raise ProtocolError(
-                            f"{self.address} streamed PARTIAL frames for "
-                            f"a call without a sink"
-                        )
-                    sink.feed(part_header, part_blobs)
+                    try:
+                        if sink is None:
+                            raise ProtocolError(
+                                f"{self.address} streamed PARTIAL frames for "
+                                f"a call without a sink"
+                            )
+                        sink.feed(part_header, part_blobs)
+                    finally:
+                        if release is not None:
+                            del part_blobs
+                            release()
                     continue
                 if kind == "failed":
                     raise entry[1]
-                _, frame_type, resp_header, resp_blobs, wire = entry
+                _, frame_type, resp_header, resp_blobs, wire, shm_span, _rel = (
+                    entry
+                )
                 received += wire
+                via_shm += shm_span
                 if frame_type == FrameType.ERROR:
                     raise remote_error(resp_header)
                 if frame_type != expect:
@@ -539,10 +634,11 @@ class PipelinedConnection:
                         f"from {self.address}"
                     )
                 return CallResult(
-                    resp_header, resp_blobs, sent, received, partials
+                    resp_header, resp_blobs, sent, received, partials, via_shm
                 )
         finally:
             self._unregister(request_id)
+            _drain_releases(waiter)
 
     # -- reader loop -----------------------------------------------------------
 
@@ -557,6 +653,7 @@ class PipelinedConnection:
                     poll=READ_POLL_SECONDS,
                     frame_timeout=READER_FRAME_TIMEOUT,
                     codec=self._codec,
+                    shm=self._ring,
                 )
             except (NetError, OSError) as error:
                 self._fail_all(
@@ -583,8 +680,18 @@ class PipelinedConnection:
             header, blobs = codec.decode_message(frame.payload)
             with self._state_lock:
                 waiter = self._waiters.get(frame.request_id)
-            if waiter is not None:
-                waiter.frames.put(("partial", header, blobs, frame.wire_bytes))
+            if waiter is None:
+                # The caller already timed out: nobody will consume this
+                # chunk, so hand its ring slot straight back.
+                if frame.release is not None:
+                    frame.release()
+                return
+            waiter.frames.put(
+                (
+                    "partial", header, blobs, frame.wire_bytes,
+                    frame.shm_bytes, frame.release,
+                )
+            )
             return
         if frame_type in (FrameType.RESPONSE, FrameType.ERROR, FrameType.PONG):
             if frame_type == FrameType.PONG:
@@ -595,10 +702,16 @@ class PipelinedConnection:
                 waiter = self._waiters.pop(frame.request_id, None)
             # A missing waiter is a caller that already timed out; the
             # late response is dropped and the connection stays healthy.
-            if waiter is not None:
-                waiter.frames.put(
-                    ("final", frame_type, header, blobs, frame.wire_bytes)
+            if waiter is None:
+                if frame.release is not None:
+                    frame.release()
+                return
+            waiter.frames.put(
+                (
+                    "final", frame_type, header, blobs, frame.wire_bytes,
+                    frame.shm_bytes, frame.release,
                 )
+            )
             return
         raise ProtocolError(
             f"unexpected {frame_type.name} frame on a pipelined connection"
@@ -639,6 +752,9 @@ class PipelinedConnection:
             except OSError:  # pragma: no cover - close never owes us anything
                 pass
         self._reader.join(timeout=2.0)
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
 
     def __enter__(self) -> "PipelinedConnection":
         return self

@@ -1,37 +1,73 @@
 """Negotiated per-frame compression for the wire data plane.
 
 The 20-byte frame header carries a 16-bit flags field whose low byte is
-the *codec id* of the payload: ``0`` means raw bytes, ``1`` means zlib.
-Which codecs a connection may use is agreed during the HELLO handshake —
-each side advertises the codec names it supports, the server picks the
-first common preference, and both ends build a :class:`FrameCodec` from
-the outcome.  A peer that advertises nothing (or an empty list) simply
-gets uncompressed frames; the protocol never *requires* compression.
+the *codec id* of the payload.  Which codecs a connection may use is
+agreed during the HELLO handshake — each side advertises the codec
+names it supports, the server picks the first common preference, and
+both ends build a :class:`FrameCodec` from the outcome (the primary
+pick plus the full common set, so the per-frame probe may choose any
+*shared* codec frame by frame).  A peer that advertises nothing (or an
+empty list) simply gets uncompressed frames; the protocol never
+*requires* compression.
+
+Codec id table (the flags byte):
+
+===  =============  ====================================================
+id   name           payload encoding
+===  =============  ====================================================
+0    ``none``       raw bytes
+1    ``zlib``       zlib stream (level from the config, default 1)
+2    ``shuffle-zlib``  blocked byte-shuffle of 8-byte lanes, then zlib
+3    ``delta-zlib``  per-blob u64 wraparound delta + byte-shuffle
+                     inside a tiny length container, then zlib
+===  =============  ====================================================
+
+The two pre-transforms exploit the shape of simulation columns.
+Pointset payloads are dominated by little-endian ``uint64`` Morton keys
+and ``float64`` values; byte-shuffle groups the k-th byte of every word
+together, turning slowly-varying high-order bytes into long runs that
+zlib's LZ77 window actually catches.  Morton keys are additionally
+*sorted*, so their word-wise wraparound deltas are tiny integers whose
+shuffled high lanes are almost all zero — that is the ``delta-zlib``
+transform, applied per column blob (the message container records blob
+lengths so the inverse is exact).
 
 Compression is applied per frame by :func:`repro.net.frame.send_frame`:
 payloads below the configured threshold ship raw (small control frames
-are latency-, not bandwidth-bound), and a compressed payload that comes
-out *larger* than the input is discarded in favour of the raw parts, so
-the flags field always describes what is actually on the wire.  The
-bytes the ledger's ``wire_bytes`` meter sees are therefore the
-compressed footprint, and the achieved ``raw/wire`` ratio is reported
-through ``on_ratio`` into the ``net_compression_ratio`` histogram.
+are latency-, not bandwidth-bound), a ~4 KiB probe picks the candidate
+that shrinks the sample best (or none), and a compressed payload that
+comes out *larger* than the input is discarded in favour of the raw
+parts, so the flags field always describes what is actually on the
+wire.  The bytes the ledger's ``wire_bytes`` meter sees are therefore
+the compressed footprint, and the achieved ``raw/wire`` ratio is
+reported through ``on_ratio`` into the ``net_compression_ratio``
+histogram.
 """
 
 from __future__ import annotations
 
+import struct
 import zlib
 from dataclasses import dataclass
 from typing import Callable, Sequence
+
+import numpy as np
 
 from repro.net.errors import FrameError
 
 #: Codec ids as they appear in the frame header's flags byte.
 CODEC_NONE = 0
 CODEC_ZLIB = 1
+CODEC_SHUFFLE_ZLIB = 2
+CODEC_DELTA_ZLIB = 3
 
 #: Wire codec name -> flags byte value.
-CODEC_IDS = {"none": CODEC_NONE, "zlib": CODEC_ZLIB}
+CODEC_IDS = {
+    "none": CODEC_NONE,
+    "zlib": CODEC_ZLIB,
+    "shuffle-zlib": CODEC_SHUFFLE_ZLIB,
+    "delta-zlib": CODEC_DELTA_ZLIB,
+}
 #: Flags byte value -> wire codec name.
 CODEC_NAMES = {value: name for name, value in CODEC_IDS.items()}
 
@@ -40,11 +76,20 @@ CODEC_NAMES = {value: name for name, value in CODEC_IDS.items()}
 MAX_DECOMPRESSED = 256 * 1024 * 1024
 
 #: Bytes sampled from the largest payload part to decide whether the
-#: frame is worth compressing at all.
+#: frame is worth compressing at all, and with which candidate.
 PROBE_BYTES = 4096
 #: The sample must shrink below this fraction of its size, or the whole
 #: frame ships raw without paying for a full compression pass.
 PROBE_KEEP = 0.9
+
+#: A blob must be 8-aligned and at least this long for the u64 delta
+#: transform; shorter or ragged blobs pass through the delta container
+#: untransformed.
+_DELTA_MIN_BYTES = 64
+#: Sanity cap on the blob count a delta container may declare.
+_DELTA_MAX_PARTS = 1 << 20
+
+_U32 = struct.Struct("<I")
 
 
 @dataclass(frozen=True)
@@ -53,8 +98,10 @@ class CompressionConfig:
 
     Args:
         codecs: codec names this endpoint advertises, in preference
-            order.  ``()`` disables compression entirely (the handshake
-            then advertises nothing and every frame ships raw).
+            order (the first name both peers share becomes the
+            connection's *primary* codec; every shared name remains
+            eligible for the per-frame probe).  ``()`` disables
+            compression entirely.
         level: zlib effort; 1 favours throughput, which is the right
             trade for LAN-bound pointset columns.
         min_payload_bytes: frames smaller than this are never
@@ -62,7 +109,7 @@ class CompressionConfig:
             headers would often *grow* them.
     """
 
-    codecs: tuple[str, ...] = ("zlib",)
+    codecs: tuple[str, ...] = ("zlib", "shuffle-zlib", "delta-zlib")
     level: int = 1
     min_payload_bytes: int = 4096
 
@@ -76,7 +123,8 @@ class CompressionConfig:
             raise ValueError("min_payload_bytes must be non-negative")
 
 
-#: The stock configuration: zlib at a throughput-friendly level.
+#: The stock configuration: zlib primary (wire-compatible with older
+#: peers) plus the shuffle/delta pre-transforms for peers that know them.
 DEFAULT_COMPRESSION = CompressionConfig()
 
 #: A configuration that advertises nothing and never compresses.
@@ -84,7 +132,7 @@ NO_COMPRESSION = CompressionConfig(codecs=())
 
 
 def negotiate(local: Sequence[str], remote: Sequence[str]) -> str:
-    """The codec a connection will use: first local preference the
+    """The connection's primary codec: first local preference the
     remote side also advertised, or ``"none"`` when the sets are
     disjoint (including a peer that advertised no codecs at all)."""
     remote_set = set(remote)
@@ -94,14 +142,187 @@ def negotiate(local: Sequence[str], remote: Sequence[str]) -> str:
     return "none"
 
 
+def shared_codecs(
+    local: Sequence[str], remote: Sequence[str]
+) -> tuple[str, ...]:
+    """Every codec both peers advertised, in local preference order."""
+    remote_set = set(remote)
+    return tuple(name for name in local if name in remote_set)
+
+
+#: Byte-shuffle block size.  Lanes are grouped *within* fixed blocks —
+#: Blosc-style — so the transpose's working set stays cache-resident;
+#: a whole-payload transpose costs over twice as much in strided
+#: traffic and the per-block runs already exceed deflate's 32 KiB
+#: window.  Part of the codec id 2/3 wire format: both peers must
+#: agree on it, so changing it means a new codec id.
+_SHUFFLE_BLOCK = 1 << 16
+
+
+def _shuffle_lanes(flat: np.ndarray) -> np.ndarray:
+    """Byte-shuffle: byte k of every 8-byte word becomes contiguous.
+
+    Full :data:`_SHUFFLE_BLOCK` blocks are transposed lane-major per
+    block; the remaining 8-aligned words are transposed as one final
+    short block, and a ragged tail (there is none on pointset payloads,
+    whose columns are all 8-byte words) rides along untouched.
+    Invertible from the length alone.
+    """
+    nblocks, head = divmod(len(flat), _SHUFFLE_BLOCK)
+    blocked = nblocks * _SHUFFLE_BLOCK
+    head = blocked + (head // 8) * 8
+    if head == 0:
+        return flat
+    out = np.empty_like(flat)
+    if nblocks:
+        out[:blocked] = (
+            flat[:blocked]
+            .reshape(nblocks, _SHUFFLE_BLOCK // 8, 8)
+            .transpose(0, 2, 1)
+            .reshape(blocked)
+        )
+    out[blocked:head] = flat[blocked:head].reshape(-1, 8).T.ravel()
+    out[head:] = flat[head:]
+    return out
+
+
+def _unshuffle_lanes(flat: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_shuffle_lanes`."""
+    nblocks, head = divmod(len(flat), _SHUFFLE_BLOCK)
+    blocked = nblocks * _SHUFFLE_BLOCK
+    head = blocked + (head // 8) * 8
+    if head == 0:
+        return flat
+    out = np.empty_like(flat)
+    if nblocks:
+        out[:blocked] = (
+            flat[:blocked]
+            .reshape(nblocks, 8, _SHUFFLE_BLOCK // 8)
+            .transpose(0, 2, 1)
+            .reshape(blocked)
+        )
+    out[blocked:head] = flat[blocked:head].reshape(8, -1).T.ravel()
+    out[head:] = flat[head:]
+    return out
+
+
+def _delta_eligible(nbytes: int) -> bool:
+    return nbytes >= _DELTA_MIN_BYTES and nbytes % 8 == 0
+
+
+def _delta_forward_span(src: np.ndarray) -> np.ndarray:
+    """u64 wraparound delta of one blob, byte-shuffled."""
+    words = np.ascontiguousarray(src).view(np.uint64)
+    deltas = np.empty_like(words)
+    deltas[0] = words[0]
+    np.subtract(words[1:], words[:-1], out=deltas[1:])
+    return _shuffle_lanes(deltas.view(np.uint8))
+
+
+def _delta_inverse_span(src: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_delta_forward_span`."""
+    deltas = np.ascontiguousarray(_unshuffle_lanes(src)).view(np.uint64)
+    return np.cumsum(deltas, dtype=np.uint64).view(np.uint8)
+
+
+def _as_flat_u8(part: "bytes | bytearray | memoryview") -> np.ndarray:
+    source = memoryview(part)
+    if source.itemsize != 1:
+        source = source.cast("B")
+    return np.frombuffer(source, dtype=np.uint8)
+
+
+def _stack_parts(
+    parts: "Sequence[bytes | bytearray | memoryview]", total: int
+) -> np.ndarray:
+    """Gather payload parts into one contiguous scratch array.
+
+    This is the one deliberate copy a pre-transform codec pays; it is a
+    straight memcpy and the transform needs contiguous words anyway.
+    """
+    stacked = np.empty(total, dtype=np.uint8)
+    offset = 0
+    for part in parts:
+        span = len(part)
+        if span:
+            stacked[offset : offset + span] = _as_flat_u8(part)
+        offset += span
+    return stacked
+
+
+def _delta_forward(
+    parts: "Sequence[bytes | bytearray | memoryview]", total: int
+) -> np.ndarray:
+    """Container + per-blob delta/shuffle transform of a whole payload."""
+    meta = np.empty(1 + len(parts), dtype=np.uint32)
+    meta[0] = len(parts)
+    scratch = np.empty(meta.nbytes + total, dtype=np.uint8)
+    offset = meta.nbytes
+    for index, part in enumerate(parts):
+        span = len(part)
+        meta[1 + index] = span
+        if not span:
+            continue
+        src = _as_flat_u8(part)
+        if _delta_eligible(span):
+            scratch[offset : offset + span] = _delta_forward_span(src)
+        else:
+            scratch[offset : offset + span] = src
+        offset += span
+    scratch[: meta.nbytes] = meta.view(np.uint8)
+    return scratch
+
+
+def _delta_inverse(container: np.ndarray) -> np.ndarray:
+    """Undo :func:`_delta_forward`; returns the original flat payload.
+
+    Raises:
+        FrameError: malformed container (bad counts or lengths).
+    """
+    if len(container) < 4:
+        raise FrameError("delta-compressed frame shorter than its header")
+    nparts = int(_U32.unpack_from(container)[0])
+    if not 0 <= nparts <= _DELTA_MAX_PARTS:
+        raise FrameError(f"delta container declares {nparts} blobs")
+    meta_bytes = 4 * (1 + nparts)
+    if len(container) < meta_bytes:
+        raise FrameError("delta container truncated in its length table")
+    lens = (
+        np.ascontiguousarray(container[4:meta_bytes])
+        .view(np.uint32)
+        .astype(np.int64)
+    )
+    total = int(lens.sum())
+    if meta_bytes + total != len(container):
+        raise FrameError(
+            f"delta container declares {total} payload bytes but "
+            f"carries {len(container) - meta_bytes}"
+        )
+    out = np.empty(total, dtype=np.uint8)
+    offset_in = meta_bytes
+    offset_out = 0
+    for span in lens.tolist():
+        src = container[offset_in : offset_in + span]
+        if _delta_eligible(span):
+            out[offset_out : offset_out + span] = _delta_inverse_span(src)
+        else:
+            out[offset_out : offset_out + span] = src
+        offset_in += span
+        offset_out += span
+    return out
+
+
 class FrameCodec:
     """One connection's negotiated compressor/decompressor.
 
     Built after the handshake and handed to every
     :func:`~repro.net.frame.send_frame` / ``recv_frame`` on that
-    connection.  Thread-safe by construction: encoding and decoding
-    allocate per-call state, and the counters are only advanced under
-    the GIL with plain integer adds.
+    connection.  ``codec`` is the primary negotiated name; ``allowed``
+    is the full set both peers share, from which the per-frame probe
+    may pick whichever candidate shrinks the sample best.  Thread-safe
+    by construction: encoding and decoding allocate per-call state, and
+    the counters are only advanced under the GIL with plain integer
+    adds.
     """
 
     def __init__(
@@ -109,14 +330,24 @@ class FrameCodec:
         config: CompressionConfig,
         codec: str = "none",
         on_ratio: Callable[[float], None] | None = None,
+        allowed: Sequence[str] | None = None,
     ) -> None:
         if codec != "none" and codec not in config.codecs:
             raise ValueError(
                 f"negotiated codec {codec!r} is not among the supported "
                 f"codecs {config.codecs!r}"
             )
+        if allowed is None:
+            allowed = (codec,) if codec != "none" else ()
+        for name in allowed:
+            if name not in config.codecs:
+                raise ValueError(
+                    f"allowed codec {name!r} is not among the supported "
+                    f"codecs {config.codecs!r}"
+                )
         self.config = config
         self.codec = codec
+        self.allowed = tuple(allowed)
         self.on_ratio = on_ratio
         self.frames_compressed = 0
         self.raw_bytes = 0
@@ -129,35 +360,60 @@ class FrameCodec:
 
         Returns ``(codec_id, wire_parts, wire_length)``; the id is what
         the sender puts in the frame flags.  Payloads under the
-        threshold, or that zlib fails to shrink, ship raw with id 0.
+        threshold, or that no allowed candidate manages to shrink, ship
+        raw with id 0.
         """
         if self.codec == "none" or total < self.config.min_payload_bytes:
             return CODEC_NONE, parts, total
-        if not self._probe(parts):
+        winner = self._probe(parts)
+        if winner is None:
             return CODEC_NONE, parts, total
-        compressor = zlib.compressobj(self.config.level)
-        squeezed = bytearray()
-        for part in parts:
-            squeezed += compressor.compress(part)
-        squeezed += compressor.flush()
+        squeezed = self._squeeze(winner, parts, total)
         if len(squeezed) >= total:
             return CODEC_NONE, parts, total
         self.frames_compressed += 1
         self.raw_bytes += total
         self.wire_bytes += len(squeezed)
-        if self.on_ratio is not None and squeezed:
+        if self.on_ratio is not None and len(squeezed):
             self.on_ratio(total / len(squeezed))
-        return CODEC_IDS[self.codec], [squeezed], len(squeezed)
+        return CODEC_IDS[winner], [squeezed], len(squeezed)
 
-    @staticmethod
-    def _probe(parts: "Sequence[bytes | bytearray | memoryview]") -> bool:
-        """Whether a cheap sample suggests the payload will shrink.
+    def _squeeze(
+        self,
+        name: str,
+        parts: "Sequence[bytes | bytearray | memoryview]",
+        total: int,
+    ) -> "bytes | bytearray":
+        """The full encoding pass for one codec candidate."""
+        if name == "zlib":
+            compressor = zlib.compressobj(self.config.level)
+            squeezed = bytearray()
+            for part in parts:
+                squeezed += compressor.compress(part)
+            squeezed += compressor.flush()
+            return squeezed
+        if name == "shuffle-zlib":
+            lanes = _shuffle_lanes(_stack_parts(parts, total))
+            return zlib.compress(lanes, self.config.level)
+        if name == "delta-zlib":
+            return zlib.compress(
+                _delta_forward(parts, total), self.config.level
+            )
+        raise FrameError(f"unknown wire codec {name!r}")  # pragma: no cover
+
+    def _probe(
+        self, parts: "Sequence[bytes | bytearray | memoryview]"
+    ) -> "str | None":
+        """The allowed candidate that best shrinks a cheap sample.
 
         Compressing incompressible data (random-looking float columns,
         already-compressed blobs) costs a full zlib pass only to ship
-        the raw parts anyway.  Sampling ``PROBE_BYTES`` from the
-        *largest* part — the data blob dominates every large frame —
-        catches those payloads for tens of microseconds instead.
+        the raw parts anyway.  Each candidate's pre-transform is applied
+        to a ``PROBE_BYTES`` sample of the *largest* part — the data
+        blob dominates every large frame — and a candidate only stays
+        in the running if the transformed sample compresses below
+        ``PROBE_KEEP`` of its size; the best sample ratio wins the full
+        pass.  Tens of microseconds instead of a wasted full encode.
         """
         largest = max(parts, key=len, default=b"")
         view = memoryview(largest)
@@ -165,8 +421,23 @@ class FrameCodec:
             view = view.cast("B")
         sample = bytes(view[:PROBE_BYTES])
         if not sample:
-            return False
-        return len(zlib.compress(sample, 1)) < PROBE_KEEP * len(sample)
+            return None
+        flat = np.frombuffer(sample, dtype=np.uint8)
+        best: str | None = None
+        best_size = PROBE_KEEP * len(sample)
+        for name in self.allowed:
+            if name == "shuffle-zlib":
+                trial: "bytes | np.ndarray" = _shuffle_lanes(flat)
+            elif name == "delta-zlib" and _delta_eligible(len(sample)):
+                trial = _delta_forward_span(flat)
+            elif name == "delta-zlib":
+                trial = flat
+            else:
+                trial = sample
+            size = len(zlib.compress(trial, 1))
+            if size < best_size:
+                best, best_size = name, size
+        return best
 
     def decode(
         self, codec_id: int, payload: "bytes | memoryview"
@@ -175,7 +446,8 @@ class FrameCodec:
 
         Raises:
             FrameError: unknown codec id, a codec this endpoint never
-                advertised, or corrupt compressed bytes.
+                advertised, corrupt compressed bytes, or a malformed
+                delta container.
         """
         if codec_id == CODEC_NONE:
             return payload
@@ -188,18 +460,31 @@ class FrameCodec:
                 f"never advertised"
             )
         try:
-            raw = zlib.decompress(payload, bufsize=max(len(payload), 1 << 16))
+            plain = zlib.decompress(
+                payload, bufsize=max(len(payload), 1 << 16)
+            )
         except zlib.error as error:
             raise FrameError(
                 f"corrupt {name}-compressed frame payload: {error}"
             ) from None
-        if len(raw) > MAX_DECOMPRESSED:
+        if len(plain) > MAX_DECOMPRESSED:
             raise FrameError(
-                f"frame decompressed to {len(raw)} bytes, over the "
+                f"frame decompressed to {len(plain)} bytes, over the "
                 f"{MAX_DECOMPRESSED}-byte ceiling"
             )
+        raw: "bytes | memoryview"
+        if name == "shuffle-zlib":
+            raw = memoryview(
+                _unshuffle_lanes(np.frombuffer(plain, dtype=np.uint8))
+            ).cast("B")
+        elif name == "delta-zlib":
+            raw = memoryview(
+                _delta_inverse(np.frombuffer(plain, dtype=np.uint8))
+            ).cast("B")
+        else:
+            raw = plain
         self.raw_bytes += len(raw)
         self.wire_bytes += len(payload)
-        if self.on_ratio is not None and payload:
+        if self.on_ratio is not None and len(payload):
             self.on_ratio(len(raw) / len(payload))
         return raw

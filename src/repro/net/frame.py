@@ -36,7 +36,7 @@ import enum
 import socket
 import struct
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, NamedTuple, Sequence, Union
+from typing import TYPE_CHECKING, Callable, NamedTuple, Sequence, Union
 
 from repro.net.errors import (
     ConnectionLostError,
@@ -47,6 +47,7 @@ from repro.obs import clock
 
 if TYPE_CHECKING:
     from repro.net.compress import FrameCodec
+    from repro.net.shm import ShmRing, ShmWriter
 
 #: Anything the wire layer accepts as payload bytes without copying.
 Buffer = Union[bytes, bytearray, memoryview]
@@ -64,6 +65,12 @@ HEADER = struct.Struct("<4sBBHQI")
 MAX_PAYLOAD = 256 * 1024 * 1024
 #: Mask of the flags bits that carry the codec id.
 CODEC_FLAG_MASK = 0x00FF
+#: Flag: the TCP payload is a shared-memory locator, not the payload
+#: itself — the real bytes sit in a slot of the connection's granted
+#: ring (:mod:`repro.net.shm`).  Never combined with a codec id.
+FLAG_SHM = 0x0100
+#: Every flags bit this build understands.
+_KNOWN_FLAGS = CODEC_FLAG_MASK | FLAG_SHM
 #: Buffers per sendmsg call — comfortably under every platform's IOV_MAX.
 _IOV_BATCH = 64
 
@@ -99,6 +106,12 @@ class Frame(NamedTuple):
     request_id: int
     payload: Buffer
     wire_bytes: int
+    #: For shm-located frames: hand the ring slot back to the writer.
+    #: Call it exactly once, after the payload (and every view derived
+    #: from it) is fully consumed; ``None`` for inline TCP frames.
+    release: Callable[[], None] | None = None
+    #: Payload bytes that travelled via shared memory (0 for TCP).
+    shm_bytes: int = 0
 
 
 @dataclass(frozen=True)
@@ -185,6 +198,65 @@ def send_frame(
     return HEADER.size + total
 
 
+def send_shm_frame(
+    sock: socket.socket,
+    frame_type: FrameType,
+    request_id: int,
+    payload: Buffer | Sequence[Buffer],
+    deadline: Deadline,
+    *,
+    writer: "ShmWriter",
+) -> "tuple[int, int] | None":
+    """Ship a frame's payload through the shared-memory ring, if it fits.
+
+    The payload parts are copied into a free ring slot and only a
+    :data:`~repro.net.shm.LOCATOR` crosses TCP, with :data:`FLAG_SHM`
+    set.  Returns ``(wire_bytes, shm_bytes)`` on success — ``wire_bytes``
+    is the locator frame's TCP footprint, which is what the ledger's
+    wire meter should charge — or ``None`` when no slot is free or the
+    payload exceeds the slot size, in which case the caller sends the
+    same payload inline with :func:`send_frame`.  Shm frames never
+    compress: the point is to skip the codec pass entirely.
+
+    Raises:
+        DeadlineExceededError / ConnectionLostError: as ``send_frame``.
+    """
+    from repro.net.shm import LOCATOR
+
+    if isinstance(payload, (bytes, bytearray, memoryview)):
+        parts: Sequence[Buffer] = (payload,)
+    else:
+        parts = payload
+    total = 0
+    for part in parts:
+        total += len(part)
+    claimed = writer.claim(total)
+    if claimed is None:
+        return None
+    slot, gen, target = claimed
+    offset = 0
+    for part in parts:
+        span = len(part)
+        if not span:
+            continue
+        source = memoryview(part)
+        if source.itemsize != 1:
+            source = source.cast("B")
+        target[offset : offset + span] = source
+        offset += span
+    locator = LOCATOR.pack(slot, gen, total)
+    header = HEADER.pack(
+        MAGIC,
+        PROTOCOL_VERSION,
+        int(frame_type),
+        FLAG_SHM,
+        request_id,
+        LOCATOR.size,
+    )
+    _send_all(sock, [header, locator], deadline)
+    return HEADER.size + LOCATOR.size, total
+
+
 def _send_all(
     sock: socket.socket, buffers: list[Buffer], deadline: Deadline
 ) -> None:
@@ -226,6 +298,7 @@ def recv_frame(
     *,
     eof_ok: bool = False,
     codec: "FrameCodec | None" = None,
+    shm: "ShmRing | None" = None,
 ) -> Frame | None:
     """Read one frame; returns a :class:`Frame` (or ``None`` at EOF).
 
@@ -243,7 +316,7 @@ def recv_frame(
     header = bytearray(HEADER.size)
     if not _recv_exact(sock, memoryview(header), deadline, eof_ok=eof_ok):
         return None
-    return _finish_frame(sock, header, deadline, codec)
+    return _finish_frame(sock, header, deadline, codec, shm)
 
 
 def poll_frame(
@@ -252,6 +325,7 @@ def poll_frame(
     poll: float,
     frame_timeout: float,
     codec: "FrameCodec | None" = None,
+    shm: "ShmRing | None" = None,
 ) -> Frame | None:
     """Wait up to ``poll`` seconds for the start of a frame.
 
@@ -281,7 +355,7 @@ def poll_frame(
     deadline = Deadline.after(frame_timeout)
     if first < HEADER.size:
         _recv_exact(sock, view[first:], deadline, eof_ok=False)
-    return _finish_frame(sock, header, deadline, codec)
+    return _finish_frame(sock, header, deadline, codec, shm)
 
 
 def _finish_frame(
@@ -289,6 +363,7 @@ def _finish_frame(
     header: bytearray,
     deadline: Deadline,
     codec: "FrameCodec | None",
+    shm: "ShmRing | None" = None,
 ) -> Frame:
     """Validate a complete header and collect the payload."""
     magic, version, type_code, flags, request_id, length = HEADER.unpack(header)
@@ -299,7 +374,7 @@ def _finish_frame(
             f"peer speaks protocol {version}, this build speaks "
             f"{PROTOCOL_VERSION}"
         )
-    if flags & ~CODEC_FLAG_MASK:
+    if flags & ~_KNOWN_FLAGS:
         raise FrameError(f"unsupported frame flags {flags:#x}")
     try:
         frame_type = FrameType(type_code)
@@ -313,8 +388,12 @@ def _finish_frame(
     buffer = bytearray(length)
     if length:
         _recv_exact(sock, memoryview(buffer), deadline, eof_ok=False)
-    payload: Buffer = memoryview(buffer)
     codec_id = flags & CODEC_FLAG_MASK
+    if flags & FLAG_SHM:
+        return _locate_shm_payload(
+            frame_type, request_id, buffer, codec_id, shm
+        )
+    payload: Buffer = memoryview(buffer)
     if codec_id:
         if codec is None:
             raise FrameError(
@@ -323,6 +402,49 @@ def _finish_frame(
             )
         payload = codec.decode(codec_id, payload)
     return Frame(frame_type, request_id, payload, HEADER.size + length)
+
+
+def _locate_shm_payload(
+    frame_type: FrameType,
+    request_id: int,
+    locator_bytes: bytearray,
+    codec_id: int,
+    shm: "ShmRing | None",
+) -> Frame:
+    """Resolve an shm-located frame's locator to a ring-slot view."""
+    from repro.net.shm import LOCATOR
+
+    if codec_id:
+        raise FrameError(
+            "shm-located frame carries a codec id; shm payloads are "
+            "never compressed"
+        )
+    if shm is None:
+        raise FrameError(
+            "peer sent an shm-located frame but this connection granted "
+            "no shared-memory ring"
+        )
+    if len(locator_bytes) != LOCATOR.size:
+        raise FrameError(
+            f"shm locator must be {LOCATOR.size} bytes, "
+            f"got {len(locator_bytes)}"
+        )
+    slot, gen, span = LOCATOR.unpack(locator_bytes)
+    slot_view = shm.view(slot, gen, span)
+
+    def _release(
+        ring: "ShmRing" = shm, slot: int = slot, gen: int = gen
+    ) -> None:
+        ring.release(slot, gen)
+
+    return Frame(
+        frame_type,
+        request_id,
+        slot_view,
+        HEADER.size + len(locator_bytes),
+        _release,
+        span,
+    )
 
 
 def _recv_exact(

@@ -84,6 +84,9 @@ class ConnectionPool:
         compression: codecs to advertise on new connections; defaults
             to the stock zlib configuration.
         on_ratio: callback fed each frame's achieved compression ratio.
+        shm: offer servers a shared-memory payload ring on each new
+            connection (same-host fast path; declined grants fall back
+            to TCP transparently).
     """
 
     def __init__(
@@ -99,6 +102,7 @@ class ConnectionPool:
         pipeline: bool = True,
         compression: CompressionConfig | None = None,
         on_ratio: Callable[[float], None] | None = None,
+        shm: bool = False,
     ) -> None:
         if max_connections < 1:
             raise ValueError("a pool needs at least one connection")
@@ -113,6 +117,7 @@ class ConnectionPool:
             compression if compression is not None else DEFAULT_COMPRESSION
         )
         self._on_ratio = on_ratio
+        self.shm = shm
         self._rng = rng or random.Random()
         self._on_retry = on_retry
         self._lock = threading.Lock()
@@ -310,6 +315,7 @@ class ConnectionPool:
             Deadline(clock.now() + budget),
             compression=self.compression,
             on_ratio=self._on_ratio,
+            shm=self.shm,
         )
         stale: PipelinedConnection | None = None
         with self._lock:
@@ -378,6 +384,7 @@ class ConnectionPool:
             connect_deadline,
             compression=self.compression,
             on_ratio=self._on_ratio,
+            shm=self.shm,
         )
 
     def _healthy(self, conn: _PooledConnection, deadline: Deadline) -> bool:

@@ -56,6 +56,7 @@ from repro.net.compress import (
     DEFAULT_COMPRESSION,
     FrameCodec,
     negotiate,
+    shared_codecs,
 )
 from repro.net.errors import NetError, ProtocolError
 from repro.net.frame import (
@@ -65,8 +66,10 @@ from repro.net.frame import (
     PROTOCOL_VERSION,
     recv_frame,
     send_frame,
+    send_shm_frame,
 )
 from repro.net.pool import ConnectionPool
+from repro.net.shm import ShmWriter, host_token
 from repro.net.stream import STREAM_CHUNK_POINTS, iter_point_chunks
 from repro.net.transport import field_description, parse_address
 from repro.obs import clock, tracing
@@ -105,6 +108,16 @@ _DATASET_FACTORIES = {
     "channel": channel_dataset,
 }
 
+def _column_view(chunk: np.ndarray, dtype: str) -> memoryview:
+    """A byte view of a column chunk, copy-free when already native.
+
+    Chunk slices of contiguous little-endian columns (the only kind the
+    stream producers make) need no conversion, so the view aliases the
+    result array directly; anything else is converted first.
+    """
+    return memoryview(np.ascontiguousarray(chunk, dtype=dtype)).cast("B")
+
+
 #: Failures a request may raise that are answered with an ERROR frame
 #: instead of killing the connection (the ERR01 taxonomy boundary).
 _REQUEST_ERRORS = (
@@ -142,12 +155,13 @@ class _ConnectionState:
     the HELLO exchange negotiates one.
     """
 
-    __slots__ = ("wsock", "lock", "codec")
+    __slots__ = ("wsock", "lock", "codec", "shm")
 
     def __init__(self, conn: socket.socket) -> None:
         self.wsock = conn.dup()
         self.lock = threading.Lock()
         self.codec: FrameCodec | None = None
+        self.shm: ShmWriter | None = None
 
     def send(
         self,
@@ -168,11 +182,38 @@ class _ConnectionState:
                 codec=self.codec,
             )
 
+    def send_partial(
+        self, request_id: int, payload: "Buffer | Sequence[Buffer]"
+    ) -> None:
+        """One PARTIAL chunk, via the shared-memory ring when possible.
+
+        A granted ring carries the chunk as a slot copy plus a locator
+        frame; no free slot (the client is still consuming) or an
+        oversized chunk falls back to the inline TCP frame, so progress
+        never depends on the ring.
+        """
+        if self.shm is not None:
+            with self.lock:
+                shipped = send_shm_frame(  # turblint: disable=LOCK02
+                    self.wsock,
+                    FrameType.PARTIAL,
+                    request_id,
+                    payload,
+                    Deadline.after(RESPONSE_TIMEOUT),
+                    writer=self.shm,
+                )
+            if shipped is not None:
+                return
+        self.send(FrameType.PARTIAL, request_id, payload)
+
     def close(self) -> None:
         try:
             self.wsock.close()
         except OSError:  # pragma: no cover - close owes us nothing
             pass
+        if self.shm is not None:
+            self.shm.close()
+            self.shm = None
 
 
 @dataclass(frozen=True)
@@ -315,6 +356,9 @@ class NodeServer:
         stream_chunk_points: threshold/batch responses with more points
             than this are streamed as PARTIAL chunk frames of at most
             this many points each.
+        shm: accept clients' shared-memory ring grants (same-host fast
+            path).  Grants from another host, or rings this process
+            cannot attach, are declined per connection regardless.
     """
 
     def __init__(
@@ -329,6 +373,7 @@ class NodeServer:
         registry: FieldRegistry | None = None,
         compression: CompressionConfig | None = None,
         stream_chunk_points: int = STREAM_CHUNK_POINTS,
+        shm: bool = True,
     ) -> None:
         if not 0 <= node_id < config.nodes:
             raise ValueError(
@@ -345,6 +390,7 @@ class NodeServer:
             compression if compression is not None else DEFAULT_COMPRESSION
         )
         self.stream_chunk_points = stream_chunk_points
+        self.shm = shm
         self.partitioner = MortonPartitioner(config.side, config.nodes)
         self.node = DatabaseNode(
             node_id, self.spec, buffer_pages=config.buffer_pages
@@ -375,6 +421,7 @@ class NodeServer:
         self._conn_threads: list[threading.Thread] = []
         self._open_conns: set[socket.socket] = set()
         self._lock = threading.Lock()
+        self._echo_columns: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     def connect_peers(
         self, peer_addresses: "Sequence[str | tuple[str, int]]"
@@ -590,18 +637,47 @@ class NodeServer:
             )
         advertised = [str(name) for name in header.get("codecs", [])]
         chosen = negotiate(self.compression.codecs, advertised)
+        writer = self._attach_ring(header.get("shm"))
         body = codec.encode_message(
             {
                 "protocol": PROTOCOL_VERSION,
                 "node_id": self.node_id,
                 "codecs": list(self.compression.codecs),
                 "codec": chosen,
+                "shm": writer is not None,
             }
         )
         # The ack itself is always raw; the negotiated codec applies
         # from the next frame in both directions.
         state.send(FrameType.HELLO_ACK, request_id, body)
-        state.codec = FrameCodec(self.compression, chosen)
+        state.codec = FrameCodec(
+            self.compression,
+            chosen,
+            allowed=shared_codecs(self.compression.codecs, advertised),
+        )
+        state.shm = writer
+
+    def _attach_ring(self, grant: object) -> ShmWriter | None:
+        """Attach the client's advertised payload ring, or decline.
+
+        Declines (returns ``None``) when shm is disabled on this server,
+        the grant is absent/malformed, the client's host token differs
+        from ours, or the segment cannot be attached (which is how a
+        lying host token actually surfaces) — the client then simply
+        stays on TCP.
+        """
+        if not self.shm or not isinstance(grant, dict):
+            return None
+        try:
+            if str(grant.get("host")) != host_token():
+                return None
+            return ShmWriter(
+                str(grant["name"]),
+                int(grant["slots"]),
+                int(grant["slot_bytes"]),
+            )
+        except (OSError, KeyError, ValueError, TypeError):
+            return None
 
     def _route_request(
         self,
@@ -675,8 +751,7 @@ class NodeServer:
                     return
                 if isinstance(response, StreamedResponse):
                     for part_header, part_blobs in response.partials:
-                        state.send(
-                            FrameType.PARTIAL,
+                        state.send_partial(
                             request_id,
                             codec.encode_message_parts(part_header, part_blobs),
                         )
@@ -731,14 +806,20 @@ class NodeServer:
     def _point_stream(
         self, items: "Sequence[tuple[dict, np.ndarray, np.ndarray]]"
     ) -> Iterable[tuple[dict, list[Buffer]]]:
-        """PARTIAL messages for column pairs, chunked and tagged."""
+        """PARTIAL messages for column pairs, chunked and tagged.
+
+        Columns travel as zero-copy views of the (little-endian,
+        contiguous) chunk slices — the only copies left between the
+        result arrays and the socket or shared-memory slot are the ones
+        the transport itself must make.
+        """
         for tag, zindexes, values in items:
             for seq, z_chunk, v_chunk in iter_point_chunks(
                 zindexes, values, self.stream_chunk_points
             ):
                 yield (
                     {**tag, "seq": seq},
-                    [pack_u64(z_chunk), pack_f64(v_chunk)],
+                    [_column_view(z_chunk, "<u8"), _column_view(v_chunk, "<f8")],
                 )
 
     def _serve_threshold(
@@ -871,16 +952,34 @@ class NodeServer:
         n-point column pair and returns it exactly like a threshold
         result would travel — streamed as PARTIAL chunks when large —
         so transfer benchmarks measure the real data plane without a
-        query attached.  Otherwise the request blobs are echoed back.
+        query attached.  The columns mimic a real result: sorted Morton
+        keys with varying gaps and smooth field values with full
+        float64 mantissa entropy (a constant-period ramp would hand the
+        plain-zlib leg LZ77 matches no turbulence field exhibits).
+        They are memoized per point count (repeated transfers of one
+        size time the transport, not numpy).  Otherwise the request
+        blobs are echoed back.
         """
         if header.get("points") is not None:
             points = int(header["points"])
             if points < 0:
                 raise ValueError("points must be non-negative")
-            zindexes = np.arange(points, dtype=np.uint64)
-            values = (
-                np.arange(points, dtype=np.float64) % 1024.0
-            ) * 0.001
+            cached = self._echo_columns.get(points)
+            if cached is None:
+                ramp = np.arange(points, dtype=np.float64)
+                gaps = (
+                    1.0 + 7.0 * (0.5 + 0.5 * np.sin(ramp * 0.003))
+                ).astype(np.uint64)
+                zindexes = np.cumsum(gaps, dtype=np.uint64)
+                values = (
+                    np.sin(ramp * 0.0021) * 2.0
+                    + np.sin(ramp * 0.093) * 0.25
+                )
+                if len(self._echo_columns) >= 8:
+                    self._echo_columns.clear()
+                self._echo_columns[points] = (zindexes, values)
+            else:
+                zindexes, values = cached
             if points > self.stream_chunk_points:
                 return StreamedResponse(
                     self._point_stream([({}, zindexes, values)]),

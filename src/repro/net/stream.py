@@ -56,7 +56,13 @@ class PartialSink(Protocol):
         ...
 
     def feed(self, header: dict, blobs: Sequence[Buffer]) -> None:
-        """Accept one decoded PARTIAL message in arrival order."""
+        """Accept one decoded PARTIAL message in arrival order.
+
+        ``blobs`` may be zero-copy views of a transport buffer — on a
+        shared-memory connection, of a ring slot that is handed back to
+        the server the moment ``feed`` returns.  Implementations must
+        copy whatever they keep and retain no view past the call.
+        """
         ...
 
 
@@ -83,7 +89,12 @@ class PointRunAccumulator:
         if not len(zindexes):
             return
         if not len(self._zindexes):
-            self._zindexes, self._values = zindexes, values
+            # Copy on adoption: the chunk's columns are zero-copy views
+            # of a transport buffer (possibly a shared-memory ring slot
+            # the server rewrites right after this call returns), and
+            # the accumulator's prefix outlives that buffer.
+            self._zindexes = zindexes.copy()
+            self._values = values.copy()
             return
         self._zindexes, self._values = merge_sorted_runs(
             [(self._zindexes, self._values), (zindexes, values)]

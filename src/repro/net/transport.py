@@ -312,6 +312,10 @@ class TcpTransport(Transport):
             to the stock zlib configuration.  Pass
             :data:`~repro.net.compress.NO_COMPRESSION` to force raw
             frames.
+        shm: offer node servers a shared-memory payload ring per
+            connection (same-host fast path; servers on another host —
+            or with shm disabled — decline and the connection stays on
+            plain TCP).
     """
 
     def __init__(
@@ -325,6 +329,7 @@ class TcpTransport(Transport):
         rng: random.Random | None = None,
         pipeline: bool = True,
         compression: CompressionConfig | None = None,
+        shm: bool = False,
     ) -> None:
         if not addresses:
             raise ValueError("a TCP transport needs at least one node address")
@@ -344,6 +349,7 @@ class TcpTransport(Transport):
                 pipeline=pipeline,
                 compression=compression,
                 on_ratio=self._observe_ratio,
+                shm=shm,
             )
             for host, port in map(parse_address, addresses)
         ]
@@ -356,6 +362,7 @@ class TcpTransport(Transport):
         self._m_received = None
         self._m_ratio = None
         self._m_partials = None
+        self._m_shm = None
 
     # -- instrumentation -------------------------------------------------------
 
@@ -387,6 +394,10 @@ class TcpTransport(Transport):
         self._m_partials = metrics.counter(
             "rpc_partial_frames_total",
             "PARTIAL frames received in streamed responses",
+        )
+        self._m_shm = metrics.counter(
+            "rpc_shm_bytes_total",
+            "Payload bytes passed via shared memory instead of TCP",
         )
 
     def _observe_retry(self) -> None:
@@ -442,11 +453,15 @@ class TcpTransport(Transport):
                     )
             span.set("bytes_sent", result.bytes_sent)
             span.set("bytes_received", result.bytes_received)
+            if result.shm_bytes:
+                span.set("shm_bytes", result.shm_bytes)
         if self._m_sent is not None:
             self._m_sent.inc(result.bytes_sent)
             self._m_received.inc(result.bytes_received)
         if self._m_partials is not None and result.partial_frames:
             self._m_partials.inc(result.partial_frames)
+        if self._m_shm is not None and result.shm_bytes:
+            self._m_shm.inc(result.shm_bytes)
         return result
 
     @staticmethod

@@ -12,7 +12,7 @@ from typing import Iterable, Iterator, Mapping
 
 import numpy as np
 
-from repro.grid import ATOM_SIDE, Box, atom_box
+from repro.grid import ATOM_SIDE, Box, snap_to_atoms
 from repro.morton import encode_array
 
 
@@ -85,29 +85,52 @@ def array_from_atoms(
     """Assemble the exact region ``box`` from atom records.
 
     ``atoms`` maps the zindex of each atom intersecting ``box`` to its
-    blob.  Atoms that only partially overlap the box are trimmed.
+    blob.  Atoms that only partially overlap the box are trimmed;
+    surplus atoms that miss the box entirely are ignored.
+
+    The assembly is vectorised over the whole *atom-aligned* region:
+    the corner codes of every tile come from one
+    :func:`~repro.morton.encode_array` call, their blobs are joined
+    into a single float32 buffer, and one reshape/transpose interleaves
+    the ``(tiles, cells)`` layout back into grid order — the requested
+    box is then a plain slice.  No per-atom Python in the hot path.
 
     Raises:
-        ValueError: if any grid point of ``box`` is not covered.
+        ValueError: if any grid point of ``box`` is not covered, or a
+            blob's size does not match ``ncomp``.
     """
     if not isinstance(atoms, Mapping):
         atoms = dict(atoms)
-    out = np.full(box.shape + (ncomp,), np.nan, dtype=np.float32)
-    for code, blob in atoms.items():
-        abox = atom_box(code)
-        overlap = abox.intersection(box)
-        if overlap is None:
-            continue
-        block = blob_to_array(blob, ncomp)
-        src = tuple(
-            slice(o - a, o2 - a)
-            for a, o, o2 in zip(abox.lo, overlap.lo, overlap.hi)
-        )
-        dst = tuple(
-            slice(o - b, o2 - b)
-            for b, o, o2 in zip(box.lo, overlap.lo, overlap.hi)
-        )
-        out[dst] = block[src]
-    if np.isnan(out).any():
-        raise ValueError("assembled region has uncovered grid points")
-    return out
+    snapped = snap_to_atoms(box)
+    nax, nay, naz = (span // ATOM_SIDE for span in snapped.shape)
+    grid = np.meshgrid(
+        np.arange(snapped.lo[0], snapped.hi[0], ATOM_SIDE),
+        np.arange(snapped.lo[1], snapped.hi[1], ATOM_SIDE),
+        np.arange(snapped.lo[2], snapped.hi[2], ATOM_SIDE),
+        indexing="ij",
+    )
+    codes = encode_array(grid[0].ravel(), grid[1].ravel(), grid[2].ravel())
+    try:
+        tiles = [atoms[code] for code in codes.tolist()]
+    except KeyError:
+        raise ValueError("assembled region has uncovered grid points") from None
+    tile_bytes = ATOM_SIDE**3 * ncomp * 4
+    for tile in tiles:
+        if len(tile) != tile_bytes:
+            raise ValueError(
+                f"blob of {len(tile)} bytes does not hold "
+                f"{ncomp}-component atom"
+            )
+    stacked = np.frombuffer(b"".join(tiles), dtype=np.float32).reshape(
+        nax, nay, naz, ATOM_SIDE, ATOM_SIDE, ATOM_SIDE, ncomp
+    )
+    # (tx, ty, tz, A, A, A, c) -> (tx, A, ty, A, tz, A, c): undo the
+    # per-atom C order back into grid order, then slice the exact box.
+    assembled = np.ascontiguousarray(
+        stacked.transpose(0, 3, 1, 4, 2, 5, 6)
+    ).reshape(snapped.shape + (ncomp,))
+    trim = tuple(
+        slice(b - a, b2 - a)
+        for a, b, b2 in zip(snapped.lo, box.lo, box.hi)
+    )
+    return np.ascontiguousarray(assembled[trim])

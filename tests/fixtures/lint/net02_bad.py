@@ -16,3 +16,13 @@ def accumulate(parts):
     for part in parts:
         payload += part
     return payload
+
+
+def adopt(frame):
+    # Materialising the whole zero-copy view: O(payload) memcpy.
+    body = bytes(frame.payload)
+    return body
+
+
+def stash(blobs):
+    return [blob.tobytes() for blob in blobs]

@@ -26,3 +26,14 @@ def squeeze(compressor, parts):
 
 def control_plane_join(blobs):
     return b"".join(blobs)  # turblint: disable=NET02 - tiny handshake message
+
+
+def probe_sample(view):
+    # A bounded slice is not a full-payload copy.
+    return bytes(view[:4096])
+
+
+def keep_prefix(frame):
+    # Copy only what outlives the view, under a non-wire name.
+    kept = bytes(frame.payload[:20])
+    return kept

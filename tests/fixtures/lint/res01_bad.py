@@ -28,3 +28,16 @@ class Holder:
 
     def __init__(self) -> None:
         self.chan = Channel()
+
+
+class Segment:
+    """A shared-memory-segment-owning resource (maps on construction)."""
+
+    def close(self) -> None:
+        """Unmap and unlink the segment."""
+
+
+def attach() -> int:
+    """Maps a segment and never unmaps it — the backing file leaks."""
+    seg = Segment()
+    return 0

@@ -52,3 +52,21 @@ class Owner:
     def close(self) -> None:
         """Release the owned channel."""
         self.chan.close()
+
+
+class Segment:
+    """A shared-memory-segment-owning resource (maps on construction)."""
+
+    def close(self) -> None:
+        """Unmap and unlink the segment."""
+
+
+def grant() -> Segment:
+    """Transfers segment ownership to the connection that advertises it."""
+    return Segment()
+
+
+def serve_one() -> None:
+    """Scopes the mapping to the request."""
+    with Segment():
+        pass

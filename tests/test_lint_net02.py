@@ -19,11 +19,13 @@ def test_clean_fixture_passes():
 def test_bad_fixture_reports_each_violation():
     source = load("net02_bad.py", "repro.net.fixture_bad")
     diags = run_checker(NetZeroCopy(), source)
-    assert len(diags) == 3
+    assert len(diags) == 5
     messages = "\n".join(d.message for d in diags)
     assert "bytes .join()" in messages
     assert "concatenating payload with +" in messages
     assert "payload +=" in messages
+    assert "materialising payload" in messages
+    assert "materialising blob" in messages
     assert all(d.code == "NET02" for d in diags)
 
 
@@ -81,4 +83,4 @@ def test_cli_selects_net02(tmp_path):
     )
     assert result.returncode != 0
     assert "NET02" in result.stdout
-    assert "3 issue(s) found" in result.stdout
+    assert "5 issue(s) found" in result.stdout

@@ -5,16 +5,17 @@ from repro.lint.checkers import ResourceOwnership
 from tests.lint_helpers import load, run_program_checker
 
 
-def test_bad_fixture_flags_all_three_leak_shapes():
+def test_bad_fixture_flags_every_leak_shape():
     diags = run_program_checker(
         ResourceOwnership(),
         load("res01_bad.py", "repro.net.fixture_res01"),
     )
     messages = sorted(d.message for d in diags)
-    assert len(messages) == 3, messages
+    assert len(messages) == 4, messages
     assert any("immediately" in m and "dropped" in m for m in messages)
     assert any("never closed" in m for m in messages)
     assert any("no close()/shutdown() to release it" in m for m in messages)
+    assert any("Segment instance" in m for m in messages)
 
 
 def test_good_fixture_is_clean():
