@@ -842,17 +842,31 @@ class Mediator:
         ]
         return self._gather(futures)
 
-    @staticmethod
-    def _run_part(run: Callable[[int], T], node_id: int) -> T:
+    def _run_part(self, run: Callable[[int], T], node_id: int) -> T:
         """One node part with the gather's error typing (sequential path)."""
         try:
             return run(node_id)
         except (DeadlineExceededError, PartialFailureError):
             raise
         except NetError as error:
-            raise PartialFailureError(
-                node_id, f"node {node_id} part failed: {error}"
-            ) from error
+            raise self._part_failure(node_id, error) from error
+
+    def _part_failure(self, node_id: int, error: NetError) -> PartialFailureError:
+        """A machine-readable part failure: which nodes, which curve spans.
+
+        On a replicated cluster the transport's
+        :class:`~repro.net.errors.NoLiveReplicaError` names every
+        replica it tried; those node ids and the shard's Morton range
+        ride on the exception so callers (retry layers, tests, the web
+        tier's error mapper) can target exactly what was lost.
+        """
+        attempted = tuple(getattr(error, "attempted", ()) or (node_id,))
+        return PartialFailureError(
+            node_id,
+            f"node {node_id} part failed: {error}",
+            node_ids=attempted,
+            ranges=(self.partitioner.node_ranges(node_id),),
+        )
 
     def _gather(self, futures: "list[Future[T]]") -> list[T]:
         """Collect part futures under the scatter deadline.
@@ -883,9 +897,7 @@ class Mediator:
                 except (DeadlineExceededError, PartialFailureError):
                     raise
                 except NetError as error:
-                    raise PartialFailureError(
-                        node_id, f"node {node_id} part failed: {error}"
-                    ) from error
+                    raise self._part_failure(node_id, error) from error
         except BaseException:
             self._drain(futures)
             raise

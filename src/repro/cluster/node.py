@@ -145,6 +145,33 @@ class DatabaseNode:
             ],
         )
 
+    def replace_atoms(
+        self,
+        txn: Transaction,
+        dataset: str,
+        field: str,
+        timestep: int,
+        atoms: list[tuple[int, bytes]],
+    ) -> int:
+        """Upsert ``(zindex, blob)`` atom records (anti-entropy catch-up).
+
+        The atom tables' primary key is ``(timestep, zindex)``, so a
+        rejoining node whose copy diverged (rather than being absent)
+        cannot plain-insert the peer's version; deleting any existing
+        record first turns the bulk insert into an upsert.  Returns the
+        number of atoms written.
+        """
+        table = self.db.table(_atom_table_name(dataset, field))
+        for zindex, _blob in atoms:
+            table.delete(txn, (timestep, zindex))
+        return table.insert_many(
+            txn,
+            [
+                {"timestep": timestep, "zindex": zindex, "blob": blob}
+                for zindex, blob in atoms
+            ],
+        )
+
     def read_atoms(
         self,
         txn: Transaction,

@@ -49,6 +49,10 @@ class MortonPartitioner:
         """The contiguous Morton-code range (grid-point codes) of a node."""
         return self._ranges[node_id]
 
+    def shard_ranges(self) -> list[MortonRange]:
+        """Every shard's curve range in shard order (placement, catch-up)."""
+        return list(self._ranges)
+
     def node_of_code(self, zindex: int) -> int:
         """The node owning the grid point with Morton code ``zindex``."""
         node_id = bisect.bisect_right(self._starts, zindex) - 1

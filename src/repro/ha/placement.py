@@ -1,0 +1,141 @@
+"""R-way placement of Morton shards onto cluster nodes.
+
+The partitioner cuts the domain's Morton curve into ``S`` contiguous
+shards (paper §5.1); a :class:`PlacementMap` assigns each shard to
+``R`` of the cluster's ``N`` nodes.  Replicas are chosen round-robin
+starting at the shard's primary (node ``shard_id`` itself, preserving
+the replication-factor-1 layout bit-for-bit), preferring nodes in racks
+the shard does not already touch so a rack loss never takes out every
+copy — the grid-services replication discipline of "When Database
+Systems Meet the Grid".
+
+The map is pure arithmetic over ``(shards, nodes, replication_factor,
+racks)`` — every process that shares a
+:class:`~repro.net.server.ClusterConfig` derives the identical map, so
+no placement state ever crosses the wire.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cluster.partition import MortonPartitioner
+
+
+class PlacementMap:
+    """Which nodes hold a copy of each Morton shard.
+
+    Args:
+        shards: contiguous Morton shards (the partitioner's node count).
+        nodes: physical cluster nodes; shard ``i``'s primary is node
+            ``i``, so ``shards`` must equal ``nodes`` in the current
+            topology (kept as two arguments because they are two
+            different concepts — routing addresses shards, sockets
+            address nodes).
+        replication_factor: copies of every shard (``1`` reproduces the
+            unreplicated seed layout exactly).
+        racks: optional per-node rack/host labels, used to spread a
+            shard's replicas across failure domains; defaults to one
+            rack per node (plain round-robin).
+    """
+
+    def __init__(
+        self,
+        shards: int,
+        nodes: int,
+        replication_factor: int,
+        racks: Sequence[str] | None = None,
+    ) -> None:
+        if shards < 1 or nodes < 1:
+            raise ValueError("a placement needs at least one shard and node")
+        if shards != nodes:
+            raise ValueError(
+                f"{shards} shards over {nodes} nodes: each shard's primary "
+                "is the same-numbered node, so the counts must match"
+            )
+        if not 1 <= replication_factor <= nodes:
+            raise ValueError(
+                f"replication factor {replication_factor} outside "
+                f"[1, {nodes}] for a {nodes}-node cluster"
+            )
+        if racks is not None and len(racks) != nodes:
+            raise ValueError(
+                f"{len(racks)} rack labels for {nodes} nodes"
+            )
+        self.shards = shards
+        self.nodes = nodes
+        self.replication_factor = replication_factor
+        self.racks = (
+            tuple(racks) if racks is not None
+            else tuple(f"rack{i}" for i in range(nodes))
+        )
+        self._replicas = tuple(
+            self._spread(shard) for shard in range(shards)
+        )
+        owned: list[list[int]] = [[] for _ in range(nodes)]
+        for shard, replicas in enumerate(self._replicas):
+            for node in replicas:
+                owned[node].append(shard)
+        self._owned = tuple(tuple(shards_) for shards_ in owned)
+
+    @classmethod
+    def from_partitioner(
+        cls,
+        partitioner: "MortonPartitioner",
+        replication_factor: int,
+        racks: Sequence[str] | None = None,
+    ) -> "PlacementMap":
+        """The placement matching a partitioner's shard count."""
+        return cls(
+            partitioner.nodes, partitioner.nodes, replication_factor, racks
+        )
+
+    def _spread(self, shard: int) -> tuple[int, ...]:
+        """Round-robin from the primary, rack-spread where possible.
+
+        The primary always holds its shard; further copies walk the
+        ring, first taking nodes in racks the shard does not touch yet,
+        then (when racks are exhausted before replicas are) filling the
+        remainder in ring order.
+        """
+        ring = [(shard + k) % self.nodes for k in range(self.nodes)]
+        chosen = [ring[0]]
+        used_racks = {self.racks[ring[0]]}
+        for node in ring[1:]:
+            if len(chosen) == self.replication_factor:
+                break
+            if self.racks[node] not in used_racks:
+                chosen.append(node)
+                used_racks.add(self.racks[node])
+        for node in ring[1:]:
+            if len(chosen) == self.replication_factor:
+                break
+            if node not in chosen:
+                chosen.append(node)
+        return tuple(chosen)
+
+    def replicas_of(self, shard: int) -> tuple[int, ...]:
+        """Nodes holding a copy of ``shard``, primary first."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} outside [0, {self.shards})")
+        return self._replicas[shard]
+
+    def shards_of(self, node: int) -> tuple[int, ...]:
+        """Shards a node holds a copy of (its ingest set), ascending."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside [0, {self.nodes})")
+        return self._owned[node]
+
+    def owns(self, node: int, shard: int) -> bool:
+        """Whether ``node`` holds a copy of ``shard``."""
+        return node in self.replicas_of(shard)
+
+    def to_wire(self) -> dict:
+        """A JSON-serializable description (diagnostics, ``/stats``)."""
+        return {
+            "shards": self.shards,
+            "nodes": self.nodes,
+            "replication_factor": self.replication_factor,
+            "replicas": [list(r) for r in self._replicas],
+        }

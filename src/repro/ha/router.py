@@ -1,0 +1,191 @@
+"""Health- and latency-aware replica selection.
+
+A :class:`ReplicaRouter` sits between the HA transport and its
+:class:`~repro.net.pool.ConnectionPool` list.  It keeps two facts per
+node:
+
+* an **EWMA of call latency**, fed from the same wall-clock samples the
+  transport's ``rpc_latency_seconds`` histogram observes, so routing
+  preferences track the live cluster rather than a static order;
+* a **health state**: a node is unhealthy after
+  ``failure_threshold`` consecutive call/probe failures and healthy
+  again after one success — the cheap, hysteresis-free scheme that
+  matches the transport's own retry granularity.
+
+``route(shard)`` returns the shard's replicas best-first: healthy
+nodes ordered by EWMA latency, then unhealthy ones as a last resort
+(a "dead" node may have just rejoined; trying it after every healthy
+replica failed costs nothing extra).  An optional heartbeat thread
+probes every node at a fixed interval so a dead replica is demoted
+*between* queries, not discovered by the first scatter that hits it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+from repro.ha.placement import PlacementMap
+from repro.net.errors import NetError
+
+#: Weight of the newest latency sample in the EWMA.
+EWMA_ALPHA = 0.3
+
+#: Consecutive failures after which a node is routed around.
+FAILURE_THRESHOLD = 3
+
+
+class _NodeState:
+    """Mutable per-node health/latency record (guarded by the router)."""
+
+    __slots__ = ("ewma", "failures")
+
+    def __init__(self) -> None:
+        self.ewma: float | None = None
+        self.failures = 0
+
+
+class ReplicaRouter:
+    """Best-live-replica-first routing over a placement map.
+
+    Args:
+        placement: which nodes hold which shards.
+        failure_threshold: consecutive failures before a node is
+            considered unhealthy.
+        probe: optional health probe (``node_id -> rtt seconds``,
+            raising :class:`~repro.net.errors.NetError` on failure);
+            required when :meth:`start_heartbeat` is used.
+        heartbeat_interval: seconds between heartbeat rounds.
+    """
+
+    def __init__(
+        self,
+        placement: PlacementMap,
+        *,
+        failure_threshold: int = FAILURE_THRESHOLD,
+        probe: Callable[[int], float] | None = None,
+        heartbeat_interval: float = 5.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be positive")
+        if heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        self.placement = placement
+        self.failure_threshold = failure_threshold
+        self.heartbeat_interval = heartbeat_interval
+        self._probe = probe
+        self._lock = threading.Lock()
+        self._states = [_NodeState() for _ in range(placement.nodes)]
+        self._stop = threading.Event()
+        self._heartbeat: threading.Thread | None = None
+
+    # -- observations ----------------------------------------------------------
+
+    def record_success(self, node_id: int, latency: float) -> None:
+        """Fold one successful call's wall seconds into the node's EWMA."""
+        with self._lock:
+            state = self._states[node_id]
+            state.failures = 0
+            if state.ewma is None:
+                state.ewma = latency
+            else:
+                state.ewma += EWMA_ALPHA * (latency - state.ewma)
+
+    def record_failure(self, node_id: int) -> None:
+        """Count one failed call/probe against the node's health."""
+        with self._lock:
+            self._states[node_id].failures += 1
+
+    def is_healthy(self, node_id: int) -> bool:
+        """Whether the node is below the consecutive-failure threshold."""
+        with self._lock:
+            return self._states[node_id].failures < self.failure_threshold
+
+    def latency(self, node_id: int) -> float | None:
+        """The node's EWMA latency in seconds (``None`` before samples)."""
+        with self._lock:
+            return self._states[node_id].ewma
+
+    def unhealthy_count(self) -> int:
+        """Nodes currently over the failure threshold (a gauge value)."""
+        with self._lock:
+            return sum(
+                1
+                for state in self._states
+                if state.failures >= self.failure_threshold
+            )
+
+    # -- routing ---------------------------------------------------------------
+
+    def route(self, shard_id: int) -> list[int]:
+        """The shard's replicas, best candidate first.
+
+        Healthy replicas come first, ordered by EWMA latency (unsampled
+        nodes sort ahead of sampled ones — a node nothing is known
+        about should get traffic, not be starved); unhealthy replicas
+        follow in placement order as a last resort, so a fully-dark
+        shard still produces attempts rather than an instant failure.
+        """
+        replicas = self.placement.replicas_of(shard_id)
+        with self._lock:
+            healthy = [
+                node
+                for node in replicas
+                if self._states[node].failures < self.failure_threshold
+            ]
+            healthy.sort(
+                key=lambda node: (
+                    self._states[node].ewma is not None,
+                    self._states[node].ewma or 0.0,
+                )
+            )
+            unhealthy = [node for node in replicas if node not in healthy]
+        return healthy + unhealthy
+
+    # -- heartbeat -------------------------------------------------------------
+
+    def probe_once(self, nodes: Sequence[int] | None = None) -> None:
+        """One probe round: ping each node, fold the outcome in."""
+        if self._probe is None:
+            raise ValueError("router has no probe function")
+        for node_id in nodes if nodes is not None else range(
+            self.placement.nodes
+        ):
+            try:
+                rtt = self._probe(node_id)
+            except (NetError, OSError):
+                self.record_failure(node_id)
+            else:
+                self.record_success(node_id, rtt)
+
+    def start_heartbeat(self) -> None:
+        """Probe every node at the configured interval, in the background."""
+        if self._probe is None:
+            raise ValueError("router has no probe function")
+        if self._heartbeat is not None:
+            return
+        self._stop.clear()
+        self._heartbeat = threading.Thread(
+            target=self._heartbeat_loop, name="ha-heartbeat", daemon=True
+        )
+        self._heartbeat.start()
+
+    def _heartbeat_loop(self) -> None:
+        while not self._stop.wait(self.heartbeat_interval):
+            try:
+                self.probe_once()
+            except Exception:  # pragma: no cover - probe must never kill us
+                pass
+
+    def close(self) -> None:
+        """Stop the heartbeat thread (idempotent)."""
+        self._stop.set()
+        if self._heartbeat is not None:
+            self._heartbeat.join(timeout=2.0)
+            self._heartbeat = None
+
+    def __enter__(self) -> "ReplicaRouter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

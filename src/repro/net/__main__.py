@@ -43,10 +43,12 @@ def _cmd_init(args: argparse.Namespace) -> int:
         seed=args.seed,
         nodes=args.nodes,
         buffer_pages=args.buffer_pages,
+        replication_factor=args.replication_factor,
     )
     path = config.save(args.db)
     report(f"wrote {path}: {args.dataset} side={args.side} "
-           f"timesteps={args.timesteps} over {args.nodes} node(s)")
+           f"timesteps={args.timesteps} over {args.nodes} node(s), "
+           f"replication factor {args.replication_factor}")
     return 0
 
 
@@ -69,12 +71,25 @@ def _cmd_serve_node(args: argparse.Namespace) -> int:
         report(f"node {args.node_id}: continuous profiler on "
                f"({args.profile_interval * 1000.0:.1f} ms sampling) "
                f"-> {args.profile}")
+    shards = server.placement.shards_of(args.node_id)
     report(f"node {args.node_id}/{config.nodes}: loading "
-           f"{config.dataset} shard (side={config.side}, "
+           f"{config.dataset} shard(s) {list(shards)} (side={config.side}, "
            f"timesteps={config.timesteps})...")
     stored = server.load()
     report(f"node {args.node_id}: {stored} atoms stored; "
            f"serving on {server.host}:{server.port}")
+    if args.catch_up:
+        from repro.ha.anti_entropy import catch_up
+
+        if peers is None:
+            report("--catch-up needs --peers to reach a replica", error=True)
+            server.shutdown()
+            return 1
+        caught = catch_up(server)
+        report(f"node {args.node_id}: anti-entropy over shards "
+               f"{list(caught.shards)}: {caught.atoms_checked} atoms "
+               f"checked, {caught.chunks_fetched} chunks "
+               f"({caught.bytes_fetched} bytes) fetched")
     try:
         server.serve_forever()
     except KeyboardInterrupt:
@@ -99,7 +114,20 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
     from repro.obs import tracing
 
     addresses = _split_addresses(args.nodes)
-    transport = TcpTransport(addresses, timeout=args.rpc_timeout)
+    if args.replication_factor > 1:
+        from repro.ha import HaTcpTransport, PlacementMap
+
+        placement = PlacementMap(
+            len(addresses), len(addresses), args.replication_factor
+        )
+        transport: TcpTransport = HaTcpTransport(
+            addresses,
+            placement=placement,
+            heartbeat_interval=args.heartbeat_interval,
+            timeout=args.rpc_timeout,
+        )
+    else:
+        transport = TcpTransport(addresses, timeout=args.rpc_timeout)
     names = transport.dataset_names()
     if not names:
         report("node servers expose no datasets; run init + serve-node first",
@@ -145,6 +173,11 @@ def build_parser() -> argparse.ArgumentParser:
     init.add_argument("--seed", type=int, default=11)
     init.add_argument("--nodes", type=int, default=2)
     init.add_argument("--buffer-pages", type=int, default=256)
+    init.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="copies of each Morton shard (2+ lets queries survive a "
+             "node failure; default 1, the unreplicated layout)",
+    )
     init.set_defaults(run=_cmd_init)
 
     serve_node = sub.add_parser(
@@ -168,6 +201,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile-interval", type=float, default=0.005,
         help="profiler sampling period in seconds (default 5 ms)",
     )
+    serve_node.add_argument(
+        "--catch-up", action="store_true",
+        help="after loading, run digest anti-entropy against a peer "
+             "replica of each owned shard (rejoin after downtime)",
+    )
     serve_node.set_defaults(run=_cmd_serve_node)
 
     serve_http = sub.add_parser(
@@ -180,6 +218,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument("--host", default="127.0.0.1")
     serve_http.add_argument("--port", type=int, default=8080)
     serve_http.add_argument("--rpc-timeout", type=float, default=60.0)
+    serve_http.add_argument(
+        "--replication-factor", type=int, default=1,
+        help="the cluster's replication factor; 2+ routes each shard "
+             "over its replicas with health checks and mid-query failover",
+    )
+    serve_http.add_argument(
+        "--heartbeat-interval", type=float, default=5.0,
+        help="seconds between replica health probes (replicated mode)",
+    )
     serve_http.set_defaults(run=_cmd_serve_http)
     return parser
 

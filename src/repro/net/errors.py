@@ -77,12 +77,50 @@ class PartialFailureError(NetError):
     so the cluster is quiescent when this surfaces.
 
     Attributes:
-        node_id: the node whose part failed first.
+        node_id: the shard whose part failed first (kept for backward
+            compatibility; equals ``node_ids[0]`` when those are set).
+        node_ids: every node id involved in the failed part — on a
+            replicated cluster these are the replicas that were tried
+            and found dead, so failover logic and tests can target the
+            exact machines that were lost.
+        ranges: the Morton ranges (as ``(start, stop)`` pairs or
+            :class:`~repro.morton.ranges.MortonRange` objects) the
+            failed part was responsible for — the sub-ranges a retry
+            must re-scatter.
     """
 
-    def __init__(self, node_id: int, message: str) -> None:
+    def __init__(
+        self,
+        node_id: int,
+        message: str,
+        *,
+        node_ids: "tuple[int, ...]" = (),
+        ranges: tuple = (),
+    ) -> None:
         super().__init__(message)
         self.node_id = node_id
+        self.node_ids = node_ids or (node_id,)
+        self.ranges = tuple(ranges)
+
+
+class NoLiveReplicaError(NetError):
+    """Every replica of a shard was tried and none could answer.
+
+    Raised by the HA transport when mid-query failover exhausts a
+    shard's placement — the distributed query cannot complete until a
+    replica returns.
+
+    Attributes:
+        shard_id: the Morton shard with no live replica.
+        attempted: node ids tried, in routing order.
+    """
+
+    def __init__(
+        self, shard_id: int, attempted: "tuple[int, ...]", message: str
+    ) -> None:
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempted = attempted
 
 
 class UnsupportedRemoteOperationError(NetError):

@@ -58,7 +58,14 @@ from repro.net.compress import (
     negotiate,
     shared_codecs,
 )
-from repro.net.errors import NetError, ProtocolError
+from repro.ha.placement import PlacementMap
+from repro.net.errors import (
+    ConnectionLostError,
+    DeadlineExceededError,
+    NetError,
+    NodeUnavailableError,
+    ProtocolError,
+)
 from repro.net.frame import (
     Buffer,
     Deadline,
@@ -120,6 +127,10 @@ def _column_view(chunk: np.ndarray, dtype: str) -> memoryview:
 
 #: Failures a request may raise that are answered with an ERROR frame
 #: instead of killing the connection (the ERR01 taxonomy boundary).
+#: The connection-level types cover a node's *outgoing* halo RPCs: when
+#: a peer replica dies mid-query, the requesting node must answer its
+#: client with a typed ERROR (which the HA transport treats as
+#: failover-worthy) instead of going silent until the client's deadline.
 _REQUEST_ERRORS = (
     ProtocolError,
     UnknownFieldError,
@@ -127,6 +138,9 @@ _REQUEST_ERRORS = (
     ValueError,
     KeyError,
     TypeError,
+    NodeUnavailableError,
+    ConnectionLostError,
+    DeadlineExceededError,
 )
 
 
@@ -233,12 +247,18 @@ class ClusterConfig:
     nodes: int
     buffer_pages: int = 256
     cache_capacity_bytes: int | None = 256 * 1024 * 1024
+    replication_factor: int = 1
 
     def __post_init__(self) -> None:
         if self.dataset not in _DATASET_FACTORIES:
             raise ValueError(
                 f"unknown dataset kind {self.dataset!r}; "
                 f"known: {sorted(_DATASET_FACTORIES)}"
+            )
+        if not 1 <= self.replication_factor <= self.nodes:
+            raise ValueError(
+                f"replication factor {self.replication_factor} outside "
+                f"[1, {self.nodes}] for a {self.nodes}-node cluster"
             )
 
     def build_dataset(self) -> SyntheticDataset:
@@ -261,6 +281,7 @@ class ClusterConfig:
             "nodes": self.nodes,
             "buffer_pages": self.buffer_pages,
             "cache_capacity_bytes": self.cache_capacity_bytes,
+            "replication_factor": self.replication_factor,
         }
         target.write_text(json.dumps(record, indent=2) + "\n")
         return target
@@ -282,6 +303,7 @@ class ClusterConfig:
                 if record.get("cache_capacity_bytes") is None
                 else int(record["cache_capacity_bytes"])
             ),
+            replication_factor=int(record.get("replication_factor", 1)),
         )
 
 
@@ -334,6 +356,51 @@ class RemoteHaloPeer:
             ledger.count(METER_HALO_SECONDS, seconds)
             ledger.count(METER_HALO_BYTES, nbytes)
         return atoms
+
+
+class ReplicatedHaloPeer:
+    """Halo reads for a shard held by several replicas, with failover.
+
+    Tries each replica's :class:`RemoteHaloPeer` in placement order and
+    falls through to the next on connection-level failures, so a node's
+    boundary reads survive the death of one peer exactly like the
+    mediator's shard parts do.  A non-transport failure (bad request,
+    storage error) propagates immediately — every replica would answer
+    it the same way.
+    """
+
+    def __init__(self, peers: "Sequence[RemoteHaloPeer]") -> None:
+        if not peers:
+            raise ValueError("a replicated halo peer needs at least one replica")
+        self._peers = list(peers)
+
+    def serve_halo(
+        self,
+        dataset: str,
+        field: str,
+        timestep: int,
+        ranges: list[MortonRange],
+        ledger: CostLedger | None,
+    ) -> dict[int, bytes]:
+        """Fetch boundary atoms from the first replica that answers."""
+        last_error: NetError | None = None
+        for peer in self._peers:
+            try:
+                return peer.serve_halo(dataset, field, timestep, ranges, ledger)
+            except (
+                NodeUnavailableError,
+                ConnectionLostError,
+                DeadlineExceededError,
+            ) as error:
+                last_error = error
+        raise NodeUnavailableError(
+            "replica-set",
+            attempts=len(self._peers),
+            message=(
+                f"halo read failed on all {len(self._peers)} replicas: "
+                f"{last_error}"
+            ),
+        ) from last_error
 
 
 class NodeServer:
@@ -392,9 +459,13 @@ class NodeServer:
         self.stream_chunk_points = stream_chunk_points
         self.shm = shm
         self.partitioner = MortonPartitioner(config.side, config.nodes)
+        self.placement = PlacementMap.from_partitioner(
+            self.partitioner, config.replication_factor
+        )
         self.node = DatabaseNode(
             node_id, self.spec, buffer_pages=config.buffer_pages
         )
+        self.peer_addresses: "list[str | tuple[str, int]] | None" = None
         self._peer_pools: list[ConnectionPool | None] = [None] * config.nodes
         self.executor: NodeExecutor | None = None
         if config.nodes == 1:
@@ -440,21 +511,43 @@ class NodeServer:
                 f"{len(peer_addresses)} peer addresses for "
                 f"{self.config.nodes} nodes"
             )
+        self.peer_addresses = list(peer_addresses) if peer_addresses else None
+
+        def pool_for(peer_id: int) -> ConnectionPool:
+            pool = self._peer_pools[peer_id]
+            if pool is None:
+                peer_host, peer_port = parse_address(peer_addresses[peer_id])
+                # Halo exchange is a synchronous call-and-wait pattern
+                # from a compute thread: a serial connection answers it
+                # with one thread wake-up fewer than the multiplexed
+                # mode, which matters when the interpreter is busy
+                # running kernels.
+                pool = ConnectionPool(
+                    peer_host, peer_port, max_connections=2, pipeline=False
+                )
+                self._peer_pools[peer_id] = pool
+            return pool
+
         peers: list[HaloPeer] = []
-        for peer_id in range(self.config.nodes):
-            if peer_id == self.node_id:
+        for shard in range(self.config.nodes):
+            if self.placement.owns(self.node_id, shard):
+                # A replicated shard this node ingested is served from
+                # local storage — including halo bands "belonging" to a
+                # peer's primary shard, which is what lets a query keep
+                # its boundary reads when that peer dies.
                 peers.append(self.node)
                 continue
-            peer_host, peer_port = parse_address(peer_addresses[peer_id])
-            # Halo exchange is a synchronous call-and-wait pattern from
-            # a compute thread: a serial connection answers it with one
-            # thread wake-up fewer than the multiplexed mode, which
-            # matters when the interpreter is busy running kernels.
-            pool = ConnectionPool(
-                peer_host, peer_port, max_connections=2, pipeline=False
+            replicas = [
+                RemoteHaloPeer(pool_for(peer_id), self.spec, self.rpc_timeout)
+                for peer_id in self.placement.replicas_of(shard)
+            ]
+            # One replica (the unreplicated layout) keeps the seed's
+            # direct proxy; more get placement-order failover.
+            peers.append(
+                replicas[0]
+                if len(replicas) == 1
+                else ReplicatedHaloPeer(replicas)
             )
-            self._peer_pools[peer_id] = pool
-            peers.append(RemoteHaloPeer(pool, self.spec, self.rpc_timeout))
         self.executor = NodeExecutor(self.node, peers, self.partitioner)
 
     def _require_executor(self) -> NodeExecutor:
@@ -468,13 +561,18 @@ class NodeServer:
     # -- data --------------------------------------------------------------------
 
     def load(self) -> int:
-        """Regenerate the dataset and ingest this node's Morton shard.
+        """Regenerate the dataset and ingest this node's Morton shards.
 
-        Returns the number of atoms stored.
+        With replication the node ingests the union of every shard the
+        placement assigns it (its primary shard plus the replica copies
+        it holds for peers); at replication factor 1 that union is
+        exactly the seed's single-shard ingest.  Returns the number of
+        atoms stored.
         """
         dataset = self.config.build_dataset()
         if dataset.spec.name not in self.node.dataset_names:
             self.node.register_dataset(dataset.spec)
+        owned = set(self.placement.shards_of(self.node_id))
         stored = 0
         for field in dataset.spec.fields:
             for timestep in range(dataset.spec.timesteps):
@@ -482,7 +580,7 @@ class NodeServer:
                 shard = [
                     (zindex, blob)
                     for zindex, blob in atomize(array)
-                    if self.partitioner.node_of_atom(zindex) == self.node_id
+                    if self.partitioner.node_of_atom(zindex) in owned
                 ]
                 with self.node.db.transaction() as txn:
                     stored += self.node.store_atoms(
@@ -795,6 +893,8 @@ class NodeServer:
                 return self._serve_topk(header)
             if method == "halo":
                 return self._serve_halo(header)
+            if method == "digest":
+                return self._serve_digest(header)
             if method == "describe":
                 return self._serve_describe()
             if method == "register_field":
@@ -915,6 +1015,35 @@ class NodeServer:
             None,
         )
         return codec.halo_atoms_to_wire(atoms)
+
+    def _serve_digest(self, header: dict) -> tuple[dict, list[bytes]]:
+        """Per-atom content digests over Morton ranges (anti-entropy).
+
+        A rejoining replica compares this map against its own copy and
+        fetches only the divergent atoms via ``halo``; like a halo read,
+        the scan charges nothing locally — serving catch-up must not
+        perturb this node's buffer pool.
+        """
+        from repro.ha.anti_entropy import chunk_digests
+
+        with self.node.db.transaction(None) as txn:
+            atoms = self.node.read_atoms(
+                txn,
+                str(header["dataset"]),
+                str(header["field"]),
+                int(header["timestep"]),
+                codec.ranges_from_wire(header["ranges"]),
+                charge=False,
+            )
+        return (
+            {
+                "digests": {
+                    str(zindex): digest
+                    for zindex, digest in chunk_digests(atoms).items()
+                }
+            },
+            [],
+        )
 
     def _serve_describe(self) -> tuple[dict, list[bytes]]:
         datasets = []

@@ -20,6 +20,12 @@ connections pipeline many in-flight requests over one or two sockets
 per node, and large threshold/batch responses arrive as PARTIAL chunk
 streams that are merged incrementally via ``merge_sorted_runs`` while
 the remaining chunks are still in flight.
+
+``TcpTransport`` assumes shard ``node_id`` *is* physical node
+``node_id`` — the unreplicated layout.  On a replicated cluster use
+:class:`repro.ha.HaTcpTransport`, which subclasses this transport and
+re-routes each per-shard call across the shard's replicas with health/
+latency awareness and mid-query failover.
 """
 
 from __future__ import annotations

@@ -41,3 +41,10 @@ def attach() -> int:
     """Maps a segment and never unmaps it — the backing file leaks."""
     seg = Segment()
     return 0
+
+
+def failover() -> Channel:
+    """Dials a replacement replica but leaks the probe connection."""
+    probe_chan = Channel()  # opened to health-check the replica
+    replacement = Channel()
+    return replacement

@@ -70,3 +70,26 @@ def serve_one() -> None:
     """Scopes the mapping to the request."""
     with Segment():
         pass
+
+
+class ReplicaRouter:
+    """Owns one channel per replica, built in bulk, released in bulk."""
+
+    def __init__(self, replicas: int) -> None:
+        self.channels = [Channel() for _ in range(replicas)]
+        self.rings: dict[int, Segment] = {}
+        for shard in range(replicas):
+            self.rings[shard] = Segment()
+
+    def close(self) -> None:
+        """Release every owned channel and mapped segment."""
+        for chan in self.channels:
+            chan.close()
+        for ring in self.rings.values():
+            ring.close()
+
+
+def reroute(router: ReplicaRouter) -> None:
+    """A failover path that scopes its probe connection."""
+    with Channel():
+        pass

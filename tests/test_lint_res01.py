@@ -11,7 +11,7 @@ def test_bad_fixture_flags_every_leak_shape():
         load("res01_bad.py", "repro.net.fixture_res01"),
     )
     messages = sorted(d.message for d in diags)
-    assert len(messages) == 4, messages
+    assert len(messages) == 5, messages
     assert any("immediately" in m and "dropped" in m for m in messages)
     assert any("never closed" in m for m in messages)
     assert any("no close()/shutdown() to release it" in m for m in messages)
