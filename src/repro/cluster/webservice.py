@@ -28,6 +28,7 @@ from repro.fields.derived import UnknownFieldError
 from repro.grid import Box
 from repro.net.errors import DeadlineExceededError, NetError
 from repro.obs import clock, tracing
+from repro.obs.metrics import MetricsRegistry
 
 #: Content type of the Prometheus text exposition format.
 PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4"
@@ -78,6 +79,27 @@ class WebService:
         self._in_flight = mediator.metrics.gauge(
             "webservice_in_flight", "Requests currently being handled"
         )
+        self._client_disconnects = mediator.metrics.counter(
+            "http_client_disconnects",
+            "Client connections dropped before the reply landed, by door",
+            labelnames=["door"],
+        )
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The mediator's metrics registry (the doors' instrument home)."""
+        return self._mediator.metrics
+
+    def note_client_disconnect(self, door: str) -> None:
+        """Count a client that hung up mid-exchange on ``door``.
+
+        A public front door sees disconnects constantly; they are
+        traffic weather, not errors — counted here so overload
+        investigations can correlate them with shed rates, and
+        swallowed by the doors so a vanished client never kills a
+        handler thread or poisons the event loop.
+        """
+        self._client_disconnects.labels(door=door).inc()
 
     def handle(self, request: dict) -> dict:
         """Process one request; never raises, always answers.

@@ -45,7 +45,36 @@ _BUDGET_FRAGMENTS = ("timeout", "deadline")
 
 #: Classes whose public methods are service entry points, by bare name
 #: (matched inside ``repro.cluster.``/``repro.net.`` modules).
-_ENTRY_CLASSES = {"Mediator", "WebService", "NodeServer", "HttpFrontend"}
+_ENTRY_CLASSES = {
+    "Mediator",
+    "WebService",
+    "NodeServer",
+    "HttpFrontend",
+    "AsyncHttpFrontend",
+}
+
+#: Awaited stream/socket coroutines that block on a peer.  Inside
+#: ``repro.net.`` every such await must sit under an asyncio deadline —
+#: an ``asyncio.wait_for(...)`` wrapper or an ``async with
+#: asyncio.timeout(...)`` / ``timeout_at(...)`` block — because an
+#: event loop has no per-socket ``settimeout``: an unbounded await on a
+#: half-dead peer parks the coroutine (and its keep-alive slot)
+#: forever.
+_AIO_SINK_ATTRS = {
+    "read",
+    "readline",
+    "readexactly",
+    "readuntil",
+    "drain",
+    "wait_closed",
+    "open_connection",
+    "accept",
+    "sock_recv",
+    "sock_sendall",
+}
+
+#: Call names that arm an asyncio deadline over their operand/body.
+_AIO_DEADLINE_CALLS = {"wait_for", "timeout", "timeout_at"}
 #: Entry classes subject to the caller-budget check (request plane).
 _BUDGET_CLASSES = {"Mediator", "WebService"}
 
@@ -151,16 +180,16 @@ class DeadlinePropagation(Checker):
 
     def check_program(self, program: Program) -> list[Diagnostic]:
         """Run both deadline checks over the project call graph."""
+        diags = self._check_async_deadlines(program)
         sinks = socket_sink_functions(program)
         if not sinks:
-            return []
+            return diags
         origins = {
             fn.qualname
             for fn in program.functions.values()
             if is_deadline_origin(fn)
         }
         entries = self._entry_points(program)
-        diags: list[Diagnostic] = []
         reaches_sink = program.reverse_reachable(sinks)
         for entry, budget_plane in entries:
             fn = program.functions[entry]
@@ -173,6 +202,52 @@ class DeadlinePropagation(Checker):
             )
             if budget_plane:
                 diags.extend(self._check_caller_budget(fn, origins))
+        return diags
+
+    def _check_async_deadlines(
+        self, program: Program
+    ) -> list[Diagnostic]:
+        """Awaited socket ops in ``repro.net.`` must carry deadlines.
+
+        The threaded checks above reason over the call graph because a
+        thread's budget travels through function calls; an ``await``'s
+        budget is *lexical* (the enclosing ``wait_for``/``timeout``
+        block), so this check is purely syntactic per coroutine.
+        """
+        diags: list[Diagnostic] = []
+        for fn in program.functions.values():
+            if not fn.module.startswith("repro.net."):
+                continue
+            if not isinstance(fn.node, ast.AsyncFunctionDef):
+                continue
+            source = program.sources.get(fn.module)
+            if source is None:
+                continue
+            parents = source.parents()
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Await):
+                    continue
+                call = node.value
+                if not isinstance(call, ast.Call) or not isinstance(
+                    call.func, ast.Attribute
+                ):
+                    continue
+                if call.func.attr not in _AIO_SINK_ATTRS:
+                    continue
+                if _await_has_deadline(node, parents):
+                    continue
+                diags.append(
+                    Diagnostic(
+                        self.code,
+                        f"awaited socket operation .{call.func.attr}() "
+                        "carries no deadline origin — wrap it in "
+                        "asyncio.wait_for(...) or run it inside an "
+                        "async with asyncio.timeout(...) block",
+                        fn.path,
+                        call.lineno,
+                        call.col_offset,
+                    )
+                )
         return diags
 
     def _entry_points(
@@ -243,3 +318,35 @@ def _short(qualname: str) -> str:
     """``Class.method`` (or ``module.func``) tail of a qualname."""
     parts = qualname.split(".")
     return ".".join(parts[-2:]) if len(parts) >= 2 else qualname
+
+
+def _await_has_deadline(
+    node: ast.Await, parents: dict[ast.AST, ast.AST]
+) -> bool:
+    """Whether an awaited call sits under an asyncio deadline.
+
+    Climbs the ancestor chain looking for an ``async with
+    asyncio.timeout(...)`` / ``timeout_at(...)`` block or an enclosing
+    ``wait_for(...)`` call; stops at the nearest function boundary —
+    a deadline armed in the *calling* coroutine does not bound this
+    await.
+    """
+    current = parents.get(node)
+    while current is not None:
+        if isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return False
+        if isinstance(current, ast.AsyncWith):
+            for item in current.items:
+                expr = item.context_expr
+                if isinstance(expr, ast.Call):
+                    dotted = dotted_name(expr.func) or ""
+                    if dotted.rsplit(".", 1)[-1] in _AIO_DEADLINE_CALLS:
+                        return True
+        if isinstance(current, ast.Call):
+            dotted = dotted_name(current.func) or ""
+            if dotted.rsplit(".", 1)[-1] in _AIO_DEADLINE_CALLS:
+                return True
+        current = parents.get(current)
+    return False

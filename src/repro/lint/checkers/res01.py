@@ -26,12 +26,18 @@ from __future__ import annotations
 
 import ast
 
-from repro.lint.base import Checker
+from repro.lint.base import Checker, dotted_name
 from repro.lint.diagnostics import Diagnostic
 from repro.lint.program import FunctionInfo, Program
 
 _SCOPES = ("repro.net.", "repro.storage.", "repro.cluster.")
 _CLOSERS = ("close", "shutdown")
+
+#: Stdlib factories returning a closeable server/listener object.  The
+#: asyncio door's ``await asyncio.start_server(...)`` pins a listening
+#: socket exactly like a project NodeServer does, so its result is held
+#: to the same ownership rule even though the class is not ours.
+_SERVER_FACTORIES = ("start_server", "start_unix_server", "create_server")
 
 
 class ResourceOwnership(Checker):
@@ -46,17 +52,18 @@ class ResourceOwnership(Checker):
 
     def check_program(self, program: Program) -> list[Diagnostic]:
         """Audit every resolved constructor call site in scope."""
+        diags: list[Diagnostic] = self._check_server_factories(program)
         resources = self._resource_classes(program)
         if not resources:
-            return []
-        diags: list[Diagnostic] = []
+            return diags
         for site in program.instantiations:
             fn = program.functions.get(site.function)
             if fn is None or not fn.module.startswith(_SCOPES):
                 continue
             if site.cls not in resources:
                 continue
-            problem = self._disposition(program, fn, site.node, site.cls)
+            short = program.classes[site.cls].name
+            problem = self._disposition(program, fn, site.node, short)
             if problem is not None:
                 diags.append(
                     Diagnostic(
@@ -67,6 +74,35 @@ class ResourceOwnership(Checker):
                         site.node.col_offset,
                     )
                 )
+        return diags
+
+    def _check_server_factories(
+        self, program: Program
+    ) -> list[Diagnostic]:
+        """Asyncio server/listener factory results must be owned too."""
+        diags: list[Diagnostic] = []
+        for fn in program.functions.values():
+            if not fn.module.startswith(_SCOPES):
+                continue
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func) or ""
+                if dotted.rsplit(".", 1)[-1] not in _SERVER_FACTORIES:
+                    continue
+                problem = self._disposition(
+                    program, fn, node, "asyncio server"
+                )
+                if problem is not None:
+                    diags.append(
+                        Diagnostic(
+                            self.code,
+                            problem,
+                            fn.path,
+                            node.lineno,
+                            node.col_offset,
+                        )
+                    )
         return diags
 
     def _resource_classes(self, program: Program) -> set[str]:
@@ -96,14 +132,13 @@ class ResourceOwnership(Checker):
         program: Program,
         fn: FunctionInfo,
         call: ast.Call,
-        cls: str,
+        short: str,
     ) -> str | None:
         """``None`` when the new object has an owner, else the problem."""
         source = program.sources.get(fn.module)
         if source is None:
             return None
         parents = source.parents()
-        short = program.classes[cls].name
         node: ast.AST = call
         parent = parents.get(node)
         while parent is not None:

@@ -141,11 +141,35 @@ def _cmd_serve_http(args: argparse.Namespace) -> int:
         nodes=[], partitioner=partitioner, transport=transport
     )
     service = WebService(mediator)
-    frontend = HttpFrontend(service, host=args.host, port=args.port)
+    frontend: "HttpFrontend | AsyncHttpFrontend"
+    if args.asyncio:
+        from repro.cluster.admission import AdmissionController
+        from repro.net.aio import AsyncHttpFrontend
+
+        admission = AdmissionController(
+            service.metrics,
+            tenant_rate=args.tenant_quota,
+            tenant_burst=args.tenant_quota * 2.0,
+            max_queue_depth=args.max_queue_depth,
+            max_queue_wait=args.max_queue_wait,
+            workers=args.max_inflight,
+        )
+        frontend = AsyncHttpFrontend(
+            service,
+            host=args.host,
+            port=args.port,
+            admission=admission,
+            max_inflight=args.max_inflight,
+        )
+        flavour = (f"asyncio door, {args.max_inflight} bridge slots, "
+                   f"{args.tenant_quota:g} req/s/tenant")
+    else:
+        frontend = HttpFrontend(service, host=args.host, port=args.port)
+        flavour = "threaded door"
     report(f"mediator over {len(addresses)} node(s) "
            f"({', '.join(addresses)}); datasets: {', '.join(names)}")
-    report(f"HTTP on http://{frontend.host}:{frontend.port} — POST / for "
-           "queries, GET /stats, GET /trace/<query_id>")
+    report(f"HTTP ({flavour}) on http://{frontend.host}:{args.port} — "
+           "POST / for queries, GET /stats, GET /trace/<query_id>")
     try:
         frontend.serve_forever()
     except KeyboardInterrupt:
@@ -226,6 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve_http.add_argument(
         "--heartbeat-interval", type=float, default=5.0,
         help="seconds between replica health probes (replicated mode)",
+    )
+    serve_http.add_argument(
+        "--async", dest="asyncio", action="store_true",
+        help="serve on the asyncio front door (repro.net.aio): keep-alive "
+             "at thousands-of-clients scale with admission control and "
+             "typed 429/503 load shedding",
+    )
+    serve_http.add_argument(
+        "--max-inflight", type=int, default=8,
+        help="async door: bridge threads into the mediator — the "
+             "dispatch concurrency bound (default 8)",
+    )
+    serve_http.add_argument(
+        "--tenant-quota", type=float, default=100.0,
+        help="async door: per-tenant sustained requests/second (burst is "
+             "2x; tenants come from the X-Tenant header, default 100)",
+    )
+    serve_http.add_argument(
+        "--max-queue-depth", type=int, default=512,
+        help="async door: admitted requests that may queue before the "
+             "door sheds with 503 queue_full (default 512)",
+    )
+    serve_http.add_argument(
+        "--max-queue-wait", type=float, default=2.0,
+        help="async door: seconds a request may wait for a bridge slot "
+             "before being shed (default 2.0)",
     )
     serve_http.set_defaults(run=_cmd_serve_http)
     return parser

@@ -67,11 +67,19 @@ class _Handler(BaseHTTPRequestHandler):
         self._reply(status, "application/json", json.dumps(payload).encode("utf-8"))
 
     def _reply(self, status: int, content_type: str, body: bytes) -> None:
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
+        try:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client hung up mid-reply.  Swallow it — a vanished
+            # client is traffic weather, not a server error — count it,
+            # and mark the connection unusable so the handler loop
+            # stops instead of writing into a dead socket.
+            self.service.note_client_disconnect("threaded")
+            self.close_connection = True
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         """Silence the default per-request stderr chatter."""

@@ -1,0 +1,18 @@
+"""DL01 fixture: awaited socket ops with no asyncio deadline."""
+
+import asyncio
+
+
+class AsyncDoor:
+    async def pump(self, reader, writer):
+        line = await reader.readline()  # no wait_for/timeout: flagged
+        writer.write(line)
+        await writer.drain()  # flagged too
+
+    async def siphon(self, reader):
+        # A deadline armed around a *different* await does not cover
+        # the naked one after the block.
+        async with asyncio.timeout(5.0):
+            head = await reader.readexactly(4)
+        tail = await reader.read(1024)  # flagged
+        return head, tail

@@ -1,0 +1,22 @@
+"""DL01 fixture: every awaited socket op sits under a deadline."""
+
+import asyncio
+
+
+class AsyncDoor:
+    async def pump(self, reader, writer):
+        line = await asyncio.wait_for(reader.readline(), 5.0)
+        writer.write(line)
+        async with asyncio.timeout(5.0):
+            await writer.drain()
+
+    async def siphon(self, reader):
+        async with asyncio.timeout_at(99.0):
+            head = await reader.readexactly(4)
+            tail = await reader.read(1024)
+        return head, tail
+
+    async def idle(self, queue):
+        # Non-socket awaits need no deadline: the queue drains at the
+        # door's own pace, not a peer's.
+        return await queue.get()

@@ -1,0 +1,21 @@
+"""RES01 fixture: asyncio server objects leaked by their creators."""
+
+import asyncio
+
+
+class Door:
+    async def leak_local(self, handler):
+        server = await asyncio.start_server(handler, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        return port  # the port escapes; the listening server never does
+
+
+async def dropped(handler):
+    await asyncio.start_server(handler, "127.0.0.1", 0)
+
+
+class Keeper:
+    """Stores the listener on an owner that can never release it."""
+
+    async def open(self, loop, factory):
+        self.server = await loop.create_server(factory, "127.0.0.1", 0)

@@ -1,0 +1,32 @@
+"""RES01 fixture: every asyncio server object has a clear owner."""
+
+import asyncio
+
+
+class Door:
+    """Stores the listener on a closeable owner — ownership rolls up."""
+
+    def __init__(self):
+        self.server = None
+
+    async def open(self, handler):
+        self.server = await asyncio.start_server(handler, "127.0.0.1", 0)
+
+    def close(self):
+        if self.server is not None:
+            self.server.close()
+
+
+async def scoped(handler):
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    async with server:
+        pass
+
+
+async def handed_back(handler):
+    return await asyncio.start_server(handler, "127.0.0.1", 0)
+
+
+async def closed_inline(handler):
+    server = await asyncio.start_server(handler, "127.0.0.1", 0)
+    server.close()

@@ -32,3 +32,31 @@ def test_entry_scope_is_class_and_module_gated():
         load("dl01_bad.py", "repro.storage.fixture_dl01"),
     )
     assert diags == []
+
+
+def test_aio_bad_fixture_flags_every_naked_await():
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_aio_bad.py", "repro.net.fixture_dl01aio"),
+    )
+    messages = [d.message for d in diags]
+    assert len(messages) == 3, messages
+    assert all("carries no deadline origin" in m for m in messages)
+    flagged = {m.split(".")[1].split("(")[0] for m in messages}
+    assert flagged == {"readline", "drain", "read"}, messages
+
+
+def test_aio_good_fixture_is_clean():
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_aio_good.py", "repro.net.fixture_dl01aio"),
+    )
+    assert diags == []
+
+
+def test_aio_awaits_outside_repro_net_are_ignored():
+    diags = run_program_checker(
+        DeadlinePropagation(),
+        load("dl01_aio_bad.py", "repro.cluster.fixture_dl01aio"),
+    )
+    assert diags == []

@@ -33,3 +33,32 @@ def test_out_of_scope_module_is_ignored():
         load("res01_bad.py", "repro.core.fixture_res01"),
     )
     assert diags == []
+
+
+def test_aio_bad_fixture_flags_leaked_servers():
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_aio_bad.py", "repro.net.fixture_res01aio"),
+    )
+    messages = sorted(d.message for d in diags)
+    assert len(messages) == 3, messages
+    assert any("never closed" in m for m in messages)
+    assert any("immediately" in m and "dropped" in m for m in messages)
+    assert any("no close()/shutdown() to release it" in m for m in messages)
+    assert all("asyncio server" in m for m in messages)
+
+
+def test_aio_good_fixture_is_clean():
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_aio_good.py", "repro.net.fixture_res01aio"),
+    )
+    assert diags == []
+
+
+def test_aio_factories_out_of_scope_are_ignored():
+    diags = run_program_checker(
+        ResourceOwnership(),
+        load("res01_aio_bad.py", "repro.harness.fixture_res01aio"),
+    )
+    assert diags == []

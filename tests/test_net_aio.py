@@ -1,0 +1,284 @@
+"""Integration tests for the asyncio front door (:mod:`repro.net.aio`).
+
+The contract under test: the async door answers the same dictionary
+protocol byte-identically to the threaded door and the in-process path,
+keeps connections alive across requests, and under overload every
+client gets either a correct answer or a well-formed typed shed — no
+hangs, no resets, no partial JSON.
+"""
+
+import http.client
+import json
+import socket
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.cluster.admission import AdmissionController
+from repro.cluster.webservice import WebService
+from repro.net.aio import AsyncHttpFrontend
+from repro.net.http import MAX_BODY_BYTES, HttpFrontend, _Handler
+
+#: Fields that legitimately differ between two executions of the same
+#: request (fresh query ids, wall-clock timings, cache warmth).
+VOLATILE = {"query_id", "elapsed_seconds", "cache_hits"}
+
+THRESHOLD_QUERY = {
+    "method": "GetThreshold",
+    "dataset": "mhd",
+    "field": "vorticity",
+    "timestep": 0,
+    "threshold": 15.0,
+}
+
+SHED_CODES = {"quota_exceeded", "queue_full", "queue_timeout", "overloaded"}
+
+
+@pytest.fixture(scope="module")
+def service(small_mhd):
+    """One WebService over a private 4-node cluster for this module."""
+    return WebService(build_cluster(small_mhd, nodes=4))
+
+
+def open_async_door(service, **admission_kwargs) -> AsyncHttpFrontend:
+    admission = (
+        AdmissionController(service.metrics, **admission_kwargs)
+        if admission_kwargs
+        else None
+    )
+    door = AsyncHttpFrontend(service, admission=admission)
+    door.start()
+    return door
+
+
+def post(conn: http.client.HTTPConnection, payload: dict, tenant=None):
+    """One ``POST /`` exchange; returns ``(status, body bytes, headers)``."""
+    headers = {"Content-Type": "application/json"}
+    if tenant is not None:
+        headers["X-Tenant"] = tenant
+    conn.request("POST", "/", body=json.dumps(payload), headers=headers)
+    response = conn.getresponse()
+    return response.status, response.read(), dict(response.getheaders())
+
+
+def normalize(body: dict) -> dict:
+    return {k: v for k, v in body.items() if k not in VOLATILE}
+
+
+class TestEquivalence:
+    REQUESTS = [
+        THRESHOLD_QUERY,
+        {"method": "GetPdf", "dataset": "mhd", "field": "vorticity",
+         "timestep": 0, "bins": 16},
+        {"method": "GetTopK", "dataset": "mhd", "field": "vorticity",
+         "timestep": 0, "k": 5},
+        {"method": "ListFields"},
+        {"method": "ListDatasets"},
+        {"method": "NoSuchMethod"},
+        {"method": "GetThreshold", "dataset": "mhd"},  # missing keys
+    ]
+
+    def test_async_threaded_and_direct_paths_agree(self, service):
+        with HttpFrontend(service) as threaded, open_async_door(service) as door:
+            threaded.start()
+            t_conn = http.client.HTTPConnection(
+                "127.0.0.1", threaded.port, timeout=30
+            )
+            a_conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            for request in self.REQUESTS:
+                direct = service.handle(dict(request))
+                t_status, t_body, _ = post(t_conn, request)
+                a_status, a_body, _ = post(a_conn, request)
+                assert a_status == t_status, request
+                assert normalize(json.loads(a_body)) == normalize(
+                    json.loads(t_body)
+                ), request
+                assert normalize(json.loads(a_body)) == normalize(
+                    direct
+                ), request
+                if direct.get("status") != "ok":
+                    # Error bodies carry no volatile fields, so the two
+                    # doors must agree to the byte.
+                    assert a_body == t_body, request
+            t_conn.close()
+            a_conn.close()
+
+    def test_get_stats_bypasses_the_queue(self, service):
+        with open_async_door(service) as door:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            conn.request("GET", "/stats")
+            response = conn.getresponse()
+            text = response.read().decode("utf-8")
+            assert response.status == 200
+            assert "aio_connections_open" in text
+            conn.close()
+
+    def test_method_not_allowed(self, service):
+        with open_async_door(service) as door:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            conn.request("PUT", "/", body="{}")
+            response = conn.getresponse()
+            assert response.status == 405
+            assert json.loads(response.read())["code"] == "bad_request"
+            conn.close()
+
+
+class TestKeepAlive:
+    def test_connection_is_reused_across_requests(self, service):
+        with open_async_door(service) as door:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            first_socket = None
+            for _ in range(5):
+                status, body, headers = post(conn, {"method": "ListFields"})
+                assert status == 200
+                assert json.loads(body)["status"] == "ok"
+                assert headers.get("Connection") == "keep-alive"
+                if first_socket is None:
+                    first_socket = conn.sock
+                assert conn.sock is first_socket
+            conn.close()
+
+
+class TestOverload:
+    def test_flood_past_admission_limit(self, service):
+        """Every flooded client gets a correct answer or a typed shed."""
+        expected = normalize(service.handle(dict(THRESHOLD_QUERY)))
+        door = open_async_door(
+            service,
+            tenant_rate=50.0,
+            tenant_burst=8.0,
+            max_queue_depth=4,
+            max_queue_wait=1.0,
+            workers=2,
+        )
+
+        def one_client(_: int):
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            try:
+                status, body, headers = post(conn, THRESHOLD_QUERY)
+            finally:
+                conn.close()
+            parsed = json.loads(body)  # complete JSON or the test fails
+            return status, parsed, headers
+
+        with door:
+            with ThreadPoolExecutor(max_workers=40) as pool:
+                outcomes = list(pool.map(one_client, range(40)))
+
+        admitted = [o for o in outcomes if o[0] == 200]
+        shed = [o for o in outcomes if o[0] in (429, 503)]
+        assert len(admitted) + len(shed) == len(outcomes)
+        assert admitted, "the first arrivals must be admitted"
+        assert shed, "40 clients against burst=8 must shed"
+        for _, parsed, _ in admitted:
+            assert normalize(parsed) == expected
+        for status, parsed, headers in shed:
+            assert parsed["status"] == "error"
+            assert parsed["code"] in SHED_CODES
+            assert parsed["retry_after_s"] > 0.0
+            assert "Retry-After" in headers
+            if parsed["code"] == "quota_exceeded":
+                assert status == 429
+            else:
+                assert status == 503
+
+    def test_tenant_header_scopes_the_quota(self, service):
+        with open_async_door(
+            service, tenant_rate=5.0, tenant_burst=1.0
+        ) as door:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", door.port, timeout=30
+            )
+            status, _, _ = post(conn, {"method": "ListFields"}, tenant="a")
+            assert status == 200
+            status, body, _ = post(conn, {"method": "ListFields"}, tenant="a")
+            assert status == 429
+            assert json.loads(body)["code"] == "quota_exceeded"
+            status, _, _ = post(conn, {"method": "ListFields"}, tenant="b")
+            assert status == 200
+            conn.close()
+
+
+class TestProtocolAbuse:
+    def recv_all(self, sock: socket.socket) -> bytes:
+        chunks = []
+        while True:
+            chunk = sock.recv(4096)
+            if not chunk:
+                return b"".join(chunks)
+            chunks.append(chunk)
+
+    def test_malformed_request_line_gets_400_and_close(self, service):
+        with open_async_door(service) as door:
+            with socket.create_connection(
+                ("127.0.0.1", door.port), timeout=15
+            ) as sock:
+                sock.sendall(b"NONSENSE\r\n\r\n")
+                raw = self.recv_all(sock)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+        assert b'"code": "bad_request"' in raw
+
+    def test_oversized_body_gets_400_and_close(self, service):
+        with open_async_door(service) as door:
+            with socket.create_connection(
+                ("127.0.0.1", door.port), timeout=15
+            ) as sock:
+                sock.sendall(
+                    b"POST / HTTP/1.1\r\n"
+                    b"Content-Length: %d\r\n\r\n" % (MAX_BODY_BYTES + 1)
+                )
+                raw = self.recv_all(sock)
+        assert raw.startswith(b"HTTP/1.1 400 ")
+        assert b"oversized" in raw
+
+    def test_mid_body_disconnect_is_counted_not_crashed(self, service):
+        counter = service.metrics.get("http_client_disconnects")
+        before = counter.labels(door="async").value
+        with open_async_door(service) as door:
+            sock = socket.create_connection(
+                ("127.0.0.1", door.port), timeout=15
+            )
+            sock.sendall(
+                b"POST / HTTP/1.1\r\nContent-Length: 100\r\n\r\n{\"meth"
+            )
+            sock.close()
+            for _ in range(100):
+                if counter.labels(door="async").value > before:
+                    break
+                time.sleep(0.05)
+            assert counter.labels(door="async").value > before
+
+
+class TestThreadedDoorHardening:
+    def test_reply_swallows_broken_pipe_and_counts_it(self, service):
+        counter = service.metrics.get("http_client_disconnects")
+        before = counter.labels(door="threaded").value
+
+        class DeadPipe:
+            def write(self, data):
+                raise BrokenPipeError("peer vanished")
+
+            def flush(self):
+                raise BrokenPipeError("peer vanished")
+
+        handler = _Handler.__new__(_Handler)
+        handler.service = service
+        handler.wfile = DeadPipe()
+        handler.requestline = "POST / HTTP/1.1"
+        handler.request_version = "HTTP/1.1"
+        handler.close_connection = False
+        handler._reply(200, "application/json", b"{}")
+        assert handler.close_connection is True
+        assert counter.labels(door="threaded").value == before + 1
